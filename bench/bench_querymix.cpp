@@ -1,0 +1,167 @@
+//===- bench/bench_querymix.cpp - Query-volume sensitivity ----------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation D (DESIGN.md): the paper's combined speedup depends on the
+// queries-per-variable ratio — 186.crafty regressed (0.73x) at 26.53
+// queries/variable while the average workload (5.19 queries/variable) won.
+// This bench makes the dependence explicit: on a fixed corpus it sweeps a
+// multiplier on the query stream and reports where the "Both" speedup
+// crosses 1.0. It also reports query cost as a function of def-use chain
+// length (the for-loop of Algorithm 3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "core/FunctionLiveness.h"
+#include "core/LiveCheck.h"
+#include "ir/CFG.h"
+#include "ir/Clone.h"
+#include "liveness/DataflowLiveness.h"
+#include "ssa/SSADestruction.h"
+#include "support/CycleTimer.h"
+#include "workload/CFGGenerator.h"
+
+#include <cstdio>
+
+using namespace ssalive;
+using namespace ssalive::bench;
+
+int main() {
+  std::printf("Query-mix sensitivity: combined speedup vs queries issued\n");
+  std::printf("(fixed 300-procedure corpus; the query trace is replayed K "
+              "times to emulate\n passes with heavier query behaviour, as "
+              "in the 186.crafty regression)\n\n");
+
+  RandomEngine Rng(0xC0FFEE);
+  const SpecProfile &P = spec2000Profiles()[0]; // 164.gzip shape.
+
+  struct Proc {
+    std::unique_ptr<Function> F;
+    std::vector<RecordedQuery> Trace;
+  };
+  std::vector<Proc> Corpus;
+  std::uint64_t BaseQueries = 0;
+  std::uint64_t Variables = 0;
+  for (unsigned I = 0; I != 300; ++I) {
+    Proc Pr;
+    Pr.F = synthesizeProcedure(P, Rng);
+    auto Clone = cloneFunction(*Pr.F);
+    FunctionLiveness Live(*Clone);
+    DestructionOptions DOpts;
+    DOpts.RecordTrace = true;
+    Pr.Trace = destructSSA(*Clone, Live, DOpts).Trace;
+    BaseQueries += Pr.Trace.size();
+    Variables += Pr.F->numValues();
+    Corpus.push_back(std::move(Pr));
+  }
+
+  TablePrinter T({"Multiplier", "Queries/var", "Pre.Native", "Pre.New",
+                  "Q.Native", "Q.New", "Both spdup"});
+
+  for (unsigned K : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::uint64_t NativePre = 0, NewPre = 0, NativeQ = 0, NewQ = 0;
+    std::uint64_t Queries = 0;
+    unsigned Checksum = 0;
+    for (const Proc &Pr : Corpus) {
+      CycleTimer TN;
+      TN.start();
+      DataflowOptions NOpts;
+      NOpts.PhiRelatedOnly = true;
+      DataflowLiveness Native(*Pr.F, NOpts);
+      TN.stop();
+      NativePre += TN.totalCycles();
+
+      CFG G = CFG::fromFunction(*Pr.F);
+      DFS D(G);
+      DomTree DT(G, D);
+      CycleTimer TP;
+      TP.start();
+      LiveCheck Engine(G, D, DT);
+      TP.stop();
+      NewPre += TP.totalCycles();
+
+      FunctionLiveness NewBackend(*Pr.F);
+      CycleTimer TQN, TQF;
+      for (unsigned Rep = 0; Rep != K; ++Rep) {
+        TQN.start();
+        for (const RecordedQuery &Q : Pr.Trace) {
+          bool A = Q.IsLiveOut
+                       ? Native.isLiveOut(*Pr.F->value(Q.ValueId),
+                                          *Pr.F->block(Q.BlockId))
+                       : Native.isLiveIn(*Pr.F->value(Q.ValueId),
+                                         *Pr.F->block(Q.BlockId));
+          Checksum ^= unsigned(A);
+        }
+        TQN.stop();
+        TQF.start();
+        for (const RecordedQuery &Q : Pr.Trace) {
+          bool A = Q.IsLiveOut
+                       ? NewBackend.isLiveOut(*Pr.F->value(Q.ValueId),
+                                              *Pr.F->block(Q.BlockId))
+                       : NewBackend.isLiveIn(*Pr.F->value(Q.ValueId),
+                                             *Pr.F->block(Q.BlockId));
+          Checksum ^= unsigned(A);
+        }
+        TQF.stop();
+      }
+      NativeQ += TQN.totalCycles();
+      NewQ += TQF.totalCycles();
+      Queries += K * Pr.Trace.size();
+    }
+    (void)Checksum;
+    double PreN = double(NativePre) / Corpus.size();
+    double PreF = double(NewPre) / Corpus.size();
+    double QN = double(NativeQ) / double(Queries);
+    double QF = double(NewQ) / double(Queries);
+    double Both = (Corpus.size() * PreN + double(Queries) * QN) /
+                  (Corpus.size() * PreF + double(Queries) * QF);
+    T.addRow({std::to_string(K),
+              TablePrinter::fmt(double(Queries) / double(Variables)),
+              TablePrinter::fmt(PreN, 0), TablePrinter::fmt(PreF, 0),
+              TablePrinter::fmt(QN), TablePrinter::fmt(QF),
+              TablePrinter::fmt(Both)});
+  }
+  T.print();
+  std::printf("\nPaper reference points: 5.19 queries/variable -> 1.16x "
+              "combined; 26.53\nqueries/variable (186.crafty) -> 0.73x. The "
+              "crossover moves with the ratio of\nprecompute savings to "
+              "per-query penalty.\n");
+
+  // Query cost vs def-use chain length (Algorithm 3's inner loop).
+  std::printf("\nQuery cost vs def-use chain length (live-in, synthetic "
+              "chains):\n\n");
+  TablePrinter T2({"Uses", "Cycles/query"});
+  for (unsigned Uses : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    RandomEngine R2(Uses);
+    CFGGenOptions GOpts;
+    GOpts.TargetBlocks = 40;
+    CFG G = generateCFG(GOpts, R2);
+    DFS D(G);
+    DomTree DT(G, D);
+    LiveCheck Engine(G, D, DT);
+    // One variable defined at the entry, used in 'Uses' random blocks.
+    std::vector<unsigned> UseBlocks;
+    for (unsigned I = 0; I != Uses; ++I)
+      UseBlocks.push_back(R2.nextBelow(G.numNodes()));
+    CycleTimer Timer;
+    unsigned Checksum = 0;
+    constexpr unsigned Reps = 20000;
+    Timer.start();
+    for (unsigned I = 0; I != Reps; ++I) {
+      unsigned Q = I % G.numNodes();
+      Checksum ^= unsigned(Engine.isLiveIn(G.entry(), Q, UseBlocks));
+    }
+    Timer.stop();
+    (void)Checksum;
+    T2.addRow({std::to_string(Uses),
+               TablePrinter::fmt(double(Timer.totalCycles()) / Reps)});
+  }
+  T2.print();
+  return 0;
+}

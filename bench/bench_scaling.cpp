@@ -1,0 +1,91 @@
+//===- bench/bench_scaling.cpp - Quadratic-cost scaling sweep -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation C (DESIGN.md): the quadratic behaviour the paper discusses in
+// Sections 6.1 and 8. Sweeps the block count and reports, per size:
+// precomputation cycles for both approaches, R/T memory versus the
+// sorted-array native memory, and the memory break-even the paper derives
+// ("our method needs less storage if the procedure has less than
+// 32 x 32 = 1024 blocks" for 32-variable ordered arrays).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "core/LiveCheck.h"
+#include "ir/CFG.h"
+#include "liveness/DataflowLiveness.h"
+#include "ssa/SSAConstruction.h"
+#include "support/CycleTimer.h"
+#include "workload/CFGGenerator.h"
+#include "workload/ProgramGenerator.h"
+
+#include <cstdio>
+
+using namespace ssalive;
+using namespace ssalive::bench;
+
+int main() {
+  std::printf("Scaling sweep: precomputation cost and memory vs block "
+              "count\n");
+  std::printf("(per size: average over several random procedures; 'New' "
+              "memory is the R+T\n bitsets, 'Native' memory the sorted "
+              "live-in/live-out arrays)\n\n");
+
+  TablePrinter T({"Blocks", "Vars", "Pre.Native(cyc)", "Pre.New(cyc)",
+                  "Ratio", "Mem.Native(KB)", "Mem.New(KB)", "Mem ratio"});
+
+  for (unsigned Blocks : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
+                          2048u}) {
+    unsigned Reps = Blocks >= 512 ? 3 : 10;
+    std::uint64_t NativeCycles = 0, NewCycles = 0;
+    double NativeKB = 0, NewKB = 0, Vars = 0;
+    RandomEngine Rng(Blocks * 7717ull);
+    for (unsigned I = 0; I != Reps; ++I) {
+      CFGGenOptions GOpts;
+      GOpts.TargetBlocks = Blocks;
+      CFG G = generateCFG(GOpts, Rng);
+      ProgramGenOptions POpts;
+      auto F = generateProgram(G, POpts, Rng);
+      constructSSA(*F);
+      Vars += F->numValues();
+
+      CycleTimer TNative;
+      TNative.start();
+      DataflowLiveness Native(*F);
+      TNative.stop();
+      NativeCycles += TNative.totalCycles();
+      NativeKB += Native.memoryBytes() / 1024.0;
+
+      CFG G2 = CFG::fromFunction(*F);
+      DFS D(G2);
+      DomTree DT(G2, D);
+      CycleTimer TNew;
+      TNew.start();
+      LiveCheck Engine(G2, D, DT);
+      TNew.stop();
+      NewCycles += TNew.totalCycles();
+      NewKB += Engine.memoryBytes() / 1024.0;
+    }
+    double PreNative = double(NativeCycles) / Reps;
+    double PreNew = double(NewCycles) / Reps;
+    T.addRow({std::to_string(Blocks),
+              TablePrinter::fmt(Vars / Reps, 0),
+              TablePrinter::fmt(PreNative, 0), TablePrinter::fmt(PreNew, 0),
+              TablePrinter::fmt(PreNative / PreNew),
+              TablePrinter::fmt(NativeKB / Reps),
+              TablePrinter::fmt(NewKB / Reps),
+              TablePrinter::fmt((NewKB / Reps) / (NativeKB / Reps))});
+  }
+  T.print();
+  std::printf("\nReading: the New precomputation wins at common procedure "
+              "sizes and its\nquadratic bitset memory overtakes the native "
+              "arrays as blocks grow — the\npaper's break-even argument "
+              "(Section 6.1) and the Section 8 caveat.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- examples/out_of_ssa.cpp - SSA destruction walkthrough ---------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's measured use case end to end: take an SSA function whose φs
+// include the classic "swap" pattern, run Sreedhar-III SSA destruction
+// driven by fast liveness queries, and show the resulting φ-free program
+// plus the pass statistics (queries issued, copies inserted, resources
+// coalesced). Also contrasts with the query-free Method I (copy
+// everything).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FunctionLiveness.h"
+#include "ir/Clone.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interpreter.h"
+#include "ssa/SSADestruction.h"
+
+#include <cstdio>
+
+using namespace ssalive;
+
+int main() {
+  const char *Source = R"(
+func @swapsum {
+entry:
+  %n = param 0
+  %a0 = const 1
+  %b0 = const 2
+  %zero = const 0
+  jump header
+header:
+  %i = phi [%zero, entry], [%inext, body]
+  %a = phi [%a0, entry], [%b, body]
+  %b = phi [%b0, entry], [%a, body]
+  %cmp = cmplt %i, %n
+  branch %cmp, body, exit
+body:
+  %one = const 1
+  %inext = add %i, %one
+  jump header
+exit:
+  %d = sub %a, %b
+  ret %d
+}
+)";
+
+  ParseResult Parsed = parseFunction(Source);
+  if (!Parsed.Func) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  Function &F = *Parsed.Func;
+  std::printf("=== input (SSA, with a phi swap) ===\n%s\n",
+              printFunction(F).c_str());
+
+  // Keep a pristine copy to demonstrate behavioural equivalence, and a
+  // second clone for the Method I comparison.
+  auto Reference = cloneFunction(F);
+  auto MethodICopy = cloneFunction(F);
+
+  // Sreedhar Method III: liveness-query-driven coalescing. The liveness
+  // backend is the paper's fast checker, precomputed once up front — the
+  // copies the pass inserts do not invalidate it.
+  FunctionLiveness Liveness(F);
+  DestructionStats Stats = destructSSA(F, Liveness);
+
+  std::printf("=== after out-of-SSA (Method III, coalescing) ===\n%s\n",
+              printFunction(F).c_str());
+  std::printf("phis eliminated:     %u\n", Stats.PhisEliminated);
+  std::printf("liveness queries:    %llu\n",
+              static_cast<unsigned long long>(Stats.LivenessQueries));
+  std::printf("copies inserted:     %u\n", Stats.CopiesInserted);
+  std::printf("resources coalesced: %u\n\n", Stats.ResourcesCoalesced);
+
+  FunctionLiveness LivenessI(*MethodICopy);
+  DestructionOptions OptsI;
+  OptsI.Method = DestructionMethod::CopyAll;
+  DestructionStats StatsI = destructSSA(*MethodICopy, LivenessI, OptsI);
+  std::printf("Method I (no liveness, isolate everything) would have "
+              "inserted %u copies\ninstead of %u.\n\n",
+              StatsI.CopiesInserted, Stats.CopiesInserted);
+
+  // Prove both transformations preserved behaviour.
+  for (std::int64_t N : {0, 1, 2, 3, 7}) {
+    ExecutionResult Before = interpret(*Reference, {N});
+    ExecutionResult After = interpret(F, {N});
+    ExecutionResult AfterI = interpret(*MethodICopy, {N});
+    bool Ok = sameObservableBehavior(Before, After) &&
+              sameObservableBehavior(Before, AfterI);
+    std::printf("swapsum(%lld) = %lld   [%s]\n",
+                static_cast<long long>(N),
+                static_cast<long long>(After.ReturnValue),
+                Ok ? "all variants agree" : "MISMATCH");
+    if (!Ok)
+      return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- examples/paper_figure3.cpp - The paper's worked example -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Walks through the paper's Figure 3 / Section 3.2 examples on the
+// CFG-level API (no instructions needed — the engine only wants block
+// ids): prints the precomputed R and T sets and replays the four worked
+// queries with explanations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "analysis/Reducibility.h"
+#include "core/LiveCheck.h"
+#include "ir/CFG.h"
+
+#include <cstdio>
+
+using namespace ssalive;
+
+// Paper nodes are 1-based.
+static constexpr unsigned P(unsigned PaperNode) { return PaperNode - 1; }
+
+int main() {
+  // The reconstruction of Figure 3 (see DESIGN.md): back edges (10,8),
+  // (6,5), (7,2); defs w@2, x@3, y@1; uses =w@4, =x@9, =y@5.
+  CFG G(11);
+  auto Edge = [&G](unsigned From, unsigned To) { G.addEdge(P(From), P(To)); };
+  Edge(1, 2);
+  Edge(2, 3);
+  Edge(2, 11);
+  Edge(3, 4);
+  Edge(3, 8);
+  Edge(4, 5);
+  Edge(5, 6);
+  Edge(6, 7);
+  Edge(6, 5);
+  Edge(7, 2);
+  Edge(8, 9);
+  Edge(9, 6);
+  Edge(9, 10);
+  Edge(10, 8);
+
+  DFS D(G);
+  DomTree DT(G, D);
+  LiveCheck Check(G, D, DT);
+
+  std::printf("Figure 3 CFG: 11 nodes, %u edges, %zu back edges ",
+              G.numEdges(), D.backEdges().size());
+  std::printf("(targets:");
+  for (auto [S, T] : D.backEdges())
+    std::printf(" %u->%u", S + 1, T + 1);
+  std::printf(")\n");
+  ReducibilityInfo Red = analyzeReducibility(D, DT);
+  std::printf("reducible: %s\n\n", Red.Reducible ? "yes" : "no");
+
+  std::printf("precomputed sets (paper numbering):\n");
+  for (unsigned V = 1; V <= 11; ++V) {
+    std::printf("  node %2u:  R = {", V);
+    for (unsigned W = 1; W <= 11; ++W)
+      if (Check.isReducedReachable(P(V), P(W)))
+        std::printf(" %u", W);
+    std::printf(" }  T = {");
+    for (unsigned W = 1; W <= 11; ++W)
+      if (Check.isInT(P(V), P(W)))
+        std::printf(" %u", W);
+    std::printf(" }\n");
+  }
+
+  struct Query {
+    const char *Var;
+    unsigned Def, Use, Q;
+    const char *Expect;
+    const char *Why;
+  };
+  const Query Queries[] = {
+      {"x", 3, 9, 10, "live",
+       "the use at 9 is reduced reachable from 8, the target of back edge "
+       "(10,8)"},
+      {"y", 1, 5, 10, "live",
+       "two levels of T-chaining: (10,8) to 8, then via 9 and the cross "
+       "edge to 6,\n              and back edge (6,5) reaches the use at 5"},
+      {"w", 2, 4, 10, "dead",
+       "target 2 is reachable from 10 but not strictly dominated by "
+       "def(w)=2, so the\n              dominance interval filters it out"},
+      {"x", 3, 9, 4, "dead",
+       "reaching 8 from 4 means leaving and re-entering def(x)'s dominance "
+       "subtree,\n              so 8 is not in T_4 (Definition 5's filter)"},
+  };
+
+  std::printf("\nworked queries from Section 3.2:\n");
+  for (const Query &Q : Queries) {
+    std::vector<unsigned> Uses{P(Q.Use)};
+    bool Live = Check.isLiveIn(P(Q.Def), P(Q.Q), Uses);
+    std::printf("\n  is %s (def@%u, use@%u) live-in at %u?  ->  %s "
+                "(expected %s)\n",
+                Q.Var, Q.Def, Q.Use, Q.Q, Live ? "live" : "dead", Q.Expect);
+    std::printf("    because: %s\n", Q.Why);
+  }
+  return 0;
+}

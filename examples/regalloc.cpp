@@ -1,0 +1,137 @@
+//===- examples/regalloc.cpp - SSA register assignment ---------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The class of client the paper's introduction motivates: register
+// allocation on SSA form. SSA interference graphs are chordal, so
+// assigning registers greedily in dominance-tree preorder of the
+// definitions is optimal for the number of registers; the only analysis
+// ingredient is the interference test, which is exactly the
+// liveness-query pattern this library accelerates (Budimlić et al. via
+// isLiveIn/isLiveOut).
+//
+// The example allocates registers for a small function, prints the
+// assignment, and verifies independently (against the brute-force oracle)
+// that no two simultaneously-live values share a register.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "core/FunctionLiveness.h"
+#include "ir/CFG.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "liveness/LivenessOracle.h"
+#include "ssa/InterferenceCheck.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace ssalive;
+
+int main() {
+  ParseResult Parsed = parseFunction(R"(
+func @poly {
+entry:
+  %x = param 0
+  %n = param 1
+  %zero = const 0
+  %one = const 1
+  jump header
+header:
+  %i = phi [%zero, entry], [%inext, body]
+  %acc = phi [%one, entry], [%accnext, body]
+  %c = cmplt %i, %n
+  branch %c, body, exit
+body:
+  %accnext = mul %acc, %x
+  %inext = add %i, %one
+  jump header
+exit:
+  %r = add %acc, %x
+  ret %r
+}
+)");
+  if (!Parsed.Func) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  Function &F = *Parsed.Func;
+  std::printf("%s\n", printFunction(F).c_str());
+
+  CFG G = CFG::fromFunction(F);
+  DFS D(G);
+  DomTree DT(G, D);
+  FunctionLiveness Liveness(F);
+  InterferenceCheck Interference(F, DT, Liveness);
+
+  // Values in dominance-tree preorder of their definition blocks (defs
+  // within a block keep instruction order). On SSA form this is a perfect
+  // elimination order of the chordal interference graph, so greedy
+  // coloring is optimal for the interference relation used (ours is the
+  // conservative block-granular test, so a program-point-exact allocator
+  // could still do slightly better).
+  std::vector<Value *> Order;
+  for (unsigned Num = 0; Num != G.numNodes(); ++Num) {
+    const BasicBlock *B = F.block(DT.nodeAtNum(Num));
+    for (const auto &I : B->instructions())
+      if (I->result())
+        Order.push_back(I->result());
+  }
+
+  std::vector<int> RegOf(F.numValues(), -1);
+  int MaxReg = -1;
+  for (Value *V : Order) {
+    // Collect registers of already-colored interfering values.
+    std::vector<bool> Taken(Order.size(), false);
+    for (Value *Other : Order) {
+      if (Other == V || RegOf[Other->id()] < 0)
+        continue;
+      if (Interference.interfere(*V, *Other))
+        Taken[RegOf[Other->id()]] = true;
+    }
+    int Reg = 0;
+    while (Taken[Reg])
+      ++Reg;
+    RegOf[V->id()] = Reg;
+    if (Reg > MaxReg)
+      MaxReg = Reg;
+  }
+
+  std::printf("greedy SSA allocation in dominance order (%llu liveness "
+              "queries issued):\n",
+              static_cast<unsigned long long>(
+                  Interference.queriesIssued()));
+  for (Value *V : Order)
+    std::printf("  %%%-8s -> r%d\n", V->name().c_str(), RegOf[V->id()]);
+  std::printf("registers used: %d\n\n", MaxReg + 1);
+
+  // Independent validation: for every block and every pair of values
+  // live-in there (per the oracle), registers must differ.
+  LivenessOracle Oracle(F);
+  unsigned Violations = 0;
+  for (const auto &B : F.blocks()) {
+    std::vector<const Value *> Live;
+    for (const auto &VP : F.values())
+      if (!VP->defs().empty() && Oracle.isLiveIn(*VP, *B))
+        Live.push_back(VP.get());
+    for (size_t I = 0; I < Live.size(); ++I)
+      for (size_t J = I + 1; J < Live.size(); ++J)
+        if (RegOf[Live[I]->id()] == RegOf[Live[J]->id()]) {
+          std::printf("violation: %%%s and %%%s share r%d but are both "
+                      "live-in at %s\n",
+                      Live[I]->name().c_str(), Live[J]->name().c_str(),
+                      RegOf[Live[I]->id()], B->name().c_str());
+          ++Violations;
+        }
+  }
+  std::printf("%s\n", Violations == 0
+                          ? "oracle check passed: no interfering values "
+                            "share a register"
+                          : "ALLOCATION BROKEN");
+  return Violations == 0 ? 0 : 1;
+}

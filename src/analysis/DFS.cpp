@@ -1,0 +1,84 @@
+//===- analysis/DFS.cpp - Depth-first search and edge classes -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DFS.h"
+
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+namespace {
+constexpr unsigned Unvisited = ~0u;
+}
+
+DFS::DFS(const CFG &Graph) : G(Graph) {
+  unsigned N = G.numNodes();
+  Pre.assign(N, Unvisited);
+  Post.assign(N, Unvisited);
+  Parent.assign(N, Unvisited);
+  Kinds.resize(N);
+  BackTarget.assign(N, false);
+  BackSource.assign(N, false);
+  PreSeq.reserve(N);
+  PostSeq.reserve(N);
+  if (N == 0)
+    return;
+  for (unsigned V = 0; V != N; ++V)
+    Kinds[V].resize(G.successors(V).size(), EdgeKind::Cross);
+
+  // Iterative DFS. OnStack marks "discovered but not finished", which is
+  // exactly the condition distinguishing back edges from cross edges.
+  std::vector<bool> OnStack(N, false);
+  struct Frame {
+    unsigned Node;
+    unsigned NextSucc;
+  };
+  std::vector<Frame> Stack;
+
+  unsigned Entry = G.entry();
+  Pre[Entry] = 0;
+  PreSeq.push_back(Entry);
+  Parent[Entry] = Entry;
+  OnStack[Entry] = true;
+  Stack.push_back(Frame{Entry, 0});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    unsigned U = F.Node;
+    const auto &Succs = G.successors(U);
+    if (F.NextSucc == Succs.size()) {
+      OnStack[U] = false;
+      Post[U] = static_cast<unsigned>(PostSeq.size());
+      PostSeq.push_back(U);
+      Stack.pop_back();
+      continue;
+    }
+    unsigned Idx = F.NextSucc++;
+    unsigned V = Succs[Idx];
+    if (Pre[V] == Unvisited) {
+      Kinds[U][Idx] = EdgeKind::Tree;
+      Pre[V] = static_cast<unsigned>(PreSeq.size());
+      PreSeq.push_back(V);
+      Parent[V] = U;
+      OnStack[V] = true;
+      Stack.push_back(Frame{V, 0});
+      continue;
+    }
+    if (OnStack[V]) {
+      // Discovered, unfinished: V is an ancestor of U (includes U == V,
+      // the self-loop case).
+      Kinds[U][Idx] = EdgeKind::Back;
+      BackEdgeList.emplace_back(U, V);
+      BackTarget[V] = true;
+      BackSource[U] = true;
+      continue;
+    }
+    Kinds[U][Idx] = Pre[U] < Pre[V] ? EdgeKind::Forward : EdgeKind::Cross;
+  }
+
+  assert(PreSeq.size() == N && "CFG has nodes unreachable from the entry; "
+                               "run the verifier first");
+}

@@ -1,0 +1,95 @@
+//===- analysis/DFS.h - Depth-first search and edge classes -----*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Depth-first search over a CFG (Tarjan 1972), producing the spanning tree,
+/// preorder/postorder numbers, and the four-way edge classification of the
+/// paper's Section 2.1. Back edges E↑ are the pivot of the whole technique:
+/// the reduced graph ~G is the CFG minus E↑, and the precomputed T sets
+/// chain through back-edge targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_ANALYSIS_DFS_H
+#define SSALIVE_ANALYSIS_DFS_H
+
+#include "ir/CFG.h"
+
+#include <utility>
+#include <vector>
+
+namespace ssalive {
+
+/// DFS edge classes (paper Figure 1).
+enum class EdgeKind : unsigned char {
+  Tree,    ///< Edge of the DFS spanning tree.
+  Back,    ///< (u,v) where v is a DFS-tree ancestor of u (E↑).
+  Forward, ///< (u,v) where u is a proper ancestor of v, not a tree edge.
+  Cross,   ///< Everything else; always points to a smaller preorder.
+};
+
+/// A depth-first search of a CFG whose every node is reachable from the
+/// entry. Successor lists are explored in order, so the search (and every
+/// analysis built on it) is deterministic.
+class DFS {
+public:
+  explicit DFS(const CFG &G);
+
+  const CFG &graph() const { return G; }
+  unsigned numNodes() const { return G.numNodes(); }
+
+  /// Preorder (discovery) number of \p V, in [0, numNodes).
+  unsigned preNumber(unsigned V) const { return Pre[V]; }
+
+  /// Postorder (finish) number of \p V, in [0, numNodes).
+  unsigned postNumber(unsigned V) const { return Post[V]; }
+
+  /// DFS-tree parent of \p V; the entry maps to itself.
+  unsigned parent(unsigned V) const { return Parent[V]; }
+
+  /// Nodes in discovery order: preorderSequence()[i] has preNumber i.
+  const std::vector<unsigned> &preorderSequence() const { return PreSeq; }
+
+  /// Nodes in finish order: postorderSequence()[i] has postNumber i.
+  const std::vector<unsigned> &postorderSequence() const { return PostSeq; }
+
+  /// True if \p A is an ancestor of \p B in the DFS tree (reflexively).
+  bool isTreeAncestor(unsigned A, unsigned B) const {
+    return Pre[A] <= Pre[B] && Post[B] <= Post[A];
+  }
+
+  /// Class of the edge successors(\p From)[\p SuccIndex].
+  EdgeKind edgeKind(unsigned From, unsigned SuccIndex) const {
+    return Kinds[From][SuccIndex];
+  }
+
+  /// All back edges (source, target) in discovery order.
+  const std::vector<std::pair<unsigned, unsigned>> &backEdges() const {
+    return BackEdgeList;
+  }
+
+  /// True if some back edge targets \p V (V is a potential loop header).
+  bool isBackEdgeTarget(unsigned V) const { return BackTarget[V]; }
+
+  /// True if some back edge originates at \p V.
+  bool isBackEdgeSource(unsigned V) const { return BackSource[V]; }
+
+private:
+  const CFG &G;
+  std::vector<unsigned> Pre;
+  std::vector<unsigned> Post;
+  std::vector<unsigned> Parent;
+  std::vector<unsigned> PreSeq;
+  std::vector<unsigned> PostSeq;
+  std::vector<std::vector<EdgeKind>> Kinds;
+  std::vector<std::pair<unsigned, unsigned>> BackEdgeList;
+  std::vector<bool> BackTarget;
+  std::vector<bool> BackSource;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_ANALYSIS_DFS_H

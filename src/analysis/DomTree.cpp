@@ -1,0 +1,96 @@
+//===- analysis/DomTree.cpp - Dominator tree ------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomTree.h"
+
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+namespace {
+constexpr unsigned Undef = ~0u;
+}
+
+DomTree::DomTree(const CFG &G, const DFS &D) {
+  unsigned N = G.numNodes();
+  Idom.assign(N, Undef);
+  Children.resize(N);
+  Num.assign(N, 0);
+  MaxNum.assign(N, 0);
+  NodeAtNum.assign(N, 0);
+  if (N == 0)
+    return;
+
+  unsigned Entry = G.entry();
+  Idom[Entry] = Entry;
+
+  // Cooper-Harvey-Kennedy: iterate to a fixed point over reverse postorder,
+  // intersecting along idom chains with postorder numbers as the ranking.
+  auto intersect = [this, &D](unsigned A, unsigned B) {
+    while (A != B) {
+      while (D.postNumber(A) < D.postNumber(B))
+        A = Idom[A];
+      while (D.postNumber(B) < D.postNumber(A))
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  const auto &PostSeq = D.postorderSequence();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Reverse postorder, skipping the entry.
+    for (auto It = PostSeq.rbegin(), E = PostSeq.rend(); It != E; ++It) {
+      unsigned V = *It;
+      if (V == Entry)
+        continue;
+      unsigned NewIdom = Undef;
+      for (unsigned P : G.predecessors(V)) {
+        if (Idom[P] == Undef)
+          continue; // Not yet processed in the first sweep.
+        NewIdom = NewIdom == Undef ? P : intersect(NewIdom, P);
+      }
+      assert(NewIdom != Undef && "reachable node without processed pred");
+      if (Idom[V] != NewIdom) {
+        Idom[V] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned V = 0; V != N; ++V)
+    if (V != Entry)
+      Children[Idom[V]].push_back(V);
+
+  // Dominance-tree preorder numbering with subtree bounds (Section 5.1).
+  // Iterative preorder walk; a sentinel frame assigns MaxNum on exit.
+  unsigned Counter = 0;
+  struct Frame {
+    unsigned Node;
+    unsigned NextChild;
+  };
+  std::vector<Frame> Stack;
+  Num[Entry] = Counter;
+  NodeAtNum[Counter] = Entry;
+  ++Counter;
+  Stack.push_back(Frame{Entry, 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const auto &Kids = Children[F.Node];
+    if (F.NextChild == Kids.size()) {
+      MaxNum[F.Node] = Counter - 1;
+      Stack.pop_back();
+      continue;
+    }
+    unsigned C = Kids[F.NextChild++];
+    Num[C] = Counter;
+    NodeAtNum[Counter] = C;
+    ++Counter;
+    Stack.push_back(Frame{C, 0});
+  }
+  assert(Counter == N && "dominance numbering must cover all nodes");
+}

@@ -1,0 +1,71 @@
+//===- analysis/DomTree.h - Dominator tree ----------------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dominator tree, built with the iterative algorithm of Cooper, Harvey
+/// & Kennedy ("A Simple, Fast Dominance Algorithm"). On top of the tree we
+/// provide the dominance-tree preorder numbering `num` and subtree bound
+/// `maxnum` the paper's Section 5.1 prescribes: "if a node dominates
+/// another, it has a smaller number", and the nodes strictly dominated by q
+/// occupy the contiguous interval (num(q), maxnum(q)]. Algorithm 3 is built
+/// entirely on this indexing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_ANALYSIS_DOMTREE_H
+#define SSALIVE_ANALYSIS_DOMTREE_H
+
+#include "analysis/DFS.h"
+
+namespace ssalive {
+
+/// Dominator tree over a CFG with all nodes reachable from the entry.
+class DomTree {
+public:
+  /// Builds the tree; \p D must be a DFS of \p G (its reverse postorder
+  /// drives the fixed-point iteration).
+  DomTree(const CFG &G, const DFS &D);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Idom.size()); }
+
+  /// Immediate dominator; the entry maps to itself.
+  unsigned idom(unsigned V) const { return Idom[V]; }
+
+  /// Children of \p V in the dominator tree.
+  const std::vector<unsigned> &children(unsigned V) const {
+    return Children[V];
+  }
+
+  /// Dominance-tree preorder number of \p V (the paper's `num`).
+  unsigned num(unsigned V) const { return Num[V]; }
+
+  /// Largest preorder number inside \p V's dominance subtree (`maxnum`).
+  unsigned maxnum(unsigned V) const { return MaxNum[V]; }
+
+  /// The node whose preorder number is \p N; inverse of num().
+  unsigned nodeAtNum(unsigned N) const { return NodeAtNum[N]; }
+
+  /// x dom y: interval containment in the preorder numbering, O(1).
+  bool dominates(unsigned X, unsigned Y) const {
+    return Num[X] <= Num[Y] && Num[Y] <= MaxNum[X];
+  }
+
+  /// x sdom y.
+  bool strictlyDominates(unsigned X, unsigned Y) const {
+    return X != Y && dominates(X, Y);
+  }
+
+private:
+  std::vector<unsigned> Idom;
+  std::vector<std::vector<unsigned>> Children;
+  std::vector<unsigned> Num;
+  std::vector<unsigned> MaxNum;
+  std::vector<unsigned> NodeAtNum;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_ANALYSIS_DOMTREE_H

@@ -1,0 +1,63 @@
+//===- analysis/DominanceFrontier.cpp - Cytron dominance frontiers --------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominanceFrontier.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+DominanceFrontier::DominanceFrontier(const CFG &G, const DomTree &DT) {
+  unsigned N = G.numNodes();
+  DF.resize(N);
+  // Cooper-Harvey-Kennedy formulation: for each join node, walk each
+  // predecessor's idom chain up to (excluding) the join's idom.
+  for (unsigned V = 0; V != N; ++V) {
+    const auto &Preds = G.predecessors(V);
+    if (Preds.size() < 2)
+      continue;
+    for (unsigned P : Preds) {
+      unsigned Runner = P;
+      while (Runner != DT.idom(V)) {
+        DF[Runner].push_back(V);
+        Runner = DT.idom(Runner);
+      }
+    }
+  }
+  for (auto &F : DF) {
+    std::sort(F.begin(), F.end());
+    F.erase(std::unique(F.begin(), F.end()), F.end());
+  }
+}
+
+std::vector<unsigned>
+DominanceFrontier::iterated(const std::vector<unsigned> &DefBlocks) const {
+  std::vector<bool> InResult(DF.size(), false);
+  std::vector<bool> Queued(DF.size(), false);
+  std::vector<unsigned> Worklist;
+  for (unsigned B : DefBlocks)
+    if (!Queued[B]) {
+      Queued[B] = true;
+      Worklist.push_back(B);
+    }
+  std::vector<unsigned> Result;
+  while (!Worklist.empty()) {
+    unsigned B = Worklist.back();
+    Worklist.pop_back();
+    for (unsigned F : DF[B]) {
+      if (InResult[F])
+        continue;
+      InResult[F] = true;
+      Result.push_back(F);
+      if (!Queued[F]) {
+        Queued[F] = true;
+        Worklist.push_back(F);
+      }
+    }
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

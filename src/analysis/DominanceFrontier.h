@@ -1,0 +1,40 @@
+//===- analysis/DominanceFrontier.h - Cytron dominance frontiers -*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominance frontiers per Cytron et al. (TOPLAS 1991), computed with the
+/// standard two-predecessor walk. SSA construction places φ-functions at
+/// iterated dominance frontiers of the definition sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_ANALYSIS_DOMINANCEFRONTIER_H
+#define SSALIVE_ANALYSIS_DOMINANCEFRONTIER_H
+
+#include "analysis/DomTree.h"
+
+namespace ssalive {
+
+/// Per-node dominance frontier sets.
+class DominanceFrontier {
+public:
+  DominanceFrontier(const CFG &G, const DomTree &DT);
+
+  /// DF(\p V), each frontier listed once, in ascending node id order.
+  const std::vector<unsigned> &frontier(unsigned V) const { return DF[V]; }
+
+  /// Iterated dominance frontier DF+ of a set of nodes: the φ placement
+  /// sites for a variable defined in \p DefBlocks.
+  std::vector<unsigned>
+  iterated(const std::vector<unsigned> &DefBlocks) const;
+
+private:
+  std::vector<std::vector<unsigned>> DF;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_ANALYSIS_DOMINANCEFRONTIER_H

@@ -1,0 +1,142 @@
+//===- analysis/LoopForest.cpp - Havlak loop nesting forest ---------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopForest.h"
+
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+namespace {
+
+/// Union-find with path compression over DFS preorder numbers; collapses
+/// discovered loop bodies into their headers as Havlak's algorithm walks
+/// headers from innermost (largest preorder) to outermost.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    for (unsigned I = 0; I != N; ++I)
+      Parent[I] = I;
+  }
+
+  unsigned find(unsigned X) {
+    unsigned Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      unsigned Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  void unite(unsigned Child, unsigned NewRoot) {
+    Parent[find(Child)] = find(NewRoot);
+  }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+} // namespace
+
+LoopForest::LoopForest(const DFS &D) {
+  const CFG &G = D.graph();
+  unsigned N = G.numNodes();
+  Header.assign(N, NoHeader);
+  IsHeader.assign(N, false);
+  IsIrreducible.assign(N, false);
+
+  if (N == 0)
+    return;
+
+  // Work in DFS preorder index space.
+  auto pre = [&D](unsigned V) { return D.preNumber(V); };
+  auto node = [&D](unsigned P) { return D.preorderSequence()[P]; };
+
+  UnionFind UF(N); // Over preorder indices.
+  std::vector<unsigned> LoopHeaderOfPre(N, NoHeader);
+
+  // Visit potential headers from the deepest (largest preorder) upwards, so
+  // inner loops collapse before enclosing ones are examined.
+  for (unsigned WPre = N; WPre-- > 0;) {
+    unsigned W = node(WPre);
+
+    // Gather the collapsed bodies reached by back edges into W.
+    std::vector<unsigned> Body; // Preorder indices of body representatives.
+    bool SelfLoop = false;
+    for (unsigned P : G.predecessors(W)) {
+      // Is (P, W) a back edge? Equivalent to W being a DFS-tree ancestor
+      // of P (reflexive for self loops).
+      if (!D.isTreeAncestor(W, P))
+        continue;
+      if (P == W) {
+        SelfLoop = true;
+        continue;
+      }
+      unsigned Rep = UF.find(pre(P));
+      if (Rep != WPre)
+        Body.push_back(Rep);
+    }
+
+    if (Body.empty() && !SelfLoop)
+      continue;
+    IsHeader[W] = true;
+    ++NumLoops;
+
+    // Chase non-back predecessors of body members: anything that is itself
+    // inside W's DFS subtree joins the body; an entry from outside the
+    // subtree marks the region irreducible (a second loop entry).
+    std::vector<bool> InBody(N, false);
+    for (unsigned B : Body)
+      InBody[B] = true;
+    std::vector<unsigned> Worklist = Body;
+    while (!Worklist.empty()) {
+      unsigned XPre = Worklist.back();
+      Worklist.pop_back();
+      unsigned X = node(XPre);
+      for (unsigned P : G.predecessors(X)) {
+        if (D.isTreeAncestor(X, P))
+          continue; // Back edge into the body; handled at its own header.
+        unsigned Rep = UF.find(pre(P));
+        if (Rep == WPre)
+          continue;
+        if (!D.isTreeAncestor(W, node(Rep))) {
+          // Loop entered around the header: irreducible.
+          IsIrreducible[W] = true;
+          continue;
+        }
+        if (!InBody[Rep]) {
+          InBody[Rep] = true;
+          Worklist.push_back(Rep);
+        }
+      }
+    }
+
+    // Collapse the body into W and record headers.
+    for (unsigned BPre = 0; BPre != N; ++BPre) {
+      if (!InBody[BPre])
+        continue;
+      LoopHeaderOfPre[BPre] = WPre;
+      UF.unite(BPre, WPre);
+    }
+  }
+
+  for (unsigned P = 0; P != N; ++P)
+    if (LoopHeaderOfPre[P] != NoHeader)
+      Header[node(P)] = node(LoopHeaderOfPre[P]);
+}
+
+unsigned LoopForest::depth(unsigned V) const {
+  unsigned Depth = IsHeader[V] ? 1 : 0;
+  unsigned H = Header[V];
+  while (H != NoHeader) {
+    ++Depth;
+    H = Header[H];
+  }
+  return Depth;
+}

@@ -1,0 +1,60 @@
+//===- analysis/LoopForest.h - Havlak loop nesting forest -------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A loop nesting forest in the style of Havlak ("Nesting of Reducible and
+/// Irreducible Loops", TOPLAS 1997), one of the two loop-forest papers the
+/// paper's outlook cites ([13], [17]) as a structure its technique could
+/// exploit. We use it to validate generated workloads (loop depth
+/// distributions) and expose it as the extension hook the conclusion
+/// sketches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_ANALYSIS_LOOPFOREST_H
+#define SSALIVE_ANALYSIS_LOOPFOREST_H
+
+#include "analysis/DFS.h"
+
+namespace ssalive {
+
+/// Loop nesting forest: every node gets an innermost loop header (or none),
+/// headers chain upwards to enclosing headers.
+class LoopForest {
+public:
+  static constexpr unsigned NoHeader = ~0u;
+
+  explicit LoopForest(const DFS &D);
+
+  /// Innermost loop header of \p V, or NoHeader. A header's own entry
+  /// reports the *enclosing* loop's header, as usual for loop forests.
+  unsigned header(unsigned V) const { return Header[V]; }
+
+  /// True if \p V heads a loop (some back edge targets it and its body is
+  /// nonempty).
+  bool isLoopHeader(unsigned V) const { return IsHeader[V]; }
+
+  /// True if \p V heads an irreducible region (entered by an edge that
+  /// bypasses the header).
+  bool isIrreducibleHeader(unsigned V) const { return IsIrreducible[V]; }
+
+  /// Loop nesting depth: 0 outside any loop; a header counts inside its own
+  /// loop.
+  unsigned depth(unsigned V) const;
+
+  /// Number of loops discovered.
+  unsigned numLoops() const { return NumLoops; }
+
+private:
+  std::vector<unsigned> Header;
+  std::vector<bool> IsHeader;
+  std::vector<bool> IsIrreducible;
+  unsigned NumLoops = 0;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_ANALYSIS_LOOPFOREST_H

@@ -1,0 +1,22 @@
+//===- analysis/Reducibility.cpp - Reducible control flow -----------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Reducibility.h"
+
+using namespace ssalive;
+
+ReducibilityInfo ssalive::analyzeReducibility(const DFS &D,
+                                              const DomTree &DT) {
+  ReducibilityInfo Info;
+  Info.numBackEdges = static_cast<unsigned>(D.backEdges().size());
+  for (auto [S, T] : D.backEdges()) {
+    if (!DT.dominates(T, S)) {
+      Info.Reducible = false;
+      Info.IrreducibleEdges.emplace_back(S, T);
+    }
+  }
+  return Info;
+}

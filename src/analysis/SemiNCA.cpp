@@ -1,0 +1,143 @@
+//===- analysis/SemiNCA.cpp - Lengauer-Tarjan dominators ------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SemiNCA.h"
+
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+namespace {
+
+/// State of one Lengauer-Tarjan run; all arrays are indexed by DFS number
+/// (1-based, 0 meaning "undiscovered") following the original paper.
+class LengauerTarjan {
+public:
+  explicit LengauerTarjan(const CFG &G) : G(G) {
+    unsigned N = G.numNodes();
+    Semi.assign(N, 0);
+    Vertex.assign(N + 1, 0);
+    Parent.assign(N, 0);
+    Ancestor.assign(N, ~0u);
+    Label.assign(N, 0);
+    Dom.assign(N, 0);
+    Bucket.resize(N);
+  }
+
+  std::vector<unsigned> run();
+
+private:
+  void dfs(unsigned Root);
+  void compress(unsigned V);
+  unsigned eval(unsigned V);
+
+  const CFG &G;
+  std::vector<unsigned> Semi;     // Semi[v] = DFS number, doubles as "visited".
+  std::vector<unsigned> Vertex;   // Vertex[i] = node with DFS number i.
+  std::vector<unsigned> Parent;   // DFS-tree parent.
+  std::vector<unsigned> Ancestor; // Forest for eval/link; ~0u = root.
+  std::vector<unsigned> Label;    // Minimum-semi label on forest paths.
+  std::vector<unsigned> Dom;
+  std::vector<std::vector<unsigned>> Bucket;
+  unsigned Count = 0;
+};
+
+} // namespace
+
+void LengauerTarjan::dfs(unsigned Root) {
+  struct Frame {
+    unsigned Node;
+    unsigned NextSucc;
+  };
+  std::vector<Frame> Stack;
+  ++Count;
+  Semi[Root] = Count;
+  Vertex[Count] = Root;
+  Label[Root] = Root;
+  Stack.push_back(Frame{Root, 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const auto &Succs = G.successors(F.Node);
+    if (F.NextSucc == Succs.size()) {
+      Stack.pop_back();
+      continue;
+    }
+    unsigned W = Succs[F.NextSucc++];
+    if (Semi[W] != 0)
+      continue;
+    ++Count;
+    Semi[W] = Count;
+    Vertex[Count] = W;
+    Label[W] = W;
+    Parent[W] = F.Node;
+    Stack.push_back(Frame{W, 0});
+  }
+}
+
+void LengauerTarjan::compress(unsigned V) {
+  // Iterative path compression to stay stack-safe on deep graphs.
+  std::vector<unsigned> Path;
+  while (Ancestor[Ancestor[V]] != ~0u) {
+    Path.push_back(V);
+    V = Ancestor[V];
+  }
+  for (auto It = Path.rbegin(), E = Path.rend(); It != E; ++It) {
+    unsigned U = *It;
+    unsigned A = Ancestor[U];
+    if (Semi[Label[A]] < Semi[Label[U]])
+      Label[U] = Label[A];
+    Ancestor[U] = Ancestor[A];
+  }
+}
+
+unsigned LengauerTarjan::eval(unsigned V) {
+  if (Ancestor[V] == ~0u)
+    return V;
+  compress(V);
+  return Label[V];
+}
+
+std::vector<unsigned> LengauerTarjan::run() {
+  unsigned N = G.numNodes();
+  std::vector<unsigned> Idom(N, ~0u);
+  if (N == 0)
+    return Idom;
+  unsigned Root = G.entry();
+  dfs(Root);
+  assert(Count == N && "CFG has unreachable nodes");
+
+  for (unsigned I = N; I >= 2; --I) {
+    unsigned W = Vertex[I];
+    // Step 2: semidominators.
+    for (unsigned V : G.predecessors(W)) {
+      unsigned U = eval(V);
+      if (Semi[U] < Semi[W])
+        Semi[W] = Semi[U];
+    }
+    Bucket[Vertex[Semi[W]]].push_back(W);
+    Ancestor[W] = Parent[W]; // link(parent(w), w)
+    // Step 3: implicit idoms for parent's bucket.
+    auto &B = Bucket[Parent[W]];
+    for (unsigned V : B) {
+      unsigned U = eval(V);
+      Dom[V] = Semi[U] < Semi[V] ? U : Parent[W];
+    }
+    B.clear();
+  }
+  // Step 4: explicit idoms in DFS order.
+  for (unsigned I = 2; I <= N; ++I) {
+    unsigned W = Vertex[I];
+    if (Dom[W] != Vertex[Semi[W]])
+      Dom[W] = Dom[Dom[W]];
+    Idom[W] = Dom[W];
+  }
+  Idom[Root] = Root;
+  return Idom;
+}
+
+std::vector<unsigned> ssalive::computeIdomsLengauerTarjan(const CFG &G) {
+  return LengauerTarjan(G).run();
+}

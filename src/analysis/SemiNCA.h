@@ -1,0 +1,31 @@
+//===- analysis/SemiNCA.h - Lengauer-Tarjan dominators ----------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent dominator computation: the classic Lengauer-Tarjan
+/// algorithm (simple eval-link version, O(E log V)). It exists purely as a
+/// second opinion — the test suite cross-checks its idoms against the
+/// Cooper-Harvey-Kennedy tree and against a naive set-intersection
+/// computation on thousands of random graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_ANALYSIS_SEMINCA_H
+#define SSALIVE_ANALYSIS_SEMINCA_H
+
+#include "ir/CFG.h"
+
+#include <vector>
+
+namespace ssalive {
+
+/// Computes immediate dominators of \p G with Lengauer-Tarjan. The entry
+/// maps to itself. All nodes must be reachable.
+std::vector<unsigned> computeIdomsLengauerTarjan(const CFG &G);
+
+} // namespace ssalive
+
+#endif // SSALIVE_ANALYSIS_SEMINCA_H

@@ -1,0 +1,31 @@
+//===- core/FunctionLiveness.cpp - LiveCheck over a Function --------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FunctionLiveness.h"
+
+using namespace ssalive;
+
+LivenessQueries::~LivenessQueries() = default;
+
+FunctionLiveness::FunctionLiveness(const Function &F, LiveCheckOptions Opts)
+    : Graph(CFG::fromFunction(F)), Dfs(Graph), Tree(Graph, Dfs),
+      Engine(Graph, Dfs, Tree, Opts) {}
+
+bool FunctionLiveness::isLiveIn(const Value &V, const BasicBlock &B) {
+  if (V.defs().empty() || !V.hasUses())
+    return false;
+  ScratchUses.clear();
+  appendLiveUseBlocks(V, ScratchUses);
+  return Engine.isLiveIn(defBlockId(V), B.id(), ScratchUses);
+}
+
+bool FunctionLiveness::isLiveOut(const Value &V, const BasicBlock &B) {
+  if (V.defs().empty() || !V.hasUses())
+    return false;
+  ScratchUses.clear();
+  appendLiveUseBlocks(V, ScratchUses);
+  return Engine.isLiveOut(defBlockId(V), B.id(), ScratchUses);
+}

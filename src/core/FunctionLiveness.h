@@ -1,0 +1,56 @@
+//===- core/FunctionLiveness.h - LiveCheck over a Function ------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binds the CFG-level LiveCheck engine to an IR function: builds the graph
+/// view, DFS and dominator tree, runs the variable-independent
+/// precomputation, and answers per-value queries by walking the def-use
+/// chain at query time (paper Section 3: "An actual query uses the def-use
+/// chain of the variable in question"). Because nothing about variables is
+/// precomputed, instructions and values may be added to the function after
+/// construction and queries remain valid — only CFG changes invalidate it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_CORE_FUNCTIONLIVENESS_H
+#define SSALIVE_CORE_FUNCTIONLIVENESS_H
+
+#include "core/LiveCheck.h"
+#include "core/LivenessInterface.h"
+#include "core/UseInfo.h"
+
+namespace ssalive {
+
+/// The paper's "New" backend over an IR function.
+class FunctionLiveness : public LivenessQueries {
+public:
+  explicit FunctionLiveness(const Function &F, LiveCheckOptions Opts = {});
+
+  bool isLiveIn(const Value &V, const BasicBlock &B) override;
+  bool isLiveOut(const Value &V, const BasicBlock &B) override;
+  const char *backendName() const override { return "livecheck"; }
+
+  /// \name Access to the underlying structures (benches, tests).
+  /// @{
+  const CFG &graph() const { return Graph; }
+  const DFS &dfs() const { return Dfs; }
+  const DomTree &domTree() const { return Tree; }
+  const LiveCheck &engine() const { return Engine; }
+  /// @}
+
+private:
+  CFG Graph;
+  DFS Dfs;
+  DomTree Tree;
+  LiveCheck Engine;
+  /// Reused per-query buffer for Definition-1 use blocks; queries allocate
+  /// nothing in steady state.
+  std::vector<unsigned> ScratchUses;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_CORE_FUNCTIONLIVENESS_H

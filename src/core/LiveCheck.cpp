@@ -1,0 +1,312 @@
+//===- core/LiveCheck.cpp - Fast SSA liveness checking --------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Soundness note on TMode::Propagated (referenced from LiveCheck.h):
+//
+// Definition 5 builds T_q from chains q -> t1 -> t2 -> ... where each link
+// t_{i+1} ∈ T↑_{t_i} requires (a) a back edge (s,t_{i+1}) with s reduced
+// reachable from t_i and (b) the filter t_{i+1} ∉ R_{t_i}. The practical
+// Section-5.2 computation applies (b) inside the per-target sets (Equation
+// 1) but not at the first link out of q: propagating back-edge-source
+// unions through the reduced graph adds T_{t1} for every back edge whose
+// source is reduced reachable from q, even if t1 ∈ R_q. The paper's
+// soundness proof needs the filter only in its induction step "the part
+// t_{i-1},...,s_i"; the base link out of q is covered by the algorithm's
+// precondition that def(a) strictly dominates q (checked before the scan),
+// exactly as the proof covers it "by thinking of the node q as t_0". Hence
+// the propagated supersets answer every query identically; the tests verify
+// this equivalence exhaustively on random CFGs. What the supersets do break
+// is Lemma 3 (elements of T_q need not be totally ordered by dominance), so
+// the Theorem-2 single-test fast path demands TMode::Filtered.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LiveCheck.h"
+
+#include "analysis/Reducibility.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+LiveCheck::LiveCheck(const CFG &Graph, const DFS &Dfs, const DomTree &Tree,
+                     LiveCheckOptions Options)
+    : G(Graph), D(Dfs), DT(Tree), Opts(Options) {
+  unsigned N = G.numNodes();
+  RByNum.assign(N, BitVector(N));
+  TByNum.assign(N, BitVector(N));
+  MaxNumByNum.resize(N);
+  BackTargetByNum.resize(N);
+  for (unsigned V = 0; V != N; ++V) {
+    MaxNumByNum[DT.num(V)] = DT.maxnum(V);
+    BackTargetByNum[DT.num(V)] = D.isBackEdgeTarget(V);
+  }
+
+  computeR();
+  if (Opts.Mode == TMode::Propagated)
+    computeTPropagated();
+  else
+    computeTFiltered();
+
+  if (Opts.Storage == TStorage::SortedArray) {
+    // Convert the T bitsets into sorted arrays of preorder numbers and
+    // release the bitsets; T sets hold only back-edge targets plus the
+    // node itself, so the arrays are short.
+    TSortedByNum.resize(N);
+    for (unsigned Num = 0; Num != N; ++Num) {
+      const BitVector &T = TByNum[Num];
+      for (unsigned B = T.findFirstSet(); B != BitVector::npos;
+           B = T.findNextSet(B + 1))
+        TSortedByNum[Num].push_back(B);
+    }
+    TByNum.clear();
+    TByNum.shrink_to_fit();
+  }
+
+  if (Opts.ReducibleFastPath && Opts.Mode == TMode::Filtered)
+    FastPath = analyzeReducibility(D, DT).Reducible;
+}
+
+bool LiveCheck::isInT(unsigned Of, unsigned T) const {
+  unsigned OfNum = DT.num(Of);
+  unsigned TNum = DT.num(T);
+  if (Opts.Storage == TStorage::SortedArray) {
+    const auto &Sorted = TSortedByNum[OfNum];
+    return std::binary_search(Sorted.begin(), Sorted.end(), TNum);
+  }
+  return TByNum[OfNum].test(TNum);
+}
+
+void LiveCheck::computeR() {
+  // R_v = {v} ∪ ⋃ R_w over non-back successors w (Definition 4). Every
+  // non-back edge leads to a node with a smaller DFS postorder number, so a
+  // single sweep in increasing postorder sees all reduced successors
+  // finished (Section 5.2: "a topological order on the reduced graph ...
+  // provided by a reverse postorder numeration created during the DFS").
+  for (unsigned V : D.postorderSequence()) {
+    BitVector &R = RByNum[DT.num(V)];
+    R.set(DT.num(V));
+    const auto &Succs = G.successors(V);
+    for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
+         ++Idx) {
+      if (D.edgeKind(V, Idx) == EdgeKind::Back)
+        continue;
+      R |= RByNum[DT.num(Succs[Idx])];
+    }
+  }
+}
+
+void LiveCheck::computeTargetSets(std::vector<BitVector> &TargetT) const {
+  // Exact Definition-5 sets for back-edge targets via Equation 1:
+  //   T_t = {t} ∪ ⋃ { T_t' | t' ∈ T↑_t }
+  //   T↑_t = { t' ∉ R_t | ∃ back edge (s', t') with s' ∈ R_t }.
+  // Theorem 3: every t' ∈ T↑_t has a smaller DFS preorder than t, so
+  // processing targets in increasing DFS preorder meets all dependencies.
+  unsigned N = G.numNodes();
+  TargetT.assign(N, BitVector());
+  const auto &BackEdges = D.backEdges();
+  for (unsigned V : D.preorderSequence()) {
+    if (!D.isBackEdgeTarget(V))
+      continue;
+    BitVector &T = TargetT[V];
+    T.resize(N);
+    unsigned VNum = DT.num(V);
+    T.set(VNum);
+    const BitVector &R = RByNum[VNum];
+    for (auto [S, Tgt] : BackEdges) {
+      if (!R.test(DT.num(S)))
+        continue; // Source not reduced reachable from V.
+      if (R.test(DT.num(Tgt)))
+        continue; // Filter: target adds no new reachability.
+      assert(!TargetT[Tgt].empty() && "Theorem 3 ordering violated");
+      T |= TargetT[Tgt];
+    }
+  }
+}
+
+void LiveCheck::computeTPropagated() {
+  unsigned N = G.numNodes();
+  std::vector<BitVector> TargetT;
+  computeTargetSets(TargetT);
+
+  // Union the target sets at each back-edge source ("the set Ts \ {s} for
+  // each back edge source s"), then propagate through the reduced graph in
+  // increasing postorder like R, and finally add v to each T_v.
+  std::vector<BitVector> AtSource(N);
+  for (auto [S, Tgt] : D.backEdges()) {
+    if (AtSource[S].empty())
+      AtSource[S].resize(N);
+    AtSource[S] |= TargetT[Tgt];
+  }
+
+  // Self bits are added only after the propagation, otherwise unioning a
+  // successor's set would drag in the successor itself (and transitively
+  // all of R_v), bloating T far beyond Definition 5.
+  for (unsigned V : D.postorderSequence()) {
+    BitVector &T = TByNum[DT.num(V)];
+    if (!AtSource[V].empty())
+      T |= AtSource[V];
+    const auto &Succs = G.successors(V);
+    for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
+         ++Idx) {
+      if (D.edgeKind(V, Idx) == EdgeKind::Back)
+        continue;
+      T |= TByNum[DT.num(Succs[Idx])];
+    }
+  }
+  for (unsigned V = 0; V != G.numNodes(); ++V)
+    TByNum[V].set(V);
+}
+
+void LiveCheck::computeTFiltered() {
+  unsigned N = G.numNodes();
+  std::vector<BitVector> TargetT;
+  computeTargetSets(TargetT);
+
+  // Definition 5 verbatim at every node: the first chain link also applies
+  // the t' ∉ R_q filter.
+  const auto &BackEdges = D.backEdges();
+  for (unsigned Q = 0; Q != N; ++Q) {
+    unsigned QNum = DT.num(Q);
+    BitVector &T = TByNum[QNum];
+    const BitVector &R = RByNum[QNum];
+    T.set(QNum);
+    for (auto [S, Tgt] : BackEdges) {
+      if (!R.test(DT.num(S)))
+        continue;
+      if (R.test(DT.num(Tgt)))
+        continue;
+      T |= TargetT[Tgt];
+    }
+  }
+}
+
+bool LiveCheck::testTarget(unsigned TNum, unsigned QNum,
+                           const unsigned *UsesBegin,
+                           const unsigned *UsesEnd, bool ExcludeTrivialQ,
+                           bool &Decided) const {
+  ++Stats.TargetsVisited;
+  const BitVector &R = RByNum[TNum];
+  for (const unsigned *U = UsesBegin; U != UsesEnd; ++U) {
+    unsigned UNum = DT.num(*U);
+    // Algorithm 2 line 8: with t = q, a use in q itself only certifies a
+    // non-trivial path if q is a back-edge target.
+    if (ExcludeTrivialQ && TNum == QNum && UNum == QNum &&
+        !BackTargetByNum[QNum])
+      continue;
+    ++Stats.UseTests;
+    if (R.test(UNum))
+      return true;
+  }
+  // Theorem 2: on reducible CFGs with exact Definition-5 sets, the most
+  // dominating target decides the query alone. One refinement: the
+  // trivial-path exclusion above can suppress the q-use at t = q, in
+  // which case a *less* dominating target could still certify a
+  // non-trivial path, so the fast path only applies when nothing was
+  // excluded.
+  Decided = FastPath && !(ExcludeTrivialQ && TNum == QNum);
+  return false;
+}
+
+bool LiveCheck::scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
+                            const unsigned *UsesBegin,
+                            const unsigned *UsesEnd,
+                            bool ExcludeTrivialQ) const {
+  if (Opts.Storage == TStorage::SortedArray)
+    return scanTargetsSorted(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
+                             ExcludeTrivialQ);
+  // Algorithm 3. The dominance-preorder numbering makes T_q ∩ sdom(def)
+  // the set bits of T_q in [DefNum + 1, MaxDom]; scanning from index 0
+  // upwards visits "more dominating" targets first (Section 5.1 item 2).
+  const BitVector &T = TByNum[QNum];
+  unsigned TNum = T.findNextSet(DefNum + 1);
+  while (TNum != BitVector::npos && TNum <= MaxDom) {
+    bool Decided = false;
+    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided))
+      return true;
+    if (Decided)
+      return false;
+    unsigned Next = Opts.SubtreeSkip ? MaxNumByNum[TNum] + 1 : TNum + 1;
+    TNum = T.findNextSet(Next);
+  }
+  return false;
+}
+
+bool LiveCheck::scanTargetsSorted(unsigned DefNum, unsigned MaxDom,
+                                  unsigned QNum, const unsigned *UsesBegin,
+                                  const unsigned *UsesEnd,
+                                  bool ExcludeTrivialQ) const {
+  // The Section-6.1 variant: T_q is a short ascending array, so the scan
+  // is a lower_bound plus a forward walk, and the subtree skip becomes
+  // another lower_bound over the remaining suffix.
+  const auto &T = TSortedByNum[QNum];
+  auto It = std::lower_bound(T.begin(), T.end(), DefNum + 1);
+  while (It != T.end() && *It <= MaxDom) {
+    unsigned TNum = *It;
+    bool Decided = false;
+    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided))
+      return true;
+    if (Decided)
+      return false;
+    if (Opts.SubtreeSkip)
+      It = std::lower_bound(It + 1, T.end(), MaxNumByNum[TNum] + 1);
+    else
+      ++It;
+  }
+  return false;
+}
+
+bool LiveCheck::isLiveIn(unsigned DefBlock, unsigned Q,
+                         const unsigned *UsesBegin,
+                         const unsigned *UsesEnd) const {
+  ++Stats.LiveInQueries;
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  unsigned QNum = DT.num(Q);
+  // Lemma 2 precondition: q must be strictly dominated by the definition,
+  // otherwise some entry path reaches q after any use path, contradicting
+  // strictness.
+  if (QNum <= DefNum || MaxDom < QNum)
+    return false;
+  return scanTargets(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
+                     /*ExcludeTrivialQ=*/false);
+}
+
+bool LiveCheck::isLiveOut(unsigned DefBlock, unsigned Q,
+                          const unsigned *UsesBegin,
+                          const unsigned *UsesEnd) const {
+  ++Stats.LiveOutQueries;
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned QNum = DT.num(Q);
+  // Algorithm 2 case 1: at the definition block itself the variable is
+  // live-out iff it has any use elsewhere (such a use is dominated by def,
+  // so some def-free path from a successor reaches it).
+  if (DefBlock == Q) {
+    for (const unsigned *U = UsesBegin; U != UsesEnd; ++U)
+      if (*U != DefBlock)
+        return true;
+    return false;
+  }
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  if (QNum <= DefNum || MaxDom < QNum)
+    return false;
+  // Algorithm 2 case 2: as live-in, but the witness path must be
+  // non-trivial; only the (t = q, use at q) combination is affected.
+  return scanTargets(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
+                     /*ExcludeTrivialQ=*/true);
+}
+
+size_t LiveCheck::memoryBytes() const {
+  size_t Bytes = 0;
+  for (const BitVector &B : RByNum)
+    Bytes += B.memoryBytes();
+  for (const BitVector &B : TByNum)
+    Bytes += B.memoryBytes();
+  for (const auto &T : TSortedByNum)
+    Bytes += T.size() * sizeof(unsigned);
+  return Bytes;
+}

@@ -1,0 +1,186 @@
+//===- core/LiveCheck.h - Fast SSA liveness checking ------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution: liveness *checking* for strict SSA-form
+/// programs (Boissinot, Hack, Grund, Dupont de Dinechin, Rastello,
+/// "Fast Liveness Checking for SSA-Form Programs", CGO 2008).
+///
+/// A variable-independent precomputation derives, per CFG node v,
+///   * R_v — nodes reachable from v in the reduced graph (the CFG minus DFS
+///     back edges), Definition 4;
+///   * T_v — the back-edge targets relevant to queries at v, Definition 5;
+/// both stored as bitsets indexed by a dominance-tree preorder numbering
+/// (Section 5.1), under which the nodes strictly dominated by d form the
+/// contiguous interval (num(d), maxnum(d)].
+///
+/// A live-in query (Algorithm 1/3) intersects T_q with that interval and
+/// asks whether any use of the variable is reduced reachable from a
+/// surviving target; live-out (Algorithm 2) adds two special cases. Because
+/// the precomputation depends only on the CFG, adding or removing variables,
+/// uses, or whole instructions never invalidates it — the property that
+/// motivates the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_CORE_LIVECHECK_H
+#define SSALIVE_CORE_LIVECHECK_H
+
+#include "analysis/DomTree.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+
+namespace ssalive {
+
+/// How the T sets are precomputed.
+enum class TMode {
+  /// The practical two-pass scheme of Section 5.2: exact Definition-5 sets
+  /// for back-edge targets (Equation 1, in DFS preorder per Theorem 3),
+  /// then back-edge-source unions propagated through the reduced graph.
+  /// The resulting sets are supersets of Definition 5 — the `t' ∉ R_q`
+  /// filter is not applied at the first chain link — which is sound
+  /// because queries only run when def(a) strictly dominates q (see the
+  /// soundness note in LiveCheck.cpp), but it voids Lemma 3's total
+  /// dominance order, so the reducible single-test fast path stays off.
+  Propagated,
+  /// Exact Definition 5 at every node: slightly costlier precomputation,
+  /// but Lemma 3 holds and reducible CFGs can use the Theorem-2 fast path
+  /// (test only the most-dominating surviving target).
+  Filtered,
+};
+
+/// How the T sets are stored for querying.
+enum class TStorage {
+  /// One bitset per node, scanned with findNextSet (Algorithm 3 as
+  /// printed in the paper).
+  Bitset,
+  /// One sorted array of dominance-preorder numbers per node — the
+  /// paper's own suggestion (Section 6.1): "future implementations could
+  /// use sorted arrays instead of bitsets to save space in case of larger
+  /// CFGs and speed up the loop iteration (by abandoning
+  /// bitset_next_set)". T sets contain only back-edge targets, so the
+  /// arrays are tiny (back edges are ~4% of edges).
+  SortedArray,
+};
+
+/// Tuning/ablation switches.
+struct LiveCheckOptions {
+  TMode Mode = TMode::Propagated;
+  /// Skip the dominance subtree of a failed target (Section 5.1 item 2).
+  /// Disabling this is ablation-only; the scan then visits every set bit.
+  bool SubtreeSkip = true;
+  /// Allow the Theorem-2 single-test fast path when the CFG is reducible
+  /// and Mode == Filtered.
+  bool ReducibleFastPath = true;
+  TStorage Storage = TStorage::Bitset;
+};
+
+/// Query statistics, for the evaluation harnesses.
+struct LiveCheckStats {
+  std::uint64_t LiveInQueries = 0;
+  std::uint64_t LiveOutQueries = 0;
+  std::uint64_t TargetsVisited = 0; ///< Iterations of the while loop.
+  std::uint64_t UseTests = 0;       ///< Individual R_t membership tests.
+};
+
+/// The precomputed liveness-checking engine for one CFG.
+///
+/// The engine speaks block ids only; variables enter a query as their def
+/// block plus the Definition-1 use blocks, so any def-use chain
+/// representation can sit on top (see FunctionLiveness).
+class LiveCheck {
+public:
+  /// Precomputes R and T for \p G. \p D and \p DT must belong to \p G.
+  LiveCheck(const CFG &G, const DFS &D, const DomTree &DT,
+            LiveCheckOptions Opts = {});
+
+  /// Algorithm 3: is the variable (def block \p DefBlock, use blocks
+  /// [\p UsesBegin, \p UsesEnd)) live-in at block \p Q?
+  bool isLiveIn(unsigned DefBlock, unsigned Q, const unsigned *UsesBegin,
+                const unsigned *UsesEnd) const;
+
+  /// Algorithm 2: live-out variant, handling the query-at-def and
+  /// trivial-path special cases.
+  bool isLiveOut(unsigned DefBlock, unsigned Q, const unsigned *UsesBegin,
+                 const unsigned *UsesEnd) const;
+
+  /// Convenience overloads over vectors.
+  bool isLiveIn(unsigned DefBlock, unsigned Q,
+                const std::vector<unsigned> &Uses) const {
+    return isLiveIn(DefBlock, Q, Uses.data(), Uses.data() + Uses.size());
+  }
+  bool isLiveOut(unsigned DefBlock, unsigned Q,
+                 const std::vector<unsigned> &Uses) const {
+    return isLiveOut(DefBlock, Q, Uses.data(), Uses.data() + Uses.size());
+  }
+
+  /// \name Introspection for tests and benches.
+  /// @{
+  /// Reduced reachability: is \p To in R_{From}? (Definition 4)
+  bool isReducedReachable(unsigned From, unsigned To) const {
+    return RByNum[DT.num(From)].test(DT.num(To));
+  }
+
+  /// Membership in the precomputed T set: is \p T in T_{Of}?
+  bool isInT(unsigned Of, unsigned T) const;
+
+  /// Whether the single-test fast path is active.
+  bool usesReducibleFastPath() const { return FastPath; }
+
+  /// Bytes held by the R and T bitsets (the quadratic footprint that
+  /// Sections 6.1 and 8 discuss).
+  size_t memoryBytes() const;
+
+  const LiveCheckStats &stats() const { return Stats; }
+  void resetStats() { Stats = LiveCheckStats(); }
+  /// @}
+
+private:
+  void computeR();
+  void computeTargetSets(std::vector<BitVector> &TargetT) const;
+  void computeTPropagated();
+  void computeTFiltered();
+
+  /// Tests the def-use chain against R_t for one target (the body of
+  /// Algorithm 1 line 4 / Algorithm 2 line 9). Returns true on a hit;
+  /// sets \p Decided when the fast path may end the scan afterwards.
+  bool testTarget(unsigned TNum, unsigned QNum, const unsigned *UsesBegin,
+                  const unsigned *UsesEnd, bool ExcludeTrivialQ,
+                  bool &Decided) const;
+
+  /// Shared tail of both liveness checks: scans T_q within def's dominance
+  /// interval. \p ExcludeTrivialQ implements Algorithm 2 line 8.
+  bool scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
+                   const unsigned *UsesBegin, const unsigned *UsesEnd,
+                   bool ExcludeTrivialQ) const;
+  bool scanTargetsSorted(unsigned DefNum, unsigned MaxDom, unsigned QNum,
+                         const unsigned *UsesBegin, const unsigned *UsesEnd,
+                         bool ExcludeTrivialQ) const;
+
+  const CFG &G;
+  const DFS &D;
+  const DomTree &DT;
+  LiveCheckOptions Opts;
+  bool FastPath = false;
+
+  /// R and T bitsets, indexed by dominance preorder number on both axes.
+  /// With TStorage::SortedArray the T bitsets are converted into
+  /// TSortedByNum and dropped.
+  std::vector<BitVector> RByNum;
+  std::vector<BitVector> TByNum;
+  std::vector<std::vector<unsigned>> TSortedByNum;
+  /// maxnum() by dominance preorder number (subtree skipping).
+  std::vector<unsigned> MaxNumByNum;
+  /// Back-edge-target flag by node id (Algorithm 2 line 8).
+  std::vector<bool> BackTargetByNum;
+
+  mutable LiveCheckStats Stats;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_CORE_LIVECHECK_H

@@ -1,0 +1,41 @@
+//===- core/LivenessInterface.h - Backend-agnostic queries ------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The minimal query surface every liveness backend implements. SSA
+/// destruction, the interference check, the examples and the benchmark
+/// harness all talk to this interface, so the paper's "New" engine, the
+/// "Native" data-flow baseline, the path-exploration baseline and the
+/// brute-force oracle are interchangeable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_CORE_LIVENESSINTERFACE_H
+#define SSALIVE_CORE_LIVENESSINTERFACE_H
+
+namespace ssalive {
+
+class Value;
+class BasicBlock;
+
+/// Abstract liveness query provider for one function.
+class LivenessQueries {
+public:
+  virtual ~LivenessQueries();
+
+  /// Is \p V live-in at \p B (paper Definition 2)?
+  virtual bool isLiveIn(const Value &V, const BasicBlock &B) = 0;
+
+  /// Is \p V live-out at \p B (paper Definition 3)?
+  virtual bool isLiveOut(const Value &V, const BasicBlock &B) = 0;
+
+  /// Short human-readable backend name for reports.
+  virtual const char *backendName() const = 0;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_CORE_LIVENESSINTERFACE_H

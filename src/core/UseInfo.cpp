@@ -1,0 +1,42 @@
+//===- core/UseInfo.cpp - Liveness use sites (Definition 1) ---------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/UseInfo.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+unsigned ssalive::liveUseBlock(const Use &U) {
+  const Instruction *I = U.User;
+  if (I->isPhi())
+    return I->incomingBlock(U.OperandIndex)->id();
+  return I->parent()->id();
+}
+
+void ssalive::appendLiveUseBlocks(const Value &V,
+                                  std::vector<unsigned> &Out) {
+  for (const Use &U : V.uses())
+    Out.push_back(liveUseBlock(U));
+}
+
+std::vector<unsigned> ssalive::liveUseBlocks(const Value &V) {
+  std::vector<unsigned> Blocks;
+  appendLiveUseBlocks(V, Blocks);
+  std::sort(Blocks.begin(), Blocks.end());
+  Blocks.erase(std::unique(Blocks.begin(), Blocks.end()), Blocks.end());
+  return Blocks;
+}
+
+bool ssalive::isPhiRelated(const Value &V) {
+  for (const Instruction *Def : V.defs())
+    if (Def->isPhi())
+      return true;
+  for (const Use &U : V.uses())
+    if (U.User->isPhi())
+      return true;
+  return false;
+}

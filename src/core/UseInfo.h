@@ -1,0 +1,46 @@
+//===- core/UseInfo.h - Liveness use sites (Definition 1) -------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps a value's def-use chain to the CFG blocks where liveness considers
+/// it used, following the paper's Definition 1: an ordinary operand is used
+/// in the instruction's block, while the i-th operand of a φ-function is
+/// used in the i-th *predecessor* of the φ's block (the assignment happens
+/// "on the way" along the edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_CORE_USEINFO_H
+#define SSALIVE_CORE_USEINFO_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ssalive {
+
+/// The block id where \p U is a use for liveness purposes (Definition 1).
+unsigned liveUseBlock(const Use &U);
+
+/// Block id of \p V's unique SSA definition.
+inline unsigned defBlockId(const Value &V) { return V.defBlock()->id(); }
+
+/// Appends the Definition-1 use blocks of \p V to \p Out (duplicates
+/// possible when a block uses the value several times). \p Out is not
+/// cleared, so callers can reuse a scratch buffer across queries.
+void appendLiveUseBlocks(const Value &V, std::vector<unsigned> &Out);
+
+/// Deduplicated, sorted Definition-1 use blocks of \p V.
+std::vector<unsigned> liveUseBlocks(const Value &V);
+
+/// True if \p V is φ-related: it is defined by a φ or appears as a φ
+/// operand. The LAO baseline restricts SSA-destruction liveness to these
+/// values (paper Section 6.2).
+bool isPhiRelated(const Value &V);
+
+} // namespace ssalive
+
+#endif // SSALIVE_CORE_USEINFO_H

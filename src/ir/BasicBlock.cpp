@@ -1,0 +1,76 @@
+//===- ir/BasicBlock.cpp - CFG basic blocks -------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert((Instrs.empty() || !Instrs.back()->isTerminator()) &&
+         "appending past a terminator");
+  I->setParent(this);
+  Instrs.push_back(std::move(I));
+  return Instrs.back().get();
+}
+
+Instruction *BasicBlock::insertAt(unsigned Index,
+                                  std::unique_ptr<Instruction> I) {
+  assert(Index <= Instrs.size() && "insert position out of range");
+  I->setParent(this);
+  auto It = Instrs.insert(Instrs.begin() + Index, std::move(I));
+  return It->get();
+}
+
+Instruction *BasicBlock::insertBeforeTerminator(
+    std::unique_ptr<Instruction> I) {
+  unsigned Pos = static_cast<unsigned>(Instrs.size());
+  if (Pos != 0 && Instrs.back()->isTerminator())
+    --Pos;
+  return insertAt(Pos, std::move(I));
+}
+
+void BasicBlock::erase(Instruction *I) {
+  auto It = std::find_if(
+      Instrs.begin(), Instrs.end(),
+      [I](const std::unique_ptr<Instruction> &P) { return P.get() == I; });
+  assert(It != Instrs.end() && "erasing instruction from wrong block");
+  Instrs.erase(It);
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Instrs.empty() || !Instrs.back()->isTerminator())
+    return nullptr;
+  return Instrs.back().get();
+}
+
+std::vector<Instruction *> BasicBlock::phis() const {
+  std::vector<Instruction *> Result;
+  for (const auto &I : Instrs) {
+    if (!I->isPhi())
+      break;
+    Result.push_back(I.get());
+  }
+  return Result;
+}
+
+unsigned BasicBlock::predecessorIndex(const BasicBlock *Pred) const {
+  for (unsigned I = 0, E = numPredecessors(); I != E; ++I)
+    if (Preds[I] == Pred)
+      return I;
+  SSALIVE_UNREACHABLE("block is not a predecessor");
+}
+
+void BasicBlock::addSuccessor(BasicBlock *Succ) {
+  assert(Succ && "null successor");
+  assert(std::find(Succs.begin(), Succs.end(), Succ) == Succs.end() &&
+         "duplicate CFG edge");
+  Succs.push_back(Succ);
+  Succ->Preds.push_back(this);
+}

@@ -1,0 +1,27 @@
+//===- ir/CFG.cpp - Adjacency-list control-flow graph ---------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+CFG CFG::fromFunction(const Function &F) {
+  CFG G(F.numBlocks());
+  for (const auto &B : F.blocks())
+    for (const BasicBlock *S : B->successors())
+      G.addEdge(B->id(), S->id());
+  return G;
+}
+
+bool CFG::hasEdge(unsigned From, unsigned To) const {
+  assert(From < numNodes() && "node out of range");
+  const auto &S = Succs[From];
+  return std::find(S.begin(), S.end(), To) != S.end();
+}

@@ -1,0 +1,86 @@
+//===- ir/CFG.h - Adjacency-list control-flow graph -------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain adjacency-list view of a control-flow graph G = (V, E, r) with
+/// dense node ids and node 0 as the root r. All structural analyses (DFS,
+/// dominance, reducibility, the liveness precomputation) run on this view,
+/// so they work identically for full IR functions and for the bare graphs
+/// the workload generator produces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_CFG_H
+#define SSALIVE_IR_CFG_H
+
+#include <cassert>
+#include <vector>
+
+namespace ssalive {
+
+class Function;
+
+/// Immutable-by-convention adjacency-list digraph with a distinguished
+/// entry node 0.
+class CFG {
+public:
+  CFG() = default;
+
+  /// Creates a graph with \p NumNodes nodes and no edges.
+  explicit CFG(unsigned NumNodes) { resize(NumNodes); }
+
+  /// Extracts the block graph of \p F; node ids equal block ids.
+  static CFG fromFunction(const Function &F);
+
+  void resize(unsigned NumNodes) {
+    Succs.resize(NumNodes);
+    Preds.resize(NumNodes);
+  }
+
+  unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
+
+  unsigned numEdges() const {
+    unsigned N = 0;
+    for (const auto &S : Succs)
+      N += static_cast<unsigned>(S.size());
+    return N;
+  }
+
+  /// The root r; by convention node 0.
+  unsigned entry() const {
+    assert(numNodes() != 0 && "empty graph has no entry");
+    return 0;
+  }
+
+  /// Adds the directed edge \p From -> \p To. Self-loops are allowed (they
+  /// are back edges whose target is a trivial loop header).
+  void addEdge(unsigned From, unsigned To) {
+    assert(From < numNodes() && To < numNodes() && "edge endpoint range");
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  }
+
+  /// Returns true if the edge \p From -> \p To exists.
+  bool hasEdge(unsigned From, unsigned To) const;
+
+  const std::vector<unsigned> &successors(unsigned V) const {
+    assert(V < numNodes() && "node out of range");
+    return Succs[V];
+  }
+
+  const std::vector<unsigned> &predecessors(unsigned V) const {
+    assert(V < numNodes() && "node out of range");
+    return Preds[V];
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_CFG_H

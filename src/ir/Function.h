@@ -1,0 +1,90 @@
+//===- ir/Function.h - IR functions -----------------------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function owns its basic blocks and values and hands out dense ids for
+/// both, which every analysis uses as array/bitset indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_FUNCTION_H
+#define SSALIVE_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssalive {
+
+/// A single procedure: entry block, block list, value table.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  /// \name Blocks.
+  /// @{
+  /// Creates a new block; the first one created becomes the entry.
+  BasicBlock *createBlock(std::string BlockName = "");
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  BasicBlock *block(unsigned Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id].get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  /// @}
+
+  /// \name Values.
+  /// @{
+  /// Creates a fresh value. An empty name is replaced by "v<id>".
+  Value *createValue(std::string ValueName = "");
+
+  unsigned numValues() const { return static_cast<unsigned>(Values.size()); }
+
+  Value *value(unsigned Id) const {
+    assert(Id < Values.size() && "value id out of range");
+    return Values[Id].get();
+  }
+
+  const std::vector<std::unique_ptr<Value>> &values() const { return Values; }
+
+  /// Parameter values, in declaration order (results of Param pseudo-ops).
+  std::vector<Value *> parameters() const;
+  /// @}
+
+  /// Total number of CFG edges; the quantitative evaluation reports edge
+  /// densities (paper Section 6.1).
+  unsigned numEdges() const;
+
+private:
+  std::string Name;
+  /// Values are declared before Blocks deliberately: members are destroyed
+  /// in reverse declaration order, and the instruction destructors inside
+  /// the blocks unlink themselves from value def-use chains, so the values
+  /// must still be alive when the blocks go away.
+  std::vector<std::unique_ptr<Value>> Values;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_FUNCTION_H

@@ -1,0 +1,99 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ---------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+Value *IRBuilder::emit(Opcode Op, std::vector<Value *> Ops, std::string Name,
+                       std::int64_t Imm) {
+  assert(Insert && "no insertion block set");
+  Value *Result = F.createValue(std::move(Name));
+  Insert->append(
+      std::make_unique<Instruction>(Op, Result, std::move(Ops), Imm));
+  return Result;
+}
+
+Value *IRBuilder::createParam(unsigned ParamIndex, std::string Name) {
+  return emit(Opcode::Param, {}, std::move(Name),
+              static_cast<std::int64_t>(ParamIndex));
+}
+
+Value *IRBuilder::createConst(std::int64_t C, std::string Name) {
+  return emit(Opcode::Const, {}, std::move(Name), C);
+}
+
+Value *IRBuilder::createCopy(Value *Src, std::string Name) {
+  return emit(Opcode::Copy, {Src}, std::move(Name));
+}
+
+Value *IRBuilder::createBinary(Opcode Op, Value *LHS, Value *RHS,
+                               std::string Name) {
+  assert((Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul ||
+          Op == Opcode::CmpLt || Op == Opcode::CmpEq) &&
+         "not a binary opcode");
+  return emit(Op, {LHS, RHS}, std::move(Name));
+}
+
+Value *IRBuilder::createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                               std::string Name) {
+  return emit(Opcode::Select, {Cond, TrueV, FalseV}, std::move(Name));
+}
+
+Value *IRBuilder::createOpaque(const std::vector<Value *> &Ops,
+                               std::string Name) {
+  return emit(Opcode::Opaque, Ops, std::move(Name));
+}
+
+Value *IRBuilder::createPhi(const std::vector<Value *> &InitialOps,
+                            std::string Name) {
+  assert(Insert && "no insertion block set");
+  assert(InitialOps.size() == Insert->numPredecessors() &&
+         "phi operand count must match predecessor count");
+  Value *Result = F.createValue(std::move(Name));
+  auto Phi = std::make_unique<Instruction>(Opcode::Phi, Result, InitialOps);
+  for (BasicBlock *Pred : Insert->predecessors())
+    Phi->addIncomingBlock(Pred);
+  // Phis must precede all non-phi instructions.
+  unsigned Pos = 0;
+  for (const auto &I : Insert->instructions()) {
+    if (!I->isPhi())
+      break;
+    ++Pos;
+  }
+  Insert->insertAt(Pos, std::move(Phi));
+  return Result;
+}
+
+void IRBuilder::createJump(BasicBlock *Target) {
+  assert(Insert && "no insertion block set");
+  Insert->append(std::make_unique<Instruction>(Opcode::Jump, nullptr,
+                                               std::vector<Value *>{}));
+  Insert->addSuccessor(Target);
+}
+
+void IRBuilder::createBranch(Value *Cond, BasicBlock *TrueTarget,
+                             BasicBlock *FalseTarget) {
+  assert(Insert && "no insertion block set");
+  Insert->append(std::make_unique<Instruction>(
+      Opcode::Branch, nullptr, std::vector<Value *>{Cond}));
+  Insert->addSuccessor(TrueTarget);
+  Insert->addSuccessor(FalseTarget);
+}
+
+void IRBuilder::createRet(Value *V) {
+  assert(Insert && "no insertion block set");
+  Insert->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
+                                               std::vector<Value *>{V}));
+}
+
+void IRBuilder::createRetVoid() {
+  assert(Insert && "no insertion block set");
+  Insert->append(std::make_unique<Instruction>(Opcode::Ret, nullptr,
+                                               std::vector<Value *>{}));
+}

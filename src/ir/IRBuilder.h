@@ -1,0 +1,68 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder that creates instructions, wires up block edges, and
+/// keeps φ operand order consistent with predecessor order. Every test,
+/// example, and generator constructs IR through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_IRBUILDER_H
+#define SSALIVE_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace ssalive {
+
+/// Builder with an insertion block; all create* functions append there.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  Function &function() const { return F; }
+
+  /// Sets the block subsequent instructions are appended to.
+  void setInsertBlock(BasicBlock *B) { Insert = B; }
+  BasicBlock *insertBlock() const { return Insert; }
+
+  /// \name Non-terminator instructions. Each returns the defined value.
+  /// @{
+  Value *createParam(unsigned ParamIndex, std::string Name = "");
+  Value *createConst(std::int64_t C, std::string Name = "");
+  Value *createCopy(Value *Src, std::string Name = "");
+  Value *createBinary(Opcode Op, Value *LHS, Value *RHS,
+                      std::string Name = "");
+  Value *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                      std::string Name = "");
+  Value *createOpaque(const std::vector<Value *> &Ops, std::string Name = "");
+
+  /// Creates a φ with one operand per current predecessor of the insertion
+  /// block, all initialized to \p InitialOps (must match predecessor count).
+  Value *createPhi(const std::vector<Value *> &InitialOps,
+                   std::string Name = "");
+  /// @}
+
+  /// \name Terminators. These also add the CFG edges.
+  /// @{
+  void createJump(BasicBlock *Target);
+  void createBranch(Value *Cond, BasicBlock *TrueTarget,
+                    BasicBlock *FalseTarget);
+  void createRet(Value *V);
+  void createRetVoid();
+  /// @}
+
+private:
+  Value *emit(Opcode Op, std::vector<Value *> Ops, std::string Name,
+              std::int64_t Imm = 0);
+
+  Function &F;
+  BasicBlock *Insert = nullptr;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_IRBUILDER_H

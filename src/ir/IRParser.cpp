@@ -1,0 +1,389 @@
+//===- ir/IRParser.cpp - Textual IR input ---------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/Function.h"
+#include "support/Debug.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <tuple>
+
+using namespace ssalive;
+
+namespace {
+
+/// Recursive-descent parser over a single function body. Blocks and values
+/// are created lazily on first mention, so forward references (loop φs,
+/// forward jumps) need no second pass; terminators record pending successor
+/// labels that are wired into CFG edges once all blocks exist.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  ParseResult run();
+
+private:
+  // Lexing helpers. The format is line-oriented only for readability;
+  // lexing is plain whitespace-skipping over the whole buffer.
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '#' || C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (C == '\n')
+        ++Line;
+      if (!std::isspace(static_cast<unsigned char>(C)))
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char *W) {
+    skipSpace();
+    size_t Len = std::strlen(W);
+    if (Text.compare(Pos, Len, W) != 0)
+      return false;
+    size_t After = Pos + Len;
+    if (After < Text.size() &&
+        (std::isalnum(static_cast<unsigned char>(Text[After])) ||
+         Text[After] == '_'))
+      return false;
+    Pos = After;
+    return true;
+  }
+
+  std::optional<std::string> parseIdent() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.'))
+      ++Pos;
+    if (Pos == Start)
+      return std::nullopt;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  std::optional<std::int64_t> parseInt() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == DigitsStart)
+      return std::nullopt;
+    return std::stoll(Text.substr(Start, Pos - Start));
+  }
+
+  // Entity lookup with lazy creation.
+  Value *getValue(const std::string &Name) {
+    auto [It, New] = ValuesByName.try_emplace(Name, nullptr);
+    if (New)
+      It->second = F->createValue(Name);
+    return It->second;
+  }
+
+  BasicBlock *getBlock(const std::string &Name) {
+    auto [It, New] = BlocksByName.try_emplace(Name, nullptr);
+    if (New)
+      It->second = F->createBlock(Name);
+    return It->second;
+  }
+
+  std::optional<Value *> parseValueRef() {
+    if (!consume('%'))
+      return std::nullopt;
+    auto Name = parseIdent();
+    if (!Name)
+      return std::nullopt;
+    return getValue(*Name);
+  }
+
+  bool fail(const std::string &Msg) {
+    Error = "line " + std::to_string(Line) + ": " + Msg;
+    return false;
+  }
+
+  bool parseBody();
+  bool parseBlock(const std::string &Label);
+  bool parseInstruction(BasicBlock *B, bool &SawTerminator);
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  std::string Error;
+  std::unique_ptr<Function> F;
+  std::map<std::string, Value *> ValuesByName;
+  std::map<std::string, BasicBlock *> BlocksByName;
+  /// Deferred (block, successor-label) pairs; resolved after parsing so the
+  /// successor order matches the terminator operand order.
+  std::vector<std::pair<BasicBlock *, std::string>> PendingEdges;
+  /// Deferred φ incoming labels: (phi, operand index, label).
+  std::vector<std::tuple<Instruction *, unsigned, std::string>> PendingPhis;
+};
+
+} // namespace
+
+bool Parser::parseInstruction(BasicBlock *B, bool &SawTerminator) {
+  // Terminators.
+  if (consumeWord("jump")) {
+    auto Label = parseIdent();
+    if (!Label)
+      return fail("expected jump target label");
+    B->append(std::make_unique<Instruction>(Opcode::Jump, nullptr,
+                                            std::vector<Value *>{}));
+    PendingEdges.emplace_back(B, *Label);
+    SawTerminator = true;
+    return true;
+  }
+  if (consumeWord("branch")) {
+    auto Cond = parseValueRef();
+    if (!Cond)
+      return fail("expected branch condition value");
+    if (!consume(','))
+      return fail("expected ',' after branch condition");
+    auto TrueLabel = parseIdent();
+    if (!TrueLabel || !consume(','))
+      return fail("expected two branch target labels");
+    auto FalseLabel = parseIdent();
+    if (!FalseLabel)
+      return fail("expected second branch target label");
+    B->append(std::make_unique<Instruction>(Opcode::Branch, nullptr,
+                                            std::vector<Value *>{*Cond}));
+    PendingEdges.emplace_back(B, *TrueLabel);
+    PendingEdges.emplace_back(B, *FalseLabel);
+    SawTerminator = true;
+    return true;
+  }
+  if (consumeWord("ret")) {
+    std::vector<Value *> Ops;
+    if (auto V = parseValueRef())
+      Ops.push_back(*V);
+    B->append(std::make_unique<Instruction>(Opcode::Ret, nullptr, Ops));
+    SawTerminator = true;
+    return true;
+  }
+
+  // Value-defining instructions: %name = op ...
+  auto Result = parseValueRef();
+  if (!Result)
+    return fail("expected instruction");
+  if (!consume('='))
+    return fail("expected '=' after result value");
+
+  struct BinOp {
+    const char *Word;
+    Opcode Op;
+  };
+  static const BinOp BinOps[] = {{"add", Opcode::Add},
+                                 {"sub", Opcode::Sub},
+                                 {"mul", Opcode::Mul},
+                                 {"cmplt", Opcode::CmpLt},
+                                 {"cmpeq", Opcode::CmpEq}};
+
+  skipSpace();
+  auto OpName = parseIdent();
+  if (!OpName)
+    return fail("expected opcode mnemonic");
+
+  if (*OpName == "param" || *OpName == "const") {
+    auto Imm = parseInt();
+    if (!Imm)
+      return fail("expected immediate after '" + *OpName + "'");
+    Opcode Op = *OpName == "param" ? Opcode::Param : Opcode::Const;
+    B->append(std::make_unique<Instruction>(Op, *Result,
+                                            std::vector<Value *>{}, *Imm));
+    return true;
+  }
+
+  if (*OpName == "copy") {
+    auto Src = parseValueRef();
+    if (!Src)
+      return fail("expected copy source value");
+    B->append(std::make_unique<Instruction>(Opcode::Copy, *Result,
+                                            std::vector<Value *>{*Src}));
+    return true;
+  }
+
+  for (const BinOp &BO : BinOps) {
+    if (*OpName != BO.Word)
+      continue;
+    auto LHS = parseValueRef();
+    if (!LHS || !consume(','))
+      return fail("expected two operands");
+    auto RHS = parseValueRef();
+    if (!RHS)
+      return fail("expected second operand");
+    B->append(std::make_unique<Instruction>(
+        BO.Op, *Result, std::vector<Value *>{*LHS, *RHS}));
+    return true;
+  }
+
+  if (*OpName == "select") {
+    auto C = parseValueRef();
+    if (!C || !consume(','))
+      return fail("expected select operands");
+    auto T = parseValueRef();
+    if (!T || !consume(','))
+      return fail("expected select operands");
+    auto E = parseValueRef();
+    if (!E)
+      return fail("expected select operands");
+    B->append(std::make_unique<Instruction>(
+        Opcode::Select, *Result, std::vector<Value *>{*C, *T, *E}));
+    return true;
+  }
+
+  if (*OpName == "opaque") {
+    std::vector<Value *> Ops;
+    if (auto First = parseValueRef()) {
+      Ops.push_back(*First);
+      while (consume(',')) {
+        auto Next = parseValueRef();
+        if (!Next)
+          return fail("expected operand after ','");
+        Ops.push_back(*Next);
+      }
+    }
+    B->append(std::make_unique<Instruction>(Opcode::Opaque, *Result, Ops));
+    return true;
+  }
+
+  if (*OpName == "phi") {
+    auto *Phi = new Instruction(Opcode::Phi, *Result, {});
+    B->append(std::unique_ptr<Instruction>(Phi));
+    unsigned Idx = 0;
+    do {
+      if (!consume('['))
+        return fail("expected '[' in phi operand");
+      auto V = parseValueRef();
+      if (!V || !consume(','))
+        return fail("expected phi operand value");
+      auto Label = parseIdent();
+      if (!Label || !consume(']'))
+        return fail("expected phi incoming label");
+      Phi->addOperand(*V);
+      Phi->addIncomingBlock(nullptr); // Patched after edges resolve.
+      PendingPhis.emplace_back(Phi, Idx, *Label);
+      ++Idx;
+    } while (consume(','));
+    return true;
+  }
+
+  return fail("unknown opcode '" + *OpName + "'");
+}
+
+bool Parser::parseBlock(const std::string &Label) {
+  BasicBlock *B = getBlock(Label);
+  if (!B->empty())
+    return fail("redefinition of block '" + Label + "'");
+  bool SawTerminator = false;
+  while (true) {
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input in block");
+    if (Text[Pos] == '}')
+      break;
+    // A label introduces the next block: ident ':'.
+    size_t Save = Pos;
+    unsigned SaveLine = Line;
+    if (auto Ident = parseIdent()) {
+      if (consume(':')) {
+        Pos = Save;
+        Line = SaveLine;
+        break;
+      }
+      Pos = Save;
+      Line = SaveLine;
+    }
+    if (SawTerminator)
+      return fail("instruction after terminator");
+    if (!parseInstruction(B, SawTerminator))
+      return false;
+  }
+  if (!SawTerminator)
+    return fail("block '" + Label + "' lacks a terminator");
+  return true;
+}
+
+bool Parser::parseBody() {
+  if (!consumeWord("func"))
+    return fail("expected 'func'");
+  if (!consume('@'))
+    return fail("expected '@' before function name");
+  auto Name = parseIdent();
+  if (!Name)
+    return fail("expected function name");
+  F = std::make_unique<Function>(*Name);
+  if (!consume('{'))
+    return fail("expected '{'");
+
+  while (true) {
+    skipSpace();
+    if (consume('}'))
+      break;
+    auto Label = parseIdent();
+    if (!Label || !consume(':'))
+      return fail("expected block label");
+    if (!parseBlock(*Label))
+      return false;
+  }
+
+  // Wire deferred CFG edges in terminator order.
+  for (auto &[Block, Label] : PendingEdges) {
+    auto It = BlocksByName.find(Label);
+    if (It == BlocksByName.end() || It->second->empty())
+      return fail("jump to undefined block '" + Label + "'");
+    Block->addSuccessor(It->second);
+  }
+  // Patch φ incoming blocks.
+  for (auto &[Phi, Idx, Label] : PendingPhis) {
+    auto It = BlocksByName.find(Label);
+    if (It == BlocksByName.end())
+      return fail("phi references undefined block '" + Label + "'");
+    Phi->setIncomingBlock(Idx, It->second);
+  }
+  return true;
+}
+
+ParseResult Parser::run() {
+  ParseResult R;
+  if (!parseBody()) {
+    R.Error = Error.empty() ? "parse error" : Error;
+    return R;
+  }
+  skipSpace();
+  if (Pos != Text.size()) {
+    fail("trailing input after function body");
+    R.Error = Error;
+    return R;
+  }
+  R.Func = std::move(F);
+  return R;
+}
+
+ParseResult ssalive::parseFunction(const std::string &Text) {
+  return Parser(Text).run();
+}

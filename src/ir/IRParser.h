@@ -1,0 +1,44 @@
+//===- ir/IRParser.h - Textual IR input -------------------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by IRPrinter. Tests and examples use it
+/// to state programs compactly. Values may be assigned more than once in the
+/// input (non-SSA programs destined for SSA construction); the SSA verifier
+/// decides whether a parsed function is in SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_IRPARSER_H
+#define SSALIVE_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+
+namespace ssalive {
+
+class Function;
+
+/// Result of a parse: either a function or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Function> Func; ///< Null on error.
+  std::string Error;              ///< Empty on success; "line N: msg" else.
+};
+
+/// Parses one function. Grammar (line oriented, '#' or ';' comments):
+/// \code
+///   func @name {
+///   label:
+///     %v = param 0 | const 17 | copy %a | add %a, %b | ... |
+///          phi [%a, label], [%b, label] | opaque %a, %b
+///     jump label | branch %c, label, label | ret [%v]
+///   }
+/// \endcode
+ParseResult parseFunction(const std::string &Text);
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_IRPARSER_H

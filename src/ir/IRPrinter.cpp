@@ -1,0 +1,73 @@
+//===- ir/IRPrinter.cpp - Textual IR output -------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Function.h"
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+static void printOperandList(const Instruction &I, std::string &Out) {
+  for (unsigned Idx = 0, E = I.numOperands(); Idx != E; ++Idx) {
+    if (Idx != 0)
+      Out += ", ";
+    Out += "%" + I.operand(Idx)->name();
+  }
+}
+
+std::string ssalive::printInstruction(const Instruction &I) {
+  std::string Out;
+  if (I.result())
+    Out += "%" + I.result()->name() + " = ";
+  Out += opcodeName(I.opcode());
+
+  switch (I.opcode()) {
+  case Opcode::Param:
+  case Opcode::Const:
+    Out += " " + std::to_string(I.immediate());
+    break;
+  case Opcode::Phi:
+    for (unsigned Idx = 0, E = I.numOperands(); Idx != E; ++Idx) {
+      Out += Idx == 0 ? " " : ", ";
+      Out += "[%" + I.operand(Idx)->name() + ", " +
+             I.incomingBlock(Idx)->name() + "]";
+    }
+    break;
+  case Opcode::Jump:
+    Out += " " + I.parent()->successors()[0]->name();
+    break;
+  case Opcode::Branch:
+    Out += " %" + I.operand(0)->name() + ", " +
+           I.parent()->successors()[0]->name() + ", " +
+           I.parent()->successors()[1]->name();
+    break;
+  default:
+    if (I.numOperands() != 0) {
+      Out += " ";
+      printOperandList(I, Out);
+    }
+    break;
+  }
+  return Out;
+}
+
+std::string ssalive::printFunction(const Function &F) {
+  std::string Out = "func @" + F.name() + " {\n";
+  for (const auto &B : F.blocks()) {
+    Out += B->name() + ":";
+    if (!B->predecessors().empty()) {
+      Out += "  ; preds:";
+      for (const BasicBlock *P : B->predecessors())
+        Out += " " + P->name();
+    }
+    Out += "\n";
+    for (const auto &I : B->instructions())
+      Out += "  " + printInstruction(*I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}

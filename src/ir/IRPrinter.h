@@ -1,0 +1,41 @@
+//===- ir/IRPrinter.h - Textual IR output -----------------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints functions in the textual form IRParser reads back. Round-tripping
+/// is tested; the format is the project's debugging lingua franca.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_IRPRINTER_H
+#define SSALIVE_IR_IRPRINTER_H
+
+#include <string>
+
+namespace ssalive {
+
+class Function;
+class Instruction;
+
+/// Renders \p F as text, e.g.:
+/// \code
+///   func @fib {
+///   bb0:
+///     %n = param 0
+///     %c1 = const 1
+///     %t = cmplt %n, %c1
+///     branch %t, bb1, bb2
+///   ...
+///   }
+/// \endcode
+std::string printFunction(const Function &F);
+
+/// Renders a single instruction (no trailing newline).
+std::string printInstruction(const Instruction &I);
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_IRPRINTER_H

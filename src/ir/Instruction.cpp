@@ -1,0 +1,97 @@
+//===- ir/Instruction.cpp - IR instructions -------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+const char *ssalive::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Param:
+    return "param";
+  case Opcode::Const:
+    return "const";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Opaque:
+    return "opaque";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Branch:
+    return "branch";
+  case Opcode::Ret:
+    return "ret";
+  }
+  SSALIVE_UNREACHABLE("invalid opcode");
+}
+
+bool ssalive::isTerminatorOpcode(Opcode Op) {
+  return Op == Opcode::Jump || Op == Opcode::Branch || Op == Opcode::Ret;
+}
+
+Instruction::Instruction(Opcode Op, Value *Result, std::vector<Value *> Ops,
+                         std::int64_t Immediate)
+    : Op(Op), Result(Result), Operands(std::move(Ops)),
+      Immediate(Immediate) {
+  assert((!isTerminator() || !Result) && "terminators define no value");
+  if (Result)
+    Result->addDef(this);
+  for (unsigned I = 0, E = numOperands(); I != E; ++I) {
+    assert(Operands[I] && "null operand");
+    Operands[I]->addUse(this, I);
+  }
+}
+
+Instruction::~Instruction() { dropAllReferences(); }
+
+void Instruction::setResult(Value *NewResult) {
+  if (Result)
+    Result->removeDef(this);
+  Result = NewResult;
+  if (Result)
+    Result->addDef(this);
+}
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "null operand");
+  Operands[I]->removeUse(this, I);
+  Operands[I] = V;
+  V->addUse(this, I);
+}
+
+void Instruction::addOperand(Value *V) {
+  assert(V && "null operand");
+  Operands.push_back(V);
+  V->addUse(this, static_cast<unsigned>(Operands.size() - 1));
+}
+
+void Instruction::dropAllReferences() {
+  for (unsigned I = 0, E = numOperands(); I != E; ++I)
+    Operands[I]->removeUse(this, I);
+  Operands.clear();
+  Incoming.clear();
+  if (Result) {
+    Result->removeDef(this);
+    Result = nullptr;
+  }
+}

@@ -1,0 +1,127 @@
+//===- ir/Instruction.h - IR instructions -----------------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions of the small SSA IR. The opcode set is deliberately compact:
+/// enough arithmetic to give the interpreter real semantics, φ-functions
+/// with incoming-block operands, and explicit terminators. Operand changes
+/// keep the def-use chains of the operand values up to date.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_INSTRUCTION_H
+#define SSALIVE_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ssalive {
+
+class BasicBlock;
+
+/// Instruction opcodes.
+enum class Opcode {
+  Param, ///< Function parameter pseudo-definition (entry block only).
+  Const, ///< Integer constant; no operands, immediate payload.
+  Copy,  ///< Register-to-register move (SSA destruction emits these).
+  Add,
+  Sub,
+  Mul,
+  CmpLt,  ///< Signed less-than, yields 0/1.
+  CmpEq,  ///< Equality, yields 0/1.
+  Select, ///< Select(c, a, b) = c ? a : b.
+  Opaque, ///< Uninterpreted n-ary operation (hash of operands when run).
+  Phi,    ///< φ-function; operand i flows in from incoming block i.
+  Jump,   ///< Unconditional terminator; target = block successor 0.
+  Branch, ///< Conditional terminator; succ 0 if cond != 0 else succ 1.
+  Ret,    ///< Return (optional operand).
+};
+
+/// Returns the mnemonic for \p Op (e.g. "add").
+const char *opcodeName(Opcode Op);
+
+/// Returns true for Jump/Branch/Ret.
+bool isTerminatorOpcode(Opcode Op);
+
+/// A single IR instruction. Owned by its parent basic block.
+class Instruction {
+public:
+  Instruction(Opcode Op, Value *Result, std::vector<Value *> Ops,
+              std::int64_t Immediate = 0);
+  ~Instruction();
+
+  Instruction(const Instruction &) = delete;
+  Instruction &operator=(const Instruction &) = delete;
+
+  Opcode opcode() const { return Op; }
+  bool isPhi() const { return Op == Opcode::Phi; }
+  bool isTerminator() const { return isTerminatorOpcode(Op); }
+
+  /// The value this instruction defines, or nullptr (terminators).
+  Value *result() const { return Result; }
+
+  /// Rebinds the result to \p NewResult, updating def lists on both values.
+  void setResult(Value *NewResult);
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces operand \p I with \p V, updating use lists.
+  void setOperand(unsigned I, Value *V);
+
+  /// Appends an operand (used when extending φs for a new predecessor).
+  void addOperand(Value *V);
+
+  /// For φ-instructions: the predecessor block operand \p I flows in from.
+  BasicBlock *incomingBlock(unsigned I) const {
+    assert(isPhi() && "incoming blocks only exist on phis");
+    assert(I < Incoming.size() && "incoming index out of range");
+    return Incoming[I];
+  }
+  void setIncomingBlock(unsigned I, BasicBlock *B) {
+    assert(isPhi() && "incoming blocks only exist on phis");
+    assert(I < Incoming.size() && "incoming index out of range");
+    Incoming[I] = B;
+  }
+  void addIncomingBlock(BasicBlock *B) {
+    assert(isPhi() && "incoming blocks only exist on phis");
+    Incoming.push_back(B);
+  }
+  const std::vector<BasicBlock *> &incomingBlocks() const {
+    assert(isPhi() && "incoming blocks only exist on phis");
+    return Incoming;
+  }
+
+  /// Immediate payload (Const) or parameter index (Param).
+  std::int64_t immediate() const { return Immediate; }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *B) { Parent = B; }
+
+  /// Detaches all operands and the result from their def-use chains; called
+  /// before an instruction is destroyed or replaced wholesale.
+  void dropAllReferences();
+
+private:
+  Opcode Op;
+  Value *Result;
+  std::vector<Value *> Operands;
+  std::vector<BasicBlock *> Incoming; // Parallel to Operands for phis.
+  std::int64_t Immediate;
+  BasicBlock *Parent = nullptr;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_INSTRUCTION_H

@@ -1,0 +1,202 @@
+//===- ir/Interpreter.cpp - Reference IR executor -------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "ir/Function.h"
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+namespace {
+
+/// Execution environment: one slot per value id plus a defined-bit, so
+/// reads of never-written values are detected rather than misread as 0.
+class Environment {
+public:
+  explicit Environment(unsigned NumValues)
+      : Slots(NumValues, 0), Defined(NumValues, false) {}
+
+  void write(const Value *V, std::int64_t X) {
+    Slots[V->id()] = X;
+    Defined[V->id()] = true;
+  }
+
+  bool isDefined(const Value *V) const { return Defined[V->id()]; }
+
+  std::int64_t read(const Value *V) const {
+    assert(Defined[V->id()] && "read of undefined value");
+    return Slots[V->id()];
+  }
+
+private:
+  std::vector<std::int64_t> Slots;
+  std::vector<bool> Defined;
+};
+
+} // namespace
+
+/// Wrapping arithmetic through uint64_t avoids signed-overflow UB while
+/// keeping two's-complement semantics deterministic.
+static std::int64_t wrapAdd(std::int64_t A, std::int64_t B) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(A) +
+                                   static_cast<std::uint64_t>(B));
+}
+static std::int64_t wrapSub(std::int64_t A, std::int64_t B) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(A) -
+                                   static_cast<std::uint64_t>(B));
+}
+static std::int64_t wrapMul(std::int64_t A, std::int64_t B) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(A) *
+                                   static_cast<std::uint64_t>(B));
+}
+
+static std::uint64_t hashCombine(std::uint64_t H, std::uint64_t X) {
+  H ^= X + 0x9E3779B97F4A7C15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+ExecutionResult ssalive::interpret(const Function &F,
+                                   const std::vector<std::int64_t> &Args,
+                                   unsigned FuelBlocks) {
+  ExecutionResult R;
+  Environment Env(F.numValues());
+
+  const BasicBlock *Block = F.entry();
+  const BasicBlock *PrevBlock = nullptr;
+  unsigned Fuel = FuelBlocks;
+
+  while (true) {
+    if (Fuel == 0) {
+      R.Stop = ExecutionResult::Status::OutOfFuel;
+      return R;
+    }
+    --Fuel;
+    R.BlockTrace.push_back(Block->id());
+
+    // Phase 1: φs with parallel-copy semantics. All selected operands are
+    // read against the pre-entry environment before any φ result is
+    // written, which is what makes swap-shaped φ groups behave correctly.
+    std::vector<std::pair<Value *, std::int64_t>> PhiWrites;
+    for (const auto &I : Block->instructions()) {
+      if (!I->isPhi())
+        break;
+      assert(PrevBlock && "phi in entry block");
+      unsigned Idx = Block->predecessorIndex(PrevBlock);
+      Value *In = I->operand(Idx);
+      if (!Env.isDefined(In)) {
+        R.Stop = ExecutionResult::Status::ReadUndef;
+        return R;
+      }
+      PhiWrites.emplace_back(I->result(), Env.read(In));
+    }
+    for (auto &[V, X] : PhiWrites)
+      Env.write(V, X);
+
+    // Phase 2: straight-line execution.
+    const BasicBlock *Next = nullptr;
+    for (const auto &I : Block->instructions()) {
+      if (I->isPhi())
+        continue;
+
+      // Gather operand values, detecting non-strict reads.
+      std::vector<std::int64_t> Ops;
+      Ops.reserve(I->numOperands());
+      bool Undef = false;
+      for (Value *Op : I->operands()) {
+        if (!Env.isDefined(Op)) {
+          Undef = true;
+          break;
+        }
+        Ops.push_back(Env.read(Op));
+      }
+      if (Undef) {
+        R.Stop = ExecutionResult::Status::ReadUndef;
+        return R;
+      }
+
+      switch (I->opcode()) {
+      case Opcode::Param: {
+        auto Idx = static_cast<size_t>(I->immediate());
+        Env.write(I->result(), Idx < Args.size() ? Args[Idx] : 0);
+        break;
+      }
+      case Opcode::Const:
+        Env.write(I->result(), I->immediate());
+        break;
+      case Opcode::Copy:
+        Env.write(I->result(), Ops[0]);
+        break;
+      case Opcode::Add:
+        Env.write(I->result(), wrapAdd(Ops[0], Ops[1]));
+        break;
+      case Opcode::Sub:
+        Env.write(I->result(), wrapSub(Ops[0], Ops[1]));
+        break;
+      case Opcode::Mul:
+        Env.write(I->result(), wrapMul(Ops[0], Ops[1]));
+        break;
+      case Opcode::CmpLt:
+        Env.write(I->result(), Ops[0] < Ops[1] ? 1 : 0);
+        break;
+      case Opcode::CmpEq:
+        Env.write(I->result(), Ops[0] == Ops[1] ? 1 : 0);
+        break;
+      case Opcode::Select:
+        Env.write(I->result(), Ops[0] != 0 ? Ops[1] : Ops[2]);
+        break;
+      case Opcode::Opaque: {
+        // Deterministic uninterpreted function of the operands; every
+        // execution of an opaque op also feeds the observation hash.
+        std::uint64_t H = 0xA0761D6478BD642Full;
+        for (std::int64_t X : Ops)
+          H = hashCombine(H, static_cast<std::uint64_t>(X));
+        Env.write(I->result(), static_cast<std::int64_t>(H));
+        R.ObservationHash = hashCombine(R.ObservationHash, H);
+        break;
+      }
+      case Opcode::Jump:
+        Next = Block->successors()[0];
+        break;
+      case Opcode::Branch:
+        Next = Ops[0] != 0 ? Block->successors()[0] : Block->successors()[1];
+        break;
+      case Opcode::Ret:
+        R.Stop = ExecutionResult::Status::Returned;
+        if (!Ops.empty()) {
+          R.HasReturnValue = true;
+          R.ReturnValue = Ops[0];
+          R.ObservationHash = hashCombine(
+              R.ObservationHash, static_cast<std::uint64_t>(Ops[0]));
+        }
+        return R;
+      case Opcode::Phi:
+        SSALIVE_UNREACHABLE("phi past the phi prefix");
+      }
+    }
+
+    assert(Next && "block fell through without terminator");
+    PrevBlock = Block;
+    Block = Next;
+  }
+}
+
+bool ssalive::sameObservableBehavior(const ExecutionResult &A,
+                                     const ExecutionResult &B) {
+  if (A.Stop != B.Stop)
+    return false;
+  if (A.BlockTrace != B.BlockTrace)
+    return false;
+  if (A.ObservationHash != B.ObservationHash)
+    return false;
+  if (A.Stop == ExecutionResult::Status::Returned) {
+    if (A.HasReturnValue != B.HasReturnValue)
+      return false;
+    if (A.HasReturnValue && A.ReturnValue != B.ReturnValue)
+      return false;
+  }
+  return true;
+}

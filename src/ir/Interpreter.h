@@ -1,0 +1,64 @@
+//===- ir/Interpreter.h - Reference IR executor -----------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fuel-limited interpreter for the IR, defined for SSA and non-SSA
+/// programs alike (multiple assignments simply overwrite). φ-functions are
+/// evaluated lazily with parallel-copy semantics on block entry, matching
+/// the paper's Section 2.2 description of φ evaluation "on the way" from
+/// the predecessor. The SSA construction/destruction tests run the same
+/// inputs through the program before and after a transformation and demand
+/// identical observable behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_INTERPRETER_H
+#define SSALIVE_IR_INTERPRETER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ssalive {
+
+class Function;
+
+/// Everything observable about one execution.
+struct ExecutionResult {
+  /// Why execution stopped.
+  enum class Status {
+    Returned,   ///< Reached a ret.
+    OutOfFuel,  ///< Block-entry budget exhausted (looping program).
+    ReadUndef,  ///< Read a value before any assignment (non-strict program).
+  };
+
+  Status Stop = Status::Returned;
+  bool HasReturnValue = false;
+  std::int64_t ReturnValue = 0;
+  /// Ids of blocks in execution order (bounded by fuel).
+  std::vector<unsigned> BlockTrace;
+  /// Rolling hash over every Opaque instruction's inputs and output, in
+  /// execution order. Catches dataflow divergence that the return value and
+  /// block trace alone would miss.
+  std::uint64_t ObservationHash = 0;
+};
+
+/// Executes \p F on \p Args. \p FuelBlocks bounds the number of block
+/// entries, making every run terminate; a transformation that preserves the
+/// CFG consumes identical fuel on the same input, so truncated traces stay
+/// comparable.
+ExecutionResult interpret(const Function &F,
+                          const std::vector<std::int64_t> &Args,
+                          unsigned FuelBlocks = 4096);
+
+/// Returns true if two executions are observationally equal: same stop
+/// status, same block trace, same observation hash, and (when both
+/// returned) the same return value.
+bool sameObservableBehavior(const ExecutionResult &A,
+                            const ExecutionResult &B);
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_INTERPRETER_H

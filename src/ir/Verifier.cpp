@@ -1,0 +1,241 @@
+//===- ir/Verifier.cpp - IR structural and SSA invariants -----------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/CFG.h"
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+std::string VerifyResult::message() const {
+  std::string Out;
+  for (const std::string &E : Errors) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += E;
+  }
+  return Out;
+}
+
+static void addError(VerifyResult &R, std::string Msg) {
+  R.Errors.push_back(std::move(Msg));
+}
+
+/// Marks all nodes reachable from the entry of \p G.
+static BitVector reachableNodes(const CFG &G) {
+  BitVector Seen(G.numNodes());
+  if (G.numNodes() == 0)
+    return Seen;
+  std::vector<unsigned> Stack{G.entry()};
+  Seen.set(G.entry());
+  while (!Stack.empty()) {
+    unsigned V = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : G.successors(V))
+      if (!Seen.test(S)) {
+        Seen.set(S);
+        Stack.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+VerifyResult ssalive::verifyStructure(const Function &F) {
+  VerifyResult R;
+  if (F.numBlocks() == 0) {
+    addError(R, "function has no blocks");
+    return R;
+  }
+  if (!F.entry()->predecessors().empty())
+    addError(R, "entry block has predecessors");
+
+  for (const auto &B : F.blocks()) {
+    // Mirrored edges.
+    for (const BasicBlock *S : B->successors()) {
+      const auto &P = S->predecessors();
+      if (std::find(P.begin(), P.end(), B.get()) == P.end())
+        addError(R, "edge " + B->name() + "->" + S->name() +
+                        " missing from predecessor list");
+    }
+
+    // Terminator discipline.
+    const Instruction *Term = B->terminator();
+    if (!Term) {
+      addError(R, "block " + B->name() + " lacks a terminator");
+      continue;
+    }
+    unsigned WantSuccs = 0;
+    switch (Term->opcode()) {
+    case Opcode::Jump:
+      WantSuccs = 1;
+      break;
+    case Opcode::Branch:
+      WantSuccs = 2;
+      break;
+    case Opcode::Ret:
+      WantSuccs = 0;
+      break;
+    default:
+      addError(R, "block " + B->name() + " has invalid terminator");
+      break;
+    }
+    if (B->numSuccessors() != WantSuccs)
+      addError(R, "block " + B->name() + " successor count " +
+                      std::to_string(B->numSuccessors()) +
+                      " does not match terminator");
+
+    // Phi discipline: prefix position, arity, incoming order == pred order.
+    bool PastPhis = false;
+    for (const auto &I : B->instructions()) {
+      if (!I->isPhi()) {
+        PastPhis = true;
+        continue;
+      }
+      if (PastPhis)
+        addError(R, "phi after non-phi in block " + B->name());
+      if (I->numOperands() != B->numPredecessors()) {
+        addError(R, "phi in " + B->name() + " has " +
+                        std::to_string(I->numOperands()) + " operands for " +
+                        std::to_string(B->numPredecessors()) +
+                        " predecessors");
+        continue;
+      }
+      for (unsigned Idx = 0, E = I->numOperands(); Idx != E; ++Idx)
+        if (I->incomingBlock(Idx) != B->predecessors()[Idx])
+          addError(R, "phi in " + B->name() + " incoming block " +
+                          std::to_string(Idx) +
+                          " does not match predecessor order");
+      if (!I->result())
+        addError(R, "phi without result in block " + B->name());
+    }
+
+    // Non-terminator instructions must not be terminators mid-block; the
+    // append() assertion enforces this at construction, re-checked here for
+    // parsed/transformed IR.
+    for (const auto &I : B->instructions())
+      if (I->isTerminator() && I.get() != Term)
+        addError(R, "terminator in the middle of block " + B->name());
+  }
+
+  // Reachability: the analyses assume every node is reachable from r.
+  CFG G = CFG::fromFunction(F);
+  BitVector Reach = reachableNodes(G);
+  for (const auto &B : F.blocks())
+    if (!Reach.test(B->id()))
+      addError(R, "block " + B->name() + " unreachable from entry");
+  return R;
+}
+
+std::vector<std::vector<unsigned>>
+ssalive::computeDominatorsNaive(const CFG &G) {
+  unsigned N = G.numNodes();
+  std::vector<BitVector> Dom(N);
+  for (unsigned V = 0; V != N; ++V) {
+    Dom[V].resize(N);
+    if (V == G.entry()) {
+      Dom[V].set(V);
+    } else {
+      // Start from "dominated by everything" and intersect downwards.
+      for (unsigned I = 0; I != N; ++I)
+        Dom[V].set(I);
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned V = 0; V != N; ++V) {
+      if (V == G.entry())
+        continue;
+      BitVector New(N);
+      bool First = true;
+      for (unsigned P : G.predecessors(V)) {
+        if (First) {
+          New = Dom[P];
+          First = false;
+        } else {
+          New &= Dom[P];
+        }
+      }
+      New.set(V);
+      if (New != Dom[V]) {
+        Dom[V] = New;
+        Changed = true;
+      }
+    }
+  }
+  std::vector<std::vector<unsigned>> Result(N);
+  for (unsigned V = 0; V != N; ++V)
+    for (unsigned D = Dom[V].findFirstSet(); D != BitVector::npos;
+         D = Dom[V].findNextSet(D + 1))
+      Result[V].push_back(D);
+  return Result;
+}
+
+VerifyResult ssalive::verifySSA(const Function &F) {
+  VerifyResult R = verifyStructure(F);
+  if (!R.ok())
+    return R;
+
+  CFG G = CFG::fromFunction(F);
+  auto Doms = computeDominatorsNaive(G);
+  auto Dominates = [&Doms](unsigned A, unsigned B) {
+    const auto &D = Doms[B];
+    return std::binary_search(D.begin(), D.end(), A);
+  };
+
+  // Position of each instruction within its block, for intra-block order.
+  auto instrIndex = [](const Instruction *I) {
+    const auto &List = I->parent()->instructions();
+    for (unsigned Idx = 0; Idx != List.size(); ++Idx)
+      if (List[Idx].get() == I)
+        return Idx;
+    return static_cast<unsigned>(List.size());
+  };
+
+  for (const auto &VP : F.values()) {
+    const Value *V = VP.get();
+    if (V->defs().empty()) {
+      if (V->hasUses())
+        addError(R, "value %" + V->name() + " used but never defined");
+      continue;
+    }
+    if (V->defs().size() > 1) {
+      addError(R, "value %" + V->name() + " has multiple definitions");
+      continue;
+    }
+    const Instruction *Def = V->defs().front();
+    unsigned DefBlock = Def->parent()->id();
+
+    for (const Use &U : V->uses()) {
+      const Instruction *User = U.User;
+      // Definition 1: a φ's i-th operand is used at the i-th predecessor.
+      if (User->isPhi()) {
+        unsigned UseBlock = User->incomingBlock(U.OperandIndex)->id();
+        if (!Dominates(DefBlock, UseBlock))
+          addError(R, "phi use of %" + V->name() + " from block " +
+                          User->incomingBlock(U.OperandIndex)->name() +
+                          " not dominated by definition");
+        continue;
+      }
+      unsigned UseBlock = User->parent()->id();
+      if (UseBlock == DefBlock) {
+        if (instrIndex(Def) >= instrIndex(User))
+          addError(R, "use of %" + V->name() + " before its definition in " +
+                          User->parent()->name());
+        continue;
+      }
+      if (!Dominates(DefBlock, UseBlock))
+        addError(R, "use of %" + V->name() + " in block " +
+                        User->parent()->name() +
+                        " not dominated by definition");
+    }
+  }
+  return R;
+}

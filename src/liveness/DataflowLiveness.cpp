@@ -1,0 +1,248 @@
+//===- liveness/DataflowLiveness.cpp - Iterative data-flow baseline -------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liveness/DataflowLiveness.h"
+
+#include "analysis/DFS.h"
+#include "core/UseInfo.h"
+#include "ir/CFG.h"
+#include "support/Debug.h"
+#include "support/SparseSet.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+DataflowLiveness::DataflowLiveness(const Function &F, DataflowOptions Opts) {
+  CFG G = CFG::fromFunction(F);
+  DFS D(G);
+  build(F, G, D, Opts);
+}
+
+DataflowLiveness::DataflowLiveness(const Function &F, const CFG &G,
+                                   const DFS &D, DataflowOptions Opts) {
+  build(F, G, D, Opts);
+}
+
+void DataflowLiveness::build(const Function &F, const CFG &G, const DFS &D,
+                             DataflowOptions Opts) {
+  // Collect the universe and assign dense indices (Section 6.2: "the
+  // universe of the variables to consider is collected in a table prior to
+  // liveness analysis. While doing so, variables are assigned dense
+  // indices").
+  DenseId.assign(F.numValues(), ~0u);
+  for (const auto &VP : F.values()) {
+    const Value &V = *VP;
+    if (V.defs().empty())
+      continue;
+    if (Opts.PhiRelatedOnly && !isPhiRelated(V))
+      continue;
+    DenseId[V.id()] = static_cast<unsigned>(Defs.size());
+    Defs.push_back(defBlockId(V));
+  }
+
+  // Per-block Gen sets: bucket the Definition-1 uses per block, then sort
+  // and deduplicate in place.
+  unsigned NumBlocks = F.numBlocks();
+  Gen.resize(NumBlocks);
+  for (const auto &VP : F.values()) {
+    const Value &V = *VP;
+    unsigned Dense = DenseId[V.id()];
+    if (Dense == ~0u)
+      continue;
+    unsigned DefB = Defs[Dense];
+    for (const Use &U : V.uses()) {
+      unsigned UseB = liveUseBlock(U);
+      if (UseB != DefB)
+        Gen[UseB].push_back(Dense);
+    }
+  }
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    auto &GB = Gen[B];
+    std::sort(GB.begin(), GB.end());
+    GB.erase(std::unique(GB.begin(), GB.end()), GB.end());
+  }
+
+  solve(G, D);
+}
+
+void DataflowLiveness::solve(const CFG &G, const DFS &D) {
+  unsigned NumBlocks = G.numNodes();
+  unsigned Universe = static_cast<unsigned>(Defs.size());
+
+  // LiveIn per block as a sorted array that only ever grows (liveness is a
+  // monotone union framework), so "changed" is a size comparison.
+  std::vector<std::vector<unsigned>> In(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    In[B] = Gen[B];
+
+  // Stack worklist. Seeding in reverse postorder makes the first pops
+  // process blocks in postorder, i.e. successors before predecessors,
+  // which is the fast direction for a backward problem.
+  std::vector<unsigned> Stack;
+  std::vector<bool> OnStack(NumBlocks, false);
+  const auto &PostSeq = D.postorderSequence();
+  for (auto It = PostSeq.rbegin(), E = PostSeq.rend(); It != E; ++It) {
+    Stack.push_back(*It);
+    OnStack[*It] = true;
+  }
+
+  SparseSet Out(Universe);
+  std::vector<unsigned> NewVars;
+  while (!Stack.empty()) {
+    unsigned B = Stack.back();
+    Stack.pop_back();
+    OnStack[B] = false;
+
+    // LiveOut(B) = ∪ LiveIn(S); collect with a sparse set.
+    Out.clear();
+    for (unsigned S : G.successors(B))
+      for (unsigned V : In[S])
+        Out.insert(V);
+
+    // LiveIn(B) += LiveOut(B) \ Def(B); binary search against the sorted
+    // current set, then merge the newcomers in.
+    NewVars.clear();
+    for (unsigned V : Out) {
+      if (Defs[V] == B)
+        continue;
+      if (!std::binary_search(In[B].begin(), In[B].end(), V))
+        NewVars.push_back(V);
+    }
+    if (NewVars.empty())
+      continue;
+    Insertions += NewVars.size();
+    std::sort(NewVars.begin(), NewVars.end());
+    size_t Mid = In[B].size();
+    In[B].insert(In[B].end(), NewVars.begin(), NewVars.end());
+    std::inplace_merge(In[B].begin(), In[B].begin() + Mid, In[B].end());
+
+    for (unsigned P : G.predecessors(B))
+      if (!OnStack[P]) {
+        Stack.push_back(P);
+        OnStack[P] = true;
+      }
+  }
+
+  // Publish the query-side representation.
+  LiveIn.resize(NumBlocks);
+  LiveOut.resize(NumBlocks);
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    LiveIn[B].assign(In[B].begin(), In[B].end());
+    Out.clear();
+    for (unsigned S : G.successors(B))
+      for (unsigned V : In[S])
+        Out.insert(V);
+    std::vector<unsigned> OutVec(Out.begin(), Out.end());
+    LiveOut[B].assign(OutVec.begin(), OutVec.end());
+  }
+}
+
+bool DataflowLiveness::isLiveIn(const Value &V, const BasicBlock &B) {
+  assert(valueInUniverse(V) && "query for value outside the universe");
+  return LiveIn[B.id()].contains(DenseId[V.id()]);
+}
+
+bool DataflowLiveness::isLiveOut(const Value &V, const BasicBlock &B) {
+  assert(valueInUniverse(V) && "query for value outside the universe");
+  return LiveOut[B.id()].contains(DenseId[V.id()]);
+}
+
+BitVectorDataflowLiveness::BitVectorDataflowLiveness(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumValues = F.numValues();
+  CFG G = CFG::fromFunction(F);
+  DFS D(G);
+
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumValues));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumValues));
+  for (const auto &VP : F.values()) {
+    const Value &V = *VP;
+    if (V.defs().empty())
+      continue;
+    unsigned DefB = defBlockId(V);
+    Kill[DefB].set(V.id());
+    for (const Use &U : V.uses()) {
+      unsigned UseB = liveUseBlock(U);
+      if (UseB != DefB)
+        Gen[UseB].set(V.id());
+    }
+  }
+
+  LiveIn.assign(NumBlocks, BitVector(NumValues));
+  LiveOut.assign(NumBlocks, BitVector(NumValues));
+  for (unsigned B = 0; B != NumBlocks; ++B)
+    LiveIn[B] = Gen[B];
+
+  std::vector<unsigned> Stack;
+  std::vector<bool> OnStack(NumBlocks, false);
+  const auto &PostSeq = D.postorderSequence();
+  for (auto It = PostSeq.rbegin(), E = PostSeq.rend(); It != E; ++It) {
+    Stack.push_back(*It);
+    OnStack[*It] = true;
+  }
+
+  BitVector NewIn(NumValues);
+  while (!Stack.empty()) {
+    unsigned B = Stack.back();
+    Stack.pop_back();
+    OnStack[B] = false;
+
+    BitVector &Out = LiveOut[B];
+    Out.reset();
+    for (unsigned S : G.successors(B))
+      Out |= LiveIn[S];
+
+    NewIn = Out;
+    NewIn.resetAll(Kill[B]);
+    NewIn |= Gen[B];
+    if (NewIn == LiveIn[B])
+      continue;
+    LiveIn[B] = NewIn;
+    for (unsigned P : G.predecessors(B))
+      if (!OnStack[P]) {
+        Stack.push_back(P);
+        OnStack[P] = true;
+      }
+  }
+}
+
+bool BitVectorDataflowLiveness::isLiveIn(const Value &V,
+                                         const BasicBlock &B) {
+  return LiveIn[B.id()].test(V.id());
+}
+
+bool BitVectorDataflowLiveness::isLiveOut(const Value &V,
+                                          const BasicBlock &B) {
+  return LiveOut[B.id()].test(V.id());
+}
+
+size_t BitVectorDataflowLiveness::memoryBytes() const {
+  size_t Bytes = 0;
+  for (const BitVector &B : LiveIn)
+    Bytes += B.memoryBytes();
+  for (const BitVector &B : LiveOut)
+    Bytes += B.memoryBytes();
+  return Bytes;
+}
+
+double DataflowLiveness::averageLiveInFill() const {
+  if (LiveIn.empty())
+    return 0.0;
+  std::uint64_t Total = 0;
+  for (const SortedArraySet &S : LiveIn)
+    Total += S.size();
+  return static_cast<double>(Total) / static_cast<double>(LiveIn.size());
+}
+
+size_t DataflowLiveness::memoryBytes() const {
+  size_t Bytes = 0;
+  for (const SortedArraySet &S : LiveIn)
+    Bytes += S.memoryBytes();
+  for (const SortedArraySet &S : LiveOut)
+    Bytes += S.memoryBytes();
+  return Bytes;
+}

@@ -1,0 +1,68 @@
+//===- liveness/LivenessOracle.cpp - Brute-force ground truth -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liveness/LivenessOracle.h"
+
+#include "core/UseInfo.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+bool LivenessOracle::liveInSearch(const CFG &G, unsigned DefBlock,
+                                  const std::vector<unsigned> &UseBlocks,
+                                  unsigned Q) {
+  // Definition 2: a path from q to a use not containing def(a). Any path
+  // starting at q contains q, so q == def means no qualifying path exists.
+  if (Q == DefBlock)
+    return false;
+  auto isUse = [&UseBlocks](unsigned B) {
+    return std::find(UseBlocks.begin(), UseBlocks.end(), B) !=
+           UseBlocks.end();
+  };
+  if (isUse(Q))
+    return true; // Trivial single-node path.
+
+  std::vector<bool> Seen(G.numNodes(), false);
+  std::vector<unsigned> Stack{Q};
+  Seen[Q] = true;
+  Seen[DefBlock] = true; // Never enter the definition block.
+  while (!Stack.empty()) {
+    unsigned B = Stack.back();
+    Stack.pop_back();
+    for (unsigned S : G.successors(B)) {
+      if (Seen[S])
+        continue;
+      if (isUse(S))
+        return true;
+      Seen[S] = true;
+      Stack.push_back(S);
+    }
+  }
+  return false;
+}
+
+bool LivenessOracle::liveOutSearch(const CFG &G, unsigned DefBlock,
+                                   const std::vector<unsigned> &UseBlocks,
+                                   unsigned Q) {
+  // Definition 3 verbatim: live-out at q iff live-in at some successor.
+  for (unsigned S : G.successors(Q))
+    if (liveInSearch(G, DefBlock, UseBlocks, S))
+      return true;
+  return false;
+}
+
+bool LivenessOracle::isLiveIn(const Value &V, const BasicBlock &B) {
+  if (V.defs().empty() || !V.hasUses())
+    return false;
+  return liveInSearch(G, defBlockId(V), liveUseBlocks(V), B.id());
+}
+
+bool LivenessOracle::isLiveOut(const Value &V, const BasicBlock &B) {
+  if (V.defs().empty() || !V.hasUses())
+    return false;
+  return liveOutSearch(G, defBlockId(V), liveUseBlocks(V), B.id());
+}

@@ -1,0 +1,109 @@
+//===- liveness/LoopForestLiveness.cpp - Loop-forest liveness -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liveness/LoopForestLiveness.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "analysis/LoopForest.h"
+#include "analysis/Reducibility.h"
+#include "core/UseInfo.h"
+#include "ir/CFG.h"
+#include "support/Debug.h"
+
+using namespace ssalive;
+
+LoopForestLiveness::LoopForestLiveness(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumValues = F.numValues();
+  CFG G = CFG::fromFunction(F);
+  DFS D(G);
+
+#ifndef NDEBUG
+  {
+    DomTree DT(G, D);
+    assert(analyzeReducibility(D, DT).Reducible &&
+           "loop-forest liveness requires a reducible CFG");
+  }
+#endif
+
+  // Block-local Gen (Definition-1 upward-exposed uses) and Def sets.
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumValues));
+  std::vector<BitVector> DefAt(NumBlocks, BitVector(NumValues));
+  for (const auto &VP : F.values()) {
+    const Value &V = *VP;
+    if (V.defs().empty())
+      continue;
+    unsigned Id = V.id();
+    unsigned DefB = defBlockId(V);
+    DefAt[DefB].set(Id);
+    for (const Use &U : V.uses()) {
+      unsigned UseB = liveUseBlock(U);
+      if (UseB != DefB)
+        Gen[UseB].set(Id);
+    }
+  }
+
+  // Pass 1: partial liveness over the reduced graph. Non-back edges lead
+  // to strictly smaller postorder numbers, so one sweep in increasing
+  // postorder sees every reduced successor finished — no iteration.
+  LiveIn.assign(NumBlocks, BitVector(NumValues));
+  LiveOut.assign(NumBlocks, BitVector(NumValues));
+  for (unsigned B : D.postorderSequence()) {
+    BitVector &Out = LiveOut[B];
+    const auto &Succs = G.successors(B);
+    for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
+         ++Idx) {
+      if (D.edgeKind(B, Idx) == EdgeKind::Back)
+        continue;
+      Out |= LiveIn[Succs[Idx]];
+    }
+    BitVector &In = LiveIn[B];
+    In = Out;
+    In.resetAll(DefAt[B]);
+    In |= Gen[B];
+  }
+
+  // Pass 2: everything live-in at a loop header is live throughout the
+  // loop (its definition dominates the header, so no member kills it).
+  // Headers are visited outer-to-inner — increasing DFS preorder, since
+  // on reducible CFGs an outer header dominates its inner headers — so an
+  // inner header's live-in already carries the outer contribution when it
+  // becomes the inner loop's LiveLoop set.
+  LoopForest LF(D);
+  auto chainContains = [&LF](unsigned Block, unsigned Header) {
+    unsigned H = LF.isLoopHeader(Block) ? Block : LF.header(Block);
+    while (H != LoopForest::NoHeader) {
+      if (H == Header)
+        return true;
+      H = LF.header(H);
+    }
+    return false;
+  };
+
+  for (unsigned H : D.preorderSequence()) {
+    if (!LF.isLoopHeader(H))
+      continue;
+    const BitVector LiveLoop = LiveIn[H];
+    if (LiveLoop.none())
+      continue;
+    LiveOut[H] |= LiveLoop;
+    for (unsigned M = 0; M != NumBlocks; ++M) {
+      if (M == H || !chainContains(M, H))
+        continue;
+      LiveIn[M] |= LiveLoop;
+      LiveOut[M] |= LiveLoop;
+    }
+  }
+}
+
+bool LoopForestLiveness::isLiveIn(const Value &V, const BasicBlock &B) {
+  return LiveIn[B.id()].test(V.id());
+}
+
+bool LoopForestLiveness::isLiveOut(const Value &V, const BasicBlock &B) {
+  return LiveOut[B.id()].test(V.id());
+}

@@ -1,0 +1,54 @@
+//===- liveness/LoopForestLiveness.h - Loop-forest liveness -----*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's outlook made concrete: "Our technique uses structural
+/// properties of the CFG and could take advantage of a precomputed loop
+/// nesting forest" (Section 8). This backend computes full live-in/live-out
+/// *sets* without any data-flow iteration, using the loop-forest algorithm
+/// the same group later published (Brandner, Boissinot, Darte, Dupont de
+/// Dinechin, Rastello, "Computing Liveness Sets for SSA-Form Programs"):
+///
+///   1. one backward pass over the reduced graph (a DAG) propagates
+///      partial liveness in postorder;
+///   2. every value live-in at a loop header is live throughout the whole
+///      loop, so a loop-forest walk unions the header's live-in set into
+///      every member block.
+///
+/// Correct for *reducible* CFGs (the constructor asserts reducibility);
+/// irreducible programs should use one of the general backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_LIVENESS_LOOPFORESTLIVENESS_H
+#define SSALIVE_LIVENESS_LOOPFORESTLIVENESS_H
+
+#include "core/LivenessInterface.h"
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ssalive {
+
+/// Non-iterative liveness sets for reducible SSA CFGs.
+class LoopForestLiveness : public LivenessQueries {
+public:
+  /// Solves liveness for \p F. The CFG must be reducible.
+  explicit LoopForestLiveness(const Function &F);
+
+  bool isLiveIn(const Value &V, const BasicBlock &B) override;
+  bool isLiveOut(const Value &V, const BasicBlock &B) override;
+  const char *backendName() const override { return "loop-forest"; }
+
+private:
+  std::vector<BitVector> LiveIn;  ///< [block](value id)
+  std::vector<BitVector> LiveOut; ///< [block](value id)
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_LIVENESS_LOOPFORESTLIVENESS_H

@@ -1,0 +1,63 @@
+//===- liveness/PathExplorationLiveness.cpp - Def-use backwalk ------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liveness/PathExplorationLiveness.h"
+
+#include "core/UseInfo.h"
+#include "ir/CFG.h"
+
+using namespace ssalive;
+
+PathExplorationLiveness::PathExplorationLiveness(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumValues = F.numValues();
+  LiveIn.assign(NumBlocks, BitVector(NumValues));
+  LiveOut.assign(NumBlocks, BitVector(NumValues));
+  CFG G = CFG::fromFunction(F);
+
+  std::vector<unsigned> Stack;
+  for (const auto &VP : F.values()) {
+    const Value &V = *VP;
+    if (V.defs().empty() || !V.hasUses())
+      continue;
+    unsigned Id = V.id();
+    unsigned DefB = defBlockId(V);
+
+    // Seed the walk with every Definition-1 use block other than the def
+    // block (a use there is reached by a trivial path that contains the
+    // definition, so it creates no liveness).
+    Stack.clear();
+    for (const Use &U : V.uses()) {
+      unsigned B = liveUseBlock(U);
+      if (B != DefB && !LiveIn[B].test(Id)) {
+        LiveIn[B].set(Id);
+        Stack.push_back(B);
+      }
+    }
+
+    // "Up and mark": propagate through predecessors, stopping at the
+    // definition (which is live-out but not live-in there).
+    while (!Stack.empty()) {
+      unsigned B = Stack.back();
+      Stack.pop_back();
+      for (unsigned P : G.predecessors(B)) {
+        LiveOut[P].set(Id);
+        if (P == DefB || LiveIn[P].test(Id))
+          continue;
+        LiveIn[P].set(Id);
+        Stack.push_back(P);
+      }
+    }
+  }
+}
+
+bool PathExplorationLiveness::isLiveIn(const Value &V, const BasicBlock &B) {
+  return LiveIn[B.id()].test(V.id());
+}
+
+bool PathExplorationLiveness::isLiveOut(const Value &V, const BasicBlock &B) {
+  return LiveOut[B.id()].test(V.id());
+}

@@ -1,0 +1,46 @@
+//===- liveness/PathExplorationLiveness.h - Def-use backwalk ----*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-variable liveness computation of Appel & Palsberg ("Modern
+/// Compiler Implementation in Java"), the paper's related work [2] and the
+/// only other SSA-based liveness algorithm it discusses: for each variable,
+/// walk backwards from every use until the definition, marking live-in and
+/// live-out. Precomputes full sets; unlike the paper's technique the result
+/// is invalidated by any variable/use change, which is exactly the contrast
+/// Section 7 draws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_LIVENESS_PATHEXPLORATIONLIVENESS_H
+#define SSALIVE_LIVENESS_PATHEXPLORATIONLIVENESS_H
+
+#include "core/LivenessInterface.h"
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ssalive {
+
+/// Per-variable backward marking over the CFG; sets stored as per-block
+/// bitsets over the value universe.
+class PathExplorationLiveness : public LivenessQueries {
+public:
+  explicit PathExplorationLiveness(const Function &F);
+
+  bool isLiveIn(const Value &V, const BasicBlock &B) override;
+  bool isLiveOut(const Value &V, const BasicBlock &B) override;
+  const char *backendName() const override { return "path-exploration"; }
+
+private:
+  std::vector<BitVector> LiveIn;  ///< [block](value id)
+  std::vector<BitVector> LiveOut; ///< [block](value id)
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_LIVENESS_PATHEXPLORATIONLIVENESS_H

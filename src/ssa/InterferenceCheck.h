@@ -1,0 +1,56 @@
+//===- ssa/InterferenceCheck.h - Budimlić SSA interference ------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSA interference test of Budimlić et al. ("Fast Copy Coalescing and
+/// Live-Range Identification", PLDI 2002), as used by the paper's measured
+/// workload (Section 6.2): two SSA values interfere only if one's
+/// definition dominates the other's, and then "it decides whether one
+/// variable is live directly after the instruction that defines the other
+/// one". At the paper's block granularity that becomes a liveness query at
+/// the dominated definition's block, plus an instruction-order scan when
+/// both definitions share a block. The test is conservative (it may report
+/// interference where a program-point-exact test would not), which only
+/// costs copies, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SSA_INTERFERENCECHECK_H
+#define SSALIVE_SSA_INTERFERENCECHECK_H
+
+#include "analysis/DomTree.h"
+#include "core/LivenessInterface.h"
+#include "ir/Function.h"
+
+namespace ssalive {
+
+/// Budimlić-style interference over any liveness backend.
+class InterferenceCheck {
+public:
+  /// \p DT must be the dominator tree of \p F's CFG.
+  InterferenceCheck(const Function &F, const DomTree &DT,
+                    LivenessQueries &Liveness)
+      : DT(DT), Liveness(Liveness) {
+    (void)F;
+  }
+
+  /// True if the live ranges of \p A and \p B may overlap.
+  bool interfere(const Value &A, const Value &B);
+
+  /// Number of liveness queries issued so far.
+  std::uint64_t queriesIssued() const { return Queries; }
+
+private:
+  bool sameBlockInterfere(const Value &First, const Value &Second);
+
+  const DomTree &DT;
+  LivenessQueries &Liveness;
+  std::uint64_t Queries = 0;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SSA_INTERFERENCECHECK_H

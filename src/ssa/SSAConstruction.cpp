@@ -1,0 +1,288 @@
+//===- ssa/SSAConstruction.cpp - Cytron et al. SSA construction -----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSAConstruction.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DominanceFrontier.h"
+#include "analysis/DomTree.h"
+#include "ir/CFG.h"
+#include "support/BitVector.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+namespace {
+
+/// One SSA-construction run over a function.
+class Builder {
+public:
+  Builder(Function &F, PhiPlacement Placement)
+      : F(F), Placement(Placement), G(CFG::fromFunction(F)), D(G),
+        DT(G, D), DF(G, DT) {}
+
+  SSAConstructionStats run();
+
+private:
+  void pickVariables();
+  void computeLiveIn();
+  void placePhis();
+  void rename();
+  void renameBlock(unsigned B, std::vector<unsigned> &StackSizes);
+
+  /// True if \p V was selected for renaming.
+  bool isVariable(const Value *V) const {
+    return VarIndex[V->id()] != ~0u;
+  }
+
+  Function &F;
+  PhiPlacement Placement;
+  CFG G;
+  DFS D;
+  DomTree DT;
+  DominanceFrontier DF;
+
+  /// Selected variables and their dense indices.
+  std::vector<Value *> Variables;
+  std::vector<unsigned> VarIndex; // By value id; ~0u if not selected.
+
+  /// LiveIn[B] over variable indices (pruned placement only).
+  std::vector<BitVector> LiveIn;
+
+  /// Inserted φs: Phi -> variable index it merges.
+  std::vector<std::pair<Instruction *, unsigned>> InsertedPhis;
+  std::vector<std::vector<std::pair<Instruction *, unsigned>>> PhisInBlock;
+
+  /// Renaming stacks, one per variable.
+  std::vector<std::vector<Value *>> Stacks;
+
+  Value *Undef = nullptr;
+  SSAConstructionStats Stats;
+};
+
+} // namespace
+
+void Builder::pickVariables() {
+  VarIndex.assign(F.numValues(), ~0u);
+  for (const auto &VP : F.values()) {
+    Value *V = VP.get();
+    if (V->defs().empty())
+      continue;
+    bool NeedsRename = V->defs().size() > 1;
+    if (!NeedsRename) {
+      // A single definition that fails to dominate some use still needs
+      // φs (the value must flow through join points).
+      unsigned DefB = V->defs().front()->parent()->id();
+      for (const Use &U : V->uses()) {
+        unsigned UseB = U.User->parent()->id();
+        if (!DT.dominates(DefB, UseB)) {
+          NeedsRename = true;
+          break;
+        }
+      }
+    }
+    if (!NeedsRename)
+      continue;
+    VarIndex[V->id()] = static_cast<unsigned>(Variables.size());
+    Variables.push_back(V);
+  }
+}
+
+void Builder::computeLiveIn() {
+  // Block-level backward data-flow on the φ-free input program:
+  //   Gen(B)  = variables with an upward-exposed use in B,
+  //   Kill(B) = variables defined in B,
+  //   LiveIn(B) = Gen(B) ∪ (∪ LiveIn(succ) \ Kill(B)).
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumVars = static_cast<unsigned>(Variables.size());
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumVars));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumVars));
+  LiveIn.assign(NumBlocks, BitVector(NumVars));
+
+  for (const auto &B : F.blocks()) {
+    unsigned Id = B->id();
+    for (const auto &I : B->instructions()) {
+      assert(!I->isPhi() && "SSA construction input must be phi-free");
+      for (const Value *Op : I->operands()) {
+        unsigned Var = VarIndex[Op->id()];
+        if (Var != ~0u && !Kill[Id].test(Var))
+          Gen[Id].set(Var);
+      }
+      if (I->result()) {
+        unsigned Var = VarIndex[I->result()->id()];
+        if (Var != ~0u)
+          Kill[Id].set(Var);
+      }
+    }
+    LiveIn[Id] = Gen[Id];
+  }
+
+  bool Changed = true;
+  BitVector Tmp(NumVars);
+  while (Changed) {
+    Changed = false;
+    // Postorder: successors first for a backward problem.
+    for (unsigned B : D.postorderSequence()) {
+      Tmp.reset();
+      for (unsigned S : G.successors(B))
+        Tmp |= LiveIn[S];
+      Tmp.resetAll(Kill[B]);
+      Tmp |= Gen[B];
+      if (Tmp != LiveIn[B]) {
+        LiveIn[B] = Tmp;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void Builder::placePhis() {
+  unsigned NumBlocks = F.numBlocks();
+  PhisInBlock.resize(NumBlocks);
+  for (unsigned VarIdx = 0, E = static_cast<unsigned>(Variables.size());
+       VarIdx != E; ++VarIdx) {
+    Value *V = Variables[VarIdx];
+    std::vector<unsigned> DefBlocks;
+    for (const Instruction *Def : V->defs())
+      DefBlocks.push_back(Def->parent()->id());
+    for (unsigned B : DF.iterated(DefBlocks)) {
+      if (Placement == PhiPlacement::Pruned && !LiveIn[B].test(VarIdx))
+        continue;
+      BasicBlock *Block = F.block(B);
+      // Operands are filled during renaming; start with the old value so
+      // the instruction is well-formed, one slot per predecessor.
+      std::vector<Value *> Ops(Block->numPredecessors(), V);
+      Value *Result = F.createValue(V->name() + ".phi" + std::to_string(B));
+      auto Phi =
+          std::make_unique<Instruction>(Opcode::Phi, Result, std::move(Ops));
+      for (BasicBlock *P : Block->predecessors())
+        Phi->addIncomingBlock(P);
+      Instruction *Inserted = Block->insertAt(0, std::move(Phi));
+      InsertedPhis.emplace_back(Inserted, VarIdx);
+      PhisInBlock[B].emplace_back(Inserted, VarIdx);
+      ++Stats.PhisInserted;
+    }
+  }
+}
+
+void Builder::rename() {
+  Stacks.assign(Variables.size(), {});
+  // Explicit dominator-tree preorder walk with per-block stack unwinding.
+  struct Frame {
+    unsigned Block;
+    unsigned NextChild;
+    std::vector<unsigned> StackSizes; // Stack depths on entry, to unwind.
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{G.entry(), 0, {}});
+  renameBlock(G.entry(), Stack.back().StackSizes);
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &Kids = DT.children(Top.Block);
+    if (Top.NextChild == Kids.size()) {
+      // Unwind this block's pushes.
+      for (unsigned VarIdx = 0, E = static_cast<unsigned>(Variables.size());
+           VarIdx != E; ++VarIdx)
+        Stacks[VarIdx].resize(Top.StackSizes[VarIdx]);
+      Stack.pop_back();
+      continue;
+    }
+    unsigned Child = Kids[Top.NextChild++];
+    Stack.push_back(Frame{Child, 0, {}});
+    renameBlock(Child, Stack.back().StackSizes);
+  }
+}
+
+void Builder::renameBlock(unsigned B, std::vector<unsigned> &StackSizes) {
+  StackSizes.resize(Variables.size());
+  for (unsigned VarIdx = 0, E = static_cast<unsigned>(Variables.size());
+       VarIdx != E; ++VarIdx)
+    StackSizes[VarIdx] = static_cast<unsigned>(Stacks[VarIdx].size());
+
+  BasicBlock *Block = F.block(B);
+  // φs first: push their results; operands are patched from successors.
+  for (auto [Phi, VarIdx] : PhisInBlock[B])
+    Stacks[VarIdx].push_back(Phi->result());
+
+  for (const auto &I : Block->instructions()) {
+    if (I->isPhi())
+      continue;
+    for (unsigned OpIdx = 0, E2 = I->numOperands(); OpIdx != E2; ++OpIdx) {
+      Value *Op = I->operand(OpIdx);
+      unsigned VarIdx2 = VarIndex[Op->id()];
+      if (VarIdx2 == ~0u)
+        continue;
+      assert(!Stacks[VarIdx2].empty() &&
+             "use of variable with no reaching definition (non-strict input)");
+      I->setOperand(OpIdx, Stacks[VarIdx2].back());
+    }
+    Value *Res = I->result();
+    if (Res && isVariable(Res)) {
+      unsigned VarIdx2 = VarIndex[Res->id()];
+      Value *NewVal = F.createValue(
+          Res->name() + "." +
+          std::to_string(Stacks[VarIdx2].size() - StackSizes[VarIdx2]) + "b" +
+          std::to_string(B));
+      I->setResult(NewVal);
+      Stacks[VarIdx2].push_back(NewVal);
+      ++Stats.VariablesRenamed;
+    }
+  }
+
+  // Patch φ operands in successors: the slot for this predecessor reads the
+  // current stack top (or a materialized zero when no definition reaches —
+  // possible only with minimal placement on a path where the variable is
+  // dead).
+  for (BasicBlock *S : Block->successors()) {
+    unsigned PredIdx = S->predecessorIndex(Block);
+    for (auto [Phi, VarIdx] : PhisInBlock[S->id()]) {
+      Value *Incoming;
+      if (!Stacks[VarIdx].empty()) {
+        Incoming = Stacks[VarIdx].back();
+      } else {
+        assert(Placement == PhiPlacement::Minimal &&
+               "pruned placement reached an undefined operand on a strict "
+               "input");
+        if (!Undef) {
+          Value *U = F.createValue("undef");
+          F.entry()->insertAt(0, std::make_unique<Instruction>(
+                                     Opcode::Const, U,
+                                     std::vector<Value *>{}, 0));
+          Undef = U;
+        }
+        Incoming = Undef;
+        ++Stats.UndefOperands;
+      }
+      Phi->setOperand(PredIdx, Incoming);
+    }
+  }
+}
+
+SSAConstructionStats ssalive::constructSSA(Function &F,
+                                           PhiPlacement Placement) {
+  Builder B(F, Placement);
+  return B.run();
+}
+
+SSAConstructionStats Builder::run() {
+  pickVariables();
+  if (Variables.empty())
+    return Stats;
+  if (Placement == PhiPlacement::Pruned)
+    computeLiveIn();
+  placePhis();
+  rename();
+
+  // The old variable values must now be orphans: every definition was
+  // rebound to a fresh SSA value and every use rewritten.
+  for ([[maybe_unused]] Value *V : Variables) {
+    assert(V->defs().empty() && "stale definition after renaming");
+    assert(!V->hasUses() && "stale use after renaming");
+  }
+  return Stats;
+}

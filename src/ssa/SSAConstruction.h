@@ -1,0 +1,51 @@
+//===- ssa/SSAConstruction.h - Cytron et al. SSA construction ---*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic SSA construction (Cytron, Ferrante, Rosen, Wegman, Zadeck,
+/// TOPLAS 1991): φ-functions are placed at the iterated dominance frontier
+/// of each variable's definition blocks, then a dominator-tree walk renames
+/// definitions and uses. Two placement policies:
+///   * Minimal  — φ at every IDF node; dead φ operands on paths without a
+///     definition read a materialized zero ("undef") in the entry block.
+///   * Pruned   — φ only where the variable is live-in (computed by a
+///     block-local backward data-flow over the non-SSA program); on strict
+///     inputs no undef operands can occur.
+/// The workload generator runs this pass to turn its generated imperative
+/// programs into the strict SSA form the paper requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SSA_SSACONSTRUCTION_H
+#define SSALIVE_SSA_SSACONSTRUCTION_H
+
+#include "ir/Function.h"
+
+namespace ssalive {
+
+/// φ placement policy.
+enum class PhiPlacement {
+  Minimal,
+  Pruned,
+};
+
+/// Outcome counters.
+struct SSAConstructionStats {
+  unsigned VariablesRenamed = 0; ///< Values converted to SSA names.
+  unsigned PhisInserted = 0;
+  unsigned UndefOperands = 0; ///< Minimal-mode dead operands materialized.
+};
+
+/// Converts \p F into strict SSA form in place. The input must be
+/// structurally valid, φ-free, and strict (no path reads a variable before
+/// writing it); multi-definition values become families of SSA values.
+/// Returns counters for tests and reports.
+SSAConstructionStats constructSSA(Function &F,
+                                  PhiPlacement Placement = PhiPlacement::Pruned);
+
+} // namespace ssalive
+
+#endif // SSALIVE_SSA_SSACONSTRUCTION_H

@@ -1,0 +1,439 @@
+//===- ssa/SSADestruction.cpp - Sreedhar III out-of-SSA -------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pass runs in two phases so that every liveness query executes against
+// the *unmodified* SSA function (as in LAO, where liveness is computed once
+// at pass entry), and so that copies landing in the same block materialize
+// as one properly sequentialized parallel copy (which subsumes the classic
+// lost-copy and swap problems):
+//
+//   Phase A (decide): walk the φs, maintaining φ-congruence classes in a
+//   union-find. Each φ resource either merges into the φ's class (when the
+//   Budimlić interference test finds no conflict with any accepted member)
+//   or is isolated behind a *planned* copy — at the end of the predecessor
+//   for arguments, at the top of the φ's block for results. Planned copies
+//   are class members with known edge-local live ranges, so conflicts
+//   against them are single liveness queries rather than pair scans.
+//
+//   Phase B (apply): delete φs, rename every def/use to its class
+//   representative, then materialize the planned copies per block as a
+//   parallel copy, sequentialized with a temporary when the moves form a
+//   cycle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSADestruction.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "core/UseInfo.h"
+#include "ir/CFG.h"
+#include "ssa/InterferenceCheck.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ssalive;
+
+namespace {
+
+/// LivenessQueries decorator that counts and optionally records queries.
+class TracingLiveness : public LivenessQueries {
+public:
+  TracingLiveness(LivenessQueries &Inner, DestructionStats &Stats,
+                  bool Record)
+      : Inner(Inner), Stats(Stats), Record(Record) {}
+
+  bool isLiveIn(const Value &V, const BasicBlock &B) override {
+    ++Stats.LivenessQueries;
+    if (Record)
+      Stats.Trace.push_back(RecordedQuery{V.id(), B.id(), false});
+    return Inner.isLiveIn(V, B);
+  }
+
+  bool isLiveOut(const Value &V, const BasicBlock &B) override {
+    ++Stats.LivenessQueries;
+    if (Record)
+      Stats.Trace.push_back(RecordedQuery{V.id(), B.id(), true});
+    return Inner.isLiveOut(V, B);
+  }
+
+  const char *backendName() const override { return "tracing"; }
+
+private:
+  LivenessQueries &Inner;
+  DestructionStats &Stats;
+  bool Record;
+};
+
+/// A congruence-class member. Planned copies have edge-local live ranges
+/// fully determined by their position, so they carry a tag instead of
+/// needing liveness queries about themselves.
+struct Member {
+  enum class Kind {
+    Real,       ///< An original SSA value.
+    EdgeCopy,   ///< Planned copy at the end of predecessor `Block`.
+    ResultCopy, ///< Planned φ-result placeholder at the top of `Block`.
+  };
+  Kind K;
+  Value *V;
+  unsigned Block; ///< Pred block (EdgeCopy) or φ block (ResultCopy).
+};
+
+/// Union-find over value ids, growable as planning creates fresh values.
+class Classes {
+public:
+  unsigned find(unsigned Id) {
+    grow(Id);
+    unsigned Root = Id;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[Id] != Root) {
+      unsigned Next = Parent[Id];
+      Parent[Id] = Root;
+      Id = Next;
+    }
+    return Root;
+  }
+
+  void unite(unsigned A, unsigned B) {
+    unsigned RA = find(A), RB = find(B);
+    if (RA == RB)
+      return;
+    Parent[RA] = RB;
+    // Concatenate member lists into the new root.
+    auto &MB = MembersOf[RB];
+    auto &MA = MembersOf[RA];
+    MB.insert(MB.end(), MA.begin(), MA.end());
+    MA.clear();
+  }
+
+  /// Members of \p Id's class; a never-registered value has itself as the
+  /// sole implicit member, registered on first access.
+  std::vector<Member> &members(Value *V) {
+    unsigned Root = find(V->id());
+    auto &M = MembersOf[Root];
+    if (M.empty())
+      M.push_back(Member{Member::Kind::Real, V, 0});
+    return M;
+  }
+
+  void registerMember(Value *V, Member M) {
+    members(V); // Ensure the implicit self entry exists.
+    // The self entry for planned copies must carry the right tag.
+    auto &List = MembersOf[find(V->id())];
+    assert(List.size() == 1 && List[0].V == V &&
+           "registerMember on a non-singleton class");
+    List[0] = M;
+  }
+
+private:
+  void grow(unsigned Id) {
+    while (Parent.size() <= Id)
+      Parent.push_back(static_cast<unsigned>(Parent.size()));
+    if (MembersOf.size() <= Id)
+      MembersOf.resize(Id + 1);
+  }
+
+  std::vector<unsigned> Parent;
+  std::vector<std::vector<Member>> MembersOf;
+};
+
+/// A planned copy destined for materialization.
+struct PlannedCopy {
+  Value *Dst; ///< Fresh placeholder (EdgeCopy) or original φ result.
+  Value *Src; ///< Value to read (original arg, or φ class for results).
+};
+
+/// The whole pass state.
+class Destructor {
+public:
+  Destructor(Function &F, LivenessQueries &Backend, DestructionOptions Opts)
+      : F(F), Opts(Opts), G(CFG::fromFunction(F)), D(G), DT(G, D),
+        Tracer(Backend, Stats, Opts.RecordTrace), Interf(F, DT, Tracer) {}
+
+  DestructionStats run();
+
+private:
+  void planPhi(Instruction *Phi);
+  void planFullIsolation(Instruction *Phi);
+  void apply();
+
+  /// Conflict between candidate class of \p ArgRoot and the accepted
+  /// members \p Accepted. Planned-copy members reduce to single liveness
+  /// queries; real-real pairs use the Budimlić test.
+  bool conflicts(const std::vector<Member> &Candidate,
+                 const std::vector<Member> &Accepted);
+
+  Function &F;
+  DestructionOptions Opts;
+  CFG G;
+  DFS D;
+  DomTree DT;
+  DestructionStats Stats;
+  TracingLiveness Tracer;
+  InterferenceCheck Interf;
+  Classes CC;
+
+  std::vector<Instruction *> AllPhis;
+  /// Copies to insert before the terminator of block [id].
+  std::map<unsigned, std::vector<PlannedCopy>> EdgeCopies;
+  /// Copies to insert at the top of block [id] (isolated φ results).
+  std::map<unsigned, std::vector<PlannedCopy>> ResultCopies;
+};
+
+} // namespace
+
+bool Destructor::conflicts(const std::vector<Member> &Candidate,
+                           const std::vector<Member> &Accepted) {
+  for (const Member &C : Candidate) {
+    for (const Member &A : Accepted) {
+      switch (C.K) {
+      case Member::Kind::Real:
+        switch (A.K) {
+        case Member::Kind::Real:
+          if (Interf.interfere(*C.V, *A.V))
+            return true;
+          break;
+        case Member::Kind::EdgeCopy:
+          // The copy occupies the end of its predecessor block; a real
+          // value live across that point would be clobbered.
+          if (Tracer.isLiveOut(*C.V, *F.block(A.Block)))
+            return true;
+          break;
+        case Member::Kind::ResultCopy:
+          // The placeholder occupies the top of the φ block.
+          if (Tracer.isLiveIn(*C.V, *F.block(A.Block)))
+            return true;
+          break;
+        }
+        break;
+      case Member::Kind::EdgeCopy:
+        if (A.K == Member::Kind::Real) {
+          if (Tracer.isLiveOut(*A.V, *F.block(C.Block)))
+            return true;
+        } else if (A.K == Member::Kind::EdgeCopy && A.Block == C.Block) {
+          return true; // Two writes at the end of the same block.
+        }
+        break;
+      case Member::Kind::ResultCopy:
+        if (A.K == Member::Kind::Real) {
+          if (Tracer.isLiveIn(*A.V, *F.block(C.Block)))
+            return true;
+        } else if (A.K == Member::Kind::ResultCopy && A.Block == C.Block) {
+          return true; // Two φ results at the top of the same block.
+        }
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+void Destructor::planFullIsolation(Instruction *Phi) {
+  // Method-I treatment of one φ: a fresh placeholder for the result and a
+  // fresh copy per argument, all congruent; reads refer to original names,
+  // so no interference is possible by construction.
+  ++Stats.FullIsolationFallbacks;
+  BasicBlock *B = Phi->parent();
+  Value *Z = Phi->result();
+  Value *ZNew = F.createValue(Z->name() + ".iso");
+  CC.registerMember(ZNew, Member{Member::Kind::ResultCopy, ZNew, B->id()});
+  ResultCopies[B->id()].push_back(PlannedCopy{Z, ZNew});
+  for (unsigned I = 0, E = Phi->numOperands(); I != E; ++I) {
+    Value *Arg = Phi->operand(I);
+    unsigned Pred = Phi->incomingBlock(I)->id();
+    Value *C = F.createValue(Arg->name() + ".cp" + std::to_string(Pred));
+    CC.registerMember(C, Member{Member::Kind::EdgeCopy, C, Pred});
+    EdgeCopies[Pred].push_back(PlannedCopy{C, Arg});
+    CC.unite(C->id(), ZNew->id());
+  }
+}
+
+void Destructor::planPhi(Instruction *Phi) {
+  if (Opts.Method == DestructionMethod::CopyAll) {
+    planFullIsolation(Phi);
+    return;
+  }
+
+  BasicBlock *B = Phi->parent();
+  Value *Z = Phi->result();
+
+  // Guard: two φs of one block must not share a class, or their parallel
+  // copies would write one name twice on the same edge.
+  for (Instruction *Other : B->phis()) {
+    if (Other == Phi)
+      break;
+    if (CC.find(Z->id()) == CC.find(Other->result()->id())) {
+      planFullIsolation(Phi);
+      return;
+    }
+  }
+
+  // Tentative decisions; the union-find commits only on success, because a
+  // safety failure mid-way falls back to full isolation and unions cannot
+  // be undone.
+  struct Merge {
+    Value *V;
+  };
+  struct Isolate {
+    Value *Arg;
+    unsigned Pred;
+  };
+  std::vector<Merge> Merges;
+  std::vector<Isolate> Isolations;
+  unsigned Coalesced = 0;
+
+  // Accepted members accumulate across the φ's resources, starting from
+  // the result's current class.
+  std::vector<Member> Accepted = CC.members(Z);
+  std::vector<unsigned> AcceptedRoots{CC.find(Z->id())};
+
+  for (unsigned I = 0, E = Phi->numOperands(); I != E; ++I) {
+    Value *Arg = Phi->operand(I);
+    unsigned Pred = Phi->incomingBlock(I)->id();
+    unsigned ArgRoot = CC.find(Arg->id());
+    if (std::find(AcceptedRoots.begin(), AcceptedRoots.end(), ArgRoot) !=
+        AcceptedRoots.end()) {
+      ++Coalesced; // Already congruent; nothing to do.
+      continue;
+    }
+    const std::vector<Member> &Candidate = CC.members(Arg);
+    if (!conflicts(Candidate, Accepted)) {
+      Merges.push_back(Merge{Arg});
+      Accepted.insert(Accepted.end(), Candidate.begin(), Candidate.end());
+      AcceptedRoots.push_back(ArgRoot);
+      ++Coalesced;
+      continue;
+    }
+    // Isolate this argument behind a copy at the end of its predecessor.
+    // The copy itself must not overwrite a value that is live through that
+    // block; if it would, give up on coalescing this φ entirely.
+    Member CopyMember{Member::Kind::EdgeCopy, nullptr, Pred};
+    if (conflicts({CopyMember}, Accepted)) {
+      planFullIsolation(Phi);
+      return;
+    }
+    Isolations.push_back(Isolate{Arg, Pred});
+    Accepted.push_back(CopyMember);
+  }
+
+  // Commit: create the planned copies and merge everything.
+  Stats.ResourcesCoalesced += Coalesced;
+  for (const Isolate &Iso : Isolations) {
+    Value *C = F.createValue(Iso.Arg->name() + ".cp" +
+                             std::to_string(Iso.Pred));
+    CC.registerMember(C, Member{Member::Kind::EdgeCopy, C, Iso.Pred});
+    EdgeCopies[Iso.Pred].push_back(PlannedCopy{C, Iso.Arg});
+    CC.unite(C->id(), Z->id());
+  }
+  for (const Merge &M : Merges)
+    CC.unite(M.V->id(), Z->id());
+}
+
+void Destructor::apply() {
+  // Drop the φs first so their operand uses disappear before renaming.
+  for (Instruction *Phi : AllPhis) {
+    Phi->parent()->erase(Phi);
+    ++Stats.PhisEliminated;
+  }
+
+  // Rename defs and uses to class representatives (union-find roots).
+  auto rep = [this](Value *V) -> Value * {
+    unsigned Root = CC.find(V->id());
+    return Root == V->id() ? V : F.value(Root);
+  };
+  for (const auto &B : F.blocks()) {
+    for (const auto &I : B->instructions()) {
+      if (Value *R = I->result(); R && rep(R) != R)
+        I->setResult(rep(R));
+      for (unsigned OpIdx = 0, E = I->numOperands(); OpIdx != E; ++OpIdx) {
+        Value *Op = I->operand(OpIdx);
+        if (rep(Op) != Op)
+          I->setOperand(OpIdx, rep(Op));
+      }
+    }
+  }
+
+  // Materialize each block's planned copies as one sequentialized parallel
+  // copy: repeatedly emit a move whose destination no pending move reads;
+  // a cycle is broken by parking one destination in a temporary.
+  auto materialize = [this, &rep](std::vector<PlannedCopy> &Planned,
+                                  BasicBlock *Block, bool AtTop) {
+    struct Move {
+      Value *Dst;
+      Value *Src;
+    };
+    std::vector<Move> Pending;
+    for (const PlannedCopy &P : Planned) {
+      Value *Dst = rep(P.Dst);
+      Value *Src = rep(P.Src);
+      if (Dst != Src)
+        Pending.push_back(Move{Dst, Src});
+    }
+    unsigned InsertPos = 0;
+    auto emit = [&](Value *Dst, Value *Src) {
+      auto Copy = std::make_unique<Instruction>(Opcode::Copy, Dst,
+                                                std::vector<Value *>{Src});
+      if (AtTop)
+        Block->insertAt(InsertPos++, std::move(Copy));
+      else
+        Block->insertBeforeTerminator(std::move(Copy));
+      ++Stats.CopiesInserted;
+    };
+
+    while (!Pending.empty()) {
+      bool Progress = false;
+      for (size_t I = 0; I != Pending.size(); ++I) {
+        Value *Dst = Pending[I].Dst;
+        bool Read = false;
+        for (size_t J = 0; J != Pending.size(); ++J)
+          if (J != I && Pending[J].Src == Dst) {
+            Read = true;
+            break;
+          }
+        if (Read)
+          continue;
+        emit(Dst, Pending[I].Src);
+        Pending.erase(Pending.begin() + I);
+        Progress = true;
+        break;
+      }
+      if (Progress)
+        continue;
+      // Every destination is read by another move: a cycle. Park the first
+      // destination's current value in a temporary and retarget readers.
+      Value *Temp = F.createValue("swap" + std::to_string(Block->id()));
+      Value *Parked = Pending.front().Dst;
+      emit(Temp, Parked);
+      for (Move &M : Pending)
+        if (M.Src == Parked)
+          M.Src = Temp;
+    }
+  };
+
+  for (auto &[BlockId, Planned] : ResultCopies)
+    materialize(Planned, F.block(BlockId), /*AtTop=*/true);
+  for (auto &[BlockId, Planned] : EdgeCopies)
+    materialize(Planned, F.block(BlockId), /*AtTop=*/false);
+}
+
+DestructionStats Destructor::run() {
+  for (const auto &B : F.blocks())
+    for (Instruction *Phi : B->phis())
+      AllPhis.push_back(Phi);
+
+  for (Instruction *Phi : AllPhis)
+    planPhi(Phi);
+  apply();
+  return Stats;
+}
+
+DestructionStats ssalive::destructSSA(Function &F, LivenessQueries &Liveness,
+                                      DestructionOptions Opts) {
+  return Destructor(F, Liveness, Opts).run();
+}

@@ -1,0 +1,70 @@
+//===- support/BitVector.cpp - Dynamic bit vector -------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <bit>
+
+using namespace ssalive;
+
+unsigned BitVector::count() const {
+  unsigned N = 0;
+  for (Word W : Words)
+    N += std::popcount(W);
+  return N;
+}
+
+unsigned BitVector::findNextSet(unsigned From) const {
+  if (From >= NumBits)
+    return npos;
+  unsigned WordIdx = From / WordBits;
+  // Mask off bits below From in the first word.
+  Word W = Words[WordIdx] & (~Word(0) << (From % WordBits));
+  while (true) {
+    if (W)
+      return WordIdx * WordBits + std::countr_zero(W);
+    if (++WordIdx == Words.size())
+      return npos;
+    W = Words[WordIdx];
+  }
+}
+
+BitVector &BitVector::operator|=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::operator&=(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= RHS.Words[I];
+  return *this;
+}
+
+BitVector &BitVector::resetAll(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= ~RHS.Words[I];
+  return *this;
+}
+
+bool BitVector::anyCommon(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    if (Words[I] & RHS.Words[I])
+      return true;
+  return false;
+}
+
+bool BitVector::isSubsetOf(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "universe mismatch");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    if (Words[I] & ~RHS.Words[I])
+      return false;
+  return true;
+}

@@ -1,0 +1,140 @@
+//===- support/BitVector.h - Dynamic bit vector -----------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamically sized bit vector. This is the central data structure of the
+/// fast liveness check: the precomputed sets R_v ("reduced reachable") and
+/// T_v ("relevant back-edge targets") of Boissinot et al. are stored as one
+/// BitVector per CFG node, and Algorithm 3 of the paper scans them with
+/// `findNextSet` (the paper's `bitset_next_set`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_BITVECTOR_H
+#define SSALIVE_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ssalive {
+
+/// A fixed-universe dynamic bit vector backed by 64-bit words.
+class BitVector {
+public:
+  /// Returned by the find functions when no further bit is set; plays the
+  /// role of MAX_INT in the paper's pseudocode.
+  static constexpr unsigned npos = ~0u;
+
+  BitVector() = default;
+
+  /// Creates a vector of \p NumBits bits, all clear.
+  explicit BitVector(unsigned NumBits) { resize(NumBits); }
+
+  /// Returns the number of bits in the universe.
+  unsigned size() const { return NumBits; }
+
+  /// Returns true if the universe is empty.
+  bool empty() const { return NumBits == 0; }
+
+  /// Grows or shrinks the universe to \p NewNumBits; new bits start clear.
+  void resize(unsigned NewNumBits) {
+    Words.resize(numWords(NewNumBits), 0);
+    NumBits = NewNumBits;
+    clearUnusedBits();
+  }
+
+  /// Clears all bits without changing the universe size.
+  void reset() { std::memset(Words.data(), 0, Words.size() * sizeof(Word)); }
+
+  /// Sets the bit at \p Idx.
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+  }
+
+  /// Clears the bit at \p Idx.
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+  }
+
+  /// Returns the bit at \p Idx.
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+
+  /// Returns true if any bit is set.
+  bool any() const {
+    for (Word W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  /// Returns true if no bit is set.
+  bool none() const { return !any(); }
+
+  /// Returns the number of set bits.
+  unsigned count() const;
+
+  /// Returns the index of the first set bit, or npos.
+  unsigned findFirstSet() const { return findNextSet(0); }
+
+  /// Returns the index of the first set bit at position >= \p From
+  /// (inclusive), or npos if there is none. This is the paper's
+  /// `bitset_next_set`.
+  unsigned findNextSet(unsigned From) const;
+
+  /// Unions \p RHS into this vector. Universes must match.
+  BitVector &operator|=(const BitVector &RHS);
+
+  /// Intersects \p RHS into this vector. Universes must match.
+  BitVector &operator&=(const BitVector &RHS);
+
+  /// Removes all bits that are set in \p RHS. Universes must match.
+  BitVector &resetAll(const BitVector &RHS);
+
+  /// Returns true if this vector and \p RHS share any set bit. Used for the
+  /// `R_t ∩ uses(a) != ∅` test of Algorithm 1 when uses are also a set.
+  bool anyCommon(const BitVector &RHS) const;
+
+  /// Returns true if every set bit of this vector is also set in \p RHS.
+  bool isSubsetOf(const BitVector &RHS) const;
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// Returns the memory footprint of the payload in bytes; the Table-/
+  /// scaling benches report this for the quadratic-memory discussion of
+  /// the paper's Sections 6.1 and 8.
+  size_t memoryBytes() const { return Words.size() * sizeof(Word); }
+
+private:
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+
+  static unsigned numWords(unsigned Bits) {
+    return (Bits + WordBits - 1) / WordBits;
+  }
+
+  /// Keeps bits beyond NumBits clear so whole-word operations stay exact.
+  void clearUnusedBits() {
+    if (unsigned Rem = NumBits % WordBits; Rem != 0 && !Words.empty())
+      Words.back() &= (Word(1) << Rem) - 1;
+  }
+
+  std::vector<Word> Words;
+  unsigned NumBits = 0;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_BITVECTOR_H

@@ -1,0 +1,24 @@
+//===- support/CycleTimer.cpp - Processor cycle timing --------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CycleTimer.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+using namespace ssalive;
+
+std::uint64_t ssalive::readCycleCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  auto Now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count();
+#endif
+}

@@ -1,0 +1,38 @@
+//===- support/Debug.h - Assertions and unreachable markers ----*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small debugging helpers shared by every ssalive library: an
+/// `SSALIVE_UNREACHABLE` macro that aborts with a message in all build
+/// configurations, mirroring the role of `llvm_unreachable`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_DEBUG_H
+#define SSALIVE_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssalive {
+
+/// Reports an impossible situation and terminates. Exposed so the macro
+/// below can expand to a single expression.
+[[noreturn]] inline void reportUnreachable(const char *Msg, const char *File,
+                                           unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace ssalive
+
+/// Marks a point in the program that is never supposed to execute. Unlike a
+/// plain assert this also fires in release builds, which keeps the analyses
+/// honest when assertions are compiled out.
+#define SSALIVE_UNREACHABLE(MSG)                                               \
+  ::ssalive::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // SSALIVE_SUPPORT_DEBUG_H

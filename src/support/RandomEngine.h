@@ -1,0 +1,83 @@
+//===- support/RandomEngine.h - Deterministic PRNG --------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic pseudo-random generator (xoshiro256**) used
+/// by the workload generators and property tests. Determinism matters: every
+/// generated CFG/program is reproducible from its seed, so a failing
+/// property test names the exact input that broke.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_RANDOMENGINE_H
+#define SSALIVE_SUPPORT_RANDOMENGINE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ssalive {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+class RandomEngine {
+public:
+  explicit RandomEngine(std::uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t X = Seed;
+    for (std::uint64_t &W : State) {
+      X += 0x9E3779B97F4A7C15ull;
+      std::uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      W = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  std::uint64_t next() {
+    std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  unsigned nextBelow(unsigned Bound) {
+    assert(Bound != 0 && "empty range");
+    // Multiply-shift bounded sampling (Lemire); bias is negligible for the
+    // bounds used here and determinism is what we actually need.
+    return static_cast<unsigned>((next() >> 32) * Bound >> 32);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  unsigned nextInRange(unsigned Lo, unsigned Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t State[4];
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_RANDOMENGINE_H

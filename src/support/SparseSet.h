@@ -1,0 +1,97 @@
+//===- support/SparseSet.h - Briggs-Torczon sparse set ----------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sparse set of Briggs & Torczon, "An Efficient Representation for
+/// Sparse Sets" (LOPLAS 1993). Insert, membership and clear are O(1); the
+/// structure never needs initialization of its backing arrays. The paper's
+/// baseline ("native") liveness analysis in the LAO code generator performs
+/// its block-local analysis with these sets (Section 6.2), and so does ours.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_SPARSESET_H
+#define SSALIVE_SUPPORT_SPARSESET_H
+
+#include <cassert>
+#include <vector>
+
+namespace ssalive {
+
+/// A set of unsigned integers drawn from a fixed universe [0, Universe).
+///
+/// Two arrays Dense and Sparse mirror each other: Dense[0..Size) lists the
+/// members in insertion order, and Sparse[V] gives the position of V in
+/// Dense. V is a member iff Sparse[V] < Size and Dense[Sparse[V]] == V,
+/// which is valid even if the arrays hold garbage, hence the O(1) clear.
+class SparseSet {
+public:
+  SparseSet() = default;
+
+  /// Creates a set over the universe [0, \p UniverseSize).
+  explicit SparseSet(unsigned UniverseSize) { setUniverse(UniverseSize); }
+
+  /// Resets the universe to [0, \p UniverseSize) and clears the set.
+  void setUniverse(unsigned UniverseSize) {
+    Sparse.resize(UniverseSize);
+    Dense.reserve(UniverseSize);
+    clear();
+  }
+
+  /// Returns the universe size.
+  unsigned universe() const { return static_cast<unsigned>(Sparse.size()); }
+
+  /// Returns the number of members.
+  unsigned size() const { return static_cast<unsigned>(Dense.size()); }
+
+  bool empty() const { return Dense.empty(); }
+
+  /// Removes all members in O(1).
+  void clear() { Dense.clear(); }
+
+  /// Returns true if \p V is a member.
+  bool contains(unsigned V) const {
+    assert(V < Sparse.size() && "value outside universe");
+    unsigned Pos = Sparse[V];
+    return Pos < Dense.size() && Dense[Pos] == V;
+  }
+
+  /// Inserts \p V; returns true if it was not already a member.
+  bool insert(unsigned V) {
+    assert(V < Sparse.size() && "value outside universe");
+    if (contains(V))
+      return false;
+    Sparse[V] = static_cast<unsigned>(Dense.size());
+    Dense.push_back(V);
+    return true;
+  }
+
+  /// Removes \p V; returns true if it was a member. Order of remaining
+  /// members may change (swap-with-last removal).
+  bool erase(unsigned V) {
+    assert(V < Sparse.size() && "value outside universe");
+    if (!contains(V))
+      return false;
+    unsigned Pos = Sparse[V];
+    unsigned Last = Dense.back();
+    Dense[Pos] = Last;
+    Sparse[Last] = Pos;
+    Dense.pop_back();
+    return true;
+  }
+
+  /// Members in insertion order (modulo erasures).
+  std::vector<unsigned>::const_iterator begin() const { return Dense.begin(); }
+  std::vector<unsigned>::const_iterator end() const { return Dense.end(); }
+
+private:
+  std::vector<unsigned> Sparse;
+  std::vector<unsigned> Dense;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_SPARSESET_H

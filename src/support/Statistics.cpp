@@ -1,0 +1,40 @@
+//===- support/Statistics.cpp - Distribution accumulators -----------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+std::uint64_t SampleStats::sum() const {
+  std::uint64_t Total = 0;
+  for (unsigned S : Samples)
+    Total += S;
+  return Total;
+}
+
+double SampleStats::average() const {
+  if (Samples.empty())
+    return 0.0;
+  return static_cast<double>(sum()) / static_cast<double>(Samples.size());
+}
+
+unsigned SampleStats::maximum() const {
+  if (Samples.empty())
+    return 0;
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double SampleStats::percentAtMost(unsigned Threshold) const {
+  if (Samples.empty())
+    return 0.0;
+  std::uint64_t N = 0;
+  for (unsigned S : Samples)
+    if (S <= Threshold)
+      ++N;
+  return 100.0 * static_cast<double>(N) / static_cast<double>(Samples.size());
+}

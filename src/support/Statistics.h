@@ -1,0 +1,52 @@
+//===- support/Statistics.h - Distribution accumulators ---------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators for the quantitative evaluation (paper Table 1): averages,
+/// maxima, and percent-at-or-below-threshold columns over observed sample
+/// distributions such as basic blocks per procedure and uses per variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_STATISTICS_H
+#define SSALIVE_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ssalive {
+
+/// Collects a sample distribution of unsigned values and answers the
+/// summary questions Table 1 asks of it.
+class SampleStats {
+public:
+  void add(unsigned Value) { Samples.push_back(Value); }
+
+  unsigned sampleCount() const {
+    return static_cast<unsigned>(Samples.size());
+  }
+
+  /// Sum of all samples (e.g. total basic blocks over all procedures).
+  std::uint64_t sum() const;
+
+  /// Arithmetic mean; 0 for an empty distribution.
+  double average() const;
+
+  unsigned maximum() const;
+
+  /// Percentage (0..100) of samples with value <= \p Threshold; this is the
+  /// "% <= 32" style column of Table 1.
+  double percentAtMost(unsigned Threshold) const;
+
+  const std::vector<unsigned> &samples() const { return Samples; }
+
+private:
+  std::vector<unsigned> Samples;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_STATISTICS_H

@@ -1,0 +1,176 @@
+//===- workload/CFGGenerator.cpp - Random structured CFGs -----------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/CFGGenerator.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace ssalive;
+
+namespace {
+
+/// Builds adjacency lists from the construct grammar, then converts to CFG.
+class StructuredBuilder {
+public:
+  StructuredBuilder(const CFGGenOptions &Opts, RandomEngine &Rng)
+      : Opts(Opts), Rng(Rng) {}
+
+  CFG build();
+
+private:
+  static constexpr unsigned NoBlock = ~0u;
+
+  unsigned newNode() {
+    Succ.emplace_back();
+    if (Budget != 0)
+      --Budget;
+    return static_cast<unsigned>(Succ.size() - 1);
+  }
+
+  bool hasEdge(unsigned From, unsigned To) const {
+    const auto &S = Succ[From];
+    return std::find(S.begin(), S.end(), To) != S.end();
+  }
+
+  void connect(unsigned From, unsigned To) {
+    assert(Succ[From].size() < 2 && "node already has two successors");
+    assert(!hasEdge(From, To) && "duplicate edge");
+    Succ[From].push_back(To);
+  }
+
+  /// Emits control flow from \p From to \p To. Owns all outgoing edges of
+  /// \p From. \p Header/\p Exit give the innermost enclosing loop for
+  /// break/continue, or NoBlock.
+  void region(unsigned From, unsigned To, unsigned Depth, unsigned Header,
+              unsigned Exit);
+
+  const CFGGenOptions &Opts;
+  RandomEngine &Rng;
+  std::vector<std::vector<unsigned>> Succ;
+  unsigned Budget = 0;
+};
+
+} // namespace
+
+void StructuredBuilder::region(unsigned From, unsigned To, unsigned Depth,
+                               unsigned Header, unsigned Exit) {
+  if (Budget == 0 || Depth >= Opts.MaxNesting) {
+    connect(From, To);
+    return;
+  }
+
+  // break/continue: turn this step into a two-way branch whose second arm
+  // leaves or restarts the innermost loop.
+  if (Header != NoBlock && Rng.chancePercent(Opts.BreakContinuePercent)) {
+    unsigned Target = Rng.chancePercent(50) ? Exit : Header;
+    if (Target != To && !hasEdge(From, Target)) {
+      unsigned Next = newNode();
+      connect(From, Next);
+      connect(From, Target);
+      region(Next, To, Depth, Header, Exit);
+      return;
+    }
+  }
+
+  unsigned Roll = Rng.nextBelow(100);
+  if (Roll < Opts.LoopPercent && Budget >= 3) {
+    if (Rng.chancePercent(15)) {
+      // Self loop: N -> N plus fall-through.
+      unsigned N = newNode();
+      connect(From, N);
+      connect(N, N);
+      unsigned Next = newNode();
+      connect(N, Next);
+      region(Next, To, Depth, Header, Exit);
+      return;
+    }
+    if (Rng.chancePercent(50)) {
+      // While loop: H branches to body or past the loop.
+      unsigned H = newNode();
+      unsigned Body = newNode();
+      unsigned After = newNode();
+      connect(From, H);
+      connect(H, Body);
+      connect(H, After);
+      region(Body, H, Depth + 1, H, After); // Final edge back to H.
+      region(After, To, Depth, Header, Exit);
+      return;
+    }
+    // Do-while loop: body runs at least once, C branches back or out.
+    unsigned Body = newNode();
+    unsigned C = newNode();
+    unsigned After = newNode();
+    connect(From, Body);
+    connect(C, Body); // Back edge.
+    connect(C, After);
+    region(Body, C, Depth + 1, Body, After);
+    region(After, To, Depth, Header, Exit);
+    return;
+  }
+
+  if (Roll < Opts.LoopPercent + Opts.BranchPercent && Budget >= 3) {
+    if (Rng.chancePercent(50)) {
+      // If-then-else.
+      unsigned T = newNode();
+      unsigned E = newNode();
+      unsigned Join = newNode();
+      connect(From, T);
+      connect(From, E);
+      region(T, Join, Depth + 1, Header, Exit);
+      region(E, Join, Depth + 1, Header, Exit);
+      region(Join, To, Depth, Header, Exit);
+      return;
+    }
+    // If-then.
+    unsigned T = newNode();
+    unsigned Join = newNode();
+    connect(From, T);
+    connect(From, Join);
+    region(T, Join, Depth + 1, Header, Exit);
+    region(Join, To, Depth, Header, Exit);
+    return;
+  }
+
+  // Straight-line step.
+  unsigned Next = newNode();
+  connect(From, Next);
+  region(Next, To, Depth, Header, Exit);
+}
+
+CFG StructuredBuilder::build() {
+  Budget = Opts.TargetBlocks > 2 ? Opts.TargetBlocks - 2 : 1;
+  unsigned Entry = newNode();
+  unsigned Exit = newNode();
+  assert(Entry == 0 && "entry must be node 0");
+  region(Entry, Exit, 0, NoBlock, NoBlock);
+
+  // Goto injection: random extra edges from one-successor nodes. These can
+  // produce loops with multiple entries, i.e. irreducible control flow.
+  unsigned N = static_cast<unsigned>(Succ.size());
+  for (unsigned I = 0; I < Opts.GotoEdges; ++I) {
+    for (unsigned Attempt = 0; Attempt != 16; ++Attempt) {
+      unsigned From = Rng.nextBelow(N);
+      unsigned To = Rng.nextBelow(N);
+      if (From == Exit || Succ[From].size() != 1 || To == Entry ||
+          hasEdge(From, To))
+        continue;
+      connect(From, To);
+      break;
+    }
+  }
+
+  CFG G(N);
+  for (unsigned V = 0; V != N; ++V)
+    for (unsigned S : Succ[V])
+      G.addEdge(V, S);
+  return G;
+}
+
+CFG ssalive::generateCFG(const CFGGenOptions &Opts, RandomEngine &Rng) {
+  return StructuredBuilder(Opts, Rng).build();
+}

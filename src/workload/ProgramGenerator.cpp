@@ -1,0 +1,208 @@
+//===- workload/ProgramGenerator.cpp - Random programs on a CFG -----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ProgramGenerator.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "ir/CFG.h"
+#include "ir/IRBuilder.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ssalive;
+
+unsigned ssalive::sampleReadCount(const ProgramGenOptions &Opts,
+                                  RandomEngine &Rng) {
+  double Roll = Rng.nextDouble() * 100.0;
+  if (Roll < Opts.ReadsAtMost1)
+    return 1;
+  if (Roll < Opts.ReadsAtMost2)
+    return 2;
+  if (Roll < Opts.ReadsAtMost3)
+    return 3;
+  if (Roll < Opts.ReadsAtMost4)
+    return 4;
+  // Heavy tail: geometric-ish decay from 5 up to the cap.
+  unsigned N = 5;
+  while (N < Opts.MaxReads && Rng.chancePercent(60))
+    N += 1 + Rng.nextBelow(4);
+  return std::min(N, Opts.MaxReads);
+}
+
+std::unique_ptr<Function> ssalive::generateProgram(
+    const CFG &G, const ProgramGenOptions &Opts, RandomEngine &Rng) {
+  auto F = std::make_unique<Function>("synth");
+  unsigned N = G.numNodes();
+  for (unsigned V = 0; V != N; ++V)
+    F->createBlock();
+  for (unsigned V = 0; V != N; ++V)
+    for (unsigned S : G.successors(V))
+      F->block(V)->addSuccessor(F->block(S));
+
+  DFS D(G);
+  DomTree DT(G, D);
+  IRBuilder B(*F);
+
+  unsigned NumVars = std::max<unsigned>(
+      2, static_cast<unsigned>(std::lround(Opts.VariablesPerBlock * N)));
+
+  // Plan per-block accesses: (variable, define?) pairs. Placement is
+  // local: each variable gets a home block and its accesses cluster
+  // around it, the way source-level locals cluster in real programs.
+  // Without this every variable stays live across half the procedure and
+  // the per-block live sets balloon far beyond the ~3 φ-related elements
+  // the paper measured (Section 6.2).
+  std::vector<std::vector<std::pair<unsigned, bool>>> Payload(N);
+  std::vector<std::vector<unsigned>> AccessBlocks(NumVars);
+  unsigned Spread = std::max(1u, Opts.LocalitySpread);
+  auto randomBlockNear = [&Rng, N, Spread, &Opts](unsigned Home) {
+    if (Rng.chancePercent(Opts.FarAccessPercent))
+      return Rng.nextBelow(N); // Occasional far-flung access.
+    int Offset = static_cast<int>(Rng.nextBelow(2 * Spread + 1)) -
+                 static_cast<int>(Spread);
+    int Clamped = std::clamp(static_cast<int>(Home) + Offset, 0,
+                             static_cast<int>(N) - 1);
+    return static_cast<unsigned>(Clamped);
+  };
+
+  for (unsigned I = 0; I != NumVars; ++I) {
+    unsigned Home = Rng.nextBelow(N);
+    auto touch = [&](bool IsDef) {
+      unsigned Block = randomBlockNear(Home);
+      Payload[Block].emplace_back(I, IsDef);
+      AccessBlocks[I].push_back(Block);
+    };
+    while (Rng.chancePercent(Opts.RedefinePercent))
+      touch(/*IsDef=*/true);
+    unsigned Reads;
+    if (Rng.nextBelow(100000) < Opts.MegaVariablePer100k)
+      Reads = Opts.MaxReads / 2 + Rng.nextBelow(Opts.MaxReads / 2 + 1);
+    else
+      Reads = sampleReadCount(Opts, Rng);
+    for (unsigned R = 0; R != Reads; ++R)
+      touch(/*IsDef=*/false);
+  }
+
+  // Each variable is initialized in the nearest common dominator of its
+  // accesses, which keeps the program strict while confining live ranges
+  // to the region that actually touches the variable. A handful of
+  // entry-defined "globals" serve as branch operands everywhere (loop
+  // bounds and the like).
+  std::vector<unsigned> InitBlock(NumVars, G.entry());
+  for (unsigned I = 0; I != NumVars; ++I) {
+    const auto &Blocks = AccessBlocks[I];
+    if (Blocks.empty())
+      continue;
+    unsigned Dom = Blocks.front();
+    for (unsigned Acc : Blocks)
+      while (!DT.dominates(Dom, Acc))
+        Dom = DT.idom(Dom);
+    InitBlock[I] = Dom;
+  }
+  unsigned NumGlobals = std::min<unsigned>(4, NumVars);
+  for (unsigned I = 0; I != NumGlobals; ++I)
+    InitBlock[I] = G.entry();
+
+  /// Picks a variable readable at \p Block: prefer one whose init
+  /// dominates the block; fall back to a global.
+  auto readableVar = [&](unsigned Block) {
+    for (unsigned Try = 0; Try != 4; ++Try) {
+      unsigned V = Rng.nextBelow(NumVars);
+      if (DT.dominates(InitBlock[V], Block))
+        return V;
+    }
+    return Rng.nextBelow(NumGlobals);
+  };
+
+  // Create the variable values up front; defs attach during emission.
+  std::vector<Value *> Vars(NumVars, nullptr);
+
+  // Emit blocks in dominance-tree preorder so a variable's initialization
+  // (which dominates all its accesses) is materialized before any access
+  // to it: per block, parameters (entry), then initializations, then the
+  // planned accesses, then the terminator.
+  Value *P0 = nullptr, *P1 = nullptr;
+  for (unsigned Num = 0; Num != N; ++Num) {
+    unsigned BlockId = DT.nodeAtNum(Num);
+    BasicBlock *Block = F->block(BlockId);
+    B.setInsertBlock(Block);
+
+    if (BlockId == G.entry()) {
+      P0 = B.createParam(0, "p0");
+      P1 = B.createParam(1, "p1");
+    }
+
+    for (unsigned I = 0; I != NumVars; ++I) {
+      if (InitBlock[I] != BlockId)
+        continue;
+      if (I < NumGlobals && Rng.chancePercent(60))
+        Vars[I] =
+            B.createBinary(Opcode::Add, P0, P1, "var" + std::to_string(I));
+      else
+        Vars[I] = B.createConst(
+            static_cast<std::int64_t>(Rng.nextBelow(1000)),
+            "var" + std::to_string(I));
+    }
+
+    std::vector<Value *> PendingReads;
+    for (auto [VarIdx, IsDef] : Payload[BlockId]) {
+      if (!IsDef) {
+        PendingReads.push_back(Vars[VarIdx]);
+        if (PendingReads.size() >= 3) {
+          B.createOpaque(PendingReads);
+          PendingReads.clear();
+        }
+        continue;
+      }
+      // Redefinition: arithmetic over this variable and either a fresh
+      // constant (common — keeps single-use values plentiful, like real
+      // temporaries) or another variable readable here. The result
+      // instruction redefines the same Value, making it multi-def.
+      Value *Other = Rng.chancePercent(60)
+                         ? B.createConst(static_cast<std::int64_t>(
+                               1 + Rng.nextBelow(64)))
+                         : Vars[readableVar(BlockId)];
+      Opcode Op = Rng.chancePercent(50) ? Opcode::Add : Opcode::Sub;
+      Value *Tmp = B.createBinary(Op, Vars[VarIdx], Other);
+      // Rebind: replace the fresh result with the variable itself.
+      Instruction *Def = Tmp->ssaDef();
+      Def->setResult(Vars[VarIdx]);
+    }
+    if (!PendingReads.empty())
+      B.createOpaque(PendingReads);
+
+    unsigned Degree = static_cast<unsigned>(G.successors(BlockId).size());
+    if (Degree == 0) {
+      // The exit returns an observation over the globals so the
+      // interpreter sees real dataflow on every run.
+      std::vector<Value *> Obs;
+      for (unsigned I = 0; I != NumGlobals; ++I)
+        Obs.push_back(Vars[I]);
+      Value *Ret = B.createOpaque(Obs, "retval");
+      Block->append(std::make_unique<Instruction>(
+          Opcode::Ret, nullptr, std::vector<Value *>{Ret}));
+    } else if (Degree == 1) {
+      Block->append(std::make_unique<Instruction>(Opcode::Jump, nullptr,
+                                                  std::vector<Value *>{}));
+    } else {
+      assert(Degree == 2 && "generator produces at most two successors");
+      // Branch on a varying comparison so the interpreter explores paths;
+      // one side is usually a fresh constant, as loop bounds tend to be.
+      Value *L = Vars[readableVar(BlockId)];
+      Value *R = Rng.chancePercent(60)
+                     ? B.createConst(static_cast<std::int64_t>(
+                           Rng.nextBelow(512)))
+                     : Vars[readableVar(BlockId)];
+      Value *Cond = B.createBinary(Opcode::CmpLt, L, R);
+      Block->append(std::make_unique<Instruction>(
+          Opcode::Branch, nullptr, std::vector<Value *>{Cond}));
+    }
+  }
+  return F;
+}

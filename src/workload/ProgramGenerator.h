@@ -1,0 +1,73 @@
+//===- workload/ProgramGenerator.h - Random programs on a CFG ---*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Populates a generated CFG with a strict imperative (non-SSA) program:
+/// every variable is initialized in the entry block, then redefined and
+/// read across the graph with sampled frequencies. Running SSAConstruction
+/// on the result yields the strict SSA inputs the evaluation needs, with φs
+/// at the joins the redefinitions induce. Read counts are sampled from a
+/// bucketed distribution so the synthesized corpus can be calibrated
+/// against the paper's Table 1 uses-per-variable columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_WORKLOAD_PROGRAMGENERATOR_H
+#define SSALIVE_WORKLOAD_PROGRAMGENERATOR_H
+
+#include "ir/Function.h"
+#include "support/RandomEngine.h"
+
+#include <memory>
+
+namespace ssalive {
+
+class CFG;
+
+/// Knobs for program population.
+struct ProgramGenOptions {
+  /// Variables per CFG node (the paper's procedures average a few live
+  /// values per block; 1.5–2.5 reproduces LAO-like densities).
+  double VariablesPerBlock = 2.0;
+  /// Chance that a variable gets one extra definition, applied repeatedly
+  /// (geometric number of redefinitions).
+  unsigned RedefinePercent = 40;
+  /// Cumulative percentages of variables with at most 1/2/3/4 reads;
+  /// defaults match the paper's Table 1 "Total" row (71.30 / 87.85 /
+  /// 92.76 / 95.31).
+  double ReadsAtMost1 = 71.30;
+  double ReadsAtMost2 = 87.85;
+  double ReadsAtMost3 = 92.76;
+  double ReadsAtMost4 = 95.31;
+  /// Cap for the heavy tail (Table 1 saw up to 620 uses).
+  unsigned MaxReads = 64;
+  /// Per-100k chance that a variable is a "mega" user drawing its read
+  /// count uniformly from [MaxReads/2, MaxReads]; models the rare extreme
+  /// outliers behind Table 1's Maximum column.
+  unsigned MegaVariablePer100k = 30;
+  /// How far (in block-id distance) a variable's accesses stray from its
+  /// home block. Constant, not proportional to the function size: local
+  /// variables cluster the same way in big and small functions, which is
+  /// what keeps per-block live sets small (paper Section 6.2).
+  unsigned LocalitySpread = 4;
+  /// Chance that a single access ignores locality and lands anywhere;
+  /// models the occasional function-spanning value.
+  unsigned FarAccessPercent = 5;
+};
+
+/// Builds a function over \p G: blocks mirror nodes, terminators mirror
+/// out-degrees (0 = ret, 1 = jump, 2 = branch). The program is strict and
+/// φ-free. Deterministic in (\p G, \p Opts, \p Rng state).
+std::unique_ptr<Function> generateProgram(const CFG &G,
+                                          const ProgramGenOptions &Opts,
+                                          RandomEngine &Rng);
+
+/// Samples a read count from the bucketed Table-1-style distribution.
+unsigned sampleReadCount(const ProgramGenOptions &Opts, RandomEngine &Rng);
+
+} // namespace ssalive
+
+#endif // SSALIVE_WORKLOAD_PROGRAMGENERATOR_H

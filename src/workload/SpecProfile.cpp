@@ -1,0 +1,115 @@
+//===- workload/SpecProfile.cpp - SPEC2000int workload profiles -----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/SpecProfile.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ssalive;
+
+// Columns: Name, Procs, AvgBlocks, SumBlocks, %<=32, %<=64, MaxUses,
+// %uses<=1..4, then Table 2: precomp native/new/spdup, queries,
+// query native/new/spdup, both-spdup. All values transcribed from the
+// paper's Tables 1 and 2.
+static const std::vector<SpecProfile> Profiles = {
+    {"164.gzip", 82, 33.35, 2735, 69.51, 85.36, 51, 65.64, 86.38, 92.81,
+     95.94, 174000.82, 55054.62, 3.12, 90659, 86.84, 162.23, 0.53, 1.16},
+    {"175.vpr", 225, 34.45, 7752, 68.88, 84.44, 75, 70.36, 88.90, 93.93,
+     96.28, 116963.18, 54291.50, 2.17, 55670, 85.71, 179.38, 0.48, 1.41},
+    {"176.gcc", 2019, 38.96, 78666, 72.85, 86.03, 422, 73.99, 87.81, 92.42,
+     94.84, 205923.64, 67310.79, 3.03, 1109202, 88.17, 339.54, 0.26, 1.00},
+    {"181.mcf", 26, 20.31, 528, 84.61, 100.00, 46, 66.91, 83.50, 89.33,
+     94.46, 65544.73, 35696.62, 1.85, 2369, 84.09, 190.37, 0.44, 1.39},
+    {"186.crafty", 109, 69.28, 7551, 59.63, 76.14, 620, 72.98, 90.09, 93.85,
+     95.75, 437037.94, 156418.57, 2.78, 858121, 81.07, 166.14, 0.49, 0.73},
+    {"197.parser", 323, 23.60, 7623, 84.82, 93.49, 96, 65.12, 86.75, 94.26,
+     96.62, 85194.79, 40392.45, 2.13, 38719, 86.54, 177.81, 0.49, 1.54},
+    {"254.gap", 852, 32.89, 28020, 67.60, 87.44, 156, 70.46, 85.95, 91.26,
+     94.54, 191000.39, 55515.27, 3.45, 245540, 87.38, 168.82, 0.52, 2.08},
+    {"255.vortex", 923, 26.46, 24425, 77.57, 90.68, 254, 65.99, 90.80,
+     95.02, 96.97, 71444.18, 42651.30, 1.67, 88554, 85.09, 187.21, 0.45,
+     1.32},
+    {"256.bzip2", 74, 22.97, 1700, 78.37, 91.89, 36, 69.89, 89.89, 94.47,
+     96.17, 137544.10, 40178.87, 3.45, 10100, 95.00, 184.86, 0.51, 2.32},
+    {"300.twolf", 190, 56.97, 10825, 59.47, 77.36, 165, 69.71, 87.59, 93.23,
+     95.92, 446186.87, 94197.44, 4.76, 184621, 94.89, 193.81, 0.49, 1.92},
+};
+
+static const SpecProfile TotalRow = {
+    "Total",   4823,  35.21,    169825,   72.71, 87.18,   620,
+    71.30,     87.85, 92.76,    95.31,    177655.50, 60375.69, 2.94,
+    2683555,   86.09, 241.06,   0.36,     1.16};
+
+const std::vector<SpecProfile> &ssalive::spec2000Profiles() {
+  return Profiles;
+}
+
+const SpecProfile &ssalive::spec2000TotalRow() { return TotalRow; }
+
+double ssalive::inverseNormalCDF(double P) {
+  assert(P > 0.0 && P < 1.0 && "probability out of range");
+  // Acklam's rational approximation, relative error < 1.15e-9.
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double PLow = 0.02425;
+  double Q, R;
+  if (P < PLow) {
+    Q = std::sqrt(-2 * std::log(P));
+    return (((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+            C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1);
+  }
+  if (P <= 1 - PLow) {
+    Q = P - 0.5;
+    R = Q * Q;
+    return (((((A[0] * R + A[1]) * R + A[2]) * R + A[3]) * R + A[4]) * R +
+            A[5]) *
+           Q /
+           (((((B[0] * R + B[1]) * R + B[2]) * R + B[3]) * R + B[4]) * R + 1);
+  }
+  Q = std::sqrt(-2 * std::log(1 - P));
+  return -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+           C[5]) /
+         ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1);
+}
+
+unsigned ssalive::sampleBlockCount(const SpecProfile &P, RandomEngine &Rng) {
+  // Fit ln X ~ N(Mu, Sigma) through the two quantile columns:
+  //   Phi((ln 32 - Mu) / Sigma) = PctBlocksLe32 / 100
+  //   Phi((ln 64 - Mu) / Sigma) = PctBlocksLe64 / 100
+  double P32 = std::clamp(P.PctBlocksLe32 / 100.0, 0.01, 0.98);
+  double P64 = std::clamp(P.PctBlocksLe64 / 100.0, P32 + 0.005, 0.99);
+  double Z32 = inverseNormalCDF(P32);
+  double Z64 = inverseNormalCDF(P64);
+  double Ln32 = std::log(32.0);
+  double Ln64 = std::log(64.0);
+  double Sigma = (Ln64 - Ln32) / (Z64 - Z32);
+  double Mu = Ln32 - Sigma * Z32;
+
+  // Box-Muller from two uniform draws.
+  double U1 = std::max(Rng.nextDouble(), 1e-12);
+  double U2 = Rng.nextDouble();
+  double Normal =
+      std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  double X = std::exp(Mu + Sigma * Normal);
+  if (X < 4.0)
+    return 4;
+  if (X > static_cast<double>(MaxBlocksObserved))
+    return MaxBlocksObserved;
+  return static_cast<unsigned>(std::lround(X));
+}

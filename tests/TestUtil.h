@@ -1,0 +1,90 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared across test binaries: the generate -> populate ->
+/// SSA-construct pipeline that property tests draw random strict SSA
+/// functions from, and small graph-building conveniences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_TESTS_TESTUTIL_H
+#define SSALIVE_TESTS_TESTUTIL_H
+
+#include "ir/CFG.h"
+#include "ir/Function.h"
+#include "ir/Verifier.h"
+#include "ssa/SSAConstruction.h"
+#include "support/RandomEngine.h"
+#include "workload/CFGGenerator.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ssalive::testutil {
+
+/// Builds a CFG from an explicit edge list over \p NumNodes nodes.
+inline CFG makeCFG(unsigned NumNodes,
+                   std::initializer_list<std::pair<unsigned, unsigned>>
+                       Edges) {
+  CFG G(NumNodes);
+  for (auto [From, To] : Edges)
+    G.addEdge(From, To);
+  return G;
+}
+
+/// Configuration of one random-function draw.
+struct RandomFunctionConfig {
+  unsigned TargetBlocks = 24;
+  unsigned GotoEdges = 0; ///< > 0 may produce irreducible graphs.
+  double VariablesPerBlock = 2.0;
+  PhiPlacement Placement = PhiPlacement::Pruned;
+};
+
+/// Draws a random strict SSA function; fails the current test if the
+/// verifier rejects it (which would indicate a generator/SSA bug).
+inline std::unique_ptr<Function>
+randomSSAFunction(std::uint64_t Seed, const RandomFunctionConfig &Cfg = {}) {
+  RandomEngine Rng(Seed);
+  CFGGenOptions GOpts;
+  GOpts.TargetBlocks = Cfg.TargetBlocks;
+  GOpts.GotoEdges = Cfg.GotoEdges;
+  CFG G = generateCFG(GOpts, Rng);
+
+  ProgramGenOptions POpts;
+  POpts.VariablesPerBlock = Cfg.VariablesPerBlock;
+  auto F = generateProgram(G, POpts, Rng);
+  EXPECT_TRUE(verifyStructure(*F).ok()) << verifyStructure(*F).message();
+
+  constructSSA(*F, Cfg.Placement);
+  VerifyResult R = verifySSA(*F);
+  EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.message();
+  return F;
+}
+
+/// Draws a random φ-free strict (non-SSA) function, for tests that want
+/// the pre-construction program.
+inline std::unique_ptr<Function>
+randomImperativeFunction(std::uint64_t Seed,
+                         const RandomFunctionConfig &Cfg = {}) {
+  RandomEngine Rng(Seed);
+  CFGGenOptions GOpts;
+  GOpts.TargetBlocks = Cfg.TargetBlocks;
+  GOpts.GotoEdges = Cfg.GotoEdges;
+  CFG G = generateCFG(GOpts, Rng);
+
+  ProgramGenOptions POpts;
+  POpts.VariablesPerBlock = Cfg.VariablesPerBlock;
+  auto F = generateProgram(G, POpts, Rng);
+  EXPECT_TRUE(verifyStructure(*F).ok()) << verifyStructure(*F).message();
+  return F;
+}
+
+} // namespace ssalive::testutil
+
+#endif // SSALIVE_TESTS_TESTUTIL_H

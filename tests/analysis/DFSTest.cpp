@@ -1,0 +1,113 @@
+//===- tests/analysis/DFSTest.cpp -----------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DFS.h"
+
+#include "TestUtil.h"
+#include "workload/CFGGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+TEST(DFS, LinearChain) {
+  CFG G = makeCFG(3, {{0, 1}, {1, 2}});
+  DFS D(G);
+  EXPECT_EQ(D.preNumber(0), 0u);
+  EXPECT_EQ(D.preNumber(1), 1u);
+  EXPECT_EQ(D.preNumber(2), 2u);
+  EXPECT_EQ(D.postNumber(0), 2u);
+  EXPECT_EQ(D.postNumber(2), 0u);
+  EXPECT_EQ(D.edgeKind(0, 0), EdgeKind::Tree);
+  EXPECT_EQ(D.edgeKind(1, 0), EdgeKind::Tree);
+  EXPECT_TRUE(D.backEdges().empty());
+}
+
+TEST(DFS, ClassifiesAllFourKinds) {
+  // 0->1 (tree), 1->2 (tree), 2->1 (back), 0->2 (forward after 0->1->2),
+  // plus a second subtree with a cross edge into the first.
+  CFG G = makeCFG(4, {{0, 1}, {1, 2}, {2, 1}, {0, 2}, {0, 3}, {3, 2}});
+  DFS D(G);
+  EXPECT_EQ(D.edgeKind(0, 0), EdgeKind::Tree);    // 0->1
+  EXPECT_EQ(D.edgeKind(1, 0), EdgeKind::Tree);    // 1->2
+  EXPECT_EQ(D.edgeKind(2, 0), EdgeKind::Back);    // 2->1
+  EXPECT_EQ(D.edgeKind(0, 1), EdgeKind::Forward); // 0->2
+  EXPECT_EQ(D.edgeKind(0, 2), EdgeKind::Tree);    // 0->3
+  EXPECT_EQ(D.edgeKind(3, 0), EdgeKind::Cross);   // 3->2
+  ASSERT_EQ(D.backEdges().size(), 1u);
+  EXPECT_EQ(D.backEdges()[0], (std::pair<unsigned, unsigned>{2, 1}));
+  EXPECT_TRUE(D.isBackEdgeTarget(1));
+  EXPECT_TRUE(D.isBackEdgeSource(2));
+  EXPECT_FALSE(D.isBackEdgeTarget(2));
+}
+
+TEST(DFS, SelfLoopIsBackEdge) {
+  CFG G = makeCFG(2, {{0, 1}, {1, 1}});
+  DFS D(G);
+  EXPECT_EQ(D.edgeKind(1, 0), EdgeKind::Back);
+  EXPECT_TRUE(D.isBackEdgeTarget(1));
+  EXPECT_TRUE(D.isBackEdgeSource(1));
+}
+
+TEST(DFS, TreeAncestorQueries) {
+  CFG G = makeCFG(4, {{0, 1}, {1, 2}, {0, 3}});
+  DFS D(G);
+  EXPECT_TRUE(D.isTreeAncestor(0, 2));
+  EXPECT_TRUE(D.isTreeAncestor(1, 2));
+  EXPECT_TRUE(D.isTreeAncestor(2, 2)) << "reflexive";
+  EXPECT_FALSE(D.isTreeAncestor(2, 1));
+  EXPECT_FALSE(D.isTreeAncestor(3, 2));
+  EXPECT_FALSE(D.isTreeAncestor(1, 3));
+}
+
+TEST(DFS, SequencesAreInverses) {
+  RandomEngine Rng(5);
+  CFGGenOptions Opts;
+  Opts.TargetBlocks = 40;
+  CFG G = generateCFG(Opts, Rng);
+  DFS D(G);
+  for (unsigned I = 0; I != G.numNodes(); ++I) {
+    EXPECT_EQ(D.preNumber(D.preorderSequence()[I]), I);
+    EXPECT_EQ(D.postNumber(D.postorderSequence()[I]), I);
+  }
+}
+
+/// Structural invariants of DFS edge classes, checked on random graphs:
+/// non-back edges always decrease the postorder number (this is what makes
+/// the reduced graph acyclic, the keystone of the paper's R computation),
+/// and back edges always target tree ancestors.
+TEST(DFS, EdgeClassInvariantsOnRandomGraphs) {
+  for (std::uint64_t Seed = 0; Seed != 30; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = 10 + Rng.nextBelow(60);
+    Opts.GotoEdges = Seed % 3; // Mix in unstructured edges.
+    CFG G = generateCFG(Opts, Rng);
+    DFS D(G);
+    for (unsigned V = 0; V != G.numNodes(); ++V) {
+      const auto &Succs = G.successors(V);
+      for (unsigned Idx = 0; Idx != Succs.size(); ++Idx) {
+        unsigned W = Succs[Idx];
+        switch (D.edgeKind(V, Idx)) {
+        case EdgeKind::Back:
+          EXPECT_TRUE(D.isTreeAncestor(W, V)) << "seed " << Seed;
+          break;
+        case EdgeKind::Tree:
+        case EdgeKind::Forward:
+          EXPECT_TRUE(D.isTreeAncestor(V, W)) << "seed " << Seed;
+          EXPECT_LT(D.postNumber(W), D.postNumber(V)) << "seed " << Seed;
+          break;
+        case EdgeKind::Cross:
+          EXPECT_LT(D.preNumber(W), D.preNumber(V)) << "seed " << Seed;
+          EXPECT_LT(D.postNumber(W), D.postNumber(V)) << "seed " << Seed;
+          EXPECT_FALSE(D.isTreeAncestor(W, V)) << "seed " << Seed;
+          break;
+        }
+      }
+    }
+  }
+}

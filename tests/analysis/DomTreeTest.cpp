@@ -1,0 +1,132 @@
+//===- tests/analysis/DomTreeTest.cpp -------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomTree.h"
+
+#include "TestUtil.h"
+#include "analysis/SemiNCA.h"
+#include "ir/Verifier.h"
+#include "workload/CFGGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+TEST(DomTree, Diamond) {
+  CFG G = makeCFG(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  DFS D(G);
+  DomTree DT(G, D);
+  EXPECT_EQ(DT.idom(0), 0u);
+  EXPECT_EQ(DT.idom(1), 0u);
+  EXPECT_EQ(DT.idom(2), 0u);
+  EXPECT_EQ(DT.idom(3), 0u) << "join is dominated by the fork, not a side";
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_TRUE(DT.dominates(3, 3));
+  EXPECT_FALSE(DT.strictlyDominates(3, 3));
+}
+
+TEST(DomTree, LoopWithExit) {
+  // 0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit).
+  CFG G = makeCFG(4, {{0, 1}, {1, 2}, {2, 1}, {1, 3}});
+  DFS D(G);
+  DomTree DT(G, D);
+  EXPECT_EQ(DT.idom(2), 1u);
+  EXPECT_EQ(DT.idom(3), 1u);
+  EXPECT_TRUE(DT.strictlyDominates(1, 2));
+}
+
+TEST(DomTree, PreorderNumberingProperties) {
+  RandomEngine Rng(17);
+  CFGGenOptions Opts;
+  Opts.TargetBlocks = 50;
+  CFG G = generateCFG(Opts, Rng);
+  DFS D(G);
+  DomTree DT(G, D);
+  unsigned N = G.numNodes();
+  // num is a bijection and nodeAtNum its inverse.
+  std::vector<bool> Seen(N, false);
+  for (unsigned V = 0; V != N; ++V) {
+    EXPECT_LT(DT.num(V), N);
+    EXPECT_FALSE(Seen[DT.num(V)]);
+    Seen[DT.num(V)] = true;
+    EXPECT_EQ(DT.nodeAtNum(DT.num(V)), V);
+  }
+  // Section 5.1: the nodes dominated by q are exactly the preorder
+  // interval [num(q), maxnum(q)].
+  for (unsigned Q = 0; Q != N; ++Q)
+    for (unsigned V = 0; V != N; ++V)
+      EXPECT_EQ(DT.dominates(Q, V),
+                DT.num(Q) <= DT.num(V) && DT.num(V) <= DT.maxnum(Q));
+}
+
+TEST(DomTree, ChildrenPartitionSubtrees) {
+  RandomEngine Rng(23);
+  CFGGenOptions Opts;
+  Opts.TargetBlocks = 40;
+  CFG G = generateCFG(Opts, Rng);
+  DFS D(G);
+  DomTree DT(G, D);
+  for (unsigned V = 0; V != G.numNodes(); ++V) {
+    unsigned SubtreeSize = DT.maxnum(V) - DT.num(V) + 1;
+    unsigned ChildSum = 1;
+    for (unsigned C : DT.children(V)) {
+      EXPECT_EQ(DT.idom(C), V);
+      ChildSum += DT.maxnum(C) - DT.num(C) + 1;
+    }
+    EXPECT_EQ(SubtreeSize, ChildSum);
+  }
+}
+
+/// Three-way cross-check on random graphs (structured and goto-mangled):
+/// Cooper-Harvey-Kennedy == Lengauer-Tarjan == naive set intersection.
+TEST(DomTree, CrossCheckThreeAlgorithms) {
+  for (std::uint64_t Seed = 0; Seed != 40; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = 5 + Rng.nextBelow(70);
+    Opts.GotoEdges = Seed % 4;
+    CFG G = generateCFG(Opts, Rng);
+    DFS D(G);
+    DomTree DT(G, D);
+    std::vector<unsigned> LT = computeIdomsLengauerTarjan(G);
+    auto Naive = computeDominatorsNaive(G);
+    for (unsigned V = 0; V != G.numNodes(); ++V) {
+      EXPECT_EQ(DT.idom(V), LT[V])
+          << "seed " << Seed << " node " << V << ": CHK vs Lengauer-Tarjan";
+      // The naive dominator sets must match the tree's dominates().
+      for (unsigned U = 0; U != G.numNodes(); ++U) {
+        bool InSet = std::binary_search(Naive[V].begin(), Naive[V].end(), U);
+        EXPECT_EQ(DT.dominates(U, V), InSet)
+            << "seed " << Seed << " pair (" << U << "," << V << ")";
+      }
+    }
+  }
+}
+
+TEST(DomTree, SingleNodeGraph) {
+  CFG G(1);
+  DFS D(G);
+  DomTree DT(G, D);
+  EXPECT_EQ(DT.idom(0), 0u);
+  EXPECT_TRUE(DT.dominates(0, 0));
+  EXPECT_EQ(DT.num(0), 0u);
+  EXPECT_EQ(DT.maxnum(0), 0u);
+}
+
+TEST(DomTree, IrreducibleEntryPair) {
+  // 0 -> {1, 2}, 1 <-> 2: neither 1 nor 2 dominates the other.
+  CFG G = makeCFG(3, {{0, 1}, {0, 2}, {1, 2}, {2, 1}});
+  DFS D(G);
+  DomTree DT(G, D);
+  EXPECT_EQ(DT.idom(1), 0u);
+  EXPECT_EQ(DT.idom(2), 0u);
+  EXPECT_FALSE(DT.dominates(1, 2));
+  EXPECT_FALSE(DT.dominates(2, 1));
+}

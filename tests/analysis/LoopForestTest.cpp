@@ -1,0 +1,106 @@
+//===- tests/analysis/LoopForestTest.cpp ----------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopForest.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+TEST(LoopForest, SingleLoop) {
+  CFG G = makeCFG(4, {{0, 1}, {1, 2}, {2, 1}, {1, 3}});
+  DFS D(G);
+  LoopForest LF(D);
+  EXPECT_TRUE(LF.isLoopHeader(1));
+  EXPECT_FALSE(LF.isLoopHeader(2));
+  EXPECT_EQ(LF.header(2), 1u);
+  EXPECT_EQ(LF.header(0), LoopForest::NoHeader);
+  EXPECT_EQ(LF.header(3), LoopForest::NoHeader);
+  EXPECT_EQ(LF.depth(0), 0u);
+  EXPECT_EQ(LF.depth(1), 1u);
+  EXPECT_EQ(LF.depth(2), 1u);
+  EXPECT_EQ(LF.depth(3), 0u);
+  EXPECT_EQ(LF.numLoops(), 1u);
+}
+
+TEST(LoopForest, NestedLoops) {
+  // 0 -> 1(outer) -> 2(inner) -> 3 -> 2, 3 -> 1, 1 -> 4.
+  CFG G = makeCFG(5, {{0, 1}, {1, 2}, {2, 3}, {3, 2}, {3, 1}, {1, 4}});
+  DFS D(G);
+  LoopForest LF(D);
+  EXPECT_TRUE(LF.isLoopHeader(1));
+  EXPECT_TRUE(LF.isLoopHeader(2));
+  EXPECT_EQ(LF.header(3), 2u) << "innermost loop wins";
+  EXPECT_EQ(LF.header(2), 1u) << "inner header belongs to the outer loop";
+  EXPECT_EQ(LF.depth(3), 2u);
+  EXPECT_EQ(LF.depth(2), 2u);
+  EXPECT_EQ(LF.depth(1), 1u);
+  EXPECT_EQ(LF.depth(4), 0u);
+  EXPECT_EQ(LF.numLoops(), 2u);
+}
+
+TEST(LoopForest, SelfLoop) {
+  CFG G = makeCFG(3, {{0, 1}, {1, 1}, {1, 2}});
+  DFS D(G);
+  LoopForest LF(D);
+  EXPECT_TRUE(LF.isLoopHeader(1));
+  EXPECT_EQ(LF.depth(1), 1u);
+  EXPECT_EQ(LF.depth(2), 0u);
+}
+
+TEST(LoopForest, IrreducibleRegionFlagged) {
+  CFG G = makeCFG(3, {{0, 1}, {0, 2}, {1, 2}, {2, 1}});
+  DFS D(G);
+  LoopForest LF(D);
+  // One of the two nodes heads the retreating edge; the region must be
+  // flagged irreducible there.
+  bool AnyIrreducible = LF.isIrreducibleHeader(1) || LF.isIrreducibleHeader(2);
+  EXPECT_TRUE(AnyIrreducible);
+}
+
+TEST(LoopForest, SequentialLoopsAreSiblings) {
+  // Two loops one after the other, not nested.
+  CFG G = makeCFG(6, {{0, 1}, {1, 2}, {2, 1}, {1, 3}, {3, 4}, {4, 3},
+                      {3, 5}});
+  DFS D(G);
+  LoopForest LF(D);
+  EXPECT_TRUE(LF.isLoopHeader(1));
+  EXPECT_TRUE(LF.isLoopHeader(3));
+  EXPECT_EQ(LF.header(1), LoopForest::NoHeader);
+  EXPECT_EQ(LF.header(3), LoopForest::NoHeader);
+  EXPECT_EQ(LF.depth(2), 1u);
+  EXPECT_EQ(LF.depth(4), 1u);
+  EXPECT_EQ(LF.numLoops(), 2u);
+}
+
+/// On structured-generator graphs every back edge target must be a loop
+/// header and all loop depths must be consistent with header chains.
+TEST(LoopForest, HeadersMatchBackEdgeTargetsOnStructuredGraphs) {
+  for (std::uint64_t Seed = 0; Seed != 30; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = 8 + Rng.nextBelow(50);
+    CFG G = generateCFG(Opts, Rng);
+    DFS D(G);
+    LoopForest LF(D);
+    for (unsigned V = 0; V != G.numNodes(); ++V) {
+      EXPECT_EQ(LF.isLoopHeader(V), D.isBackEdgeTarget(V)) << "seed " << Seed;
+      EXPECT_FALSE(LF.isIrreducibleHeader(V)) << "seed " << Seed;
+      // Header chains terminate and depth equals chain length.
+      unsigned Hops = 0;
+      for (unsigned H = LF.header(V); H != LoopForest::NoHeader;
+           H = LF.header(H)) {
+        ++Hops;
+        ASSERT_LT(Hops, G.numNodes()) << "header chain cycle, seed " << Seed;
+      }
+      EXPECT_EQ(LF.depth(V), Hops + (LF.isLoopHeader(V) ? 1u : 0u))
+          << "seed " << Seed;
+    }
+  }
+}

@@ -1,0 +1,114 @@
+//===- tests/core/SortedStorageTest.cpp -----------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Section-6.1 storage variant: T sets as sorted arrays instead of
+// bitsets. Equivalence with the bitset engine is covered by the property
+// suite; these tests pin down the variant-specific behaviour (memory
+// shape, set introspection, fast-path interaction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LiveCheck.h"
+
+#include "TestUtil.h"
+#include "workload/CFGGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+namespace {
+
+LiveCheckOptions sortedOpts(TMode Mode = TMode::Propagated) {
+  LiveCheckOptions Opts;
+  Opts.Mode = Mode;
+  Opts.Storage = TStorage::SortedArray;
+  return Opts;
+}
+
+} // namespace
+
+TEST(SortedStorage, TMembershipMatchesBitset) {
+  for (std::uint64_t Seed = 0; Seed != 15; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions GOpts;
+    GOpts.TargetBlocks = 8 + Rng.nextBelow(40);
+    GOpts.GotoEdges = Seed % 3;
+    CFG G = generateCFG(GOpts, Rng);
+    DFS D(G);
+    DomTree DT(G, D);
+    LiveCheck Bits(G, D, DT);
+    LiveCheck Sorted(G, D, DT, sortedOpts());
+    for (unsigned V = 0; V != G.numNodes(); ++V)
+      for (unsigned W = 0; W != G.numNodes(); ++W)
+        EXPECT_EQ(Bits.isInT(V, W), Sorted.isInT(V, W))
+            << "seed " << Seed << " T_" << V << " vs " << W;
+  }
+}
+
+TEST(SortedStorage, UsesLessMemoryOnSparseLoops) {
+  // A long chain with a single small loop: T sets hold at most two
+  // entries each, so sorted arrays beat N-bit sets once N outgrows a
+  // couple of machine words.
+  constexpr unsigned N = 600;
+  CFG G(N);
+  for (unsigned V = 0; V + 1 != N; ++V)
+    G.addEdge(V, V + 1);
+  G.addEdge(N / 2 + 1, N / 2); // One small loop in the middle.
+  DFS D(G);
+  DomTree DT(G, D);
+  LiveCheck Bits(G, D, DT);
+  LiveCheck Sorted(G, D, DT, sortedOpts());
+  EXPECT_LT(Sorted.memoryBytes(), Bits.memoryBytes());
+  // Both still hold the quadratic R bitsets; the saving is T only.
+  size_t RBytes = static_cast<size_t>(N) * ((N + 63) / 64) * 8;
+  EXPECT_GT(Bits.memoryBytes(), RBytes);
+  EXPECT_LT(Sorted.memoryBytes() - RBytes, RBytes / 4);
+}
+
+TEST(SortedStorage, QueriesAgreeWithBitsetOnLoopGraph) {
+  CFG G = makeCFG(6, {{0, 1}, {1, 2}, {2, 3}, {3, 1}, {1, 4}, {4, 5}});
+  DFS D(G);
+  DomTree DT(G, D);
+  LiveCheck Bits(G, D, DT);
+  LiveCheck Sorted(G, D, DT, sortedOpts());
+  for (unsigned Def = 0; Def != 6; ++Def) {
+    for (unsigned UseB = 0; UseB != 6; ++UseB) {
+      std::vector<unsigned> Uses{UseB};
+      for (unsigned Q = 0; Q != 6; ++Q) {
+        EXPECT_EQ(Bits.isLiveIn(Def, Q, Uses), Sorted.isLiveIn(Def, Q, Uses))
+            << Def << "/" << UseB << "/" << Q;
+        EXPECT_EQ(Bits.isLiveOut(Def, Q, Uses),
+                  Sorted.isLiveOut(Def, Q, Uses))
+            << Def << "/" << UseB << "/" << Q;
+      }
+    }
+  }
+}
+
+TEST(SortedStorage, FastPathWorksWithSortedArrays) {
+  CFG Loop = makeCFG(4, {{0, 1}, {1, 2}, {2, 1}, {1, 3}});
+  DFS D(Loop);
+  DomTree DT(Loop, D);
+  LiveCheck Engine(Loop, D, DT, sortedOpts(TMode::Filtered));
+  EXPECT_TRUE(Engine.usesReducibleFastPath());
+  std::vector<unsigned> Uses{2};
+  EXPECT_TRUE(Engine.isLiveIn(0, 1, Uses));
+  EXPECT_TRUE(Engine.isLiveOut(0, 2, Uses));
+  EXPECT_FALSE(Engine.isLiveIn(0, 3, Uses));
+}
+
+TEST(SortedStorage, StatsStillCount) {
+  CFG Loop = makeCFG(4, {{0, 1}, {1, 2}, {2, 1}, {1, 3}});
+  DFS D(Loop);
+  DomTree DT(Loop, D);
+  LiveCheck Engine(Loop, D, DT, sortedOpts());
+  std::vector<unsigned> Uses{2};
+  Engine.isLiveIn(0, 1, Uses);
+  EXPECT_EQ(Engine.stats().LiveInQueries, 1u);
+  EXPECT_GT(Engine.stats().TargetsVisited, 0u);
+}

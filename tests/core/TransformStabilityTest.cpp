@@ -1,0 +1,133 @@
+//===- tests/core/TransformStabilityTest.cpp ------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivating property: "the analysis result survives all
+// program transformations except for changes in the control-flow graph".
+// We precompute once, then add values, uses and instructions — never
+// touching the CFG — and demand that the *unrebuilt* engine still agrees
+// with a freshly built oracle on every query.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FunctionLiveness.h"
+
+#include "TestUtil.h"
+#include "liveness/LivenessOracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+namespace {
+
+void expectAllQueriesMatchFreshOracle(Function &F, FunctionLiveness &Live,
+                                      const char *When) {
+  LivenessOracle Oracle(F);
+  for (const auto &VP : F.values()) {
+    const Value &V = *VP;
+    if (V.defs().empty())
+      continue;
+    for (const auto &B : F.blocks()) {
+      EXPECT_EQ(Live.isLiveIn(V, *B), Oracle.isLiveIn(V, *B))
+          << When << ": live-in %" << V.name() << " at " << B->name();
+      EXPECT_EQ(Live.isLiveOut(V, *B), Oracle.isLiveOut(V, *B))
+          << When << ": live-out %" << V.name() << " at " << B->name();
+    }
+  }
+}
+
+} // namespace
+
+TEST(TransformStability, AddingUsesKeepsPrecomputationValid) {
+  for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    FunctionLiveness Live(*F); // Precompute ONCE.
+    expectAllQueriesMatchFreshOracle(*F, Live, "before");
+
+    // Extend live ranges: add an opaque use of an existing value in some
+    // block its definition dominates (keeping strict SSA).
+    CFG G = CFG::fromFunction(*F);
+    DFS D(G);
+    DomTree DT(G, D);
+    RandomEngine Rng(Seed + 1000);
+    unsigned Added = 0;
+    for (unsigned Attempt = 0; Attempt != 64 && Added != 8; ++Attempt) {
+      Value *V = F->value(Rng.nextBelow(F->numValues()));
+      if (V->defs().size() != 1)
+        continue;
+      unsigned DefB = V->defBlock()->id();
+      unsigned Target =
+          DT.nodeAtNum(Rng.nextInRange(DT.num(DefB), DT.maxnum(DefB)));
+      F->block(Target)->insertBeforeTerminator(std::make_unique<Instruction>(
+          Opcode::Opaque, F->createValue(), std::vector<Value *>{V}));
+      ++Added;
+    }
+    ASSERT_GT(Added, 0u);
+    ASSERT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+
+    // The engine was never rebuilt; queries must still be exact.
+    expectAllQueriesMatchFreshOracle(*F, Live, "after adding uses");
+  }
+}
+
+TEST(TransformStability, AddingNewValuesKeepsPrecomputationValid) {
+  for (std::uint64_t Seed = 11; Seed <= 16; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    FunctionLiveness Live(*F);
+
+    // Create entirely new values: copies of existing ones placed in their
+    // def blocks, then used in a dominated block.
+    CFG G = CFG::fromFunction(*F);
+    DFS D(G);
+    DomTree DT(G, D);
+    RandomEngine Rng(Seed);
+    unsigned Added = 0;
+    for (unsigned Attempt = 0; Attempt != 64 && Added != 6; ++Attempt) {
+      Value *Src = F->value(Rng.nextBelow(F->numValues()));
+      if (Src->defs().size() != 1)
+        continue;
+      unsigned DefB = Src->defBlock()->id();
+      Value *Fresh = F->createValue();
+      F->block(DefB)->insertBeforeTerminator(std::make_unique<Instruction>(
+          Opcode::Copy, Fresh, std::vector<Value *>{Src}));
+      unsigned UseB =
+          DT.nodeAtNum(Rng.nextInRange(DT.num(DefB), DT.maxnum(DefB)));
+      F->block(UseB)->insertBeforeTerminator(std::make_unique<Instruction>(
+          Opcode::Opaque, F->createValue(), std::vector<Value *>{Fresh}));
+      ++Added;
+    }
+    ASSERT_GT(Added, 0u);
+    ASSERT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+    expectAllQueriesMatchFreshOracle(*F, Live, "after adding values");
+  }
+}
+
+TEST(TransformStability, RemovingUsesKeepsPrecomputationValid) {
+  for (std::uint64_t Seed = 21; Seed <= 26; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    FunctionLiveness Live(*F);
+
+    // Shrink live ranges: delete some pure observation instructions.
+    RandomEngine Rng(Seed);
+    unsigned Removed = 0;
+    for (const auto &B : F->blocks()) {
+      std::vector<Instruction *> Doomed;
+      for (const auto &I : B->instructions())
+        if (I->opcode() == Opcode::Opaque && I->result() &&
+            !I->result()->hasUses() && Rng.chancePercent(50))
+          Doomed.push_back(I.get());
+      for (Instruction *I : Doomed) {
+        B->erase(I);
+        ++Removed;
+      }
+    }
+    if (Removed == 0)
+      continue;
+    ASSERT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+    expectAllQueriesMatchFreshOracle(*F, Live, "after removing uses");
+  }
+}

@@ -1,0 +1,140 @@
+//===- tests/core/UseInfoTest.cpp -----------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/UseInfo.h"
+
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+static Value *valueNamed(Function &F, const std::string &Name) {
+  for (const auto &V : F.values())
+    if (V->name() == Name)
+      return V.get();
+  return nullptr;
+}
+
+TEST(UseInfo, OrdinaryUseAtInstructionBlock) {
+  auto F = parseOk(R"(
+func @f {
+e:
+  %x = const 1
+  jump b
+b:
+  %y = add %x, %x
+  ret %y
+}
+)");
+  Value *X = valueNamed(*F, "x");
+  ASSERT_TRUE(X);
+  EXPECT_EQ(liveUseBlocks(*X), (std::vector<unsigned>{1}));
+  EXPECT_EQ(defBlockId(*X), 0u);
+}
+
+TEST(UseInfo, PhiUseAttributedToPredecessor) {
+  // Definition 1: the phi operand from block l is a use AT l, not at j.
+  auto F = parseOk(R"(
+func @g {
+e:
+  %c = param 0
+  branch %c, l, r
+l:
+  %x = const 1
+  jump j
+r:
+  %y = const 2
+  jump j
+j:
+  %m = phi [%x, l], [%y, r]
+  ret %m
+}
+)");
+  Value *X = valueNamed(*F, "x");
+  Value *Y = valueNamed(*F, "y");
+  ASSERT_TRUE(X && Y);
+  // Block ids: e=0, l=1, r=2, j=3 (order of first mention).
+  EXPECT_EQ(liveUseBlocks(*X), (std::vector<unsigned>{1}));
+  EXPECT_EQ(liveUseBlocks(*Y), (std::vector<unsigned>{2}));
+}
+
+TEST(UseInfo, LoopPhiUsesLatch) {
+  auto F = parseOk(R"(
+func @h {
+e:
+  %z = const 0
+  jump hd
+hd:
+  %i = phi [%z, e], [%i2, bd]
+  %c = cmplt %i, %i
+  branch %c, bd, x
+bd:
+  %one = const 1
+  %i2 = add %i, %one
+  jump hd
+x:
+  ret %i
+}
+)");
+  Value *I2 = valueNamed(*F, "i2");
+  ASSERT_TRUE(I2);
+  // %i2's only use is the phi operand flowing from the latch 'bd' (id 2).
+  EXPECT_EQ(liveUseBlocks(*I2), (std::vector<unsigned>{2}));
+  // %i is used by cmplt (block hd=1), add (block bd=2) and ret (x=3).
+  Value *I = valueNamed(*F, "i");
+  EXPECT_EQ(liveUseBlocks(*I), (std::vector<unsigned>{1, 2, 3}));
+}
+
+TEST(UseInfo, AppendDoesNotDeduplicate) {
+  auto F = parseOk(R"(
+func @k {
+e:
+  %x = const 1
+  %a = add %x, %x
+  ret %a
+}
+)");
+  Value *X = valueNamed(*F, "x");
+  std::vector<unsigned> Raw;
+  appendLiveUseBlocks(*X, Raw);
+  EXPECT_EQ(Raw.size(), 2u) << "two operand slots = two raw entries";
+  EXPECT_EQ(liveUseBlocks(*X).size(), 1u) << "deduplicated view";
+}
+
+TEST(UseInfo, PhiRelatedClassification) {
+  auto F = parseOk(R"(
+func @m {
+e:
+  %c = param 0
+  %n = const 9
+  branch %c, l, r
+l:
+  %x = const 1
+  jump j
+r:
+  %y = const 2
+  jump j
+j:
+  %p = phi [%x, l], [%y, r]
+  %q = add %p, %n
+  ret %q
+}
+)");
+  EXPECT_TRUE(isPhiRelated(*valueNamed(*F, "x"))) << "phi argument";
+  EXPECT_TRUE(isPhiRelated(*valueNamed(*F, "y"))) << "phi argument";
+  EXPECT_TRUE(isPhiRelated(*valueNamed(*F, "p"))) << "phi result";
+  EXPECT_FALSE(isPhiRelated(*valueNamed(*F, "n")));
+  EXPECT_FALSE(isPhiRelated(*valueNamed(*F, "q")));
+  EXPECT_FALSE(isPhiRelated(*valueNamed(*F, "c")))
+      << "branch condition is not phi-related";
+}

@@ -1,0 +1,138 @@
+//===- tests/ir/IRExtrasTest.cpp ------------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interpreter.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+TEST(InterpreterArith, WrappingOverflowIsDeterministic) {
+  auto F = parseOk(R"(
+func @wrap {
+e:
+  %a = param 0
+  %b = param 1
+  %s = add %a, %b
+  %m = mul %a, %b
+  %r = sub %s, %m
+  ret %r
+}
+)");
+  std::int64_t Max = std::numeric_limits<std::int64_t>::max();
+  ExecutionResult R1 = interpret(*F, {Max, Max});
+  ExecutionResult R2 = interpret(*F, {Max, Max});
+  EXPECT_EQ(R1.Stop, ExecutionResult::Status::Returned);
+  EXPECT_EQ(R1.ReturnValue, R2.ReturnValue) << "two's-complement wrap";
+  // add wraps to -2, mul wraps to 1: -2 - 1 = -3.
+  EXPECT_EQ(R1.ReturnValue, -3);
+}
+
+TEST(InterpreterArith, NegativeImmediates) {
+  auto F = parseOk(R"(
+func @neg {
+e:
+  %a = const -42
+  %b = const -1
+  %m = mul %a, %b
+  ret %m
+}
+)");
+  EXPECT_EQ(interpret(*F, {}).ReturnValue, 42);
+}
+
+TEST(IRParserExtras, RejectsTrailingInput) {
+  ParseResult R = parseFunction(R"(
+func @f {
+e:
+  ret
+}
+func @g {
+e:
+  ret
+}
+)");
+  EXPECT_FALSE(R.Func);
+  EXPECT_NE(R.Error.find("trailing"), std::string::npos);
+}
+
+TEST(IRParserExtras, RetWithoutValue) {
+  auto F = parseOk(R"(
+func @void {
+e:
+  ret
+}
+)");
+  ExecutionResult R = interpret(*F, {});
+  EXPECT_EQ(R.Stop, ExecutionResult::Status::Returned);
+  EXPECT_FALSE(R.HasReturnValue);
+}
+
+TEST(IRParserExtras, WhitespaceAndCommentRobustness) {
+  auto F = parseOk("func @w{e:%x=const 5\nret %x}");
+  EXPECT_EQ(interpret(*F, {}).ReturnValue, 5);
+}
+
+TEST(IRPrinterExtras, RoundTripRandomFunctions) {
+  for (std::uint64_t Seed = 2000; Seed != 2015; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    std::string Once = printFunction(*F);
+    ParseResult R = parseFunction(Once);
+    ASSERT_TRUE(R.Func) << "seed " << Seed << ": " << R.Error;
+    EXPECT_EQ(Once, printFunction(*R.Func)) << "seed " << Seed;
+    // The reparsed function must behave identically too.
+    for (std::int64_t A : {0, 9}) {
+      EXPECT_TRUE(sameObservableBehavior(interpret(*F, {A, A}, 256),
+                                         interpret(*R.Func, {A, A}, 256)))
+          << "seed " << Seed;
+    }
+  }
+}
+
+TEST(IRPrinterExtras, BranchTargetsInSuccessorOrder) {
+  auto F = parseOk(R"(
+func @ord {
+e:
+  %c = param 0
+  branch %c, yes, no
+yes:
+  %a = const 1
+  ret %a
+no:
+  %b = const 0
+  ret %b
+}
+)");
+  std::string Out = printFunction(*F);
+  EXPECT_NE(Out.find("branch %c, yes, no"), std::string::npos);
+  // Taken branch goes to successor 0 = "yes".
+  EXPECT_EQ(interpret(*F, {1}).ReturnValue, 1);
+  EXPECT_EQ(interpret(*F, {0}).ReturnValue, 0);
+}
+
+TEST(FunctionStructure, NumEdgesCountsAllSuccessors) {
+  for (std::uint64_t Seed = 2100; Seed != 2110; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    unsigned Expected = 0;
+    for (const auto &B : F->blocks())
+      Expected += B->numSuccessors();
+    EXPECT_EQ(F->numEdges(), Expected);
+  }
+}

@@ -1,0 +1,179 @@
+//===- tests/ir/IRStructureTest.cpp ---------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+namespace {
+
+/// Builds: entry branches to left/right, both join, join returns.
+struct DiamondFixture {
+  Function F{"diamond"};
+  BasicBlock *Entry;
+  BasicBlock *Left;
+  BasicBlock *Right;
+  BasicBlock *Join;
+  Value *P0;
+  Value *L;
+  Value *R;
+  Value *Phi;
+
+  DiamondFixture() {
+    Entry = F.createBlock("entry");
+    Left = F.createBlock("left");
+    Right = F.createBlock("right");
+    Join = F.createBlock("join");
+    IRBuilder B(F);
+    B.setInsertBlock(Entry);
+    P0 = B.createParam(0, "p0");
+    B.createBranch(P0, Left, Right);
+    B.setInsertBlock(Left);
+    L = B.createConst(1, "l");
+    B.createJump(Join);
+    B.setInsertBlock(Right);
+    R = B.createConst(2, "r");
+    B.createJump(Join);
+    B.setInsertBlock(Join);
+    Phi = B.createPhi({L, R}, "m");
+    B.createRet(Phi);
+  }
+};
+
+} // namespace
+
+TEST(IRStructure, BlockAndValueIdsAreDense) {
+  DiamondFixture D;
+  EXPECT_EQ(D.F.numBlocks(), 4u);
+  for (unsigned I = 0; I != D.F.numBlocks(); ++I)
+    EXPECT_EQ(D.F.block(I)->id(), I);
+  for (unsigned I = 0; I != D.F.numValues(); ++I)
+    EXPECT_EQ(D.F.value(I)->id(), I);
+  EXPECT_EQ(D.F.entry(), D.Entry);
+}
+
+TEST(IRStructure, EdgesMirrored) {
+  DiamondFixture D;
+  EXPECT_EQ(D.Entry->numSuccessors(), 2u);
+  EXPECT_EQ(D.Join->numPredecessors(), 2u);
+  EXPECT_EQ(D.Join->predecessorIndex(D.Left), 0u);
+  EXPECT_EQ(D.Join->predecessorIndex(D.Right), 1u);
+  EXPECT_EQ(D.F.numEdges(), 4u);
+}
+
+TEST(IRStructure, DefUseChainsMaintained) {
+  DiamondFixture D;
+  // P0 is used by the branch.
+  ASSERT_EQ(D.P0->numUses(), 1u);
+  EXPECT_EQ(D.P0->uses()[0].User->opcode(), Opcode::Branch);
+  // L and R are each used by the phi, at the right operand slots.
+  ASSERT_EQ(D.L->numUses(), 1u);
+  EXPECT_EQ(D.L->uses()[0].User->opcode(), Opcode::Phi);
+  EXPECT_EQ(D.L->uses()[0].OperandIndex, 0u);
+  EXPECT_EQ(D.R->uses()[0].OperandIndex, 1u);
+  // Phi defines its value and feeds the return.
+  EXPECT_TRUE(D.Phi->hasSingleDef());
+  ASSERT_EQ(D.Phi->numUses(), 1u);
+  EXPECT_EQ(D.Phi->uses()[0].User->opcode(), Opcode::Ret);
+}
+
+TEST(IRStructure, SetOperandRewiresUses) {
+  DiamondFixture D;
+  Instruction *Ret = D.Join->terminator();
+  ASSERT_EQ(Ret->opcode(), Opcode::Ret);
+  Ret->setOperand(0, D.P0);
+  EXPECT_EQ(D.Phi->numUses(), 0u);
+  EXPECT_EQ(D.P0->numUses(), 2u);
+}
+
+TEST(IRStructure, SetResultRebindsDefs) {
+  DiamondFixture D;
+  Instruction *PhiInstr = D.Phi->ssaDef();
+  Value *Fresh = D.F.createValue("fresh");
+  PhiInstr->setResult(Fresh);
+  EXPECT_TRUE(D.Phi->defs().empty());
+  EXPECT_EQ(Fresh->ssaDef(), PhiInstr);
+}
+
+TEST(IRStructure, EraseDropsReferences) {
+  DiamondFixture D;
+  Instruction *PhiInstr = D.Phi->ssaDef();
+  D.Join->erase(PhiInstr);
+  EXPECT_EQ(D.L->numUses(), 0u);
+  EXPECT_EQ(D.R->numUses(), 0u);
+  EXPECT_TRUE(D.Phi->defs().empty());
+}
+
+TEST(IRStructure, PhiAccessors) {
+  DiamondFixture D;
+  auto Phis = D.Join->phis();
+  ASSERT_EQ(Phis.size(), 1u);
+  EXPECT_EQ(Phis[0]->incomingBlock(0), D.Left);
+  EXPECT_EQ(Phis[0]->incomingBlock(1), D.Right);
+}
+
+TEST(IRStructure, InsertBeforeTerminator) {
+  DiamondFixture D;
+  IRBuilder B(D.F);
+  auto Copy = std::make_unique<Instruction>(
+      Opcode::Copy, D.F.createValue("c"), std::vector<Value *>{D.L});
+  D.Left->insertBeforeTerminator(std::move(Copy));
+  const auto &Instrs = D.Left->instructions();
+  ASSERT_EQ(Instrs.size(), 3u);
+  EXPECT_EQ(Instrs[1]->opcode(), Opcode::Copy);
+  EXPECT_EQ(Instrs[2]->opcode(), Opcode::Jump);
+}
+
+TEST(IRStructure, ParametersInOrder) {
+  Function F("params");
+  BasicBlock *E = F.createBlock();
+  IRBuilder B(F);
+  B.setInsertBlock(E);
+  Value *A = B.createParam(0, "a");
+  Value *C = B.createParam(1, "c");
+  B.createRetVoid();
+  auto Params = F.parameters();
+  ASSERT_EQ(Params.size(), 2u);
+  EXPECT_EQ(Params[0], A);
+  EXPECT_EQ(Params[1], C);
+}
+
+TEST(CFGView, FromFunctionMatchesBlocks) {
+  DiamondFixture D;
+  CFG G = CFG::fromFunction(D.F);
+  EXPECT_EQ(G.numNodes(), 4u);
+  EXPECT_EQ(G.numEdges(), 4u);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(0, 2));
+  EXPECT_TRUE(G.hasEdge(1, 3));
+  EXPECT_TRUE(G.hasEdge(2, 3));
+  EXPECT_FALSE(G.hasEdge(3, 0));
+  EXPECT_EQ(G.predecessors(3).size(), 2u);
+}
+
+TEST(CFGView, SelfLoopAllowed) {
+  CFG G(2);
+  G.addEdge(0, 1);
+  G.addEdge(1, 1);
+  EXPECT_TRUE(G.hasEdge(1, 1));
+  EXPECT_EQ(G.numEdges(), 2u);
+}
+
+TEST(OpcodeNames, AllDistinct) {
+  const Opcode All[] = {Opcode::Param,  Opcode::Const, Opcode::Copy,
+                        Opcode::Add,    Opcode::Sub,   Opcode::Mul,
+                        Opcode::CmpLt,  Opcode::CmpEq, Opcode::Select,
+                        Opcode::Opaque, Opcode::Phi,   Opcode::Jump,
+                        Opcode::Branch, Opcode::Ret};
+  for (Opcode A : All)
+    for (Opcode B : All)
+      if (A != B) {
+        EXPECT_STRNE(opcodeName(A), opcodeName(B));
+      }
+}

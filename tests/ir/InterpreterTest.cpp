@@ -1,0 +1,216 @@
+//===- tests/ir/InterpreterTest.cpp ---------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+TEST(Interpreter, StraightLineArithmetic) {
+  auto F = parseOk(R"(
+func @arith {
+e:
+  %a = param 0
+  %b = param 1
+  %s = add %a, %b
+  %d = sub %s, %b
+  %m = mul %d, %s
+  ret %m
+}
+)");
+  ExecutionResult R = interpret(*F, {3, 4});
+  EXPECT_EQ(R.Stop, ExecutionResult::Status::Returned);
+  ASSERT_TRUE(R.HasReturnValue);
+  EXPECT_EQ(R.ReturnValue, 3 * 7);
+  EXPECT_EQ(R.BlockTrace, (std::vector<unsigned>{0}));
+}
+
+TEST(Interpreter, BranchSelectsSuccessorOrder) {
+  auto F = parseOk(R"(
+func @br {
+e:
+  %c = param 0
+  branch %c, t, f
+t:
+  %x = const 10
+  ret %x
+f:
+  %y = const 20
+  ret %y
+}
+)");
+  EXPECT_EQ(interpret(*F, {1}).ReturnValue, 10);
+  EXPECT_EQ(interpret(*F, {0}).ReturnValue, 20);
+  EXPECT_EQ(interpret(*F, {-5}).ReturnValue, 10) << "nonzero is taken";
+}
+
+TEST(Interpreter, LoopComputesSum) {
+  // sum = 0; for (i = 0; i < n; ++i) sum += i; return sum.
+  auto F = parseOk(R"(
+func @sum {
+e:
+  %n = param 0
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i2, b]
+  %sum = phi [%z, e], [%sum2, b]
+  %c = cmplt %i, %n
+  branch %c, b, x
+b:
+  %one = const 1
+  %sum2 = add %sum, %i
+  %i2 = add %i, %one
+  jump h
+x:
+  ret %sum
+}
+)");
+  EXPECT_EQ(interpret(*F, {5}).ReturnValue, 0 + 1 + 2 + 3 + 4);
+  EXPECT_EQ(interpret(*F, {0}).ReturnValue, 0);
+  EXPECT_EQ(interpret(*F, {1}).ReturnValue, 0);
+}
+
+TEST(Interpreter, PhiSwapIsParallel) {
+  // Classic swap: both phis must read pre-entry values.
+  auto F = parseOk(R"(
+func @swap {
+e:
+  %n = param 0
+  %a0 = const 1
+  %b0 = const 2
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i2, b]
+  %a = phi [%a0, e], [%b, b]
+  %b = phi [%b0, e], [%a, b]
+  %c = cmplt %i, %n
+  branch %c, b, x
+b:
+  %one = const 1
+  %i2 = add %i, %one
+  jump h
+x:
+  %r = mul %a, %b
+  %obs = sub %a, %b
+  %fin = add %r, %obs
+  ret %fin
+}
+)");
+  // After n iterations a/b have swapped n times; a*b is stable at 2 but
+  // a-b flips sign: n=0 -> 1-2=-1, n=1 -> 2-1=1.
+  EXPECT_EQ(interpret(*F, {0}).ReturnValue, 2 + -1);
+  EXPECT_EQ(interpret(*F, {1}).ReturnValue, 2 + 1);
+  EXPECT_EQ(interpret(*F, {2}).ReturnValue, 2 + -1);
+}
+
+TEST(Interpreter, FuelBoundsInfiniteLoop) {
+  auto F = parseOk(R"(
+func @inf {
+e:
+  jump e2
+e2:
+  jump e2
+}
+)");
+  ExecutionResult R = interpret(*F, {}, 16);
+  EXPECT_EQ(R.Stop, ExecutionResult::Status::OutOfFuel);
+  EXPECT_EQ(R.BlockTrace.size(), 16u);
+}
+
+TEST(Interpreter, DetectsReadOfUndefined) {
+  // Non-strict: %x only defined on one path.
+  auto F = parseOk(R"(
+func @undef {
+e:
+  %c = param 0
+  branch %c, l, j
+l:
+  %x = const 1
+  jump j
+j:
+  ret %x
+}
+)");
+  EXPECT_EQ(interpret(*F, {1}).Stop, ExecutionResult::Status::Returned);
+  EXPECT_EQ(interpret(*F, {0}).Stop, ExecutionResult::Status::ReadUndef);
+}
+
+TEST(Interpreter, NonSSAOverwrites) {
+  auto F = parseOk(R"(
+func @nonssa {
+e:
+  %x = const 1
+  %x = add %x, %x
+  %x = add %x, %x
+  ret %x
+}
+)");
+  EXPECT_EQ(interpret(*F, {}).ReturnValue, 4);
+}
+
+TEST(Interpreter, OpaqueIsDeterministicAndObserved) {
+  auto F = parseOk(R"(
+func @op {
+e:
+  %a = param 0
+  %x = opaque %a
+  %y = opaque %a
+  %c = cmpeq %x, %y
+  ret %c
+}
+)");
+  ExecutionResult R1 = interpret(*F, {7});
+  ExecutionResult R2 = interpret(*F, {7});
+  ExecutionResult R3 = interpret(*F, {8});
+  EXPECT_EQ(R1.ReturnValue, 1) << "same inputs, same opaque output";
+  EXPECT_EQ(R1.ObservationHash, R2.ObservationHash);
+  EXPECT_NE(R1.ObservationHash, R3.ObservationHash);
+}
+
+TEST(Interpreter, SameObservableBehaviorComparator) {
+  ExecutionResult A, B;
+  A.BlockTrace = {0, 1};
+  B.BlockTrace = {0, 1};
+  A.HasReturnValue = B.HasReturnValue = true;
+  A.ReturnValue = B.ReturnValue = 5;
+  EXPECT_TRUE(sameObservableBehavior(A, B));
+  B.ReturnValue = 6;
+  EXPECT_FALSE(sameObservableBehavior(A, B));
+  B.ReturnValue = 5;
+  B.BlockTrace = {0, 2};
+  EXPECT_FALSE(sameObservableBehavior(A, B));
+  B.BlockTrace = {0, 1};
+  B.ObservationHash = 1;
+  EXPECT_FALSE(sameObservableBehavior(A, B));
+}
+
+TEST(Interpreter, SelectAndComparisons) {
+  auto F = parseOk(R"(
+func @sel {
+e:
+  %a = param 0
+  %b = param 1
+  %lt = cmplt %a, %b
+  %r = select %lt, %a, %b
+  ret %r
+}
+)");
+  EXPECT_EQ(interpret(*F, {3, 9}).ReturnValue, 3) << "min(3,9)";
+  EXPECT_EQ(interpret(*F, {9, 3}).ReturnValue, 3) << "min(9,3)";
+  EXPECT_EQ(interpret(*F, {-4, 4}).ReturnValue, -4);
+}

@@ -1,0 +1,163 @@
+//===- tests/liveness/DataflowLivenessTest.cpp ----------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "liveness/DataflowLiveness.h"
+
+#include "TestUtil.h"
+#include "core/UseInfo.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+static Value *valueNamed(Function &F, const std::string &Name) {
+  for (const auto &V : F.values())
+    if (V->name() == Name)
+      return V.get();
+  return nullptr;
+}
+
+static const char *LoopFunc = R"(
+func @loop {
+e:
+  %n = param 0
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i2, b]
+  %c = cmplt %i, %n
+  branch %c, b, x
+b:
+  %one = const 1
+  %i2 = add %i, %one
+  jump h
+x:
+  ret %i
+}
+)";
+
+TEST(DataflowLiveness, LoopLiveRanges) {
+  auto F = parseOk(LoopFunc);
+  DataflowLiveness DL(*F);
+  Value *N = valueNamed(*F, "n");
+  Value *I = valueNamed(*F, "i");
+  Value *I2 = valueNamed(*F, "i2");
+  Value *One = valueNamed(*F, "one");
+  BasicBlock *E = F->block(0), *H = F->block(1), *B = F->block(2),
+             *X = F->block(3);
+
+  // %n is used by the loop condition forever.
+  EXPECT_TRUE(DL.isLiveIn(*N, *H));
+  EXPECT_TRUE(DL.isLiveIn(*N, *B));
+  EXPECT_TRUE(DL.isLiveOut(*N, *E));
+  EXPECT_FALSE(DL.isLiveIn(*N, *E)) << "defined in e";
+  EXPECT_FALSE(DL.isLiveIn(*N, *X)) << "condition dead after the loop";
+
+  // %i crosses the loop and survives to the return.
+  EXPECT_TRUE(DL.isLiveIn(*I, *B));
+  EXPECT_TRUE(DL.isLiveIn(*I, *X));
+  EXPECT_FALSE(DL.isLiveIn(*I, *H)) << "defined by the phi in h";
+  EXPECT_TRUE(DL.isLiveOut(*I, *H));
+
+  // %i2's only use is the phi edge from b: live nowhere at block bounds
+  // except... it is used AT b (Definition 1), defined at b: not live-in,
+  // not live-out anywhere.
+  EXPECT_FALSE(DL.isLiveIn(*I2, *H));
+  EXPECT_FALSE(DL.isLiveOut(*I2, *B));
+
+  // %one is block-local.
+  EXPECT_FALSE(DL.isLiveOut(*One, *B));
+  EXPECT_FALSE(DL.isLiveIn(*One, *B));
+}
+
+TEST(DataflowLiveness, PhiRelatedRestriction) {
+  auto F = parseOk(LoopFunc);
+  DataflowOptions Opts;
+  Opts.PhiRelatedOnly = true;
+  DataflowLiveness DL(*F, Opts);
+  // Universe: %z, %i, %i2 (phi result + the two phi args).
+  EXPECT_EQ(DL.universeSize(), 3u);
+  Value *I = valueNamed(*F, "i");
+  EXPECT_TRUE(DL.isLiveIn(*I, *F->block(2)));
+}
+
+TEST(DataflowLiveness, FullUniverseCountsEveryDefinedValue) {
+  auto F = parseOk(LoopFunc);
+  DataflowLiveness DL(*F);
+  // n, z, i, c, one, i2 — all defined values (6).
+  EXPECT_EQ(DL.universeSize(), 6u);
+  EXPECT_GE(DL.averageLiveInFill(), 0.0);
+  EXPECT_GT(DL.setInsertions(), 0u);
+}
+
+TEST(DataflowLiveness, FillStatisticsGrowWithUniverse) {
+  // Section 6.2: the φ-restricted universe has much smaller live sets
+  // than the full one.
+  for (std::uint64_t Seed = 3; Seed <= 6; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    DataflowLiveness Full(*F);
+    DataflowOptions Opts;
+    Opts.PhiRelatedOnly = true;
+    DataflowLiveness Phi(*F, Opts);
+    EXPECT_LE(Phi.universeSize(), Full.universeSize());
+    EXPECT_LE(Phi.averageLiveInFill(), Full.averageLiveInFill() + 1e-9);
+  }
+}
+
+TEST(DataflowLiveness, MemoryAccounting) {
+  auto F = parseOk(LoopFunc);
+  DataflowLiveness DL(*F);
+  EXPECT_GT(DL.memoryBytes(), 0u);
+}
+
+TEST(BitVectorDataflow, MatchesSortedArraySolver) {
+  for (std::uint64_t Seed = 50; Seed <= 58; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    DataflowLiveness Arrays(*F);
+    BitVectorDataflowLiveness Bits(*F);
+    for (const auto &VP : F->values()) {
+      if (VP->defs().empty())
+        continue;
+      for (const auto &B : F->blocks()) {
+        EXPECT_EQ(Arrays.isLiveIn(*VP, *B), Bits.isLiveIn(*VP, *B))
+            << "seed " << Seed;
+        EXPECT_EQ(Arrays.isLiveOut(*VP, *B), Bits.isLiveOut(*VP, *B))
+            << "seed " << Seed;
+      }
+    }
+  }
+}
+
+TEST(BitVectorDataflow, SortedArraysWinInManyVariablesRegime) {
+  // Section 6.2's rationale for LAO's design: "for procedures with many
+  // variables" sorted arrays beat one bit per (block, variable), because
+  // live sets stay small while the universe keeps growing. Build exactly
+  // that regime: a large procedure dense with strictly local variables.
+  RandomEngine Rng(61);
+  CFGGenOptions GOpts;
+  GOpts.TargetBlocks = 200;
+  CFG G = generateCFG(GOpts, Rng);
+  ProgramGenOptions POpts;
+  POpts.VariablesPerBlock = 6.0;
+  POpts.LocalitySpread = 1;
+  POpts.FarAccessPercent = 0;
+  auto F = generateProgram(G, POpts, Rng);
+  constructSSA(*F);
+  ASSERT_TRUE(verifySSA(*F).ok());
+  DataflowLiveness Arrays(*F);
+  BitVectorDataflowLiveness Bits(*F);
+  EXPECT_LT(Arrays.memoryBytes(), Bits.memoryBytes())
+      << "fill " << Arrays.averageLiveInFill() << " of "
+      << F->numValues() << " values";
+}

@@ -1,0 +1,224 @@
+//===- tests/ssa/ConstructionTest.cpp -------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSAConstruction.h"
+
+#include "TestUtil.h"
+#include "ir/Clone.h"
+#include "ir/IRParser.h"
+#include "ir/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+TEST(SSAConstruction, DiamondGetsOnePhi) {
+  auto F = parseOk(R"(
+func @d {
+e:
+  %c = param 0
+  %x = const 0
+  branch %c, l, r
+l:
+  %x = const 1
+  jump j
+r:
+  %x = const 2
+  jump j
+j:
+  ret %x
+}
+)");
+  SSAConstructionStats Stats = constructSSA(*F);
+  EXPECT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+  EXPECT_EQ(Stats.PhisInserted, 1u);
+  EXPECT_EQ(F->block(3)->phis().size(), 1u);
+  EXPECT_EQ(interpret(*F, {1}).ReturnValue, 1);
+  EXPECT_EQ(interpret(*F, {0}).ReturnValue, 2);
+}
+
+TEST(SSAConstruction, LoopCounterGetsHeaderPhi) {
+  auto F = parseOk(R"(
+func @sum {
+e:
+  %n = param 0
+  %i = const 0
+  %s = const 0
+  jump h
+h:
+  %c = cmplt %i, %n
+  branch %c, b, x
+b:
+  %one = const 1
+  %s = add %s, %i
+  %i = add %i, %one
+  jump h
+x:
+  ret %s
+}
+)");
+  constructSSA(*F);
+  EXPECT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+  // Header must carry phis for both %i and %s.
+  EXPECT_EQ(F->block(1)->phis().size(), 2u);
+  EXPECT_EQ(interpret(*F, {5}).ReturnValue, 10);
+  EXPECT_EQ(interpret(*F, {0}).ReturnValue, 0);
+}
+
+TEST(SSAConstruction, PrunedSkipsDeadJoins) {
+  // %x is redefined in both arms but never used after the join: pruned
+  // placement must not insert a phi, minimal must.
+  const char *Text = R"(
+func @dead {
+e:
+  %c = param 0
+  %x = const 0
+  branch %c, l, r
+l:
+  %x = const 1
+  %o1 = opaque %x
+  jump j
+r:
+  %x = const 2
+  %o2 = opaque %x
+  jump j
+j:
+  %r = const 9
+  ret %r
+}
+)";
+  auto Pruned = parseOk(Text);
+  SSAConstructionStats PS = constructSSA(*Pruned, PhiPlacement::Pruned);
+  EXPECT_EQ(PS.PhisInserted, 0u);
+  EXPECT_TRUE(verifySSA(*Pruned).ok());
+
+  auto Minimal = parseOk(Text);
+  SSAConstructionStats MS = constructSSA(*Minimal, PhiPlacement::Minimal);
+  EXPECT_EQ(MS.PhisInserted, 1u);
+  EXPECT_TRUE(verifySSA(*Minimal).ok()) << verifySSA(*Minimal).message();
+}
+
+TEST(SSAConstruction, MinimalHandlesUndefOperands) {
+  // %x is (re)defined only on the left path and dead at the join; minimal
+  // SSA still places a phi there, whose right-path operand has no
+  // reaching definition and must be materialized as undef.
+  auto F = parseOk(R"(
+func @undef {
+e:
+  %c = param 0
+  branch %c, l, j
+l:
+  %x = const 1
+  %o = opaque %x
+  jump m
+m:
+  %x = const 2
+  %o2 = opaque %x
+  jump j
+j:
+  %r = const 0
+  ret %r
+}
+)");
+  SSAConstructionStats Stats = constructSSA(*F, PhiPlacement::Minimal);
+  EXPECT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+  EXPECT_GT(Stats.UndefOperands, 0u);
+
+  // Pruned placement on the same program sees %x dead at the join and
+  // inserts nothing.
+  auto G = parseOk(R"(
+func @undef2 {
+e:
+  %c = param 0
+  branch %c, l, j
+l:
+  %x = const 1
+  %o = opaque %x
+  jump m
+m:
+  %x = const 2
+  %o2 = opaque %x
+  jump j
+j:
+  %r = const 0
+  ret %r
+}
+)");
+  SSAConstructionStats PS = constructSSA(*G, PhiPlacement::Pruned);
+  EXPECT_EQ(PS.UndefOperands, 0u);
+  EXPECT_EQ(PS.PhisInserted, 0u);
+}
+
+TEST(SSAConstruction, SingleDefValuesLeftAlone) {
+  auto F = parseOk(R"(
+func @single {
+e:
+  %a = param 0
+  %b = add %a, %a
+  ret %b
+}
+)");
+  SSAConstructionStats Stats = constructSSA(*F);
+  EXPECT_EQ(Stats.PhisInserted, 0u);
+  EXPECT_EQ(Stats.VariablesRenamed, 0u);
+  EXPECT_TRUE(verifySSA(*F).ok());
+}
+
+TEST(SSAConstruction, UseBeforeRedefinitionReadsOldValue) {
+  auto F = parseOk(R"(
+func @order {
+e:
+  %x = const 10
+  jump b
+b:
+  %y = add %x, %x
+  %x = const 3
+  %z = add %x, %y
+  ret %z
+}
+)");
+  auto Original = cloneFunction(*F);
+  constructSSA(*F);
+  EXPECT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+  EXPECT_EQ(interpret(*F, {}).ReturnValue, 23);
+  EXPECT_EQ(interpret(*Original, {}).ReturnValue, 23);
+}
+
+TEST(SSAConstruction, RandomProgramsBecomeValidSSA) {
+  for (std::uint64_t Seed = 100; Seed != 130; ++Seed) {
+    RandomFunctionConfig Cfg;
+    Cfg.TargetBlocks = 8 + static_cast<unsigned>(Seed % 40);
+    Cfg.GotoEdges = Seed % 3;
+    auto F = randomImperativeFunction(Seed, Cfg);
+    constructSSA(*F);
+    VerifyResult R = verifySSA(*F);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.message();
+  }
+}
+
+TEST(SSAConstruction, PreservesInterpreterBehaviour) {
+  for (std::uint64_t Seed = 200; Seed != 225; ++Seed) {
+    RandomFunctionConfig Cfg;
+    Cfg.TargetBlocks = 6 + static_cast<unsigned>(Seed % 30);
+    auto F = randomImperativeFunction(Seed, Cfg);
+    auto Original = cloneFunction(*F);
+    constructSSA(*F);
+    ASSERT_TRUE(verifySSA(*F).ok()) << verifySSA(*F).message();
+    for (std::int64_t A : {0, 1, -3, 17}) {
+      ExecutionResult Before = interpret(*Original, {A, A + 1}, 512);
+      ExecutionResult After = interpret(*F, {A, A + 1}, 512);
+      EXPECT_TRUE(sameObservableBehavior(Before, After))
+          << "seed " << Seed << " arg " << A;
+    }
+  }
+}

@@ -1,0 +1,216 @@
+//===- tests/ssa/DestructionEdgeCasesTest.cpp -----------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSADestruction.h"
+
+#include "TestUtil.h"
+#include "core/FunctionLiveness.h"
+#include "ir/Clone.h"
+#include "ir/IRParser.h"
+#include "ir/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+static bool hasPhis(const Function &F) {
+  for (const auto &B : F.blocks())
+    if (!B->phis().empty())
+      return true;
+  return false;
+}
+
+static void expectEquivalent(const Function &A, const Function &B,
+                             const char *Tag) {
+  for (std::int64_t X : {0, 1, 5, -2}) {
+    ExecutionResult RA = interpret(A, {X, X + 1}, 256);
+    ExecutionResult RB = interpret(B, {X, X + 1}, 256);
+    EXPECT_TRUE(sameObservableBehavior(RA, RB)) << Tag << " arg " << X;
+  }
+}
+
+TEST(DestructionEdgeCases, FunctionWithoutPhisIsUntouched) {
+  auto F = parseOk(R"(
+func @nophi {
+e:
+  %a = param 0
+  %b = add %a, %a
+  ret %b
+}
+)");
+  FunctionLiveness Live(*F);
+  DestructionStats Stats = destructSSA(*F, Live);
+  EXPECT_EQ(Stats.PhisEliminated, 0u);
+  EXPECT_EQ(Stats.CopiesInserted, 0u);
+  EXPECT_EQ(Stats.LivenessQueries, 0u);
+  EXPECT_EQ(F->entry()->instructions().size(), 3u);
+}
+
+TEST(DestructionEdgeCases, SameValueOnAllPhiArms) {
+  // z = phi(x, x): both arms carry the same value; everything coalesces.
+  auto F = parseOk(R"(
+func @same {
+e:
+  %c = param 0
+  %x = const 7
+  branch %c, l, r
+l:
+  jump j
+r:
+  jump j
+j:
+  %z = phi [%x, l], [%x, r]
+  ret %z
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  DestructionStats Stats = destructSSA(*F, Live);
+  EXPECT_EQ(Stats.CopiesInserted, 0u);
+  EXPECT_FALSE(hasPhis(*F));
+  expectEquivalent(*Original, *F, "same-arms");
+}
+
+TEST(DestructionEdgeCases, SharedArgAcrossTwoJoins) {
+  // %x feeds phis in two different join blocks; its congruence classes
+  // chain across both.
+  auto F = parseOk(R"(
+func @shared {
+e:
+  %c = param 0
+  %x = const 1
+  %y = const 2
+  branch %c, l, r
+l:
+  jump j1
+r:
+  jump j1
+j1:
+  %p = phi [%x, l], [%y, r]
+  %s = opaque %p
+  branch %c, l2, r2
+l2:
+  jump j2
+r2:
+  jump j2
+j2:
+  %q = phi [%x, l2], [%p, r2]
+  %t = opaque %q, %s
+  ret %t
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  destructSSA(*F, Live);
+  EXPECT_FALSE(hasPhis(*F));
+  EXPECT_TRUE(verifyStructure(*F).ok()) << verifyStructure(*F).message();
+  expectEquivalent(*Original, *F, "shared-arg");
+}
+
+TEST(DestructionEdgeCases, SelfReferentialLoopPhi) {
+  // The phi reads itself around the loop: must coalesce into one name
+  // with no copy on the back edge.
+  auto F = parseOk(R"(
+func @selfphi {
+e:
+  %n = param 0
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i, b]
+  %c = cmplt %i, %n
+  branch %c, b, x
+b:
+  jump h
+x:
+  ret %i
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  DestructionStats Stats = destructSSA(*F, Live);
+  EXPECT_EQ(Stats.CopiesInserted, 0u) << "self-arm needs no copy";
+  expectEquivalent(*Original, *F, "self-phi");
+}
+
+TEST(DestructionEdgeCases, ThreeWayPhiCycle) {
+  // Rotate three values each iteration: a <- b <- c <- a. The parallel
+  // copy at the latch is a 3-cycle; sequentialization needs exactly one
+  // temporary.
+  auto F = parseOk(R"(
+func @rotate {
+e:
+  %n = param 0
+  %v1 = const 1
+  %v2 = const 2
+  %v3 = const 3
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i2, b]
+  %a = phi [%v1, e], [%b, b]
+  %b = phi [%v2, e], [%c, b]
+  %c = phi [%v3, e], [%a, b]
+  %t = cmplt %i, %n
+  branch %t, b, x
+b:
+  %one = const 1
+  %i2 = add %i, %one
+  jump h
+x:
+  %m1 = mul %a, %b
+  %m2 = sub %m1, %c
+  ret %m2
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  destructSSA(*F, Live);
+  EXPECT_FALSE(hasPhis(*F));
+  EXPECT_TRUE(verifyStructure(*F).ok());
+  for (std::int64_t N : {0, 1, 2, 3, 4, 5})
+    EXPECT_TRUE(sameObservableBehavior(interpret(*Original, {N}, 256),
+                                       interpret(*F, {N}, 256)))
+        << "rotate(" << N << ")";
+}
+
+TEST(DestructionEdgeCases, PhiArgumentFromIrreducibleRegion) {
+  for (std::uint64_t Seed = 1100; Seed != 1115; ++Seed) {
+    RandomFunctionConfig Cfg;
+    Cfg.TargetBlocks = 12;
+    Cfg.GotoEdges = 4;
+    auto F = randomSSAFunction(Seed, Cfg);
+    auto Original = cloneFunction(*F);
+    FunctionLiveness Live(*F);
+    destructSSA(*F, Live);
+    EXPECT_FALSE(hasPhis(*F)) << "seed " << Seed;
+    EXPECT_TRUE(verifyStructure(*F).ok()) << "seed " << Seed;
+    expectEquivalent(*Original, *F, "irreducible");
+  }
+}
+
+TEST(DestructionEdgeCases, StatsAreInternallyConsistent) {
+  for (std::uint64_t Seed = 1200; Seed != 1215; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    unsigned PhiCount = 0, ResourceCount = 0;
+    for (const auto &B : F->blocks())
+      for (const Instruction *Phi : B->phis()) {
+        ++PhiCount;
+        ResourceCount += 1 + Phi->numOperands();
+      }
+    FunctionLiveness Live(*F);
+    DestructionStats Stats = destructSSA(*F, Live);
+    EXPECT_EQ(Stats.PhisEliminated, PhiCount) << "seed " << Seed;
+    EXPECT_LE(Stats.ResourcesCoalesced, ResourceCount) << "seed " << Seed;
+  }
+}

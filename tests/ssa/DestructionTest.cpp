@@ -1,0 +1,230 @@
+//===- tests/ssa/DestructionTest.cpp --------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSADestruction.h"
+
+#include "TestUtil.h"
+#include "core/FunctionLiveness.h"
+#include "ir/Clone.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Interpreter.h"
+#include "liveness/DataflowLiveness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+static std::unique_ptr<Function> parseOk(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+static bool hasPhis(const Function &F) {
+  for (const auto &B : F.blocks())
+    if (!B->phis().empty())
+      return true;
+  return false;
+}
+
+static void expectEquivalent(const Function &A, const Function &B,
+                             const char *Tag) {
+  for (std::int64_t X : {0, 1, 2, -1, 9}) {
+    ExecutionResult RA = interpret(A, {X, 3 - X}, 512);
+    ExecutionResult RB = interpret(B, {X, 3 - X}, 512);
+    EXPECT_TRUE(sameObservableBehavior(RA, RB))
+        << Tag << " diverges on arg " << X;
+  }
+}
+
+TEST(SSADestruction, DiamondCoalescesWithoutCopies) {
+  // The two φ arguments die at the φ: everything coalesces, zero copies.
+  auto F = parseOk(R"(
+func @d {
+e:
+  %c = param 0
+  branch %c, l, r
+l:
+  %x = const 1
+  jump j
+r:
+  %y = const 2
+  jump j
+j:
+  %m = phi [%x, l], [%y, r]
+  ret %m
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  DestructionStats Stats = destructSSA(*F, Live);
+  EXPECT_FALSE(hasPhis(*F));
+  EXPECT_TRUE(verifyStructure(*F).ok()) << verifyStructure(*F).message();
+  EXPECT_EQ(Stats.PhisEliminated, 1u);
+  EXPECT_EQ(Stats.CopiesInserted, 0u) << printFunction(*F);
+  EXPECT_EQ(Stats.ResourcesCoalesced, 2u);
+  expectEquivalent(*Original, *F, "diamond");
+}
+
+TEST(SSADestruction, LostCopyProblem) {
+  // The classic lost-copy shape: the φ result is used after the loop while
+  // the φ argument is redefined inside it; naive copy placement clobbers.
+  auto F = parseOk(R"(
+func @lostcopy {
+e:
+  %n = param 0
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i2, h2]
+  %one = const 1
+  %i2 = add %i, %one
+  %c = cmplt %i2, %n
+  branch %c, h2, x
+h2:
+  jump h
+x:
+  ret %i
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  destructSSA(*F, Live);
+  EXPECT_FALSE(hasPhis(*F));
+  EXPECT_TRUE(verifyStructure(*F).ok());
+  expectEquivalent(*Original, *F, "lost-copy");
+}
+
+TEST(SSADestruction, SwapProblem) {
+  // Two φs exchange values each iteration; sequentialization must break
+  // the cycle with a temporary rather than clobber.
+  auto F = parseOk(R"(
+func @swap {
+e:
+  %n = param 0
+  %a0 = const 1
+  %b0 = const 2
+  %z = const 0
+  jump h
+h:
+  %i = phi [%z, e], [%i2, b]
+  %a = phi [%a0, e], [%b, b]
+  %b = phi [%b0, e], [%a, b]
+  %c = cmplt %i, %n
+  branch %c, b, x
+b:
+  %one = const 1
+  %i2 = add %i, %one
+  jump h
+x:
+  %d = sub %a, %b
+  ret %d
+}
+)");
+  auto Original = cloneFunction(*F);
+  FunctionLiveness Live(*F);
+  destructSSA(*F, Live);
+  EXPECT_FALSE(hasPhis(*F));
+  EXPECT_TRUE(verifyStructure(*F).ok());
+  expectEquivalent(*Original, *F, "swap");
+}
+
+TEST(SSADestruction, CopyAllIsAlwaysSafe) {
+  for (std::uint64_t Seed = 500; Seed != 515; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    auto Original = cloneFunction(*F);
+    FunctionLiveness Live(*F);
+    DestructionOptions Opts;
+    Opts.Method = DestructionMethod::CopyAll;
+    DestructionStats Stats = destructSSA(*F, Live, Opts);
+    EXPECT_FALSE(hasPhis(*F));
+    EXPECT_TRUE(verifyStructure(*F).ok())
+        << "seed " << Seed << "\n" << verifyStructure(*F).message();
+    EXPECT_EQ(Stats.LivenessQueries, 0u) << "Method I asks nothing";
+    expectEquivalent(*Original, *F, "copy-all");
+  }
+}
+
+TEST(SSADestruction, CoalescingPreservesBehaviourOnRandomPrograms) {
+  for (std::uint64_t Seed = 600; Seed != 640; ++Seed) {
+    RandomFunctionConfig Cfg;
+    Cfg.TargetBlocks = 8 + static_cast<unsigned>(Seed % 30);
+    Cfg.GotoEdges = Seed % 3;
+    auto F = randomSSAFunction(Seed, Cfg);
+    auto Original = cloneFunction(*F);
+    FunctionLiveness Live(*F);
+    DestructionStats Stats = destructSSA(*F, Live);
+    EXPECT_FALSE(hasPhis(*F));
+    EXPECT_TRUE(verifyStructure(*F).ok())
+        << "seed " << Seed << "\n" << verifyStructure(*F).message();
+    expectEquivalent(*Original, *F, "coalescing");
+    // Coalescing must actually coalesce: on these workloads some φ
+    // resource always merges.
+    if (Stats.PhisEliminated != 0) {
+      EXPECT_GT(Stats.ResourcesCoalesced + Stats.FullIsolationFallbacks, 0u);
+    }
+  }
+}
+
+TEST(SSADestruction, CoalescingInsertsFewerCopiesThanCopyAll) {
+  std::uint64_t TotalCoalescing = 0, TotalCopyAll = 0;
+  for (std::uint64_t Seed = 700; Seed != 720; ++Seed) {
+    auto F1 = randomSSAFunction(Seed);
+    auto F2 = cloneFunction(*F1);
+    FunctionLiveness L1(*F1);
+    DestructionStats S1 = destructSSA(*F1, L1);
+    FunctionLiveness L2(*F2);
+    DestructionOptions Opts;
+    Opts.Method = DestructionMethod::CopyAll;
+    DestructionStats S2 = destructSSA(*F2, L2, Opts);
+    TotalCoalescing += S1.CopiesInserted;
+    TotalCopyAll += S2.CopiesInserted;
+  }
+  EXPECT_LT(TotalCoalescing, TotalCopyAll)
+      << "interference-driven insertion must beat full isolation";
+}
+
+TEST(SSADestruction, TraceRecordsQueries) {
+  auto F = randomSSAFunction(800);
+  FunctionLiveness Live(*F);
+  DestructionOptions Opts;
+  Opts.RecordTrace = true;
+  DestructionStats Stats = destructSSA(*F, Live, Opts);
+  EXPECT_EQ(Stats.Trace.size(), Stats.LivenessQueries);
+  for (const RecordedQuery &Q : Stats.Trace) {
+    EXPECT_LT(Q.BlockId, F->numBlocks());
+    EXPECT_LT(Q.ValueId, F->numValues());
+  }
+}
+
+TEST(SSADestruction, IdenticalDecisionsAcrossBackends) {
+  // Because all backends answer identically, the pass must produce the
+  // same output IR whichever backend drives it.
+  for (std::uint64_t Seed = 900; Seed != 910; ++Seed) {
+    auto F1 = randomSSAFunction(Seed);
+    auto F2 = cloneFunction(*F1);
+
+    FunctionLiveness Fast(*F1);
+    DestructionOptions Opts;
+    Opts.RecordTrace = true;
+    DestructionStats S1 = destructSSA(*F1, Fast, Opts);
+
+    DataflowLiveness Dataflow(*F2);
+    DestructionStats S2 = destructSSA(*F2, Dataflow, Opts);
+
+    EXPECT_EQ(S1.LivenessQueries, S2.LivenessQueries) << "seed " << Seed;
+    EXPECT_EQ(S1.CopiesInserted, S2.CopiesInserted) << "seed " << Seed;
+    EXPECT_EQ(printFunction(*F1), printFunction(*F2)) << "seed " << Seed;
+    ASSERT_EQ(S1.Trace.size(), S2.Trace.size());
+    for (size_t I = 0; I != S1.Trace.size(); ++I) {
+      EXPECT_EQ(S1.Trace[I].ValueId, S2.Trace[I].ValueId);
+      EXPECT_EQ(S1.Trace[I].BlockId, S2.Trace[I].BlockId);
+      EXPECT_EQ(S1.Trace[I].IsLiveOut, S2.Trace[I].IsLiveOut);
+    }
+  }
+}

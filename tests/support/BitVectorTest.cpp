@@ -1,0 +1,173 @@
+//===- tests/support/BitVectorTest.cpp ------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include "support/RandomEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ssalive;
+
+TEST(BitVector, StartsEmpty) {
+  BitVector B(100);
+  EXPECT_EQ(B.size(), 100u);
+  EXPECT_TRUE(B.none());
+  EXPECT_FALSE(B.any());
+  EXPECT_EQ(B.count(), 0u);
+  EXPECT_EQ(B.findFirstSet(), BitVector::npos);
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector B(130);
+  B.set(0);
+  B.set(63);
+  B.set(64);
+  B.set(129);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(63));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  EXPECT_FALSE(B.test(128));
+  EXPECT_EQ(B.count(), 4u);
+  B.reset(63);
+  EXPECT_FALSE(B.test(63));
+  EXPECT_EQ(B.count(), 3u);
+}
+
+TEST(BitVector, FindNextSetScansAcrossWords) {
+  BitVector B(200);
+  B.set(3);
+  B.set(64);
+  B.set(65);
+  B.set(199);
+  EXPECT_EQ(B.findNextSet(0), 3u);
+  EXPECT_EQ(B.findNextSet(3), 3u); // Inclusive start, like the paper's scan.
+  EXPECT_EQ(B.findNextSet(4), 64u);
+  EXPECT_EQ(B.findNextSet(65), 65u);
+  EXPECT_EQ(B.findNextSet(66), 199u);
+  EXPECT_EQ(B.findNextSet(200), BitVector::npos);
+  EXPECT_EQ(B.findNextSet(1000), BitVector::npos);
+}
+
+TEST(BitVector, WholeVectorReset) {
+  BitVector B(70);
+  B.set(1);
+  B.set(69);
+  B.reset();
+  EXPECT_TRUE(B.none());
+  EXPECT_EQ(B.size(), 70u);
+}
+
+TEST(BitVector, UnionIntersection) {
+  BitVector A(100), B(100);
+  A.set(1);
+  A.set(50);
+  B.set(50);
+  B.set(99);
+  BitVector U = A;
+  U |= B;
+  EXPECT_TRUE(U.test(1));
+  EXPECT_TRUE(U.test(50));
+  EXPECT_TRUE(U.test(99));
+  EXPECT_EQ(U.count(), 3u);
+
+  BitVector I = A;
+  I &= B;
+  EXPECT_FALSE(I.test(1));
+  EXPECT_TRUE(I.test(50));
+  EXPECT_FALSE(I.test(99));
+  EXPECT_EQ(I.count(), 1u);
+}
+
+TEST(BitVector, ResetAllSubtracts) {
+  BitVector A(64), B(64);
+  A.set(1);
+  A.set(2);
+  A.set(3);
+  B.set(2);
+  A.resetAll(B);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(2));
+  EXPECT_TRUE(A.test(3));
+}
+
+TEST(BitVector, AnyCommonAndSubset) {
+  BitVector A(128), B(128);
+  A.set(5);
+  A.set(70);
+  B.set(70);
+  EXPECT_TRUE(A.anyCommon(B));
+  EXPECT_TRUE(B.isSubsetOf(A));
+  EXPECT_FALSE(A.isSubsetOf(B));
+  B.reset(70);
+  EXPECT_FALSE(A.anyCommon(B));
+  EXPECT_TRUE(B.isSubsetOf(A)); // Empty set is a subset of everything.
+}
+
+TEST(BitVector, ResizePreservesAndClearsTail) {
+  BitVector B(10);
+  B.set(9);
+  B.resize(100);
+  EXPECT_TRUE(B.test(9));
+  EXPECT_FALSE(B.test(10));
+  EXPECT_EQ(B.count(), 1u);
+  B.resize(5);
+  EXPECT_EQ(B.count(), 0u);
+  // Growing again must not resurrect old bits past the shrink point.
+  B.resize(100);
+  EXPECT_FALSE(B.test(9));
+}
+
+TEST(BitVector, EqualityIsValueBased) {
+  BitVector A(64), B(64);
+  EXPECT_EQ(A, B);
+  A.set(13);
+  EXPECT_NE(A, B);
+  B.set(13);
+  EXPECT_EQ(A, B);
+}
+
+TEST(BitVector, RandomizedAgainstStdSet) {
+  RandomEngine Rng(1234);
+  for (unsigned Round = 0; Round != 20; ++Round) {
+    unsigned N = 1 + Rng.nextBelow(300);
+    BitVector B(N);
+    std::set<unsigned> Ref;
+    for (unsigned Op = 0; Op != 200; ++Op) {
+      unsigned I = Rng.nextBelow(N);
+      if (Rng.chancePercent(60)) {
+        B.set(I);
+        Ref.insert(I);
+      } else {
+        B.reset(I);
+        Ref.erase(I);
+      }
+    }
+    EXPECT_EQ(B.count(), Ref.size());
+    // Iterate via findNextSet and compare with the reference order.
+    auto It = Ref.begin();
+    for (unsigned I = B.findFirstSet(); I != BitVector::npos;
+         I = B.findNextSet(I + 1)) {
+      ASSERT_NE(It, Ref.end());
+      EXPECT_EQ(I, *It);
+      ++It;
+    }
+    EXPECT_EQ(It, Ref.end());
+  }
+}
+
+TEST(BitVector, MemoryBytesMatchesWordCount) {
+  BitVector B(1);
+  EXPECT_EQ(B.memoryBytes(), 8u);
+  B.resize(64);
+  EXPECT_EQ(B.memoryBytes(), 8u);
+  B.resize(65);
+  EXPECT_EQ(B.memoryBytes(), 16u);
+}

@@ -1,0 +1,53 @@
+//===- tests/support/RandomEngineTest.cpp ---------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RandomEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+TEST(RandomEngine, DeterministicPerSeed) {
+  RandomEngine A(42), B(42), C(43);
+  bool Diverged = false;
+  for (int I = 0; I != 100; ++I) {
+    auto X = A.next();
+    EXPECT_EQ(X, B.next());
+    if (X != C.next())
+      Diverged = true;
+  }
+  EXPECT_TRUE(Diverged) << "different seeds should produce different streams";
+}
+
+TEST(RandomEngine, BoundedSamplingStaysInRange) {
+  RandomEngine Rng(7);
+  for (int I = 0; I != 10000; ++I) {
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+    unsigned V = Rng.nextInRange(5, 9);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 9u);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomEngine, BoundedSamplingCoversRange) {
+  RandomEngine Rng(11);
+  unsigned Seen[8] = {};
+  for (int I = 0; I != 4000; ++I)
+    ++Seen[Rng.nextBelow(8)];
+  for (unsigned Count : Seen)
+    EXPECT_GT(Count, 300u) << "bucket starved; sampler is badly biased";
+}
+
+TEST(RandomEngine, ChancePercentExtremes) {
+  RandomEngine Rng(3);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(Rng.chancePercent(0));
+    EXPECT_TRUE(Rng.chancePercent(100));
+  }
+}

@@ -1,0 +1,50 @@
+//===- tests/support/SortedArraySetTest.cpp -------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SortedArraySet.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ssalive;
+
+TEST(SortedArraySet, AssignSortsAndDeduplicates) {
+  SortedArraySet S;
+  std::vector<unsigned> In{5, 3, 9, 3, 5, 1};
+  S.assign(In.begin(), In.end());
+  EXPECT_EQ(S.size(), 4u);
+  std::vector<unsigned> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, (std::vector<unsigned>{1, 3, 5, 9}));
+}
+
+TEST(SortedArraySet, ContainsIsBinarySearch) {
+  SortedArraySet S;
+  std::vector<unsigned> In{2, 4, 6, 8};
+  S.assign(In.begin(), In.end());
+  EXPECT_TRUE(S.contains(2));
+  EXPECT_TRUE(S.contains(8));
+  EXPECT_FALSE(S.contains(1));
+  EXPECT_FALSE(S.contains(5));
+  EXPECT_FALSE(S.contains(9));
+}
+
+TEST(SortedArraySet, IncrementalInsertKeepsOrder) {
+  SortedArraySet S;
+  EXPECT_TRUE(S.insert(10));
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_TRUE(S.insert(20));
+  EXPECT_FALSE(S.insert(10));
+  std::vector<unsigned> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, (std::vector<unsigned>{5, 10, 20}));
+}
+
+TEST(SortedArraySet, EmptyBehaviour) {
+  SortedArraySet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_EQ(S.memoryBytes(), 0u);
+}

@@ -1,0 +1,86 @@
+//===- tests/support/SparseSetTest.cpp ------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SparseSet.h"
+
+#include "support/RandomEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ssalive;
+
+TEST(SparseSet, InsertContainsClear) {
+  SparseSet S(50);
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(7));
+  EXPECT_FALSE(S.insert(7)); // Duplicate insert reports existing.
+  EXPECT_TRUE(S.insert(49));
+  EXPECT_TRUE(S.contains(7));
+  EXPECT_TRUE(S.contains(49));
+  EXPECT_FALSE(S.contains(8));
+  EXPECT_EQ(S.size(), 2u);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(7));
+}
+
+TEST(SparseSet, ClearIsConstantTimeReuse) {
+  // After clear, stale Sparse[] entries must not fake membership — this is
+  // the Briggs-Torczon garbage-tolerance property.
+  SparseSet S(10);
+  S.insert(3);
+  S.clear();
+  EXPECT_FALSE(S.contains(3));
+  S.insert(5);
+  // Sparse[3] still points at position 0, which now holds 5.
+  EXPECT_FALSE(S.contains(3));
+  EXPECT_TRUE(S.contains(5));
+}
+
+TEST(SparseSet, EraseSwapsWithLast) {
+  SparseSet S(10);
+  S.insert(1);
+  S.insert(2);
+  S.insert(3);
+  EXPECT_TRUE(S.erase(2));
+  EXPECT_FALSE(S.erase(2));
+  EXPECT_TRUE(S.contains(1));
+  EXPECT_FALSE(S.contains(2));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(SparseSet, IterationCoversMembers) {
+  SparseSet S(100);
+  std::set<unsigned> Want{5, 10, 42, 99};
+  for (unsigned V : Want)
+    S.insert(V);
+  std::set<unsigned> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(SparseSet, RandomizedAgainstStdSet) {
+  RandomEngine Rng(99);
+  SparseSet S(200);
+  std::set<unsigned> Ref;
+  for (unsigned Op = 0; Op != 2000; ++Op) {
+    unsigned V = Rng.nextBelow(200);
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      EXPECT_EQ(S.insert(V), Ref.insert(V).second);
+      break;
+    case 1:
+      EXPECT_EQ(S.erase(V), Ref.erase(V) != 0);
+      break;
+    default:
+      EXPECT_EQ(S.contains(V), Ref.count(V) != 0);
+      break;
+    }
+    EXPECT_EQ(S.size(), Ref.size());
+  }
+}

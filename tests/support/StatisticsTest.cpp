@@ -1,0 +1,33 @@
+//===- tests/support/StatisticsTest.cpp -----------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+TEST(SampleStats, EmptyDistribution) {
+  SampleStats S;
+  EXPECT_EQ(S.sampleCount(), 0u);
+  EXPECT_EQ(S.sum(), 0u);
+  EXPECT_DOUBLE_EQ(S.average(), 0.0);
+  EXPECT_EQ(S.maximum(), 0u);
+  EXPECT_DOUBLE_EQ(S.percentAtMost(10), 0.0);
+}
+
+TEST(SampleStats, Table1StyleColumns) {
+  SampleStats S;
+  for (unsigned V : {10u, 20u, 30u, 40u, 100u})
+    S.add(V);
+  EXPECT_EQ(S.sampleCount(), 5u);
+  EXPECT_EQ(S.sum(), 200u);
+  EXPECT_DOUBLE_EQ(S.average(), 40.0);
+  EXPECT_EQ(S.maximum(), 100u);
+  EXPECT_DOUBLE_EQ(S.percentAtMost(32), 60.0);
+  EXPECT_DOUBLE_EQ(S.percentAtMost(64), 80.0);
+  EXPECT_DOUBLE_EQ(S.percentAtMost(100), 100.0);
+}

@@ -1,0 +1,98 @@
+//===- tests/workload/CFGGeneratorTest.cpp --------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/CFGGenerator.h"
+
+#include "analysis/DFS.h"
+#include "support/RandomEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+TEST(CFGGenerator, DeterministicPerSeed) {
+  CFGGenOptions Opts;
+  Opts.TargetBlocks = 30;
+  RandomEngine R1(5), R2(5);
+  CFG A = generateCFG(Opts, R1);
+  CFG B = generateCFG(Opts, R2);
+  ASSERT_EQ(A.numNodes(), B.numNodes());
+  for (unsigned V = 0; V != A.numNodes(); ++V)
+    EXPECT_EQ(A.successors(V), B.successors(V));
+}
+
+TEST(CFGGenerator, StructuralInvariants) {
+  for (std::uint64_t Seed = 0; Seed != 50; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = 4 + Rng.nextBelow(100);
+    Opts.GotoEdges = Seed % 4;
+    CFG G = generateCFG(Opts, Rng);
+
+    unsigned Exits = 0;
+    for (unsigned V = 0; V != G.numNodes(); ++V) {
+      EXPECT_LE(G.successors(V).size(), 2u)
+          << "seed " << Seed << ": branch arity";
+      if (G.successors(V).empty())
+        ++Exits;
+      // No duplicate edges.
+      const auto &S = G.successors(V);
+      for (size_t I = 0; I < S.size(); ++I)
+        for (size_t J = I + 1; J < S.size(); ++J)
+          EXPECT_NE(S[I], S[J]) << "seed " << Seed;
+    }
+    EXPECT_EQ(Exits, 1u) << "seed " << Seed << ": exactly one exit";
+    EXPECT_TRUE(G.predecessors(G.entry()).empty())
+        << "seed " << Seed << ": entry has no predecessors";
+
+    // All nodes reachable (the DFS asserts this internally too).
+    DFS D(G);
+    EXPECT_EQ(D.preorderSequence().size(), G.numNodes());
+  }
+}
+
+TEST(CFGGenerator, HitsBlockTargetApproximately) {
+  for (unsigned Target : {8u, 32u, 128u, 512u}) {
+    RandomEngine Rng(Target);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = Target;
+    CFG G = generateCFG(Opts, Rng);
+    EXPECT_GE(G.numNodes(), Target / 2) << "target " << Target;
+    EXPECT_LE(G.numNodes(), Target * 2) << "target " << Target;
+  }
+}
+
+TEST(CFGGenerator, ProducesLoops) {
+  unsigned WithBackEdges = 0;
+  for (std::uint64_t Seed = 0; Seed != 20; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = 40;
+    CFG G = generateCFG(Opts, Rng);
+    DFS D(G);
+    if (!D.backEdges().empty())
+      ++WithBackEdges;
+  }
+  EXPECT_GT(WithBackEdges, 10u) << "loops should be common at this size";
+}
+
+TEST(CFGGenerator, EdgeDensityMatchesPaperRange) {
+  // Section 6.1: "on average there were 1.3 edges per basic block with a
+  // total maximum of 1.9". The generator should live in that ballpark.
+  double TotalRatio = 0;
+  unsigned Count = 0;
+  for (std::uint64_t Seed = 0; Seed != 30; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks = 36;
+    CFG G = generateCFG(Opts, Rng);
+    TotalRatio += static_cast<double>(G.numEdges()) / G.numNodes();
+    ++Count;
+  }
+  double Avg = TotalRatio / Count;
+  EXPECT_GT(Avg, 1.0);
+  EXPECT_LT(Avg, 1.9);
+}

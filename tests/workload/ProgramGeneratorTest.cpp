@@ -1,0 +1,103 @@
+//===- tests/workload/ProgramGeneratorTest.cpp ----------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ProgramGenerator.h"
+
+#include "TestUtil.h"
+#include "ir/Interpreter.h"
+#include "workload/CFGGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+TEST(ProgramGenerator, ProducesStructurallyValidStrictPrograms) {
+  for (std::uint64_t Seed = 0; Seed != 25; ++Seed) {
+    RandomEngine Rng(Seed);
+    CFGGenOptions GOpts;
+    GOpts.TargetBlocks = 6 + Rng.nextBelow(40);
+    CFG G = generateCFG(GOpts, Rng);
+    ProgramGenOptions POpts;
+    auto F = generateProgram(G, POpts, Rng);
+    EXPECT_TRUE(verifyStructure(*F).ok())
+        << "seed " << Seed << "\n" << verifyStructure(*F).message();
+    // Strictness: the interpreter must never read an undefined value.
+    for (std::int64_t A : {0, 3, -5}) {
+      ExecutionResult R = interpret(*F, {A, A + 2}, 256);
+      EXPECT_NE(R.Stop, ExecutionResult::Status::ReadUndef)
+          << "seed " << Seed;
+    }
+  }
+}
+
+TEST(ProgramGenerator, BlocksMirrorGraph) {
+  RandomEngine Rng(9);
+  CFGGenOptions GOpts;
+  GOpts.TargetBlocks = 20;
+  CFG G = generateCFG(GOpts, Rng);
+  ProgramGenOptions POpts;
+  auto F = generateProgram(G, POpts, Rng);
+  ASSERT_EQ(F->numBlocks(), G.numNodes());
+  for (unsigned V = 0; V != G.numNodes(); ++V) {
+    ASSERT_EQ(F->block(V)->numSuccessors(), G.successors(V).size());
+    for (unsigned I = 0; I != G.successors(V).size(); ++I)
+      EXPECT_EQ(F->block(V)->successors()[I]->id(), G.successors(V)[I]);
+  }
+}
+
+TEST(ProgramGenerator, ReadCountSamplerMatchesBuckets) {
+  ProgramGenOptions Opts; // Defaults = Table 1 "Total" row.
+  RandomEngine Rng(123);
+  unsigned Buckets[5] = {}; // <=1, ==2, ==3, ==4, >=5
+  constexpr unsigned Samples = 200000;
+  for (unsigned I = 0; I != Samples; ++I) {
+    unsigned N = sampleReadCount(Opts, Rng);
+    EXPECT_GE(N, 1u);
+    EXPECT_LE(N, Opts.MaxReads);
+    ++Buckets[std::min(N, 5u) - 1];
+  }
+  auto Pct = [&](unsigned UpTo) {
+    unsigned Total = 0;
+    for (unsigned I = 0; I != UpTo; ++I)
+      Total += Buckets[I];
+    return 100.0 * Total / Samples;
+  };
+  EXPECT_NEAR(Pct(1), 71.30, 0.8);
+  EXPECT_NEAR(Pct(2), 87.85, 0.8);
+  EXPECT_NEAR(Pct(3), 92.76, 0.8);
+  EXPECT_NEAR(Pct(4), 95.31, 0.8);
+}
+
+TEST(ProgramGenerator, VariableCountScalesWithBlocks) {
+  RandomEngine Rng(77);
+  CFGGenOptions GOpts;
+  GOpts.TargetBlocks = 30;
+  CFG G = generateCFG(GOpts, Rng);
+  ProgramGenOptions POpts;
+  POpts.VariablesPerBlock = 3.0;
+  auto F = generateProgram(G, POpts, Rng);
+  // vars + params + temporaries: at least VariablesPerBlock * N values.
+  EXPECT_GE(F->numValues(), 3u * G.numNodes());
+}
+
+TEST(ProgramGenerator, DeterministicPerSeed) {
+  auto Make = [] {
+    RandomEngine Rng(4242);
+    CFGGenOptions GOpts;
+    GOpts.TargetBlocks = 16;
+    CFG G = generateCFG(GOpts, Rng);
+    ProgramGenOptions POpts;
+    return generateProgram(G, POpts, Rng);
+  };
+  auto A = Make();
+  auto B = Make();
+  EXPECT_EQ(A->numValues(), B->numValues());
+  EXPECT_EQ(A->numBlocks(), B->numBlocks());
+  ExecutionResult RA = interpret(*A, {5, 6}, 128);
+  ExecutionResult RB = interpret(*B, {5, 6}, 128);
+  EXPECT_TRUE(sameObservableBehavior(RA, RB));
+}

@@ -1,0 +1,87 @@
+//===- tests/workload/SpecProfileTest.cpp ---------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/SpecProfile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ssalive;
+
+TEST(SpecProfile, TenBenchmarksTranscribed) {
+  const auto &Profiles = spec2000Profiles();
+  ASSERT_EQ(Profiles.size(), 10u);
+  EXPECT_STREQ(Profiles.front().Name, "164.gzip");
+  EXPECT_STREQ(Profiles.back().Name, "300.twolf");
+  // Table 2 totals: procedures and queries must sum to the Total row.
+  unsigned Procs = 0;
+  std::uint64_t Queries = 0;
+  unsigned SumBlocks = 0;
+  for (const SpecProfile &P : Profiles) {
+    Procs += P.Procedures;
+    Queries += P.PaperQueries;
+    SumBlocks += P.SumBlocks;
+  }
+  EXPECT_EQ(Procs, spec2000TotalRow().Procedures);   // 4823
+  EXPECT_EQ(Queries, spec2000TotalRow().PaperQueries); // 2683555
+  EXPECT_EQ(SumBlocks, spec2000TotalRow().SumBlocks);  // 169825
+}
+
+TEST(SpecProfile, RowInternalConsistency) {
+  for (const SpecProfile &P : spec2000Profiles()) {
+    // Average * procedures ~ sum of blocks (transcription check).
+    EXPECT_NEAR(P.AvgBlocks * P.Procedures, P.SumBlocks,
+                0.01 * P.SumBlocks + 10)
+        << P.Name;
+    EXPECT_LE(P.PctBlocksLe32, P.PctBlocksLe64) << P.Name;
+    EXPECT_LE(P.PctUsesLe1, P.PctUsesLe2) << P.Name;
+    EXPECT_LE(P.PctUsesLe2, P.PctUsesLe3) << P.Name;
+    EXPECT_LE(P.PctUsesLe3, P.PctUsesLe4) << P.Name;
+    // The paper's speedup columns should track the cycle columns. They do
+    // not divide exactly (the paper rounds and possibly weights them
+    // differently), so allow 3% relative slack.
+    EXPECT_NEAR(P.PaperPrecompNative / P.PaperPrecompNew, P.PaperPrecompSpdup,
+                0.03 * P.PaperPrecompSpdup)
+        << P.Name;
+    EXPECT_NEAR(P.PaperQueryNative / P.PaperQueryNew, P.PaperQuerySpdup,
+                0.03 * P.PaperQuerySpdup + 0.005)
+        << P.Name;
+  }
+}
+
+TEST(SpecProfile, InverseNormalCDF) {
+  EXPECT_NEAR(inverseNormalCDF(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverseNormalCDF(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(inverseNormalCDF(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(inverseNormalCDF(0.8413447), 1.0, 1e-4);
+  // Tails stay finite and monotone.
+  EXPECT_LT(inverseNormalCDF(0.001), inverseNormalCDF(0.01));
+  EXPECT_LT(inverseNormalCDF(0.99), inverseNormalCDF(0.999));
+}
+
+TEST(SpecProfile, BlockCountSamplerHitsQuantiles) {
+  RandomEngine Rng(31337);
+  for (const SpecProfile &P : spec2000Profiles()) {
+    unsigned Le32 = 0, Le64 = 0;
+    constexpr unsigned Samples = 20000;
+    for (unsigned I = 0; I != Samples; ++I) {
+      unsigned N = sampleBlockCount(P, Rng);
+      EXPECT_GE(N, 4u);
+      EXPECT_LE(N, MaxBlocksObserved);
+      if (N <= 32)
+        ++Le32;
+      if (N <= 64)
+        ++Le64;
+    }
+    double PctLe32 = 100.0 * Le32 / Samples;
+    double PctLe64 = 100.0 * Le64 / Samples;
+    // The low clamp at 4 shifts mass slightly; allow a loose band. The
+    // 181.mcf row has PctLe64 = 100 which the fit clamps to 99%.
+    EXPECT_NEAR(PctLe32, P.PctBlocksLe32, 6.0) << P.Name;
+    EXPECT_NEAR(PctLe64, std::min(P.PctBlocksLe64, 99.0), 6.0) << P.Name;
+  }
+}
