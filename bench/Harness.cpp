@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 using namespace ssalive;
 using namespace ssalive::bench;
@@ -56,6 +57,54 @@ unsigned ssalive::bench::scaledProcedures(const SpecProfile &P,
                                           unsigned ScalePercent) {
   unsigned N = (P.Procedures * ScalePercent + 99) / 100;
   return N < 5 ? 5 : N;
+}
+
+JsonRecord &JsonRecord::str(const std::string &Key, const std::string &V) {
+  std::string Escaped;
+  for (char C : V) {
+    if (C == '"' || C == '\\')
+      Escaped += '\\';
+    Escaped += C;
+  }
+  Fields.emplace_back(Key, "\"" + Escaped + "\"");
+  return *this;
+}
+
+JsonRecord &JsonRecord::num(const std::string &Key, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Fields.emplace_back(Key, Buf);
+  return *this;
+}
+
+JsonRecord &JsonRecord::num(const std::string &Key, std::uint64_t V) {
+  Fields.emplace_back(Key, std::to_string(V));
+  return *this;
+}
+
+std::string JsonRecord::render() const {
+  std::string Out = "{";
+  for (size_t I = 0; I != Fields.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += "\"" + Fields[I].first + "\": " + Fields[I].second;
+  }
+  return Out + "}";
+}
+
+std::string
+ssalive::bench::writeBenchJson(const std::string &Name,
+                               const std::vector<JsonRecord> &Records) {
+  std::string Path = "BENCH_" + Name + ".json";
+  std::ofstream Out(Path);
+  if (!Out)
+    return "";
+  Out << "{\"bench\": \"" << Name << "\", \"records\": [\n";
+  for (size_t I = 0; I != Records.size(); ++I)
+    Out << "  " << Records[I].render() << (I + 1 != Records.size() ? ",\n"
+                                                                   : "\n");
+  Out << "]}\n";
+  return Out ? Path : "";
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> Headers)

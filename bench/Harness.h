@@ -18,8 +18,10 @@
 #include "support/RandomEngine.h"
 #include "workload/SpecProfile.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ssalive::bench {
@@ -36,6 +38,27 @@ unsigned parseScalePercent(int Argc, char **Argv, unsigned Default = 100);
 
 /// Scaled procedure count, at least 5.
 unsigned scaledProcedures(const SpecProfile &P, unsigned ScalePercent);
+
+/// One flat JSON object of string/number fields, built in insertion order.
+/// The benches emit their measurements through this so the perf trajectory
+/// is machine-readable across PRs (BENCH_*.json files next to the binary).
+class JsonRecord {
+public:
+  JsonRecord &str(const std::string &Key, const std::string &V);
+  JsonRecord &num(const std::string &Key, double V);
+  JsonRecord &num(const std::string &Key, std::uint64_t V);
+
+  /// The record as a JSON object literal.
+  std::string render() const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+/// Writes {"bench": <name>, "records": [<records>]} to BENCH_<name>.json in
+/// the working directory. Returns the path written, or "" on I/O failure.
+std::string writeBenchJson(const std::string &Name,
+                           const std::vector<JsonRecord> &Records);
 
 /// Minimal aligned-column table printer (right-aligned cells).
 class TablePrinter {

@@ -106,6 +106,7 @@ int main() {
       PreCycles += Pre.totalCycles();
 
       std::vector<unsigned> Uses;
+      LiveCheckStats Stats;
       CycleTimer Q;
       Q.start();
       for (const RecordedQuery &RQ : W.Trace) {
@@ -114,14 +115,14 @@ int main() {
         appendLiveUseBlocks(Val, Uses);
         bool Answer =
             RQ.IsLiveOut
-                ? Engine.isLiveOut(defBlockId(Val), RQ.BlockId, Uses)
-                : Engine.isLiveIn(defBlockId(Val), RQ.BlockId, Uses);
+                ? Engine.isLiveOut(defBlockId(Val), RQ.BlockId, Uses, &Stats)
+                : Engine.isLiveIn(defBlockId(Val), RQ.BlockId, Uses, &Stats);
         Checksum = (Checksum << 1) ^ unsigned(Answer) ^ (Checksum >> 19);
       }
       Q.stop();
       QueryCycles += Q.totalCycles();
-      Targets += Engine.stats().TargetsVisited;
-      UseTests += Engine.stats().UseTests;
+      Targets += Stats.TargetsVisited;
+      UseTests += Stats.UseTests;
     }
     T.addRow({V.Name, TablePrinter::fmt(double(PreCycles) / Corpus.size(), 0),
               TablePrinter::fmt(double(QueryCycles) / double(TotalQueries)),

@@ -188,8 +188,9 @@ void LiveCheck::computeTFiltered() {
 bool LiveCheck::testTarget(unsigned TNum, unsigned QNum,
                            const unsigned *UsesBegin,
                            const unsigned *UsesEnd, bool ExcludeTrivialQ,
-                           bool &Decided) const {
-  ++Stats.TargetsVisited;
+                           bool &Decided, LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->TargetsVisited;
   const BitVector &R = RByNum[TNum];
   for (const unsigned *U = UsesBegin; U != UsesEnd; ++U) {
     unsigned UNum = DT.num(*U);
@@ -198,7 +199,8 @@ bool LiveCheck::testTarget(unsigned TNum, unsigned QNum,
     if (ExcludeTrivialQ && TNum == QNum && UNum == QNum &&
         !BackTargetByNum[QNum])
       continue;
-    ++Stats.UseTests;
+    if (Sink)
+      ++Sink->UseTests;
     if (R.test(UNum))
       return true;
   }
@@ -214,11 +216,11 @@ bool LiveCheck::testTarget(unsigned TNum, unsigned QNum,
 
 bool LiveCheck::scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
                             const unsigned *UsesBegin,
-                            const unsigned *UsesEnd,
-                            bool ExcludeTrivialQ) const {
+                            const unsigned *UsesEnd, bool ExcludeTrivialQ,
+                            LiveCheckStats *Sink) const {
   if (Opts.Storage == TStorage::SortedArray)
     return scanTargetsSorted(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
-                             ExcludeTrivialQ);
+                             ExcludeTrivialQ, Sink);
   // Algorithm 3. The dominance-preorder numbering makes T_q ∩ sdom(def)
   // the set bits of T_q in [DefNum + 1, MaxDom]; scanning from index 0
   // upwards visits "more dominating" targets first (Section 5.1 item 2).
@@ -226,7 +228,8 @@ bool LiveCheck::scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
   unsigned TNum = T.findNextSet(DefNum + 1);
   while (TNum != BitVector::npos && TNum <= MaxDom) {
     bool Decided = false;
-    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided))
+    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided,
+                   Sink))
       return true;
     if (Decided)
       return false;
@@ -239,7 +242,8 @@ bool LiveCheck::scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
 bool LiveCheck::scanTargetsSorted(unsigned DefNum, unsigned MaxDom,
                                   unsigned QNum, const unsigned *UsesBegin,
                                   const unsigned *UsesEnd,
-                                  bool ExcludeTrivialQ) const {
+                                  bool ExcludeTrivialQ,
+                                  LiveCheckStats *Sink) const {
   // The Section-6.1 variant: T_q is a short ascending array, so the scan
   // is a lower_bound plus a forward walk, and the subtree skip becomes
   // another lower_bound over the remaining suffix.
@@ -248,7 +252,8 @@ bool LiveCheck::scanTargetsSorted(unsigned DefNum, unsigned MaxDom,
   while (It != T.end() && *It <= MaxDom) {
     unsigned TNum = *It;
     bool Decided = false;
-    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided))
+    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided,
+                   Sink))
       return true;
     if (Decided)
       return false;
@@ -261,9 +266,10 @@ bool LiveCheck::scanTargetsSorted(unsigned DefNum, unsigned MaxDom,
 }
 
 bool LiveCheck::isLiveIn(unsigned DefBlock, unsigned Q,
-                         const unsigned *UsesBegin,
-                         const unsigned *UsesEnd) const {
-  ++Stats.LiveInQueries;
+                         const unsigned *UsesBegin, const unsigned *UsesEnd,
+                         LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->LiveInQueries;
   unsigned DefNum = DT.num(DefBlock);
   unsigned MaxDom = DT.maxnum(DefBlock);
   unsigned QNum = DT.num(Q);
@@ -273,13 +279,14 @@ bool LiveCheck::isLiveIn(unsigned DefBlock, unsigned Q,
   if (QNum <= DefNum || MaxDom < QNum)
     return false;
   return scanTargets(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
-                     /*ExcludeTrivialQ=*/false);
+                     /*ExcludeTrivialQ=*/false, Sink);
 }
 
 bool LiveCheck::isLiveOut(unsigned DefBlock, unsigned Q,
-                          const unsigned *UsesBegin,
-                          const unsigned *UsesEnd) const {
-  ++Stats.LiveOutQueries;
+                          const unsigned *UsesBegin, const unsigned *UsesEnd,
+                          LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->LiveOutQueries;
   unsigned DefNum = DT.num(DefBlock);
   unsigned QNum = DT.num(Q);
   // Algorithm 2 case 1: at the definition block itself the variable is
@@ -297,7 +304,7 @@ bool LiveCheck::isLiveOut(unsigned DefBlock, unsigned Q,
   // Algorithm 2 case 2: as live-in, but the witness path must be
   // non-trivial; only the (t = q, use at q) combination is affected.
   return scanTargets(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
-                     /*ExcludeTrivialQ=*/true);
+                     /*ExcludeTrivialQ=*/true, Sink);
 }
 
 size_t LiveCheck::memoryBytes() const {

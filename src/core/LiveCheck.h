@@ -79,12 +79,23 @@ struct LiveCheckOptions {
   TStorage Storage = TStorage::Bitset;
 };
 
-/// Query statistics, for the evaluation harnesses.
+/// Query statistics, for the evaluation harnesses. Queries never touch
+/// engine state; a caller that wants counts passes its own sink (one per
+/// thread under concurrency), so const queries are genuinely read-only and
+/// any number of threads may share one engine.
 struct LiveCheckStats {
   std::uint64_t LiveInQueries = 0;
   std::uint64_t LiveOutQueries = 0;
   std::uint64_t TargetsVisited = 0; ///< Iterations of the while loop.
   std::uint64_t UseTests = 0;       ///< Individual R_t membership tests.
+
+  LiveCheckStats &operator+=(const LiveCheckStats &RHS) {
+    LiveInQueries += RHS.LiveInQueries;
+    LiveOutQueries += RHS.LiveOutQueries;
+    TargetsVisited += RHS.TargetsVisited;
+    UseTests += RHS.UseTests;
+    return *this;
+  }
 };
 
 /// The precomputed liveness-checking engine for one CFG.
@@ -99,23 +110,31 @@ public:
             LiveCheckOptions Opts = {});
 
   /// Algorithm 3: is the variable (def block \p DefBlock, use blocks
-  /// [\p UsesBegin, \p UsesEnd)) live-in at block \p Q?
+  /// [\p UsesBegin, \p UsesEnd)) live-in at block \p Q? When \p Sink is
+  /// non-null, query counters accumulate into it; the default null costs
+  /// nothing and keeps the query path free of shared-state writes.
   bool isLiveIn(unsigned DefBlock, unsigned Q, const unsigned *UsesBegin,
-                const unsigned *UsesEnd) const;
+                const unsigned *UsesEnd,
+                LiveCheckStats *Sink = nullptr) const;
 
   /// Algorithm 2: live-out variant, handling the query-at-def and
   /// trivial-path special cases.
   bool isLiveOut(unsigned DefBlock, unsigned Q, const unsigned *UsesBegin,
-                 const unsigned *UsesEnd) const;
+                 const unsigned *UsesEnd,
+                 LiveCheckStats *Sink = nullptr) const;
 
   /// Convenience overloads over vectors.
   bool isLiveIn(unsigned DefBlock, unsigned Q,
-                const std::vector<unsigned> &Uses) const {
-    return isLiveIn(DefBlock, Q, Uses.data(), Uses.data() + Uses.size());
+                const std::vector<unsigned> &Uses,
+                LiveCheckStats *Sink = nullptr) const {
+    return isLiveIn(DefBlock, Q, Uses.data(), Uses.data() + Uses.size(),
+                    Sink);
   }
   bool isLiveOut(unsigned DefBlock, unsigned Q,
-                 const std::vector<unsigned> &Uses) const {
-    return isLiveOut(DefBlock, Q, Uses.data(), Uses.data() + Uses.size());
+                 const std::vector<unsigned> &Uses,
+                 LiveCheckStats *Sink = nullptr) const {
+    return isLiveOut(DefBlock, Q, Uses.data(), Uses.data() + Uses.size(),
+                     Sink);
   }
 
   /// \name Introspection for tests and benches.
@@ -134,9 +153,6 @@ public:
   /// Bytes held by the R and T bitsets (the quadratic footprint that
   /// Sections 6.1 and 8 discuss).
   size_t memoryBytes() const;
-
-  const LiveCheckStats &stats() const { return Stats; }
-  void resetStats() { Stats = LiveCheckStats(); }
   /// @}
 
 private:
@@ -150,16 +166,16 @@ private:
   /// sets \p Decided when the fast path may end the scan afterwards.
   bool testTarget(unsigned TNum, unsigned QNum, const unsigned *UsesBegin,
                   const unsigned *UsesEnd, bool ExcludeTrivialQ,
-                  bool &Decided) const;
+                  bool &Decided, LiveCheckStats *Sink) const;
 
   /// Shared tail of both liveness checks: scans T_q within def's dominance
   /// interval. \p ExcludeTrivialQ implements Algorithm 2 line 8.
   bool scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
                    const unsigned *UsesBegin, const unsigned *UsesEnd,
-                   bool ExcludeTrivialQ) const;
+                   bool ExcludeTrivialQ, LiveCheckStats *Sink) const;
   bool scanTargetsSorted(unsigned DefNum, unsigned MaxDom, unsigned QNum,
                          const unsigned *UsesBegin, const unsigned *UsesEnd,
-                         bool ExcludeTrivialQ) const;
+                         bool ExcludeTrivialQ, LiveCheckStats *Sink) const;
 
   const CFG &G;
   const DFS &D;
@@ -177,8 +193,6 @@ private:
   std::vector<unsigned> MaxNumByNum;
   /// Back-edge-target flag by node id (Algorithm 2 line 8).
   std::vector<bool> BackTargetByNum;
-
-  mutable LiveCheckStats Stats;
 };
 
 } // namespace ssalive

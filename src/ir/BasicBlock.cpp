@@ -6,6 +6,7 @@
 
 #include "ir/BasicBlock.h"
 
+#include "ir/Function.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -73,4 +74,19 @@ void BasicBlock::addSuccessor(BasicBlock *Succ) {
          "duplicate CFG edge");
   Succs.push_back(Succ);
   Succ->Preds.push_back(this);
+  if (Parent)
+    Parent->bumpCFGVersion();
+}
+
+void BasicBlock::removeSuccessor(BasicBlock *Succ) {
+  assert(Succ && "null successor");
+  auto It = std::find(Succs.begin(), Succs.end(), Succ);
+  assert(It != Succs.end() && "removing nonexistent CFG edge");
+  unsigned PredIdx = Succ->predecessorIndex(this);
+  Succs.erase(It);
+  Succ->Preds.erase(Succ->Preds.begin() + PredIdx);
+  for (Instruction *Phi : Succ->phis())
+    Phi->removeOperand(PredIdx);
+  if (Parent)
+    Parent->bumpCFGVersion();
 }

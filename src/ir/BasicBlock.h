@@ -85,7 +85,15 @@ public:
 
   /// Links this block to \p Succ (appends to both edge lists). Duplicate
   /// edges are permitted by CFG theory but rejected here for simplicity.
+  /// Bumps the parent function's CFG epoch.
   void addSuccessor(BasicBlock *Succ);
+
+  /// Unlinks the edge to \p Succ (which must exist): removes it from both
+  /// edge lists and drops the corresponding operand from every φ in \p Succ
+  /// so φ operands stay parallel to the predecessor list. Bumps the parent
+  /// function's CFG epoch. The caller is responsible for the terminator
+  /// still naming \p Succ, if any.
+  void removeSuccessor(BasicBlock *Succ);
   /// @}
 
 private:

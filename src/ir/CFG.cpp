@@ -25,3 +25,16 @@ bool CFG::hasEdge(unsigned From, unsigned To) const {
   const auto &S = Succs[From];
   return std::find(S.begin(), S.end(), To) != S.end();
 }
+
+void CFG::removeEdge(unsigned From, unsigned To) {
+  assert(From < numNodes() && To < numNodes() && "edge endpoint range");
+  auto &S = Succs[From];
+  auto SIt = std::find(S.begin(), S.end(), To);
+  assert(SIt != S.end() && "removing nonexistent edge");
+  S.erase(SIt);
+  auto &P = Preds[To];
+  auto PIt = std::find(P.begin(), P.end(), From);
+  assert(PIt != P.end() && "succ/pred lists out of sync");
+  P.erase(PIt);
+  bumpVersion();
+}

@@ -17,6 +17,7 @@
 #define SSALIVE_IR_CFG_H
 
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace ssalive {
@@ -38,6 +39,7 @@ public:
   void resize(unsigned NumNodes) {
     Succs.resize(NumNodes);
     Preds.resize(NumNodes);
+    bumpVersion();
   }
 
   unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
@@ -61,7 +63,22 @@ public:
     assert(From < numNodes() && To < numNodes() && "edge endpoint range");
     Succs[From].push_back(To);
     Preds[To].push_back(From);
+    bumpVersion();
   }
+
+  /// Removes the directed edge \p From -> \p To (which must exist).
+  void removeEdge(unsigned From, unsigned To);
+
+  /// \name Structural modification epoch.
+  /// The version counts structural edits (node or edge changes). Analyses
+  /// cached against a CFG record the version they were built at and treat a
+  /// mismatch as invalidation (the paper's Section 7 stability property:
+  /// only CFG edits invalidate the liveness precomputation — variable and
+  /// instruction edits never do, so nothing else bumps this).
+  /// @{
+  std::uint64_t version() const { return Version; }
+  void bumpVersion() { ++Version; }
+  /// @}
 
   /// Returns true if the edge \p From -> \p To exists.
   bool hasEdge(unsigned From, unsigned To) const;
@@ -79,6 +96,7 @@ public:
 private:
   std::vector<std::vector<unsigned>> Succs;
   std::vector<std::vector<unsigned>> Preds;
+  std::uint64_t Version = 0;
 };
 
 } // namespace ssalive

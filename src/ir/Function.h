@@ -15,6 +15,7 @@
 
 #include "ir/BasicBlock.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,6 +76,17 @@ public:
   /// densities (paper Section 6.1).
   unsigned numEdges() const;
 
+  /// \name CFG modification epoch.
+  /// Counts structural edits to the block graph: block creation and edge
+  /// insertion/removal (BasicBlock::addSuccessor/removeSuccessor bump it).
+  /// Instruction and value edits leave it unchanged — the paper's Section 7
+  /// stability property, which lets the AnalysisManager cache the liveness
+  /// precomputation across arbitrary non-structural rewrites.
+  /// @{
+  std::uint64_t cfgVersion() const { return CFGEpoch; }
+  void bumpCFGVersion() { ++CFGEpoch; }
+  /// @}
+
 private:
   std::string Name;
   /// Values are declared before Blocks deliberately: members are destroyed
@@ -83,6 +95,7 @@ private:
   /// must still be alive when the blocks go away.
   std::vector<std::unique_ptr<Value>> Values;
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::uint64_t CFGEpoch = 0;
 };
 
 } // namespace ssalive

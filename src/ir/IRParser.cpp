@@ -10,6 +10,7 @@
 #include "support/Debug.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -386,4 +387,66 @@ ParseResult Parser::run() {
 
 ParseResult ssalive::parseFunction(const std::string &Text) {
   return Parser(Text).run();
+}
+
+ModuleParseResult ssalive::parseModule(const std::string &Text) {
+  ModuleParseResult R;
+  // The grammar has exactly one brace pair per function, so the module
+  // splits at every top-level '}' (outside comments). Each chunk reuses the
+  // single-function parser; diagnostics are re-anchored to module lines.
+  std::size_t ChunkStart = 0;
+  std::size_t ChunkStartLine = 1;
+  std::size_t Line = 1;
+  unsigned FuncIndex = 0;
+  bool InComment = false;
+  for (std::size_t Pos = 0; Pos != Text.size(); ++Pos) {
+    char C = Text[Pos];
+    if (C == '\n') {
+      ++Line;
+      InComment = false;
+      continue;
+    }
+    if (InComment)
+      continue;
+    if (C == '#' || C == ';') {
+      InComment = true;
+      continue;
+    }
+    if (C != '}')
+      continue;
+    ++FuncIndex;
+    ParseResult FR =
+        parseFunction(Text.substr(ChunkStart, Pos + 1 - ChunkStart));
+    if (!FR.Func) {
+      // Parser diagnostics are "line N: msg" relative to the chunk.
+      std::size_t RelLine = 0;
+      if (std::sscanf(FR.Error.c_str(), "line %zu:", &RelLine) == 1)
+        FR.Error = "line " +
+                   std::to_string(ChunkStartLine + RelLine - 1) +
+                   FR.Error.substr(FR.Error.find(':'));
+      R.Funcs.clear();
+      R.Error = "function " + std::to_string(FuncIndex) + ", " + FR.Error;
+      return R;
+    }
+    R.Funcs.push_back(std::move(FR.Func));
+    ChunkStart = Pos + 1;
+    ChunkStartLine = Line;
+  }
+  // Anything after the last '}' must be whitespace or comments.
+  InComment = false;
+  for (std::size_t Pos = ChunkStart; Pos != Text.size(); ++Pos) {
+    char C = Text[Pos];
+    if (C == '\n')
+      InComment = false;
+    else if (InComment)
+      continue;
+    else if (C == '#' || C == ';')
+      InComment = true;
+    else if (!std::isspace(static_cast<unsigned char>(C))) {
+      R.Funcs.clear();
+      R.Error = "trailing input after last function";
+      return R;
+    }
+  }
+  return R;
 }

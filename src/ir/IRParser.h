@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace ssalive {
 
@@ -38,6 +39,17 @@ struct ParseResult {
 ///   }
 /// \endcode
 ParseResult parseFunction(const std::string &Text);
+
+/// Result of parsing a multi-function module.
+struct ModuleParseResult {
+  std::vector<std::unique_ptr<Function>> Funcs; ///< Empty on error.
+  std::string Error; ///< Empty on success; "function N, line L: msg" else.
+};
+
+/// Parses a sequence of functions in the parseFunction() grammar, separated
+/// by whitespace/comments. The batch tools consume whole .ssair modules
+/// through this entry point.
+ModuleParseResult parseModule(const std::string &Text);
 
 } // namespace ssalive
 

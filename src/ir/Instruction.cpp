@@ -85,6 +85,19 @@ void Instruction::addOperand(Value *V) {
   V->addUse(this, static_cast<unsigned>(Operands.size() - 1));
 }
 
+void Instruction::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  // Use records carry operand indices, so every operand past I must be
+  // re-registered under its shifted index.
+  for (unsigned J = I, E = numOperands(); J != E; ++J)
+    Operands[J]->removeUse(this, J);
+  Operands.erase(Operands.begin() + I);
+  if (!Incoming.empty())
+    Incoming.erase(Incoming.begin() + I);
+  for (unsigned J = I, E = numOperands(); J != E; ++J)
+    Operands[J]->addUse(this, J);
+}
+
 void Instruction::dropAllReferences() {
   for (unsigned I = 0, E = numOperands(); I != E; ++I)
     Operands[I]->removeUse(this, I);

@@ -83,6 +83,11 @@ public:
   /// Appends an operand (used when extending φs for a new predecessor).
   void addOperand(Value *V);
 
+  /// Removes operand \p I, reindexing the use records of the operands that
+  /// follow it. For φ-instructions the parallel incoming block is removed
+  /// too (used when a predecessor edge is unlinked).
+  void removeOperand(unsigned I);
+
   /// For φ-instructions: the predecessor block operand \p I flows in from.
   BasicBlock *incomingBlock(unsigned I) const {
     assert(isPhi() && "incoming blocks only exist on phis");

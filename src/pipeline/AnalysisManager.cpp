@@ -1,0 +1,104 @@
+//===- pipeline/AnalysisManager.cpp - Cached per-function analyses --------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/AnalysisManager.h"
+
+#include "ir/Function.h"
+
+using namespace ssalive;
+
+FunctionAnalyses::FunctionAnalyses(const Function &F, LiveCheckOptions Opts)
+    : F(F), Epoch(F.cfgVersion()), Opts(Opts) {}
+
+void FunctionAnalyses::ensureCFG() {
+  if (!Graph)
+    Graph = std::make_unique<CFG>(CFG::fromFunction(F));
+}
+
+void FunctionAnalyses::ensureDFS() {
+  ensureCFG();
+  if (!Dfs)
+    Dfs = std::make_unique<DFS>(*Graph);
+}
+
+void FunctionAnalyses::ensureDomTree() {
+  ensureDFS();
+  if (!Tree)
+    Tree = std::make_unique<DomTree>(*Graph, *Dfs);
+}
+
+const CFG &FunctionAnalyses::cfg() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ensureCFG();
+  return *Graph;
+}
+
+const DFS &FunctionAnalyses::dfs() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ensureDFS();
+  return *Dfs;
+}
+
+const DomTree &FunctionAnalyses::domTree() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ensureDomTree();
+  return *Tree;
+}
+
+const LoopForest &FunctionAnalyses::loopForest() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ensureDFS();
+  if (!Loops)
+    Loops = std::make_unique<LoopForest>(*Dfs);
+  return *Loops;
+}
+
+const LiveCheck &FunctionAnalyses::liveCheck() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ensureDomTree();
+  if (!Engine)
+    Engine = std::make_unique<LiveCheck>(*Graph, *Dfs, *Tree, Opts);
+  return *Engine;
+}
+
+FunctionAnalyses &AnalysisManager::get(const Function &F) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Cache.find(&F);
+  if (It != Cache.end()) {
+    if (It->second->epoch() == F.cfgVersion()) {
+      ++Counters.Hits;
+      return *It->second;
+    }
+    // Structural edit since the snapshot: rebuild this function's entry.
+    ++Counters.Invalidations;
+    It->second = std::make_unique<FunctionAnalyses>(F, Opts);
+    return *It->second;
+  }
+  ++Counters.Misses;
+  auto Inserted =
+      Cache.emplace(&F, std::make_unique<FunctionAnalyses>(F, Opts));
+  return *Inserted.first->second;
+}
+
+void AnalysisManager::invalidate(const Function &F) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Cache.erase(&F);
+}
+
+void AnalysisManager::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Cache.clear();
+}
+
+unsigned AnalysisManager::numCachedFunctions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return static_cast<unsigned>(Cache.size());
+}
+
+AnalysisManager::CacheCounters AnalysisManager::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

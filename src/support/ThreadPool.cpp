@@ -1,0 +1,100 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <memory>
+
+using namespace ssalive;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop();
+      ++Busy;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Busy;
+      if (Busy == 0 && Queue.empty())
+        AllIdle.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Busy == 0 && Queue.empty(); });
+}
+
+void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
+                             const std::function<void(std::size_t)> &Body,
+                             std::size_t GrainSize) {
+  if (Begin >= End)
+    return;
+  if (GrainSize == 0)
+    GrainSize = 1;
+  // Shared cursor; each worker task grabs chunks until the range is spent.
+  auto Cursor = std::make_shared<std::atomic<std::size_t>>(Begin);
+  auto Chunk = [Cursor, End, GrainSize, &Body] {
+    for (;;) {
+      std::size_t Lo = Cursor->fetch_add(GrainSize);
+      if (Lo >= End)
+        return;
+      std::size_t Hi = Lo + GrainSize < End ? Lo + GrainSize : End;
+      for (std::size_t I = Lo; I != Hi; ++I)
+        Body(I);
+    }
+  };
+  std::size_t Range = End - Begin;
+  std::size_t Tasks = numThreads() < Range ? numThreads() : Range;
+  for (std::size_t I = 0; I != Tasks; ++I)
+    submit(Chunk);
+  wait();
+}
+
+void ThreadPool::runPerWorker(const std::function<void(unsigned)> &Body) {
+  for (unsigned I = 0, E = numThreads(); I != E; ++I)
+    submit([&Body, I] { Body(I); });
+  wait();
+}

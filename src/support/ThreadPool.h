@@ -1,0 +1,84 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker-thread pool with task submission and a blocking
+/// parallelFor. The pipeline layer uses it to fan per-function analysis
+/// construction and query streams across cores; everything else in the
+/// project stays single-threaded and never pays for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_THREADPOOL_H
+#define SSALIVE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ssalive {
+
+/// Fixed-size pool of worker threads draining a shared task queue.
+///
+/// Tasks must not throw (the project builds without exceptions in mind;
+/// a throwing task would terminate). Destruction waits for all queued
+/// tasks to finish.
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task for execution by some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued).
+  void wait();
+
+  /// Runs \p Body(I) for every I in [Begin, End) across the pool and blocks
+  /// until all iterations are done. Iterations are handed out in contiguous
+  /// chunks of \p GrainSize via an atomic cursor, so the assignment of
+  /// iterations to workers is dynamic but each index runs exactly once.
+  /// With an empty range this returns immediately; with a single worker it
+  /// is equivalent to a sequential loop.
+  void parallelFor(std::size_t Begin, std::size_t End,
+                   const std::function<void(std::size_t)> &Body,
+                   std::size_t GrainSize = 1);
+
+  /// Runs \p Body(WorkerIndex) once on behalf of each of numThreads()
+  /// logical workers and blocks until all are done. This is the shape the
+  /// batch driver wants: each invocation owns slot WorkerIndex of a
+  /// per-thread results array, so aggregation needs no locks.
+  void runPerWorker(const std::function<void(unsigned)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllIdle;
+  unsigned Busy = 0;
+  bool Stopping = false;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_THREADPOOL_H

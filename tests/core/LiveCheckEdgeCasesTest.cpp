@@ -111,9 +111,9 @@ TEST(LiveCheckEdgeCases, LongChainNoLoops) {
       EXPECT_EQ(E.Check.isInT(V, W), V == W);
   std::vector<unsigned> Uses{63};
   EXPECT_TRUE(E.Check.isLiveIn(0, 32, Uses));
-  E.Check.resetStats();
-  E.Check.isLiveIn(0, 32, Uses);
-  EXPECT_EQ(E.Check.stats().TargetsVisited, 1u);
+  LiveCheckStats Stats;
+  E.Check.isLiveIn(0, 32, Uses, &Stats);
+  EXPECT_EQ(Stats.TargetsVisited, 1u);
 }
 
 TEST(LiveCheckEdgeCases, DiamondWithLoopOnOneArm) {

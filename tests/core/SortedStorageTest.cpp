@@ -108,7 +108,8 @@ TEST(SortedStorage, StatsStillCount) {
   DomTree DT(Loop, D);
   LiveCheck Engine(Loop, D, DT, sortedOpts());
   std::vector<unsigned> Uses{2};
-  Engine.isLiveIn(0, 1, Uses);
-  EXPECT_EQ(Engine.stats().LiveInQueries, 1u);
-  EXPECT_GT(Engine.stats().TargetsVisited, 0u);
+  LiveCheckStats Stats;
+  Engine.isLiveIn(0, 1, Uses, &Stats);
+  EXPECT_EQ(Stats.LiveInQueries, 1u);
+  EXPECT_GT(Stats.TargetsVisited, 0u);
 }

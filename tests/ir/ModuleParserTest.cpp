@@ -1,0 +1,104 @@
+//===- tests/ir/ModuleParserTest.cpp --------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// parseModule: multi-function splitting, module-anchored diagnostics, and
+// the CFG modification epoch on raw graphs and IR functions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+
+TEST(ModuleParser, ParsesSeveralFunctions) {
+  ModuleParseResult R = parseModule(R"(# a module
+func @first {
+entry:
+  %v = param 0
+  ret %v
+}
+
+; comment between functions, with a stray } in it
+func @second {
+entry:
+  %a = const 1
+  %b = add %a, %a
+  ret %b
+}
+)");
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  ASSERT_EQ(R.Funcs.size(), 2u);
+  EXPECT_EQ(R.Funcs[0]->name(), "first");
+  EXPECT_EQ(R.Funcs[1]->name(), "second");
+  EXPECT_EQ(R.Funcs[1]->numValues(), 2u);
+}
+
+TEST(ModuleParser, EmptyInputYieldsEmptyModule) {
+  ModuleParseResult R = parseModule("  # nothing but comments\n");
+  EXPECT_TRUE(R.Error.empty());
+  EXPECT_TRUE(R.Funcs.empty());
+}
+
+TEST(ModuleParser, DiagnosticsNameTheFunctionAndModuleLine) {
+  ModuleParseResult R = parseModule(R"(func @ok {
+entry:
+  ret
+}
+func @broken {
+entry:
+  %v = qwerty 0
+  ret %v
+}
+)");
+  ASSERT_FALSE(R.Error.empty());
+  EXPECT_TRUE(R.Funcs.empty()) << "errors drop the whole module";
+  EXPECT_NE(R.Error.find("function 2"), std::string::npos) << R.Error;
+  // 'qwerty' sits on module line 7; the chunk-relative line must have been
+  // re-anchored.
+  EXPECT_NE(R.Error.find("line 7"), std::string::npos) << R.Error;
+}
+
+TEST(ModuleParser, RejectsTrailingInput) {
+  ModuleParseResult R = parseModule("func @f {\nentry:\n  ret\n}\njunk\n");
+  EXPECT_TRUE(R.Funcs.empty());
+  EXPECT_NE(R.Error.find("trailing"), std::string::npos) << R.Error;
+}
+
+TEST(CFGEpoch, RawGraphEditsBumpVersion) {
+  CFG G(3);
+  std::uint64_t V0 = G.version();
+  G.addEdge(0, 1);
+  EXPECT_GT(G.version(), V0);
+  std::uint64_t V1 = G.version();
+  G.addEdge(1, 2);
+  G.removeEdge(1, 2);
+  EXPECT_GT(G.version(), V1);
+  EXPECT_FALSE(G.hasEdge(1, 2));
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  std::uint64_t V2 = G.version();
+  G.resize(5);
+  EXPECT_GT(G.version(), V2);
+}
+
+TEST(CFGEpoch, FunctionEpochTracksOnlyStructure) {
+  Function F("epoch");
+  std::uint64_t V0 = F.cfgVersion();
+  BasicBlock *A = F.createBlock("a");
+  BasicBlock *B = F.createBlock("b");
+  EXPECT_GT(F.cfgVersion(), V0) << "block creation is structural";
+  std::uint64_t V1 = F.cfgVersion();
+  F.createValue("v");
+  EXPECT_EQ(F.cfgVersion(), V1) << "value creation is not structural";
+  A->addSuccessor(B);
+  EXPECT_GT(F.cfgVersion(), V1);
+  std::uint64_t V2 = F.cfgVersion();
+  A->removeSuccessor(B);
+  EXPECT_GT(F.cfgVersion(), V2);
+}

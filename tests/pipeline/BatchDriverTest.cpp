@@ -1,0 +1,179 @@
+//===- tests/pipeline/BatchDriverTest.cpp ---------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The module-level batch driver: N-thread execution must produce answers
+// byte-identical to the single-threaded run (queries are read-only against
+// shared engines; every answer has its own slot), every backend must agree
+// with every other, and the analysis cache must amortize across runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BatchLivenessDriver.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+namespace {
+
+struct Module {
+  std::vector<std::unique_ptr<Function>> Owned;
+  std::vector<const Function *> Funcs;
+
+  explicit Module(unsigned Count, std::uint64_t Seed = 0xD00D) {
+    for (unsigned I = 0; I != Count; ++I) {
+      RandomFunctionConfig Cfg;
+      Cfg.TargetBlocks = 12 + 4 * (I % 5);
+      // A couple of goto-edge functions so irreducible CFGs are covered.
+      if (I % 7 == 3)
+        Cfg.GotoEdges = 3;
+      Owned.push_back(randomSSAFunction(Seed + I, Cfg));
+      Funcs.push_back(Owned.back().get());
+    }
+  }
+};
+
+} // namespace
+
+TEST(BatchDriver, MultiThreadMatchesSingleThreadByteForByte) {
+  Module M(10);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 0xBEEF, 20000);
+  ASSERT_FALSE(Workload.empty());
+
+  BatchOptions Single;
+  Single.Threads = 1;
+  BatchResult Reference = BatchLivenessDriver(M.Funcs, Single).run(Workload);
+  ASSERT_EQ(Reference.Answers.size(), Workload.size());
+
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    BatchOptions Opts;
+    Opts.Threads = Threads;
+    BatchLivenessDriver Driver(M.Funcs, Opts);
+    EXPECT_EQ(Driver.numThreads(), Threads);
+    BatchResult R = Driver.run(Workload);
+    EXPECT_EQ(R.Answers, Reference.Answers)
+        << Threads << "-thread answers diverge from the 1-thread oracle";
+    EXPECT_EQ(R.checksum(), Reference.checksum());
+  }
+}
+
+TEST(BatchDriver, AllBackendsAgree) {
+  Module M(6, 0xCAFE);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 0x5EED, 6000);
+  ASSERT_FALSE(Workload.empty());
+
+  std::vector<std::uint8_t> Reference;
+  for (BatchBackend B :
+       {BatchBackend::LiveCheckPropagated, BatchBackend::LiveCheckFiltered,
+        BatchBackend::LiveCheckSorted, BatchBackend::Dataflow,
+        BatchBackend::PathExploration}) {
+    BatchOptions Opts;
+    Opts.Backend = B;
+    Opts.Threads = 4;
+    BatchResult R = BatchLivenessDriver(M.Funcs, Opts).run(Workload);
+    if (Reference.empty())
+      Reference = R.Answers;
+    else
+      EXPECT_EQ(R.Answers, Reference)
+          << "backend " << batchBackendName(B) << " disagrees";
+  }
+}
+
+TEST(BatchDriver, SecondRunIsCacheWarm) {
+  Module M(5);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 1, 2000);
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  BatchLivenessDriver Driver(M.Funcs, Opts);
+  BatchResult Cold = Driver.run(Workload);
+  AnalysisManager::CacheCounters AfterCold =
+      Driver.analysisManager().counters();
+  EXPECT_EQ(AfterCold.Misses, M.Funcs.size());
+  EXPECT_EQ(AfterCold.Invalidations, 0u);
+
+  BatchResult Warm = Driver.run(Workload);
+  AnalysisManager::CacheCounters AfterWarm =
+      Driver.analysisManager().counters();
+  EXPECT_EQ(AfterWarm.Misses, M.Funcs.size())
+      << "nothing changed, nothing may rebuild";
+  EXPECT_EQ(AfterWarm.Invalidations, 0u);
+  EXPECT_GT(AfterWarm.Hits, AfterCold.Hits);
+  EXPECT_EQ(Warm.Answers, Cold.Answers);
+}
+
+TEST(BatchDriver, CfgEditBetweenRunsIsPickedUp) {
+  Module M(3);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 2, 1000);
+  BatchOptions Opts;
+  Opts.Threads = 2;
+  BatchLivenessDriver Driver(M.Funcs, Opts);
+  Driver.run(Workload);
+
+  // Structural edit on one function: exactly one entry rebuilds. Insert a
+  // fresh edge (removal could disconnect nodes from the entry, which the
+  // analyses reject by contract).
+  Function &Edited = *M.Owned[1];
+  BasicBlock *From = Edited.block(Edited.numBlocks() - 1);
+  BasicBlock *To = nullptr;
+  for (unsigned I = 0; I != Edited.numBlocks() && !To; ++I) {
+    BasicBlock *Cand = Edited.block(I);
+    const auto &Succs = From->successors();
+    if (std::find(Succs.begin(), Succs.end(), Cand) == Succs.end())
+      To = Cand;
+  }
+  ASSERT_NE(To, nullptr);
+  From->addSuccessor(To);
+  Driver.run(Workload);
+  EXPECT_EQ(Driver.analysisManager().counters().Invalidations, 1u);
+}
+
+TEST(BatchDriver, PerThreadStatsCoverTheWholeWorkload) {
+  Module M(4);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 3, 5000);
+  BatchOptions Opts;
+  Opts.Threads = 4;
+  BatchLivenessDriver Driver(M.Funcs, Opts);
+  BatchResult R = Driver.run(Workload);
+  ASSERT_EQ(R.PerThread.size(), 4u);
+  std::uint64_t Executed = 0;
+  bool AllWorked = true;
+  for (const BatchThreadStats &S : R.PerThread) {
+    Executed += S.QueriesExecuted;
+    AllWorked &= S.QueriesExecuted > 0;
+  }
+  EXPECT_EQ(Executed, Workload.size());
+  EXPECT_TRUE(AllWorked) << "every worker must receive a span";
+  LiveCheckStats Total = R.totalEngineStats();
+  EXPECT_EQ(Total.LiveInQueries + Total.LiveOutQueries,
+            std::uint64_t(Workload.size()))
+      << "only no-use/no-def values skip the engine, and the generator "
+         "never draws those";
+}
+
+TEST(BatchDriver, WorkloadGenerationIsDeterministic) {
+  Module M(4);
+  auto A = BatchLivenessDriver::generateWorkload(M.Funcs, 77, 500);
+  auto B = BatchLivenessDriver::generateWorkload(M.Funcs, 77, 500);
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].FuncIndex, B[I].FuncIndex);
+    EXPECT_EQ(A[I].ValueId, B[I].ValueId);
+    EXPECT_EQ(A[I].BlockId, B[I].BlockId);
+    EXPECT_EQ(A[I].IsLiveOut, B[I].IsLiveOut);
+  }
+}

@@ -1,0 +1,75 @@
+//===- tests/support/ThreadPoolTest.cpp -----------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace ssalive;
+
+TEST(ThreadPool, ReportsRequestedSize) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.numThreads(), 3u);
+  ThreadPool Default(0);
+  EXPECT_GE(Default.numThreads(), 1u);
+}
+
+TEST(ThreadPool, SubmitAndWaitRunsEveryTask) {
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Ran{0};
+  for (unsigned I = 0; I != 100; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 100u);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<unsigned>> Hits(1000);
+  Pool.parallelFor(0, Hits.size(),
+                   [&Hits](std::size_t I) { Hits[I].fetch_add(1); },
+                   /*GrainSize=*/7);
+  for (std::size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingletonRanges) {
+  ThreadPool Pool(2);
+  unsigned Count = 0;
+  Pool.parallelFor(5, 5, [&Count](std::size_t) { ++Count; });
+  EXPECT_EQ(Count, 0u);
+  std::atomic<unsigned> One{0};
+  Pool.parallelFor(7, 8, [&One](std::size_t I) {
+    EXPECT_EQ(I, 7u);
+    One.fetch_add(1);
+  });
+  EXPECT_EQ(One.load(), 1u);
+}
+
+TEST(ThreadPool, RunPerWorkerHandsOutEverySlotOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<unsigned>> Slots(4);
+  Pool.runPerWorker([&Slots](unsigned W) {
+    ASSERT_LT(W, 4u);
+    Slots[W].fetch_add(1);
+  });
+  for (unsigned W = 0; W != 4; ++W)
+    EXPECT_EQ(Slots[W].load(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<unsigned> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (unsigned I = 0; I != 50; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+    // No wait(): destruction itself must finish the queue.
+  }
+  EXPECT_EQ(Ran.load(), 50u);
+}

@@ -1,0 +1,234 @@
+//===- tools/ssalive-batch.cpp - Module-level batch liveness CLI ----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Batch liveness driver front end: parses a multi-function .ssair module
+// (or synthesizes a SPEC-profile one), runs a query workload through the
+// concurrent pipeline with a selectable backend, and prints a throughput
+// report.
+//
+//   ssalive-batch [options] [module.ssair]
+//     --backend=propagated|filtered|sorted|dataflow|path-exploration
+//     --threads=N     worker threads (default 1; 0 = hardware concurrency)
+//     --queries=N     workload size (default 500000)
+//     --seed=S        workload RNG seed (default 42)
+//     --repeat=R      run the workload R times against one driver
+//                     (default 2: the second run measures the amortized,
+//                     cache-warm regime)
+//     --generate=N    ignore input file, synthesize N SPEC-profile
+//                     functions (default when no file is given: 64)
+//     --verify        cross-check the parallel answers against a
+//                     single-threaded run
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "pipeline/BatchLivenessDriver.h"
+#include "ssa/SSAConstruction.h"
+#include "support/RandomEngine.h"
+#include "workload/CFGGenerator.h"
+#include "workload/ProgramGenerator.h"
+#include "workload/SpecProfile.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ssalive;
+
+namespace {
+
+struct CliOptions {
+  BatchBackend Backend = BatchBackend::LiveCheckPropagated;
+  unsigned Threads = 1;
+  std::size_t Queries = 500000;
+  std::uint64_t Seed = 42;
+  unsigned Repeat = 2;
+  unsigned Generate = 0;
+  bool Verify = false;
+  std::string InputPath;
+};
+
+bool parseUnsigned(const char *S, std::uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::uint64_t N = 0;
+    if (Arg.rfind("--backend=", 0) == 0) {
+      if (!parseBatchBackend(Arg.substr(10), Opts.Backend)) {
+        std::fprintf(stderr, "unknown backend '%s'\n", Arg.c_str() + 10);
+        return false;
+      }
+    } else if (Arg.rfind("--threads=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 10, N)) {
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--queries=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 10, N)) {
+      Opts.Queries = N;
+    } else if (Arg.rfind("--seed=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 7, N)) {
+      Opts.Seed = N;
+    } else if (Arg.rfind("--repeat=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 9, N) && N != 0) {
+      Opts.Repeat = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--generate=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 11, N) && N != 0) {
+      Opts.Generate = static_cast<unsigned>(N);
+    } else if (Arg == "--verify") {
+      Opts.Verify = true;
+    } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "unrecognized argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty() && Opts.Generate == 0)
+    Opts.Generate = 64;
+  return true;
+}
+
+std::vector<std::unique_ptr<Function>> synthesizeModule(unsigned Count,
+                                                        std::uint64_t Seed) {
+  // SPEC-profile shapes (176.gcc row: the densest corpus), strict SSA.
+  std::vector<std::unique_ptr<Function>> Module;
+  RandomEngine Rng(Seed ^ 0x5ca1ab1eull);
+  const SpecProfile &P = spec2000Profiles()[2];
+  Module.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I) {
+    CFGGenOptions GOpts;
+    GOpts.TargetBlocks = sampleBlockCount(P, Rng);
+    CFG G = generateCFG(GOpts, Rng);
+    ProgramGenOptions POpts;
+    auto F = generateProgram(G, POpts, Rng);
+    constructSSA(*F);
+    Module.push_back(std::move(F));
+  }
+  return Module;
+}
+
+std::vector<std::unique_ptr<Function>> loadModule(const CliOptions &Opts) {
+  if (Opts.InputPath.empty())
+    return synthesizeModule(Opts.Generate, Opts.Seed);
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Opts.InputPath.c_str());
+    return {};
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  ModuleParseResult R = parseModule(Buffer.str());
+  if (!R.Error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", Opts.InputPath.c_str(),
+                 R.Error.c_str());
+    return {};
+  }
+  // Liveness checking requires strict SSA; drop (with a warning) any
+  // function the verifier rejects rather than answering garbage for it.
+  std::vector<std::unique_ptr<Function>> Module;
+  for (auto &F : R.Funcs) {
+    VerifyResult V = verifySSA(*F);
+    if (!V.ok()) {
+      std::fprintf(stderr, "warning: skipping non-SSA function @%s: %s\n",
+                   F->name().c_str(), V.message().c_str());
+      continue;
+    }
+    Module.push_back(std::move(F));
+  }
+  return Module;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  std::vector<std::unique_ptr<Function>> Module = loadModule(Opts);
+  if (Module.empty()) {
+    std::fprintf(stderr, "no functions to run\n");
+    return 1;
+  }
+  std::vector<const Function *> Funcs;
+  std::size_t TotalBlocks = 0, TotalValues = 0;
+  for (const auto &F : Module) {
+    Funcs.push_back(F.get());
+    TotalBlocks += F->numBlocks();
+    TotalValues += F->numValues();
+  }
+
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(Funcs, Opts.Seed, Opts.Queries);
+  if (Workload.empty()) {
+    std::fprintf(stderr, "no queryable values in the module\n");
+    return 1;
+  }
+
+  BatchOptions DOpts;
+  DOpts.Backend = Opts.Backend;
+  DOpts.Threads = Opts.Threads;
+  BatchLivenessDriver Driver(Funcs, DOpts);
+
+  std::printf("ssalive-batch: %zu functions (%zu blocks, %zu values), "
+              "%zu queries, backend=%s, threads=%u\n",
+              Funcs.size(), TotalBlocks, TotalValues, Workload.size(),
+              batchBackendName(Opts.Backend), Driver.numThreads());
+
+  BatchResult Last;
+  for (unsigned Run = 0; Run != Opts.Repeat; ++Run) {
+    Last = Driver.run(Workload);
+    LiveCheckStats Engine = Last.totalEngineStats();
+    std::uint64_t Positive = 0;
+    for (const BatchThreadStats &S : Last.PerThread)
+      Positive += S.PositiveAnswers;
+    std::printf("  run %u%s: precompute %.2f ms, queries %.2f ms "
+                "(%.0f q/s), %llu live (%.1f%%), %llu targets visited\n",
+                Run + 1, Run == 0 ? " (cold)" : " (warm)",
+                Last.PrecomputeMillis, Last.QueryMillis,
+                Last.queriesPerSecond(),
+                static_cast<unsigned long long>(Positive),
+                100.0 * double(Positive) / double(Workload.size()),
+                static_cast<unsigned long long>(Engine.TargetsVisited));
+  }
+
+  AnalysisManager::CacheCounters C = Driver.analysisManager().counters();
+  std::printf("  analysis cache: %llu misses, %llu hits, %llu "
+              "invalidations\n",
+              static_cast<unsigned long long>(C.Misses),
+              static_cast<unsigned long long>(C.Hits),
+              static_cast<unsigned long long>(C.Invalidations));
+  std::printf("  checksum: %016llx\n",
+              static_cast<unsigned long long>(Last.checksum()));
+
+  if (Opts.Verify) {
+    BatchOptions SOpts = DOpts;
+    SOpts.Threads = 1;
+    BatchLivenessDriver Single(Funcs, SOpts);
+    BatchResult Ref = Single.run(Workload);
+    if (Ref.Answers != Last.Answers) {
+      std::fprintf(stderr, "FAIL: parallel answers differ from "
+                           "single-threaded reference\n");
+      return 1;
+    }
+    std::printf("  verify: %u-thread answers identical to single-threaded "
+                "reference\n",
+                Driver.numThreads());
+  }
+  return 0;
+}
