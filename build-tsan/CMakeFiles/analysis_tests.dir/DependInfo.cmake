@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/DFSTest.cpp" "CMakeFiles/analysis_tests.dir/tests/analysis/DFSTest.cpp.o" "gcc" "CMakeFiles/analysis_tests.dir/tests/analysis/DFSTest.cpp.o.d"
+  "/root/repo/tests/analysis/DomTreeTest.cpp" "CMakeFiles/analysis_tests.dir/tests/analysis/DomTreeTest.cpp.o" "gcc" "CMakeFiles/analysis_tests.dir/tests/analysis/DomTreeTest.cpp.o.d"
+  "/root/repo/tests/analysis/DominanceFrontierTest.cpp" "CMakeFiles/analysis_tests.dir/tests/analysis/DominanceFrontierTest.cpp.o" "gcc" "CMakeFiles/analysis_tests.dir/tests/analysis/DominanceFrontierTest.cpp.o.d"
+  "/root/repo/tests/analysis/LoopForestTest.cpp" "CMakeFiles/analysis_tests.dir/tests/analysis/LoopForestTest.cpp.o" "gcc" "CMakeFiles/analysis_tests.dir/tests/analysis/LoopForestTest.cpp.o.d"
+  "/root/repo/tests/analysis/ReducibilityTest.cpp" "CMakeFiles/analysis_tests.dir/tests/analysis/ReducibilityTest.cpp.o" "gcc" "CMakeFiles/analysis_tests.dir/tests/analysis/ReducibilityTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ssalive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/tests/analysis/DFSTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/DFSTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/DomTreeTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/DomTreeTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/DominanceFrontierTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/DominanceFrontierTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/LoopForestTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/LoopForestTest.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/ReducibilityTest.cpp.o"
+  "CMakeFiles/analysis_tests.dir/tests/analysis/ReducibilityTest.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

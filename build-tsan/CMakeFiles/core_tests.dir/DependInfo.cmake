@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/Figure3Test.cpp" "CMakeFiles/core_tests.dir/tests/core/Figure3Test.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/Figure3Test.cpp.o.d"
+  "/root/repo/tests/core/LiveCheckBasicTest.cpp" "CMakeFiles/core_tests.dir/tests/core/LiveCheckBasicTest.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/LiveCheckBasicTest.cpp.o.d"
+  "/root/repo/tests/core/LiveCheckEdgeCasesTest.cpp" "CMakeFiles/core_tests.dir/tests/core/LiveCheckEdgeCasesTest.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/LiveCheckEdgeCasesTest.cpp.o.d"
+  "/root/repo/tests/core/LiveCheckPropertyTest.cpp" "CMakeFiles/core_tests.dir/tests/core/LiveCheckPropertyTest.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/LiveCheckPropertyTest.cpp.o.d"
+  "/root/repo/tests/core/SortedStorageTest.cpp" "CMakeFiles/core_tests.dir/tests/core/SortedStorageTest.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/SortedStorageTest.cpp.o.d"
+  "/root/repo/tests/core/TransformStabilityTest.cpp" "CMakeFiles/core_tests.dir/tests/core/TransformStabilityTest.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/TransformStabilityTest.cpp.o.d"
+  "/root/repo/tests/core/UseInfoTest.cpp" "CMakeFiles/core_tests.dir/tests/core/UseInfoTest.cpp.o" "gcc" "CMakeFiles/core_tests.dir/tests/core/UseInfoTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ssalive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

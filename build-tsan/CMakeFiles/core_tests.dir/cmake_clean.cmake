@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/tests/core/Figure3Test.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/Figure3Test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tests/core/LiveCheckBasicTest.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/LiveCheckBasicTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tests/core/LiveCheckEdgeCasesTest.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/LiveCheckEdgeCasesTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tests/core/LiveCheckPropertyTest.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/LiveCheckPropertyTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tests/core/SortedStorageTest.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/SortedStorageTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tests/core/TransformStabilityTest.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/TransformStabilityTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tests/core/UseInfoTest.cpp.o"
+  "CMakeFiles/core_tests.dir/tests/core/UseInfoTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

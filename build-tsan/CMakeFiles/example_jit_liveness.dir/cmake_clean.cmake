@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_jit_liveness.dir/examples/jit_liveness.cpp.o"
+  "CMakeFiles/example_jit_liveness.dir/examples/jit_liveness.cpp.o.d"
+  "example_jit_liveness"
+  "example_jit_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_jit_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_jit_liveness.
+# This may be replaced when dependencies are built.

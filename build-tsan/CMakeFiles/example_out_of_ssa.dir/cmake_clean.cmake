@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_out_of_ssa.dir/examples/out_of_ssa.cpp.o"
+  "CMakeFiles/example_out_of_ssa.dir/examples/out_of_ssa.cpp.o.d"
+  "example_out_of_ssa"
+  "example_out_of_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_out_of_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_figure3.dir/examples/paper_figure3.cpp.o"
+  "CMakeFiles/example_paper_figure3.dir/examples/paper_figure3.cpp.o.d"
+  "example_paper_figure3"
+  "example_paper_figure3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_figure3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_paper_figure3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_regalloc.dir/examples/regalloc.cpp.o"
+  "CMakeFiles/example_regalloc.dir/examples/regalloc.cpp.o.d"
+  "example_regalloc"
+  "example_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

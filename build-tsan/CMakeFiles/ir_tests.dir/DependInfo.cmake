@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir/CloneTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/CloneTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/CloneTest.cpp.o.d"
+  "/root/repo/tests/ir/IRExtrasTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/IRExtrasTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/IRExtrasTest.cpp.o.d"
+  "/root/repo/tests/ir/IRStructureTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/IRStructureTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/IRStructureTest.cpp.o.d"
+  "/root/repo/tests/ir/InterpreterTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/InterpreterTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/ir/ModuleParserTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/ModuleParserTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/ModuleParserTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserPrinterTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/ParserPrinterTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/ParserPrinterTest.cpp.o.d"
+  "/root/repo/tests/ir/VerifierTest.cpp" "CMakeFiles/ir_tests.dir/tests/ir/VerifierTest.cpp.o" "gcc" "CMakeFiles/ir_tests.dir/tests/ir/VerifierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ssalive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

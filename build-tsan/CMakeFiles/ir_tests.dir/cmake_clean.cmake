@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/tests/ir/CloneTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/CloneTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/tests/ir/IRExtrasTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/IRExtrasTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/tests/ir/IRStructureTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/IRStructureTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/tests/ir/InterpreterTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/tests/ir/ModuleParserTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/ModuleParserTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/tests/ir/ParserPrinterTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/ParserPrinterTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/tests/ir/VerifierTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/tests/ir/VerifierTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveness_tests.dir/tests/liveness/BackendAgreementTest.cpp.o"
+  "CMakeFiles/liveness_tests.dir/tests/liveness/BackendAgreementTest.cpp.o.d"
+  "CMakeFiles/liveness_tests.dir/tests/liveness/DataflowLivenessTest.cpp.o"
+  "CMakeFiles/liveness_tests.dir/tests/liveness/DataflowLivenessTest.cpp.o.d"
+  "CMakeFiles/liveness_tests.dir/tests/liveness/LoopForestLivenessTest.cpp.o"
+  "CMakeFiles/liveness_tests.dir/tests/liveness/LoopForestLivenessTest.cpp.o.d"
+  "liveness_tests"
+  "liveness_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

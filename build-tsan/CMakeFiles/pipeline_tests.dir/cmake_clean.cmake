@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_tests.dir/tests/pipeline/AnalysisManagerTest.cpp.o"
+  "CMakeFiles/pipeline_tests.dir/tests/pipeline/AnalysisManagerTest.cpp.o.d"
+  "CMakeFiles/pipeline_tests.dir/tests/pipeline/BatchDriverTest.cpp.o"
+  "CMakeFiles/pipeline_tests.dir/tests/pipeline/BatchDriverTest.cpp.o.d"
+  "pipeline_tests"
+  "pipeline_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

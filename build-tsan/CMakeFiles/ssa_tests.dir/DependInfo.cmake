@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ssa/ConstructionTest.cpp" "CMakeFiles/ssa_tests.dir/tests/ssa/ConstructionTest.cpp.o" "gcc" "CMakeFiles/ssa_tests.dir/tests/ssa/ConstructionTest.cpp.o.d"
+  "/root/repo/tests/ssa/DestructionEdgeCasesTest.cpp" "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionEdgeCasesTest.cpp.o" "gcc" "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionEdgeCasesTest.cpp.o.d"
+  "/root/repo/tests/ssa/DestructionTest.cpp" "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionTest.cpp.o" "gcc" "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionTest.cpp.o.d"
+  "/root/repo/tests/ssa/InterferenceTest.cpp" "CMakeFiles/ssa_tests.dir/tests/ssa/InterferenceTest.cpp.o" "gcc" "CMakeFiles/ssa_tests.dir/tests/ssa/InterferenceTest.cpp.o.d"
+  "/root/repo/tests/ssa/PipelineRoundTripTest.cpp" "CMakeFiles/ssa_tests.dir/tests/ssa/PipelineRoundTripTest.cpp.o" "gcc" "CMakeFiles/ssa_tests.dir/tests/ssa/PipelineRoundTripTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ssalive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssa_tests.dir/tests/ssa/ConstructionTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/ConstructionTest.cpp.o.d"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionEdgeCasesTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionEdgeCasesTest.cpp.o.d"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/DestructionTest.cpp.o.d"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/InterferenceTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/InterferenceTest.cpp.o.d"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/PipelineRoundTripTest.cpp.o"
+  "CMakeFiles/ssa_tests.dir/tests/ssa/PipelineRoundTripTest.cpp.o.d"
+  "ssa_tests"
+  "ssa_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

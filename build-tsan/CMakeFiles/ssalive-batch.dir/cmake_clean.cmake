@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssalive-batch.dir/tools/ssalive-batch.cpp.o"
+  "CMakeFiles/ssalive-batch.dir/tools/ssalive-batch.cpp.o.d"
+  "ssalive-batch"
+  "ssalive-batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssalive-batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

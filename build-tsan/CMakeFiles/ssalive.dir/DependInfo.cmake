@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DFS.cpp" "CMakeFiles/ssalive.dir/src/analysis/DFS.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/analysis/DFS.cpp.o.d"
+  "/root/repo/src/analysis/DomTree.cpp" "CMakeFiles/ssalive.dir/src/analysis/DomTree.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/analysis/DomTree.cpp.o.d"
+  "/root/repo/src/analysis/DominanceFrontier.cpp" "CMakeFiles/ssalive.dir/src/analysis/DominanceFrontier.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/analysis/DominanceFrontier.cpp.o.d"
+  "/root/repo/src/analysis/LoopForest.cpp" "CMakeFiles/ssalive.dir/src/analysis/LoopForest.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/analysis/LoopForest.cpp.o.d"
+  "/root/repo/src/analysis/Reducibility.cpp" "CMakeFiles/ssalive.dir/src/analysis/Reducibility.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/analysis/Reducibility.cpp.o.d"
+  "/root/repo/src/analysis/SemiNCA.cpp" "CMakeFiles/ssalive.dir/src/analysis/SemiNCA.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/analysis/SemiNCA.cpp.o.d"
+  "/root/repo/src/core/FunctionLiveness.cpp" "CMakeFiles/ssalive.dir/src/core/FunctionLiveness.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/core/FunctionLiveness.cpp.o.d"
+  "/root/repo/src/core/LiveCheck.cpp" "CMakeFiles/ssalive.dir/src/core/LiveCheck.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/core/LiveCheck.cpp.o.d"
+  "/root/repo/src/core/UseInfo.cpp" "CMakeFiles/ssalive.dir/src/core/UseInfo.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/core/UseInfo.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "CMakeFiles/ssalive.dir/src/ir/BasicBlock.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/CFG.cpp" "CMakeFiles/ssalive.dir/src/ir/CFG.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Clone.cpp" "CMakeFiles/ssalive.dir/src/ir/Clone.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/Clone.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "CMakeFiles/ssalive.dir/src/ir/Function.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "CMakeFiles/ssalive.dir/src/ir/IRBuilder.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "CMakeFiles/ssalive.dir/src/ir/IRParser.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "CMakeFiles/ssalive.dir/src/ir/IRPrinter.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "CMakeFiles/ssalive.dir/src/ir/Instruction.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "CMakeFiles/ssalive.dir/src/ir/Interpreter.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "CMakeFiles/ssalive.dir/src/ir/Value.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "CMakeFiles/ssalive.dir/src/ir/Verifier.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ir/Verifier.cpp.o.d"
+  "/root/repo/src/liveness/DataflowLiveness.cpp" "CMakeFiles/ssalive.dir/src/liveness/DataflowLiveness.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/liveness/DataflowLiveness.cpp.o.d"
+  "/root/repo/src/liveness/LivenessOracle.cpp" "CMakeFiles/ssalive.dir/src/liveness/LivenessOracle.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/liveness/LivenessOracle.cpp.o.d"
+  "/root/repo/src/liveness/LoopForestLiveness.cpp" "CMakeFiles/ssalive.dir/src/liveness/LoopForestLiveness.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/liveness/LoopForestLiveness.cpp.o.d"
+  "/root/repo/src/liveness/PathExplorationLiveness.cpp" "CMakeFiles/ssalive.dir/src/liveness/PathExplorationLiveness.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/liveness/PathExplorationLiveness.cpp.o.d"
+  "/root/repo/src/pipeline/AnalysisManager.cpp" "CMakeFiles/ssalive.dir/src/pipeline/AnalysisManager.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/pipeline/AnalysisManager.cpp.o.d"
+  "/root/repo/src/pipeline/BatchLivenessDriver.cpp" "CMakeFiles/ssalive.dir/src/pipeline/BatchLivenessDriver.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/pipeline/BatchLivenessDriver.cpp.o.d"
+  "/root/repo/src/ssa/InterferenceCheck.cpp" "CMakeFiles/ssalive.dir/src/ssa/InterferenceCheck.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ssa/InterferenceCheck.cpp.o.d"
+  "/root/repo/src/ssa/SSAConstruction.cpp" "CMakeFiles/ssalive.dir/src/ssa/SSAConstruction.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ssa/SSAConstruction.cpp.o.d"
+  "/root/repo/src/ssa/SSADestruction.cpp" "CMakeFiles/ssalive.dir/src/ssa/SSADestruction.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/ssa/SSADestruction.cpp.o.d"
+  "/root/repo/src/support/BitVector.cpp" "CMakeFiles/ssalive.dir/src/support/BitVector.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/support/BitVector.cpp.o.d"
+  "/root/repo/src/support/CycleTimer.cpp" "CMakeFiles/ssalive.dir/src/support/CycleTimer.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/support/CycleTimer.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "CMakeFiles/ssalive.dir/src/support/Statistics.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "CMakeFiles/ssalive.dir/src/support/ThreadPool.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/support/ThreadPool.cpp.o.d"
+  "/root/repo/src/workload/CFGGenerator.cpp" "CMakeFiles/ssalive.dir/src/workload/CFGGenerator.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/workload/CFGGenerator.cpp.o.d"
+  "/root/repo/src/workload/ProgramGenerator.cpp" "CMakeFiles/ssalive.dir/src/workload/ProgramGenerator.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/workload/ProgramGenerator.cpp.o.d"
+  "/root/repo/src/workload/SpecProfile.cpp" "CMakeFiles/ssalive.dir/src/workload/SpecProfile.cpp.o" "gcc" "CMakeFiles/ssalive.dir/src/workload/SpecProfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/BitVectorTest.cpp" "CMakeFiles/support_tests.dir/tests/support/BitVectorTest.cpp.o" "gcc" "CMakeFiles/support_tests.dir/tests/support/BitVectorTest.cpp.o.d"
+  "/root/repo/tests/support/RandomEngineTest.cpp" "CMakeFiles/support_tests.dir/tests/support/RandomEngineTest.cpp.o" "gcc" "CMakeFiles/support_tests.dir/tests/support/RandomEngineTest.cpp.o.d"
+  "/root/repo/tests/support/SortedArraySetTest.cpp" "CMakeFiles/support_tests.dir/tests/support/SortedArraySetTest.cpp.o" "gcc" "CMakeFiles/support_tests.dir/tests/support/SortedArraySetTest.cpp.o.d"
+  "/root/repo/tests/support/SparseSetTest.cpp" "CMakeFiles/support_tests.dir/tests/support/SparseSetTest.cpp.o" "gcc" "CMakeFiles/support_tests.dir/tests/support/SparseSetTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "CMakeFiles/support_tests.dir/tests/support/StatisticsTest.cpp.o" "gcc" "CMakeFiles/support_tests.dir/tests/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/ThreadPoolTest.cpp" "CMakeFiles/support_tests.dir/tests/support/ThreadPoolTest.cpp.o" "gcc" "CMakeFiles/support_tests.dir/tests/support/ThreadPoolTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ssalive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/tests/support/BitVectorTest.cpp.o"
+  "CMakeFiles/support_tests.dir/tests/support/BitVectorTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/tests/support/RandomEngineTest.cpp.o"
+  "CMakeFiles/support_tests.dir/tests/support/RandomEngineTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/tests/support/SortedArraySetTest.cpp.o"
+  "CMakeFiles/support_tests.dir/tests/support/SortedArraySetTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/tests/support/SparseSetTest.cpp.o"
+  "CMakeFiles/support_tests.dir/tests/support/SparseSetTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/tests/support/StatisticsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/tests/support/StatisticsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/tests/support/ThreadPoolTest.cpp.o"
+  "CMakeFiles/support_tests.dir/tests/support/ThreadPoolTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/CFGGeneratorTest.cpp" "CMakeFiles/workload_tests.dir/tests/workload/CFGGeneratorTest.cpp.o" "gcc" "CMakeFiles/workload_tests.dir/tests/workload/CFGGeneratorTest.cpp.o.d"
+  "/root/repo/tests/workload/ProgramGeneratorTest.cpp" "CMakeFiles/workload_tests.dir/tests/workload/ProgramGeneratorTest.cpp.o" "gcc" "CMakeFiles/workload_tests.dir/tests/workload/ProgramGeneratorTest.cpp.o.d"
+  "/root/repo/tests/workload/SpecProfileTest.cpp" "CMakeFiles/workload_tests.dir/tests/workload/SpecProfileTest.cpp.o" "gcc" "CMakeFiles/workload_tests.dir/tests/workload/SpecProfileTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ssalive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

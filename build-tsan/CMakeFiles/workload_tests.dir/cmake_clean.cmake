@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/tests/workload/CFGGeneratorTest.cpp.o"
+  "CMakeFiles/workload_tests.dir/tests/workload/CFGGeneratorTest.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/tests/workload/ProgramGeneratorTest.cpp.o"
+  "CMakeFiles/workload_tests.dir/tests/workload/ProgramGeneratorTest.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/tests/workload/SpecProfileTest.cpp.o"
+  "CMakeFiles/workload_tests.dir/tests/workload/SpecProfileTest.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(analysis_tests "/root/repo/build-tsan/analysis_tests")
+set_tests_properties(analysis_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_tests "/root/repo/build-tsan/core_tests")
+set_tests_properties(core_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ir_tests "/root/repo/build-tsan/ir_tests")
+set_tests_properties(ir_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(liveness_tests "/root/repo/build-tsan/liveness_tests")
+set_tests_properties(liveness_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(pipeline_tests "/root/repo/build-tsan/pipeline_tests")
+set_tests_properties(pipeline_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ssa_tests "/root/repo/build-tsan/ssa_tests")
+set_tests_properties(ssa_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(support_tests "/root/repo/build-tsan/support_tests")
+set_tests_properties(support_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(workload_tests "/root/repo/build-tsan/workload_tests")
+set_tests_properties(workload_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;45;add_test;/root/repo/CMakeLists.txt;0;")
