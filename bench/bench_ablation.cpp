@@ -72,6 +72,10 @@ int main() {
        {TMode::Propagated, true, true, TStorage::SortedArray}},
       {"filtered+sorted-T",
        {TMode::Filtered, true, true, TStorage::SortedArray}},
+      {"propagated+arena",
+       {TMode::Propagated, true, true, TStorage::Arena}},
+      {"filtered+arena",
+       {TMode::Filtered, true, true, TStorage::Arena}},
   };
 
   std::printf("Ablation: T-set computation modes and query-scan "

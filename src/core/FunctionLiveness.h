@@ -13,6 +13,11 @@
 /// precomputed, instructions and values may be added to the function after
 /// construction and queries remain valid — only CFG changes invalidate it.
 ///
+/// Queries ride the engine's renumbered plane: the value's Definition-1 use
+/// blocks are translated to dominance-preorder numbers once per query into
+/// a reused scratch buffer, and variables with enough uses switch to the
+/// word-level `R_t ∩ UseMask` bitset test instead of per-use probes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SSALIVE_CORE_FUNCTIONLIVENESS_H
@@ -42,13 +47,21 @@ public:
   /// @}
 
 private:
+  /// Fills ScratchUses with the value's use numbers and returns true when
+  /// the mask path should answer the query, in which case ScratchMask is
+  /// ready.
+  bool prepareUses(const Value &V);
+
   CFG Graph;
   DFS Dfs;
   DomTree Tree;
   LiveCheck Engine;
-  /// Reused per-query buffer for Definition-1 use blocks; queries allocate
-  /// nothing in steady state.
+  /// Distinct-use count at which the bitset test beats per-use probes
+  /// (roughly one probe per word of a row).
+  unsigned MaskThreshold;
+  /// Reused per-query buffers; queries allocate nothing in steady state.
   std::vector<unsigned> ScratchUses;
+  BitVector ScratchMask;
 };
 
 } // namespace ssalive

@@ -22,6 +22,12 @@
 // is Lemma 3 (elements of T_q need not be totally ordered by dominance), so
 // the Theorem-2 single-test fast path demands TMode::Filtered.
 //
+// Implementation note on the storage planes: R and T are always *computed*
+// into the BitMatrix arenas (the recurrences are then linear sweeps over
+// contiguous memory); finalizeStorage() afterwards materializes whatever
+// layout the options request and binds the scan kernels, so the query path
+// never consults Opts again.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/LiveCheck.h"
@@ -33,15 +39,292 @@
 
 using namespace ssalive;
 
+namespace {
+
+/// Uniform bit probe over either row representation: a legacy per-row
+/// BitVector or a raw arena row span.
+struct RowProbe {
+  static bool test(const BitVector &R, unsigned Idx) { return R.test(Idx); }
+  static bool test(const std::uint64_t *R, unsigned Idx) {
+    return BitMatrix::testBit(R, Idx);
+  }
+  static bool anyCommonMask(const BitVector &R, const BitVector &M,
+                            unsigned ExcludeBit) {
+    return BitMatrix::wordsAnyCommon(R.words(), M.words(), M.numWordsInUse(),
+                                     ExcludeBit);
+  }
+  static bool anyCommonMask(const std::uint64_t *R, const BitVector &M,
+                            unsigned ExcludeBit) {
+    return BitMatrix::wordsAnyCommon(R, M.words(), M.numWordsInUse(),
+                                     ExcludeBit);
+  }
+};
+
+/// Pre-numbered use span: dominance preorder numbers, probed directly
+/// against R rows. Order is irrelevant and duplicates merely cost a
+/// redundant probe, so callers only sort/dedup when a span is reused often
+/// enough to pay for it.
+struct NumUses {
+  const unsigned *Begin, *End;
+  const std::uint8_t *BackTarget;
+
+  template <class Row>
+  bool test(const Row &R, unsigned TNum, unsigned QNum, bool ExcludeTrivialQ,
+            LiveCheckStats *Sink) const {
+    // Algorithm 2 line 8: with t = q, a use in q itself only certifies a
+    // non-trivial path if q is a back-edge target. Decided once, outside
+    // the probe loop.
+    bool SkipQUse =
+        ExcludeTrivialQ && TNum == QNum && !BackTarget[QNum];
+    for (const unsigned *U = Begin; U != End; ++U) {
+      unsigned UNum = *U;
+      if (SkipQUse && UNum == QNum)
+        continue;
+      if (Sink)
+        ++Sink->UseTests;
+      if (RowProbe::test(R, UNum))
+        return true;
+    }
+    return false;
+  }
+};
+
+/// Use bitset over preorder numbers: the per-target test is one word-level
+/// `R_t ∩ UseMask != ∅` sweep; the trivial-path exclusion becomes a masked
+/// bit in that sweep.
+struct MaskUses {
+  const BitVector *Mask;
+  const std::uint8_t *BackTarget;
+
+  template <class Row>
+  bool test(const Row &R, unsigned TNum, unsigned QNum, bool ExcludeTrivialQ,
+            LiveCheckStats *Sink) const {
+    if (Sink)
+      ++Sink->UseTests;
+    unsigned ExcludeBit = (ExcludeTrivialQ && TNum == QNum &&
+                           !BackTarget[QNum])
+                              ? QNum
+                              : BitMatrix::npos;
+    return RowProbe::anyCommonMask(R, *Mask, ExcludeBit);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scan kernels
+//===----------------------------------------------------------------------===//
+
+template <LiveCheck::ScanLayout L, bool Skip, bool FP, class Uses>
+bool LiveCheck::scanImpl(const LiveCheck &LC, unsigned DefNum,
+                         unsigned MaxDom, unsigned QNum, Uses U,
+                         bool ExcludeTrivialQ, LiveCheckStats *Sink) {
+  // Shared target-visit body (Algorithm 1 line 4 / Algorithm 2 line 9).
+  // FP compiles in Theorem 2: on reducible CFGs with exact Definition-5
+  // sets, the most dominating target decides the query alone. One
+  // refinement: the trivial-path exclusion can suppress the q-use at
+  // t = q, in which case a *less* dominating target could still certify a
+  // non-trivial path, so the fast path only applies when nothing was
+  // excluded.
+  auto Visit = [&](unsigned TNum) {
+    if (Sink)
+      ++Sink->TargetsVisited;
+    if constexpr (L == ScanLayout::Legacy)
+      return U.test(LC.RByNum[TNum], TNum, QNum, ExcludeTrivialQ, Sink);
+    else
+      return U.test(LC.RMat.row(TNum), TNum, QNum, ExcludeTrivialQ, Sink);
+  };
+
+  if constexpr (L == ScanLayout::Sorted) {
+    // The Section-6.1 variant: T_q is a short ascending array, so the scan
+    // is a lower_bound plus a forward walk, and the subtree skip becomes
+    // another lower_bound over the remaining suffix.
+    const auto &T = LC.TSortedByNum[QNum];
+    auto It = std::lower_bound(T.begin(), T.end(), DefNum + 1);
+    while (It != T.end() && *It <= MaxDom) {
+      unsigned TNum = *It;
+      if (Visit(TNum))
+        return true;
+      if constexpr (FP)
+        if (!(ExcludeTrivialQ && TNum == QNum))
+          return false;
+      if constexpr (Skip)
+        It = std::lower_bound(It + 1, T.end(), LC.MaxNumByNum[TNum] + 1);
+      else
+        ++It;
+    }
+    return false;
+  } else {
+    // Algorithm 3. The dominance-preorder numbering makes T_q ∩ sdom(def)
+    // the set bits of T_q in [DefNum + 1, MaxDom]; scanning from index 0
+    // upwards visits "more dominating" targets first (Section 5.1 item 2).
+    // The row pointer is resolved once and the word scan is clamped to the
+    // interval, so a scan never reads past bit MaxDom.
+    const std::uint64_t *TRow;
+    if constexpr (L == ScanLayout::Legacy)
+      TRow = LC.TByNum[QNum].words();
+    else
+      TRow = LC.TMat.row(QNum);
+    unsigned Limit = MaxDom + 1;
+    unsigned WordLen = (Limit + BitMatrix::WordBits - 1) / BitMatrix::WordBits;
+    unsigned TNum = BitMatrix::wordsFindNextSet(TRow, WordLen, DefNum + 1,
+                                                Limit);
+    while (TNum != BitMatrix::npos) {
+      if (Visit(TNum))
+        return true;
+      if constexpr (FP)
+        if (!(ExcludeTrivialQ && TNum == QNum))
+          return false;
+      TNum = BitMatrix::wordsFindNextSet(
+          TRow, WordLen, Skip ? LC.MaxNumByNum[TNum] + 1 : TNum + 1, Limit);
+    }
+    return false;
+  }
+}
+
+template <LiveCheck::ScanLayout L, bool Skip, bool FP>
+bool LiveCheck::numSpanKernel(const LiveCheck &LC, unsigned DefNum,
+                              unsigned MaxDom, unsigned QNum,
+                              const unsigned *Begin, const unsigned *End,
+                              bool ExcludeTrivialQ, LiveCheckStats *Sink) {
+  return scanImpl<L, Skip, FP>(LC, DefNum, MaxDom, QNum,
+                               NumUses{Begin, End,
+                                       LC.BackTargetByNum.data()},
+                               ExcludeTrivialQ, Sink);
+}
+
+template <LiveCheck::ScanLayout L, bool Skip, bool FP>
+bool LiveCheck::renumberingKernel(const LiveCheck &LC, unsigned DefNum,
+                                  unsigned MaxDom, unsigned QNum,
+                                  const unsigned *Begin, const unsigned *End,
+                                  bool ExcludeTrivialQ,
+                                  LiveCheckStats *Sink) {
+  // Block-id entry on a non-legacy layout: number the span once up front —
+  // O(uses) instead of O(targets x uses) — then run the numbered kernel.
+  // Small spans (the overwhelming majority, per the paper's Table 1 use
+  // distribution) stay on the stack and are not worth sorting: duplicates
+  // only cost a redundant bit probe. Large spans get deduplicated so the
+  // probe loop shrinks.
+  unsigned Stack[64];
+  std::vector<unsigned> Heap;
+  std::size_t Count = static_cast<std::size_t>(End - Begin);
+  unsigned *Buf = Stack;
+  if (Count > 64) {
+    Heap.resize(Count);
+    Buf = Heap.data();
+  }
+  for (std::size_t I = 0; I != Count; ++I)
+    Buf[I] = LC.DT.num(Begin[I]);
+  unsigned *NewEnd = Buf + Count;
+  if (Count > 8) {
+    std::sort(Buf, NewEnd);
+    NewEnd = std::unique(Buf, NewEnd);
+  }
+  return numSpanKernel<L, Skip, FP>(LC, DefNum, MaxDom, QNum, Buf, NewEnd,
+                                    ExcludeTrivialQ, Sink);
+}
+
+template <LiveCheck::ScanLayout L, bool Skip, bool FP>
+bool LiveCheck::maskKernel(const LiveCheck &LC, unsigned DefNum,
+                           unsigned MaxDom, unsigned QNum,
+                           const BitVector &UseMask, bool ExcludeTrivialQ,
+                           LiveCheckStats *Sink) {
+  return scanImpl<L, Skip, FP>(LC, DefNum, MaxDom, QNum,
+                               MaskUses{&UseMask,
+                                        LC.BackTargetByNum.data()},
+                               ExcludeTrivialQ, Sink);
+}
+
+//===----------------------------------------------------------------------===//
+// The pre-refactor query path (TStorage::Bitset block-id entries)
+//===----------------------------------------------------------------------===//
+
+bool LiveCheck::legacyTestTarget(unsigned TNum, unsigned QNum,
+                                 const unsigned *UsesBegin,
+                                 const unsigned *UsesEnd,
+                                 bool ExcludeTrivialQ, bool &Decided,
+                                 LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->TargetsVisited;
+  const BitVector &R = RByNum[TNum];
+  for (const unsigned *U = UsesBegin; U != UsesEnd; ++U) {
+    unsigned UNum = DT.num(*U);
+    if (ExcludeTrivialQ && TNum == QNum && UNum == QNum &&
+        !BackTargetByNum[QNum])
+      continue;
+    if (Sink)
+      ++Sink->UseTests;
+    if (R.test(UNum))
+      return true;
+  }
+  Decided = FastPath && !(ExcludeTrivialQ && TNum == QNum);
+  return false;
+}
+
+bool LiveCheck::legacyScanTargets(unsigned DefNum, unsigned MaxDom,
+                                  unsigned QNum, const unsigned *UsesBegin,
+                                  const unsigned *UsesEnd,
+                                  bool ExcludeTrivialQ,
+                                  LiveCheckStats *Sink) const {
+  const BitVector &T = TByNum[QNum];
+  unsigned TNum = T.findNextSet(DefNum + 1);
+  while (TNum != BitVector::npos && TNum <= MaxDom) {
+    bool Decided = false;
+    if (legacyTestTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ,
+                         Decided, Sink))
+      return true;
+    if (Decided)
+      return false;
+    unsigned Next = Opts.SubtreeSkip ? MaxNumByNum[TNum] + 1 : TNum + 1;
+    TNum = T.findNextSet(Next);
+  }
+  return false;
+}
+
+bool LiveCheck::legacyBlockKernel(const LiveCheck &LC, unsigned DefNum,
+                                  unsigned MaxDom, unsigned QNum,
+                                  const unsigned *Begin, const unsigned *End,
+                                  bool ExcludeTrivialQ,
+                                  LiveCheckStats *Sink) {
+  return LC.legacyScanTargets(DefNum, MaxDom, QNum, Begin, End,
+                              ExcludeTrivialQ, Sink);
+}
+
+template <LiveCheck::ScanLayout L> void LiveCheck::bindKernels() {
+  if (Opts.SubtreeSkip)
+    bindKernelsSkip<L, true>();
+  else
+    bindKernelsSkip<L, false>();
+}
+
+template <LiveCheck::ScanLayout L, bool Skip> void LiveCheck::bindKernelsSkip() {
+  if (FastPath)
+    bindKernelsFull<L, Skip, true>();
+  else
+    bindKernelsFull<L, Skip, false>();
+}
+
+template <LiveCheck::ScanLayout L, bool Skip, bool FP>
+void LiveCheck::bindKernelsFull() {
+  BlockScan = L == ScanLayout::Legacy
+                  ? &LiveCheck::legacyBlockKernel
+                  : &LiveCheck::renumberingKernel<L, Skip, FP>;
+  NumScan = &LiveCheck::numSpanKernel<L, Skip, FP>;
+  MaskScan = &LiveCheck::maskKernel<L, Skip, FP>;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
 LiveCheck::LiveCheck(const CFG &Graph, const DFS &Dfs, const DomTree &Tree,
                      LiveCheckOptions Options)
-    : G(Graph), D(Dfs), DT(Tree), Opts(Options) {
-  unsigned N = G.numNodes();
-  RByNum.assign(N, BitVector(N));
-  TByNum.assign(N, BitVector(N));
-  MaxNumByNum.resize(N);
-  BackTargetByNum.resize(N);
-  for (unsigned V = 0; V != N; ++V) {
+    : G(Graph), D(Dfs), DT(Tree), Opts(Options), NumNodes(Graph.numNodes()) {
+  RMat.resize(NumNodes, NumNodes);
+  TMat.resize(NumNodes, NumNodes);
+  MaxNumByNum.resize(NumNodes);
+  BackTargetByNum.resize(NumNodes);
+  for (unsigned V = 0; V != NumNodes; ++V) {
     MaxNumByNum[DT.num(V)] = DT.maxnum(V);
     BackTargetByNum[DT.num(V)] = D.isBackEdgeTarget(V);
   }
@@ -52,33 +335,59 @@ LiveCheck::LiveCheck(const CFG &Graph, const DFS &Dfs, const DomTree &Tree,
   else
     computeTFiltered();
 
-  if (Opts.Storage == TStorage::SortedArray) {
-    // Convert the T bitsets into sorted arrays of preorder numbers and
-    // release the bitsets; T sets hold only back-edge targets plus the
-    // node itself, so the arrays are short.
-    TSortedByNum.resize(N);
-    for (unsigned Num = 0; Num != N; ++Num) {
-      const BitVector &T = TByNum[Num];
-      for (unsigned B = T.findFirstSet(); B != BitVector::npos;
-           B = T.findNextSet(B + 1))
-        TSortedByNum[Num].push_back(B);
-    }
-    TByNum.clear();
-    TByNum.shrink_to_fit();
-  }
-
   if (Opts.ReducibleFastPath && Opts.Mode == TMode::Filtered)
     FastPath = analyzeReducibility(D, DT).Reducible;
+
+  finalizeStorage();
+}
+
+void LiveCheck::finalizeStorage() {
+  switch (Opts.Storage) {
+  case TStorage::Bitset:
+    // Legacy layout: materialize one BitVector per row and release the
+    // arenas, so the baseline pays exactly the historical pointer chase.
+    RByNum.assign(NumNodes, BitVector());
+    TByNum.assign(NumNodes, BitVector());
+    for (unsigned Num = 0; Num != NumNodes; ++Num) {
+      RByNum[Num].assignFromWords(RMat.row(Num), NumNodes);
+      TByNum[Num].assignFromWords(TMat.row(Num), NumNodes);
+    }
+    RMat.clear();
+    TMat.clear();
+    bindKernels<ScanLayout::Legacy>();
+    break;
+  case TStorage::SortedArray:
+    // Convert the T rows into sorted arrays of preorder numbers and release
+    // the T arena; T sets hold only back-edge targets plus the node itself,
+    // so the arrays are short. R stays in the arena.
+    TSortedByNum.resize(NumNodes);
+    for (unsigned Num = 0; Num != NumNodes; ++Num)
+      for (unsigned B = TMat.findNextSetInRow(Num, 0); B != BitMatrix::npos;
+           B = TMat.findNextSetInRow(Num, B + 1))
+        TSortedByNum[Num].push_back(B);
+    TMat.clear();
+    bindKernels<ScanLayout::Sorted>();
+    break;
+  case TStorage::Arena:
+    bindKernels<ScanLayout::Arena>();
+    break;
+  }
 }
 
 bool LiveCheck::isInT(unsigned Of, unsigned T) const {
   unsigned OfNum = DT.num(Of);
   unsigned TNum = DT.num(T);
-  if (Opts.Storage == TStorage::SortedArray) {
+  switch (Opts.Storage) {
+  case TStorage::Bitset:
+    return TByNum[OfNum].test(TNum);
+  case TStorage::SortedArray: {
     const auto &Sorted = TSortedByNum[OfNum];
     return std::binary_search(Sorted.begin(), Sorted.end(), TNum);
   }
-  return TByNum[OfNum].test(TNum);
+  case TStorage::Arena:
+    return TMat.test(OfNum, TNum);
+  }
+  return false;
 }
 
 void LiveCheck::computeR() {
@@ -87,15 +396,16 @@ void LiveCheck::computeR() {
   // single sweep in increasing postorder sees all reduced successors
   // finished (Section 5.2: "a topological order on the reduced graph ...
   // provided by a reverse postorder numeration created during the DFS").
+  // The rows live in one arena, so each union is a linear word sweep.
   for (unsigned V : D.postorderSequence()) {
-    BitVector &R = RByNum[DT.num(V)];
-    R.set(DT.num(V));
+    unsigned VNum = DT.num(V);
+    RMat.set(VNum, VNum);
     const auto &Succs = G.successors(V);
     for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
          ++Idx) {
       if (D.edgeKind(V, Idx) == EdgeKind::Back)
         continue;
-      R |= RByNum[DT.num(Succs[Idx])];
+      RMat.unionRows(VNum, DT.num(Succs[Idx]));
     }
   }
 }
@@ -106,21 +416,20 @@ void LiveCheck::computeTargetSets(std::vector<BitVector> &TargetT) const {
   //   T↑_t = { t' ∉ R_t | ∃ back edge (s', t') with s' ∈ R_t }.
   // Theorem 3: every t' ∈ T↑_t has a smaller DFS preorder than t, so
   // processing targets in increasing DFS preorder meets all dependencies.
-  unsigned N = G.numNodes();
-  TargetT.assign(N, BitVector());
+  TargetT.assign(NumNodes, BitVector());
   const auto &BackEdges = D.backEdges();
   for (unsigned V : D.preorderSequence()) {
     if (!D.isBackEdgeTarget(V))
       continue;
     BitVector &T = TargetT[V];
-    T.resize(N);
+    T.resize(NumNodes);
     unsigned VNum = DT.num(V);
     T.set(VNum);
-    const BitVector &R = RByNum[VNum];
+    const BitMatrix::Word *R = RMat.row(VNum);
     for (auto [S, Tgt] : BackEdges) {
-      if (!R.test(DT.num(S)))
+      if (!BitMatrix::testBit(R, DT.num(S)))
         continue; // Source not reduced reachable from V.
-      if (R.test(DT.num(Tgt)))
+      if (BitMatrix::testBit(R, DT.num(Tgt)))
         continue; // Filter: target adds no new reachability.
       assert(!TargetT[Tgt].empty() && "Theorem 3 ordering violated");
       T |= TargetT[Tgt];
@@ -129,17 +438,16 @@ void LiveCheck::computeTargetSets(std::vector<BitVector> &TargetT) const {
 }
 
 void LiveCheck::computeTPropagated() {
-  unsigned N = G.numNodes();
   std::vector<BitVector> TargetT;
   computeTargetSets(TargetT);
 
   // Union the target sets at each back-edge source ("the set Ts \ {s} for
   // each back edge source s"), then propagate through the reduced graph in
   // increasing postorder like R, and finally add v to each T_v.
-  std::vector<BitVector> AtSource(N);
+  std::vector<BitVector> AtSource(NumNodes);
   for (auto [S, Tgt] : D.backEdges()) {
     if (AtSource[S].empty())
-      AtSource[S].resize(N);
+      AtSource[S].resize(NumNodes);
     AtSource[S] |= TargetT[Tgt];
   }
 
@@ -147,123 +455,45 @@ void LiveCheck::computeTPropagated() {
   // successor's set would drag in the successor itself (and transitively
   // all of R_v), bloating T far beyond Definition 5.
   for (unsigned V : D.postorderSequence()) {
-    BitVector &T = TByNum[DT.num(V)];
+    unsigned VNum = DT.num(V);
     if (!AtSource[V].empty())
-      T |= AtSource[V];
+      TMat.orRowWith(VNum, AtSource[V]);
     const auto &Succs = G.successors(V);
     for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
          ++Idx) {
       if (D.edgeKind(V, Idx) == EdgeKind::Back)
         continue;
-      T |= TByNum[DT.num(Succs[Idx])];
+      TMat.unionRows(VNum, DT.num(Succs[Idx]));
     }
   }
-  for (unsigned V = 0; V != G.numNodes(); ++V)
-    TByNum[V].set(V);
+  for (unsigned Num = 0; Num != NumNodes; ++Num)
+    TMat.set(Num, Num);
 }
 
 void LiveCheck::computeTFiltered() {
-  unsigned N = G.numNodes();
   std::vector<BitVector> TargetT;
   computeTargetSets(TargetT);
 
   // Definition 5 verbatim at every node: the first chain link also applies
   // the t' ∉ R_q filter.
   const auto &BackEdges = D.backEdges();
-  for (unsigned Q = 0; Q != N; ++Q) {
+  for (unsigned Q = 0; Q != NumNodes; ++Q) {
     unsigned QNum = DT.num(Q);
-    BitVector &T = TByNum[QNum];
-    const BitVector &R = RByNum[QNum];
-    T.set(QNum);
+    const BitMatrix::Word *R = RMat.row(QNum);
+    TMat.set(QNum, QNum);
     for (auto [S, Tgt] : BackEdges) {
-      if (!R.test(DT.num(S)))
+      if (!BitMatrix::testBit(R, DT.num(S)))
         continue;
-      if (R.test(DT.num(Tgt)))
+      if (BitMatrix::testBit(R, DT.num(Tgt)))
         continue;
-      T |= TargetT[Tgt];
+      TMat.orRowWith(QNum, TargetT[Tgt]);
     }
   }
 }
 
-bool LiveCheck::testTarget(unsigned TNum, unsigned QNum,
-                           const unsigned *UsesBegin,
-                           const unsigned *UsesEnd, bool ExcludeTrivialQ,
-                           bool &Decided, LiveCheckStats *Sink) const {
-  if (Sink)
-    ++Sink->TargetsVisited;
-  const BitVector &R = RByNum[TNum];
-  for (const unsigned *U = UsesBegin; U != UsesEnd; ++U) {
-    unsigned UNum = DT.num(*U);
-    // Algorithm 2 line 8: with t = q, a use in q itself only certifies a
-    // non-trivial path if q is a back-edge target.
-    if (ExcludeTrivialQ && TNum == QNum && UNum == QNum &&
-        !BackTargetByNum[QNum])
-      continue;
-    if (Sink)
-      ++Sink->UseTests;
-    if (R.test(UNum))
-      return true;
-  }
-  // Theorem 2: on reducible CFGs with exact Definition-5 sets, the most
-  // dominating target decides the query alone. One refinement: the
-  // trivial-path exclusion above can suppress the q-use at t = q, in
-  // which case a *less* dominating target could still certify a
-  // non-trivial path, so the fast path only applies when nothing was
-  // excluded.
-  Decided = FastPath && !(ExcludeTrivialQ && TNum == QNum);
-  return false;
-}
-
-bool LiveCheck::scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
-                            const unsigned *UsesBegin,
-                            const unsigned *UsesEnd, bool ExcludeTrivialQ,
-                            LiveCheckStats *Sink) const {
-  if (Opts.Storage == TStorage::SortedArray)
-    return scanTargetsSorted(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
-                             ExcludeTrivialQ, Sink);
-  // Algorithm 3. The dominance-preorder numbering makes T_q ∩ sdom(def)
-  // the set bits of T_q in [DefNum + 1, MaxDom]; scanning from index 0
-  // upwards visits "more dominating" targets first (Section 5.1 item 2).
-  const BitVector &T = TByNum[QNum];
-  unsigned TNum = T.findNextSet(DefNum + 1);
-  while (TNum != BitVector::npos && TNum <= MaxDom) {
-    bool Decided = false;
-    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided,
-                   Sink))
-      return true;
-    if (Decided)
-      return false;
-    unsigned Next = Opts.SubtreeSkip ? MaxNumByNum[TNum] + 1 : TNum + 1;
-    TNum = T.findNextSet(Next);
-  }
-  return false;
-}
-
-bool LiveCheck::scanTargetsSorted(unsigned DefNum, unsigned MaxDom,
-                                  unsigned QNum, const unsigned *UsesBegin,
-                                  const unsigned *UsesEnd,
-                                  bool ExcludeTrivialQ,
-                                  LiveCheckStats *Sink) const {
-  // The Section-6.1 variant: T_q is a short ascending array, so the scan
-  // is a lower_bound plus a forward walk, and the subtree skip becomes
-  // another lower_bound over the remaining suffix.
-  const auto &T = TSortedByNum[QNum];
-  auto It = std::lower_bound(T.begin(), T.end(), DefNum + 1);
-  while (It != T.end() && *It <= MaxDom) {
-    unsigned TNum = *It;
-    bool Decided = false;
-    if (testTarget(TNum, QNum, UsesBegin, UsesEnd, ExcludeTrivialQ, Decided,
-                   Sink))
-      return true;
-    if (Decided)
-      return false;
-    if (Opts.SubtreeSkip)
-      It = std::lower_bound(It + 1, T.end(), MaxNumByNum[TNum] + 1);
-    else
-      ++It;
-  }
-  return false;
-}
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
 
 bool LiveCheck::isLiveIn(unsigned DefBlock, unsigned Q,
                          const unsigned *UsesBegin, const unsigned *UsesEnd,
@@ -278,8 +508,8 @@ bool LiveCheck::isLiveIn(unsigned DefBlock, unsigned Q,
   // strictness.
   if (QNum <= DefNum || MaxDom < QNum)
     return false;
-  return scanTargets(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
-                     /*ExcludeTrivialQ=*/false, Sink);
+  return BlockScan(*this, DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
+                   /*ExcludeTrivialQ=*/false, Sink);
 }
 
 bool LiveCheck::isLiveOut(unsigned DefBlock, unsigned Q,
@@ -303,17 +533,188 @@ bool LiveCheck::isLiveOut(unsigned DefBlock, unsigned Q,
     return false;
   // Algorithm 2 case 2: as live-in, but the witness path must be
   // non-trivial; only the (t = q, use at q) combination is affected.
-  return scanTargets(DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
-                     /*ExcludeTrivialQ=*/true, Sink);
+  return BlockScan(*this, DefNum, MaxDom, QNum, UsesBegin, UsesEnd,
+                   /*ExcludeTrivialQ=*/true, Sink);
 }
 
+bool LiveCheck::isLiveInNums(unsigned DefBlock, unsigned Q,
+                             const unsigned *NumsBegin,
+                             const unsigned *NumsEnd,
+                             LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->LiveInQueries;
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  unsigned QNum = DT.num(Q);
+  if (QNum <= DefNum || MaxDom < QNum)
+    return false;
+  return NumScan(*this, DefNum, MaxDom, QNum, NumsBegin, NumsEnd,
+                 /*ExcludeTrivialQ=*/false, Sink);
+}
+
+bool LiveCheck::isLiveOutNums(unsigned DefBlock, unsigned Q,
+                              const unsigned *NumsBegin,
+                              const unsigned *NumsEnd,
+                              LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->LiveOutQueries;
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned QNum = DT.num(Q);
+  if (DefBlock == Q) {
+    // num() is a bijection, so "any use block != def" is "any num != DefNum".
+    for (const unsigned *U = NumsBegin; U != NumsEnd; ++U)
+      if (*U != DefNum)
+        return true;
+    return false;
+  }
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  if (QNum <= DefNum || MaxDom < QNum)
+    return false;
+  return NumScan(*this, DefNum, MaxDom, QNum, NumsBegin, NumsEnd,
+                 /*ExcludeTrivialQ=*/true, Sink);
+}
+
+bool LiveCheck::isLiveInMask(unsigned DefBlock, unsigned Q,
+                             const BitVector &UseMask,
+                             LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->LiveInQueries;
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  unsigned QNum = DT.num(Q);
+  if (QNum <= DefNum || MaxDom < QNum)
+    return false;
+  return MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
+                  /*ExcludeTrivialQ=*/false, Sink);
+}
+
+bool LiveCheck::isLiveOutMask(unsigned DefBlock, unsigned Q,
+                              const BitVector &UseMask,
+                              LiveCheckStats *Sink) const {
+  if (Sink)
+    ++Sink->LiveOutQueries;
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned QNum = DT.num(Q);
+  if (DefBlock == Q)
+    return UseMask.anyExcept(DefNum);
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  if (QNum <= DefNum || MaxDom < QNum)
+    return false;
+  return MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
+                  /*ExcludeTrivialQ=*/true, Sink);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch sweep
+//===----------------------------------------------------------------------===//
+
+void LiveCheck::liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
+                               const unsigned *UsesEnd, BitVector *In,
+                               BitVector *Out) const {
+  if (In) {
+    In->resize(NumNodes);
+    In->reset();
+  }
+  if (Out) {
+    Out->resize(NumNodes);
+    Out->reset();
+  }
+  if (UsesBegin == UsesEnd)
+    return;
+  // Algorithm 2 case 1 at the def block itself.
+  if (Out)
+    for (const unsigned *U = UsesBegin; U != UsesEnd; ++U)
+      if (*U != DefBlock) {
+        Out->set(DefBlock);
+        break;
+      }
+  unsigned DefNum = DT.num(DefBlock);
+  unsigned MaxDom = DT.maxnum(DefBlock);
+  if (MaxDom <= DefNum)
+    return; // Def dominates nothing strictly: nothing else can be live.
+  BitVector UseMask(NumNodes);
+  for (const unsigned *U = UsesBegin; U != UsesEnd; ++U)
+    UseMask.set(DT.num(*U));
+
+  unsigned Lo = DefNum + 1;
+  if (Opts.Storage != TStorage::Arena) {
+    // Non-arena layouts: one mask query per interval block and direction.
+    for (unsigned QNum = Lo; QNum <= MaxDom; ++QNum) {
+      if (In && MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
+                         /*ExcludeTrivialQ=*/false, nullptr))
+        In->set(DT.nodeAtNum(QNum));
+      if (Out && MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
+                          /*ExcludeTrivialQ=*/true, nullptr))
+        Out->set(DT.nodeAtNum(QNum));
+    }
+    return;
+  }
+
+  // Arena fast path: two linear passes over the arena instead of one scan
+  // per block, shared between the two directions.
+  //
+  // Pass 1 marks the "good" targets: t ∈ (DefNum, MaxDom] with
+  // R_t ∩ uses != ∅ (the body of Algorithm 1 line 4, evaluated once per
+  // node instead of once per (q, t) pair). For live-out, the t = q
+  // self-target needs Algorithm 2's line-8 exclusion, so its verdict is
+  // tracked separately in GoodSelf.
+  //
+  // Pass 2 answers every q at once: q is live iff T_q meets a good target
+  // inside the interval — a masked word-sweep intersection per row. The
+  // existential formulation matches the scan kernels including the
+  // Theorem-2 fast path: on reducible CFGs the most-dominating target's
+  // verdict agrees with the disjunction over all targets.
+  unsigned Stride = RMat.strideWords();
+  const BitMatrix::Word *MaskW = UseMask.words();
+  BitVector Good(NumNodes);
+  BitVector GoodSelf;
+  if (Out)
+    GoodSelf.resize(NumNodes);
+  for (unsigned T = Lo; T <= MaxDom; ++T) {
+    const BitMatrix::Word *R = RMat.row(T);
+    bool Any = BitMatrix::wordsAnyCommon(R, MaskW, Stride);
+    if (Any)
+      Good.set(T);
+    if (Out) {
+      bool Self = BackTargetByNum[T]
+                      ? Any
+                      : BitMatrix::wordsAnyCommon(R, MaskW, Stride,
+                                                  /*ExcludeBit=*/T);
+      if (Self)
+        GoodSelf.set(T);
+    }
+  }
+  const BitMatrix::Word *GoodW = Good.words();
+  for (unsigned Q = Lo; Q <= MaxDom; ++Q) {
+    const BitMatrix::Word *T = TMat.row(Q);
+    if (In && BitMatrix::wordsAnyCommonInRange(T, GoodW, Lo, MaxDom))
+      In->set(DT.nodeAtNum(Q));
+    // T_q always holds q itself; route that one target through GoodSelf
+    // and exclude it from the ordinary sweep.
+    if (Out && (GoodSelf.test(Q) ||
+                BitMatrix::wordsAnyCommonInRange(T, GoodW, Lo, MaxDom,
+                                                 /*ExcludeBit=*/Q)))
+      Out->set(DT.nodeAtNum(Q));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
 size_t LiveCheck::memoryBytes() const {
-  size_t Bytes = 0;
+  // Everything a resident engine holds: set payloads in the active layout,
+  // per-row container headers, the per-node side tables the scan loop
+  // reads, and the arena bookkeeping.
+  size_t Bytes = RMat.memoryBytes() + TMat.memoryBytes() +
+                 2 * sizeof(BitMatrix);
   for (const BitVector &B : RByNum)
-    Bytes += B.memoryBytes();
+    Bytes += B.memoryBytes() + sizeof(BitVector);
   for (const BitVector &B : TByNum)
-    Bytes += B.memoryBytes();
+    Bytes += B.memoryBytes() + sizeof(BitVector);
   for (const auto &T : TSortedByNum)
-    Bytes += T.size() * sizeof(unsigned);
+    Bytes += T.capacity() * sizeof(unsigned) + sizeof(T);
+  Bytes += MaxNumByNum.capacity() * sizeof(unsigned);
+  Bytes += BackTargetByNum.capacity() * sizeof(std::uint8_t);
   return Bytes;
 }

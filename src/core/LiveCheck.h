@@ -24,12 +24,51 @@
 /// uses, or whole instructions never invalidates it — the property that
 /// motivates the paper.
 ///
+/// ## Memory-layout contract (TStorage)
+///
+/// The R and T sets are logically N x N bit matrices indexed by dominance
+/// preorder number on both axes. How they are *physically* held is fixed at
+/// construction and never changes afterwards:
+///
+///   * `Arena` (default): both matrices live in one contiguous word arena
+///     each (support/BitMatrix) — row t of R is `base + t * stride` with no
+///     per-row heap object, so the precomputation sweeps are linear passes
+///     and a query's row access is offset arithmetic instead of a pointer
+///     chase. This is the hot-path layout.
+///   * `Bitset`: one heap-allocated BitVector per row, the pre-refactor
+///     layout, kept as the ablation/benchmark baseline (bench_storage
+///     measures the arena's advantage against exactly this).
+///   * `SortedArray`: R stays in the arena; each T row is converted to a
+///     sorted array of preorder numbers (the paper's own Section-6.1
+///     suggestion) and the T arena is released.
+///
+/// All layouts answer every query identically; the property tests assert
+/// this bit for bit. The scan loop itself is not branched per query either:
+/// the constructor binds function-pointer kernels specialized (by template
+/// instantiation) for the layout and the subtree-skip setting, so
+/// `Opts.Storage`/`Opts.SubtreeSkip` are consulted exactly once.
+///
+/// ## The renumbered query plane
+///
+/// The engine's native coordinate system is the dominance preorder number.
+/// The classic entry points take block ids and used to re-translate every
+/// use through DT.num() once per *target* (O(targets x uses) array loads on
+/// the hottest loop); they now number the span once per query. Callers that
+/// can do that numbering themselves — FunctionLiveness, the batch driver,
+/// the benches — use the `*Nums` entry points with a sorted, deduplicated
+/// span of use numbers, or the `*Mask` entry points with a bitset of use
+/// numbers for high-use-count variables (the per-target test then collapses
+/// to a word-level `R_t ∩ UseMask != ∅` sweep). `liveInBlocks`/
+/// `liveOutBlocks` answer the query for *every* block of the dominance
+/// interval in one two-pass sweep over the arena.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SSALIVE_CORE_LIVECHECK_H
 #define SSALIVE_CORE_LIVECHECK_H
 
 #include "analysis/DomTree.h"
+#include "support/BitMatrix.h"
 #include "support/BitVector.h"
 
 #include <cstdint>
@@ -53,18 +92,21 @@ enum class TMode {
   Filtered,
 };
 
-/// How the T sets are stored for querying.
+/// How the R and T sets are stored for querying (see the memory-layout
+/// contract in the file comment).
 enum class TStorage {
-  /// One bitset per node, scanned with findNextSet (Algorithm 3 as
-  /// printed in the paper).
+  /// One heap BitVector per row — the pre-refactor layout, kept as the
+  /// bench/ablation baseline.
   Bitset,
-  /// One sorted array of dominance-preorder numbers per node — the
-  /// paper's own suggestion (Section 6.1): "future implementations could
-  /// use sorted arrays instead of bitsets to save space in case of larger
+  /// T rows as sorted arrays of dominance-preorder numbers — the paper's
+  /// own suggestion (Section 6.1): "future implementations could use
+  /// sorted arrays instead of bitsets to save space in case of larger
   /// CFGs and speed up the loop iteration (by abandoning
   /// bitset_next_set)". T sets contain only back-edge targets, so the
-  /// arrays are tiny (back edges are ~4% of edges).
+  /// arrays are tiny (back edges are ~4% of edges). R stays in the arena.
   SortedArray,
+  /// Both matrices in contiguous BitMatrix arenas (default).
+  Arena,
 };
 
 /// Tuning/ablation switches.
@@ -76,7 +118,7 @@ struct LiveCheckOptions {
   /// Allow the Theorem-2 single-test fast path when the CFG is reducible
   /// and Mode == Filtered.
   bool ReducibleFastPath = true;
-  TStorage Storage = TStorage::Bitset;
+  TStorage Storage = TStorage::Arena;
 };
 
 /// Query statistics, for the evaluation harnesses. Queries never touch
@@ -87,7 +129,9 @@ struct LiveCheckStats {
   std::uint64_t LiveInQueries = 0;
   std::uint64_t LiveOutQueries = 0;
   std::uint64_t TargetsVisited = 0; ///< Iterations of the while loop.
-  std::uint64_t UseTests = 0;       ///< Individual R_t membership tests.
+  /// Individual R_t membership tests. A mask-entry query counts one test
+  /// per target (the whole intersection is a single word sweep).
+  std::uint64_t UseTests = 0;
 
   LiveCheckStats &operator+=(const LiveCheckStats &RHS) {
     LiveInQueries += RHS.LiveInQueries;
@@ -137,11 +181,134 @@ public:
                      Sink);
   }
 
+  /// \name Pre-numbered query plane.
+  /// The span [\p NumsBegin, \p NumsEnd) holds dominance-preorder numbers
+  /// (DT.num of the Definition-1 use blocks), in any order; duplicates are
+  /// allowed and merely cost a redundant probe, so callers sort/dedup only
+  /// when a span is reused often enough to pay for it. Numbering once per
+  /// query — or once per variable when the caller batches — replaces the
+  /// per-target re-translation the block-id entry points historically did.
+  /// @{
+  bool isLiveInNums(unsigned DefBlock, unsigned Q, const unsigned *NumsBegin,
+                    const unsigned *NumsEnd,
+                    LiveCheckStats *Sink = nullptr) const;
+  bool isLiveOutNums(unsigned DefBlock, unsigned Q, const unsigned *NumsBegin,
+                     const unsigned *NumsEnd,
+                     LiveCheckStats *Sink = nullptr) const;
+  /// Mask variants: \p UseMask has numNodes() bits, bit n set iff some use
+  /// block has preorder number n. Meant for high-use-count variables,
+  /// where one word sweep beats per-use bit probes.
+  bool isLiveInMask(unsigned DefBlock, unsigned Q, const BitVector &UseMask,
+                    LiveCheckStats *Sink = nullptr) const;
+  bool isLiveOutMask(unsigned DefBlock, unsigned Q, const BitVector &UseMask,
+                     LiveCheckStats *Sink = nullptr) const;
+
+  /// A variable fully translated into the engine's coordinate system, built
+  /// once and reused across any number of queries: the def's dominance
+  /// interval plus the numbered use span (and optionally a use mask, which
+  /// takes precedence when non-null). The spans alias caller storage, which
+  /// must outlive the queries.
+  struct PreparedVar {
+    unsigned DefNum = 0;            ///< DT.num(def block).
+    unsigned MaxDom = 0;            ///< DT.maxnum(def block).
+    const unsigned *NumsBegin = nullptr; ///< Sorted, deduped use numbers.
+    const unsigned *NumsEnd = nullptr;
+    const BitVector *Mask = nullptr; ///< Optional use mask over numbers.
+  };
+
+  /// Fills \p Out's def coordinates for \p DefBlock (spans stay untouched).
+  void prepareDef(unsigned DefBlock, PreparedVar &Out) const {
+    Out.DefNum = DT.num(DefBlock);
+    Out.MaxDom = DT.maxnum(DefBlock);
+  }
+
+  /// Prepared-variable entry points: nothing per-variable is recomputed per
+  /// query — only the query block is translated. Defined inline: this is
+  /// the hottest entry of the batch pipeline and the extra call layer is
+  /// measurable at tens of millions of queries per second.
+  bool isLiveInPrepared(const PreparedVar &V, unsigned Q,
+                        LiveCheckStats *Sink = nullptr) const {
+    if (Sink)
+      ++Sink->LiveInQueries;
+    unsigned QNum = DT.num(Q);
+    if (QNum <= V.DefNum || V.MaxDom < QNum)
+      return false;
+    if (V.Mask)
+      return MaskScan(*this, V.DefNum, V.MaxDom, QNum, *V.Mask,
+                      /*ExcludeTrivialQ=*/false, Sink);
+    return NumScan(*this, V.DefNum, V.MaxDom, QNum, V.NumsBegin, V.NumsEnd,
+                   /*ExcludeTrivialQ=*/false, Sink);
+  }
+  bool isLiveOutPrepared(const PreparedVar &V, unsigned Q,
+                         LiveCheckStats *Sink = nullptr) const {
+    if (Sink)
+      ++Sink->LiveOutQueries;
+    unsigned QNum = DT.num(Q);
+    if (QNum == V.DefNum) {
+      // Algorithm 2 case 1, in number space (num() is a bijection).
+      if (V.Mask)
+        return V.Mask->anyExcept(V.DefNum);
+      for (const unsigned *U = V.NumsBegin; U != V.NumsEnd; ++U)
+        if (*U != V.DefNum)
+          return true;
+      return false;
+    }
+    if (QNum <= V.DefNum || V.MaxDom < QNum)
+      return false;
+    if (V.Mask)
+      return MaskScan(*this, V.DefNum, V.MaxDom, QNum, *V.Mask,
+                      /*ExcludeTrivialQ=*/true, Sink);
+    return NumScan(*this, V.DefNum, V.MaxDom, QNum, V.NumsBegin, V.NumsEnd,
+                   /*ExcludeTrivialQ=*/true, Sink);
+  }
+  /// @}
+
+  /// \name Batch sweep.
+  /// Answers the query for every block at once: \p Out is resized to the
+  /// node count and bit b is set iff the variable (def block \p DefBlock,
+  /// Definition-1 use blocks \p Uses, block ids) is live-in (respectively
+  /// live-out) at block b. Under TStorage::Arena this is a two-pass
+  /// word-level sweep of the dominance interval — O(interval² / 64) instead
+  /// of interval many scans; other layouts fall back to per-block queries.
+  /// @{
+  void liveInBlocks(unsigned DefBlock, const unsigned *UsesBegin,
+                    const unsigned *UsesEnd, BitVector &Out) const {
+    liveBlocksImpl(DefBlock, UsesBegin, UsesEnd, &Out, nullptr);
+  }
+  void liveOutBlocks(unsigned DefBlock, const unsigned *UsesBegin,
+                     const unsigned *UsesEnd, BitVector &Out) const {
+    liveBlocksImpl(DefBlock, UsesBegin, UsesEnd, nullptr, &Out);
+  }
+  /// Both directions in one call: the expensive first pass (per-target
+  /// R ∩ uses verdicts) is shared, roughly halving the work of callers
+  /// that need live-in and live-out together (the block-sweep backend).
+  void liveInOutBlocks(unsigned DefBlock, const unsigned *UsesBegin,
+                       const unsigned *UsesEnd, BitVector &In,
+                       BitVector &Out) const {
+    liveBlocksImpl(DefBlock, UsesBegin, UsesEnd, &In, &Out);
+  }
+  void liveInBlocks(unsigned DefBlock, const std::vector<unsigned> &Uses,
+                    BitVector &Out) const {
+    liveInBlocks(DefBlock, Uses.data(), Uses.data() + Uses.size(), Out);
+  }
+  void liveOutBlocks(unsigned DefBlock, const std::vector<unsigned> &Uses,
+                     BitVector &Out) const {
+    liveOutBlocks(DefBlock, Uses.data(), Uses.data() + Uses.size(), Out);
+  }
+  void liveInOutBlocks(unsigned DefBlock, const std::vector<unsigned> &Uses,
+                       BitVector &In, BitVector &Out) const {
+    liveInOutBlocks(DefBlock, Uses.data(), Uses.data() + Uses.size(), In,
+                    Out);
+  }
+  /// @}
+
   /// \name Introspection for tests and benches.
   /// @{
   /// Reduced reachability: is \p To in R_{From}? (Definition 4)
   bool isReducedReachable(unsigned From, unsigned To) const {
-    return RByNum[DT.num(From)].test(DT.num(To));
+    if (Opts.Storage == TStorage::Bitset)
+      return RByNum[DT.num(From)].test(DT.num(To));
+    return RMat.test(DT.num(From), DT.num(To));
   }
 
   /// Membership in the precomputed T set: is \p T in T_{Of}?
@@ -150,49 +317,114 @@ public:
   /// Whether the single-test fast path is active.
   bool usesReducibleFastPath() const { return FastPath; }
 
-  /// Bytes held by the R and T bitsets (the quadratic footprint that
-  /// Sections 6.1 and 8 discuss).
+  /// Number of CFG nodes (== bits per R/T row).
+  unsigned numNodes() const { return NumNodes; }
+
+  const LiveCheckOptions &options() const { return Opts; }
+
+  /// Bytes held by the engine: the R/T payloads in whatever layout is
+  /// active (the quadratic footprint Sections 6.1 and 8 discuss) plus the
+  /// per-node side tables (MaxNumByNum, BackTargetByNum) and container
+  /// metadata, so the bench memory numbers reflect what a resident engine
+  /// actually costs.
   size_t memoryBytes() const;
   /// @}
 
 private:
+  /// Which physical layout the bound kernels read (see TStorage).
+  enum class ScanLayout { Legacy, Arena, Sorted };
+
+  using SpanScanFn = bool (*)(const LiveCheck &, unsigned DefNum,
+                              unsigned MaxDom, unsigned QNum,
+                              const unsigned *Begin, const unsigned *End,
+                              bool ExcludeTrivialQ, LiveCheckStats *Sink);
+  using MaskScanFn = bool (*)(const LiveCheck &, unsigned DefNum,
+                              unsigned MaxDom, unsigned QNum,
+                              const BitVector &UseMask, bool ExcludeTrivialQ,
+                              LiveCheckStats *Sink);
+
   void computeR();
   void computeTargetSets(std::vector<BitVector> &TargetT) const;
   void computeTPropagated();
   void computeTFiltered();
+  /// Moves the freshly computed arena matrices into the layout Opts.Storage
+  /// requests and binds the scan kernels.
+  void finalizeStorage();
+  template <ScanLayout L> void bindKernels();
+  template <ScanLayout L, bool Skip> void bindKernelsSkip();
+  template <ScanLayout L, bool Skip, bool FP> void bindKernelsFull();
 
-  /// Tests the def-use chain against R_t for one target (the body of
-  /// Algorithm 1 line 4 / Algorithm 2 line 9). Returns true on a hit;
-  /// sets \p Decided when the fast path may end the scan afterwards.
-  bool testTarget(unsigned TNum, unsigned QNum, const unsigned *UsesBegin,
-                  const unsigned *UsesEnd, bool ExcludeTrivialQ,
-                  bool &Decided, LiveCheckStats *Sink) const;
-
-  /// Shared tail of both liveness checks: scans T_q within def's dominance
-  /// interval. \p ExcludeTrivialQ implements Algorithm 2 line 8.
-  bool scanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
-                   const unsigned *UsesBegin, const unsigned *UsesEnd,
-                   bool ExcludeTrivialQ, LiveCheckStats *Sink) const;
-  bool scanTargetsSorted(unsigned DefNum, unsigned MaxDom, unsigned QNum,
+  /// The pre-refactor query path, preserved verbatim (runtime option
+  /// branching, per-target DT.num() re-translation, per-row BitVectors).
+  /// Bound as the block-id entry of the legacy Bitset layout so
+  /// bench_storage measures the historical baseline, not a retuned one.
+  bool legacyTestTarget(unsigned TNum, unsigned QNum,
+                        const unsigned *UsesBegin, const unsigned *UsesEnd,
+                        bool ExcludeTrivialQ, bool &Decided,
+                        LiveCheckStats *Sink) const;
+  bool legacyScanTargets(unsigned DefNum, unsigned MaxDom, unsigned QNum,
                          const unsigned *UsesBegin, const unsigned *UsesEnd,
                          bool ExcludeTrivialQ, LiveCheckStats *Sink) const;
+  static bool legacyBlockKernel(const LiveCheck &LC, unsigned DefNum,
+                                unsigned MaxDom, unsigned QNum,
+                                const unsigned *Begin, const unsigned *End,
+                                bool ExcludeTrivialQ, LiveCheckStats *Sink);
+
+  template <ScanLayout L, bool Skip, bool FP, class Uses>
+  static bool scanImpl(const LiveCheck &LC, unsigned DefNum, unsigned MaxDom,
+                       unsigned QNum, Uses U, bool ExcludeTrivialQ,
+                       LiveCheckStats *Sink);
+  template <ScanLayout L, bool Skip, bool FP>
+  static bool renumberingKernel(const LiveCheck &LC, unsigned DefNum,
+                                unsigned MaxDom, unsigned QNum,
+                                const unsigned *Begin, const unsigned *End,
+                                bool ExcludeTrivialQ, LiveCheckStats *Sink);
+  template <ScanLayout L, bool Skip, bool FP>
+  static bool numSpanKernel(const LiveCheck &LC, unsigned DefNum,
+                            unsigned MaxDom, unsigned QNum,
+                            const unsigned *Begin, const unsigned *End,
+                            bool ExcludeTrivialQ, LiveCheckStats *Sink);
+  template <ScanLayout L, bool Skip, bool FP>
+  static bool maskKernel(const LiveCheck &LC, unsigned DefNum,
+                         unsigned MaxDom, unsigned QNum,
+                         const BitVector &UseMask, bool ExcludeTrivialQ,
+                         LiveCheckStats *Sink);
+
+  /// Shared body of the batch sweeps; \p In / \p Out may each be null.
+  void liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
+                      const unsigned *UsesEnd, BitVector *In,
+                      BitVector *Out) const;
 
   const CFG &G;
   const DFS &D;
   const DomTree &DT;
   LiveCheckOptions Opts;
+  unsigned NumNodes = 0;
   bool FastPath = false;
 
-  /// R and T bitsets, indexed by dominance preorder number on both axes.
-  /// With TStorage::SortedArray the T bitsets are converted into
-  /// TSortedByNum and dropped.
+  /// Arena layout: R and T as contiguous matrices (row == preorder number).
+  /// R stays resident for Arena and SortedArray; both are released under
+  /// the legacy Bitset layout after materializing the per-row vectors.
+  BitMatrix RMat;
+  BitMatrix TMat;
+  /// Legacy layout (TStorage::Bitset only).
   std::vector<BitVector> RByNum;
   std::vector<BitVector> TByNum;
+  /// TStorage::SortedArray rows.
   std::vector<std::vector<unsigned>> TSortedByNum;
   /// maxnum() by dominance preorder number (subtree skipping).
   std::vector<unsigned> MaxNumByNum;
-  /// Back-edge-target flag by node id (Algorithm 2 line 8).
-  std::vector<bool> BackTargetByNum;
+  /// Back-edge-target flag by preorder number (Algorithm 2 line 8).
+  std::vector<std::uint8_t> BackTargetByNum;
+
+  /// Scan kernels bound once at construction — the per-query dispatch is
+  /// one indirect call, never an Opts branch. BlockScan takes block-id
+  /// spans (on the legacy layout it is the historical per-target
+  /// re-translation, preserved as the bench baseline; elsewhere it numbers
+  /// the span once and forwards to NumScan's kernel).
+  SpanScanFn BlockScan = nullptr;
+  SpanScanFn NumScan = nullptr;
+  MaskScanFn MaskScan = nullptr;
 };
 
 } // namespace ssalive

@@ -13,6 +13,7 @@
 #include "support/RandomEngine.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -26,6 +27,10 @@ const char *ssalive::batchBackendName(BatchBackend B) {
     return "filtered";
   case BatchBackend::LiveCheckSorted:
     return "sorted";
+  case BatchBackend::LiveCheckBitset:
+    return "bitset";
+  case BatchBackend::LiveCheckBlockSweep:
+    return "block-sweep";
   case BatchBackend::Dataflow:
     return "dataflow";
   case BatchBackend::PathExploration:
@@ -37,7 +42,8 @@ const char *ssalive::batchBackendName(BatchBackend B) {
 bool ssalive::parseBatchBackend(const std::string &Name, BatchBackend &Out) {
   for (BatchBackend B :
        {BatchBackend::LiveCheckPropagated, BatchBackend::LiveCheckFiltered,
-        BatchBackend::LiveCheckSorted, BatchBackend::Dataflow,
+        BatchBackend::LiveCheckSorted, BatchBackend::LiveCheckBitset,
+        BatchBackend::LiveCheckBlockSweep, BatchBackend::Dataflow,
         BatchBackend::PathExploration})
     if (Name == batchBackendName(B)) {
       Out = B;
@@ -67,14 +73,21 @@ BatchLivenessDriver::liveCheckOptionsFor(BatchBackend B) {
   LiveCheckOptions Opts;
   switch (B) {
   case BatchBackend::LiveCheckPropagated:
+  case BatchBackend::LiveCheckBlockSweep:
     Opts.Mode = TMode::Propagated;
+    Opts.Storage = TStorage::Arena;
     break;
   case BatchBackend::LiveCheckFiltered:
     Opts.Mode = TMode::Filtered;
+    Opts.Storage = TStorage::Arena;
     break;
   case BatchBackend::LiveCheckSorted:
     Opts.Mode = TMode::Propagated;
     Opts.Storage = TStorage::SortedArray;
+    break;
+  case BatchBackend::LiveCheckBitset:
+    Opts.Mode = TMode::Propagated;
+    Opts.Storage = TStorage::Bitset;
     break;
   default:
     break;
@@ -85,7 +98,9 @@ BatchLivenessDriver::liveCheckOptionsFor(BatchBackend B) {
 bool BatchLivenessDriver::usesLiveCheck() const {
   return Opts.Backend == BatchBackend::LiveCheckPropagated ||
          Opts.Backend == BatchBackend::LiveCheckFiltered ||
-         Opts.Backend == BatchBackend::LiveCheckSorted;
+         Opts.Backend == BatchBackend::LiveCheckSorted ||
+         Opts.Backend == BatchBackend::LiveCheckBitset ||
+         Opts.Backend == BatchBackend::LiveCheckBlockSweep;
 }
 
 BatchLivenessDriver::BatchLivenessDriver(std::vector<const Function *> Funcs,
@@ -163,6 +178,55 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
     // the scaling this driver exists to deliver.
     BatchThreadStats Stats;
     std::vector<unsigned> Uses; // Scratch, reused across queries.
+
+    if (Opts.Backend == BatchBackend::LiveCheckBlockSweep) {
+      // The sweep computes every block's answer for one variable at once,
+      // so process the span grouped by (function, value) — the ordering is
+      // deterministic and each answer still lands in its own slot, keeping
+      // the result byte-identical to any other schedule.
+      std::vector<std::size_t> Order;
+      Order.reserve(End - Begin);
+      for (std::size_t I = Begin; I != End; ++I)
+        Order.push_back(I);
+      std::sort(Order.begin(), Order.end(),
+                [&](std::size_t A, std::size_t B) {
+                  const BatchQuery &QA = Workload[A], &QB = Workload[B];
+                  if (QA.FuncIndex != QB.FuncIndex)
+                    return QA.FuncIndex < QB.FuncIndex;
+                  if (QA.ValueId != QB.ValueId)
+                    return QA.ValueId < QB.ValueId;
+                  return A < B;
+                });
+      std::uint32_t CachedFunc = ~0u, CachedVal = ~0u;
+      bool CachedQueryable = false;
+      BitVector InBlocks, OutBlocks;
+      for (std::size_t I : Order) {
+        const BatchQuery &Q = Workload[I];
+        assert(Q.FuncIndex < Funcs.size() && "query function out of range");
+        const Function &F = *Funcs[Q.FuncIndex];
+        const Value &V = *F.value(Q.ValueId);
+        if (Q.FuncIndex != CachedFunc || Q.ValueId != CachedVal) {
+          CachedFunc = Q.FuncIndex;
+          CachedVal = Q.ValueId;
+          CachedQueryable = queryableValue(V);
+          if (CachedQueryable) {
+            Uses.clear();
+            appendLiveUseBlocks(V, Uses);
+            Engines[Q.FuncIndex]->liveInOutBlocks(defBlockId(V), Uses,
+                                                  InBlocks, OutBlocks);
+          }
+        }
+        bool Answer =
+            CachedQueryable &&
+            (Q.IsLiveOut ? OutBlocks.test(Q.BlockId) : InBlocks.test(Q.BlockId));
+        Result.Answers[I] = Answer;
+        ++Stats.QueriesExecuted;
+        Stats.PositiveAnswers += Answer;
+      }
+      Result.PerThread[Worker] = Stats;
+      return;
+    }
+
     for (std::size_t I = Begin; I != End; ++I) {
       const BatchQuery &Q = Workload[I];
       assert(Q.FuncIndex < Funcs.size() && "query function out of range");

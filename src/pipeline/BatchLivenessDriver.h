@@ -34,17 +34,20 @@ class ThreadPool;
 
 /// Which engine answers the workload.
 enum class BatchBackend {
-  LiveCheckPropagated, ///< The paper's engine, Section-5.2 T sets.
+  LiveCheckPropagated, ///< The paper's engine, Section-5.2 T sets (arena).
   LiveCheckFiltered,   ///< Exact Definition-5 sets + reducible fast path.
   LiveCheckSorted,     ///< Propagated sets in sorted-array storage.
+  LiveCheckBitset,     ///< Legacy per-row BitVector layout (baseline).
+  LiveCheckBlockSweep, ///< Arena engine answered via liveIn/OutBlocks
+                       ///< sweeps, queries grouped per value.
   Dataflow,            ///< Iterative data-flow baseline ("Native").
   PathExploration,     ///< Appel-Palsberg per-variable backwalk baseline.
 };
 
 const char *batchBackendName(BatchBackend B);
 
-/// Parses "propagated", "filtered", "sorted", "dataflow",
-/// "path-exploration" (returns false on anything else).
+/// Parses "propagated", "filtered", "sorted", "bitset", "block-sweep",
+/// "dataflow", "path-exploration" (returns false on anything else).
 bool parseBatchBackend(const std::string &Name, BatchBackend &Out);
 
 /// One liveness query against one function of the module.

@@ -1,0 +1,194 @@
+//===- support/BitMatrix.h - Arena-backed bit matrix ------------*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense Rows x Cols bit matrix in one contiguous word arena. This is the
+/// storage behind LiveCheck's R and T sets (TStorage::Arena): instead of one
+/// heap-allocated BitVector per CFG node — a pointer chase and a cold cache
+/// line per row touch — every row lives at a fixed stride inside a single
+/// allocation, so row i is `arena + i * stride` with no indirection, the
+/// precomputation sweeps are linear passes over one buffer, and a query's
+/// row accesses are plain offset arithmetic.
+///
+/// The class also exposes the word-level span primitives the query plane is
+/// built from: row union (the Definition-4/5 set recurrences), first-set-bit
+/// scanning from an index (the paper's `bitset_next_set`), and
+/// intersection-emptiness over a bit range with an optional excluded bit
+/// (the `R_t ∩ uses != ∅` test of Algorithm 1, and the Algorithm-2 line-8
+/// trivial-path exclusion, each as one masked word sweep).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_BITMATRIX_H
+#define SSALIVE_SUPPORT_BITMATRIX_H
+
+#include "support/BitVector.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ssalive {
+
+/// A fixed-shape bit matrix backed by one word arena.
+class BitMatrix {
+public:
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+  static constexpr unsigned npos = ~0u;
+
+  BitMatrix() = default;
+
+  /// Creates a \p NumRows x \p NumCols matrix, all bits clear.
+  BitMatrix(unsigned NumRows, unsigned NumCols) { resize(NumRows, NumCols); }
+
+  /// Reshapes to \p NumRows x \p NumCols and clears every bit.
+  void resize(unsigned NumRows, unsigned NumCols) {
+    Rows = NumRows;
+    Cols = NumCols;
+    Stride = (NumCols + WordBits - 1) / WordBits;
+    Arena.assign(std::size_t(Rows) * Stride, 0);
+  }
+
+  /// Releases the arena; the matrix becomes 0 x 0.
+  void clear() {
+    Rows = Cols = Stride = 0;
+    Arena.clear();
+    Arena.shrink_to_fit();
+  }
+
+  unsigned numRows() const { return Rows; }
+  unsigned numCols() const { return Cols; }
+  /// Words per row — the unit every row primitive iterates over.
+  unsigned strideWords() const { return Stride; }
+  bool empty() const { return Arena.empty(); }
+
+  /// Row \p R as a raw word span of strideWords() words.
+  const Word *row(unsigned R) const {
+    assert(R < Rows && "row out of range");
+    return Arena.data() + std::size_t(R) * Stride;
+  }
+  Word *row(unsigned R) {
+    assert(R < Rows && "row out of range");
+    return Arena.data() + std::size_t(R) * Stride;
+  }
+
+  void set(unsigned R, unsigned C) {
+    assert(C < Cols && "column out of range");
+    row(R)[C / WordBits] |= Word(1) << (C % WordBits);
+  }
+
+  bool test(unsigned R, unsigned C) const {
+    assert(C < Cols && "column out of range");
+    return testBit(row(R), C);
+  }
+
+  /// Bit \p Idx of a raw row span (no bounds knowledge — caller's contract).
+  static bool testBit(const Word *RowWords, unsigned Idx) {
+    return (RowWords[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+
+  /// Row union: Dst |= Src, one linear word sweep.
+  void unionRows(unsigned Dst, unsigned Src) {
+    Word *D = row(Dst);
+    const Word *S = row(Src);
+    for (unsigned I = 0; I != Stride; ++I)
+      D[I] |= S[I];
+  }
+
+  /// Dst |= V for a BitVector over the same column universe.
+  void orRowWith(unsigned Dst, const BitVector &V) {
+    assert(V.size() == Cols && "universe mismatch");
+    Word *D = row(Dst);
+    const Word *S = V.words();
+    for (unsigned I = 0, E = V.numWordsInUse(); I != E; ++I)
+      D[I] |= S[I];
+  }
+
+  /// First set bit of row \p R at column >= \p From, or npos.
+  unsigned findNextSetInRow(unsigned R, unsigned From) const {
+    return wordsFindNextSet(row(R), Stride, From, Cols);
+  }
+
+  /// Payload bytes of the arena (the quadratic footprint LiveCheck reports).
+  std::size_t memoryBytes() const { return Arena.capacity() * sizeof(Word); }
+
+  /// \name Word-span primitives (shared by BitVector interop).
+  /// @{
+
+  /// First set bit at index >= \p From in a span of \p NumWords words whose
+  /// logical universe ends at \p NumBits, or npos.
+  static unsigned wordsFindNextSet(const Word *W, unsigned NumWords,
+                                   unsigned From, unsigned NumBits) {
+    if (From >= NumBits)
+      return npos;
+    unsigned WordIdx = From / WordBits;
+    Word Cur = W[WordIdx] & (~Word(0) << (From % WordBits));
+    while (true) {
+      if (Cur) {
+        unsigned Bit = WordIdx * WordBits + std::countr_zero(Cur);
+        return Bit < NumBits ? Bit : npos;
+      }
+      if (++WordIdx == NumWords)
+        return npos;
+      Cur = W[WordIdx];
+    }
+  }
+
+  /// Do spans \p A and \p B share a set bit within [\p Lo, \p Hi], ignoring
+  /// \p ExcludeBit (pass npos to exclude nothing)? Both spans must cover the
+  /// range. One masked word sweep — no per-bit loop.
+  static bool wordsAnyCommonInRange(const Word *A, const Word *B, unsigned Lo,
+                                    unsigned Hi,
+                                    unsigned ExcludeBit = npos) {
+    if (Lo > Hi)
+      return false;
+    unsigned FirstWord = Lo / WordBits;
+    unsigned LastWord = Hi / WordBits;
+    for (unsigned I = FirstWord; I <= LastWord; ++I) {
+      Word W = A[I] & B[I];
+      if (I == FirstWord)
+        W &= ~Word(0) << (Lo % WordBits);
+      if (I == LastWord) {
+        unsigned Rem = Hi % WordBits;
+        if (Rem != WordBits - 1)
+          W &= (Word(1) << (Rem + 1)) - 1;
+      }
+      if (ExcludeBit != npos && ExcludeBit / WordBits == I)
+        W &= ~(Word(1) << (ExcludeBit % WordBits));
+      if (W)
+        return true;
+    }
+    return false;
+  }
+
+  /// Do spans \p A and \p B of \p NumWords words share a set bit, ignoring
+  /// \p ExcludeBit?
+  static bool wordsAnyCommon(const Word *A, const Word *B, unsigned NumWords,
+                             unsigned ExcludeBit = npos) {
+    for (unsigned I = 0; I != NumWords; ++I) {
+      Word W = A[I] & B[I];
+      if (ExcludeBit != npos && ExcludeBit / WordBits == I)
+        W &= ~(Word(1) << (ExcludeBit % WordBits));
+      if (W)
+        return true;
+    }
+    return false;
+  }
+  /// @}
+
+private:
+  std::vector<Word> Arena;
+  unsigned Rows = 0;
+  unsigned Cols = 0;
+  unsigned Stride = 0;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_BITMATRIX_H

@@ -6,6 +6,8 @@
 
 #include "support/BitVector.h"
 
+#include "support/BitMatrix.h"
+
 #include <bit>
 
 using namespace ssalive;
@@ -18,18 +20,9 @@ unsigned BitVector::count() const {
 }
 
 unsigned BitVector::findNextSet(unsigned From) const {
-  if (From >= NumBits)
-    return npos;
-  unsigned WordIdx = From / WordBits;
-  // Mask off bits below From in the first word.
-  Word W = Words[WordIdx] & (~Word(0) << (From % WordBits));
-  while (true) {
-    if (W)
-      return WordIdx * WordBits + std::countr_zero(W);
-    if (++WordIdx == Words.size())
-      return npos;
-    W = Words[WordIdx];
-  }
+  // One word-scan implementation for the whole support layer.
+  return BitMatrix::wordsFindNextSet(
+      Words.data(), static_cast<unsigned>(Words.size()), From, NumBits);
 }
 
 BitVector &BitVector::operator|=(const BitVector &RHS) {
@@ -58,6 +51,17 @@ bool BitVector::anyCommon(const BitVector &RHS) const {
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     if (Words[I] & RHS.Words[I])
       return true;
+  return false;
+}
+
+bool BitVector::anyExcept(unsigned Idx) const {
+  for (size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word W = Words[I];
+    if (Idx / WordBits == I)
+      W &= ~(Word(1) << (Idx % WordBits));
+    if (W)
+      return true;
+  }
   return false;
 }
 

@@ -107,10 +107,28 @@ public:
   /// Returns true if every set bit of this vector is also set in \p RHS.
   bool isSubsetOf(const BitVector &RHS) const;
 
+  /// Returns true if any bit other than \p Idx is set.
+  bool anyExcept(unsigned Idx) const;
+
   bool operator==(const BitVector &RHS) const {
     return NumBits == RHS.NumBits && Words == RHS.Words;
   }
   bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// \name Raw word access (interop with BitMatrix row spans).
+  /// @{
+  const std::uint64_t *words() const { return Words.data(); }
+  unsigned numWordsInUse() const {
+    return static_cast<unsigned>(Words.size());
+  }
+  /// Resizes to \p NewNumBits and copies the payload from \p Src, which
+  /// must hold at least numWords(NewNumBits) words.
+  void assignFromWords(const std::uint64_t *Src, unsigned NewNumBits) {
+    NumBits = NewNumBits;
+    Words.assign(Src, Src + numWords(NewNumBits));
+    clearUnusedBits();
+  }
+  /// @}
 
   /// Returns the memory footprint of the payload in bytes; the Table-/
   /// scaling benches report this for the quadratic-memory discussion of

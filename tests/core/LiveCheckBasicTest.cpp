@@ -186,14 +186,22 @@ TEST(LiveCheckBasic, StatsCountQueries) {
 }
 
 TEST(LiveCheckBasic, MemoryFootprintIsQuadratic) {
-  // N nodes, one N-bit set per node for R and T each: the paper's
-  // quadratic behaviour (Sections 6.1, 8). 3 nodes -> 3 x 1 word x 2;
-  // 70 nodes -> 70 x 2 words x 2.
+  // N nodes, one N-bit row per node for R and T each: the paper's
+  // quadratic behaviour (Sections 6.1, 8). memoryBytes() also accounts
+  // for the per-node side tables (maxnum, back-target flags) and container
+  // metadata, so assert the quadratic payload as an exact floor and allow
+  // only a linear overhead on top of it.
+  auto QuadraticPayload = [](unsigned N) {
+    return std::size_t(N) * ((N + 63) / 64) * 8 * 2;
+  };
   Engines Small(makeCFG(3, {{0, 1}, {1, 2}}));
-  EXPECT_EQ(Small.Check.memoryBytes(), 3u * 8 * 2);
+  EXPECT_GE(Small.Check.memoryBytes(), QuadraticPayload(3));
+  EXPECT_LT(Small.Check.memoryBytes(), QuadraticPayload(3) + 3 * 64 + 1024);
   CFG Chain(70);
   for (unsigned V = 0; V + 1 != 70; ++V)
     Chain.addEdge(V, V + 1);
   Engines Large(std::move(Chain));
-  EXPECT_EQ(Large.Check.memoryBytes(), 70u * 16 * 2);
+  EXPECT_GE(Large.Check.memoryBytes(), QuadraticPayload(70));
+  EXPECT_LT(Large.Check.memoryBytes(),
+            QuadraticPayload(70) + 70 * 64 + 1024);
 }

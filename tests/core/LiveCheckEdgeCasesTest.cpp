@@ -144,7 +144,8 @@ TEST(LiveCheckEdgeCases, AllOptionCombinationsOnIrreducibleClique) {
   CFG G = makeCFG(5, {{0, 1}, {0, 2}, {1, 2}, {2, 1}, {1, 3}, {3, 1},
                       {2, 3}, {3, 2}, {3, 4}});
   for (TMode Mode : {TMode::Propagated, TMode::Filtered}) {
-    for (TStorage Storage : {TStorage::Bitset, TStorage::SortedArray}) {
+    for (TStorage Storage :
+         {TStorage::Bitset, TStorage::SortedArray, TStorage::Arena}) {
       for (bool Skip : {true, false}) {
         LiveCheckOptions Opts;
         Opts.Mode = Mode;

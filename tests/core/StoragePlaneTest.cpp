@@ -1,0 +1,210 @@
+//===- tests/core/StoragePlaneTest.cpp ------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The memory-layout contract of LiveCheck: every storage backend (legacy
+// Bitset, SortedArray, BitMatrix Arena) under both T modes must answer
+// every query identically through every entry point — classic block-id
+// spans, pre-numbered spans, use masks, prepared variables, and the
+// liveInBlocks/liveOutBlocks batch sweeps — and all of them must match the
+// brute-force oracle on random reducible and irreducible CFGs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LiveCheck.h"
+
+#include "TestUtil.h"
+#include "liveness/LivenessOracle.h"
+#include "workload/CFGGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+namespace {
+
+struct SyntheticVar {
+  unsigned Def;
+  std::vector<unsigned> Uses; ///< Block ids, duplicates possible.
+};
+
+std::vector<SyntheticVar> placeVariables(const CFG &G, const DomTree &DT,
+                                         RandomEngine &Rng, unsigned Count) {
+  std::vector<SyntheticVar> Vars;
+  unsigned N = G.numNodes();
+  for (unsigned I = 0; I != Count; ++I) {
+    SyntheticVar V;
+    V.Def = Rng.nextBelow(N);
+    unsigned Lo = DT.num(V.Def), Hi = DT.maxnum(V.Def);
+    // Mix small and large use sets so both the span and the mask paths of
+    // the renumbered plane get exercised (the mask threshold in
+    // FunctionLiveness is ~max(8, N/64)).
+    unsigned NumUses = 1 + Rng.nextBelow(I % 3 == 0 ? 12 : 3);
+    for (unsigned U = 0; U != NumUses; ++U)
+      V.Uses.push_back(DT.nodeAtNum(Rng.nextInRange(Lo, Hi)));
+    Vars.push_back(std::move(V));
+  }
+  return Vars;
+}
+
+struct Config {
+  const char *Name;
+  unsigned MinBlocks;
+  unsigned MaxBlocks;
+  unsigned GotoEdges;
+  unsigned Seeds;
+};
+
+class StoragePlane : public ::testing::TestWithParam<Config> {};
+
+} // namespace
+
+TEST_P(StoragePlane, AllBackendsAllEntryPointsMatchOracle) {
+  const Config &C = GetParam();
+  for (std::uint64_t Seed = 0; Seed != C.Seeds; ++Seed) {
+    RandomEngine Rng(Seed * 52361 + 19);
+    CFGGenOptions Opts;
+    Opts.TargetBlocks =
+        C.MinBlocks + Rng.nextBelow(C.MaxBlocks - C.MinBlocks + 1);
+    Opts.GotoEdges = C.GotoEdges;
+    CFG G = generateCFG(Opts, Rng);
+    DFS D(G);
+    DomTree DT(G, D);
+    unsigned N = G.numNodes();
+
+    // Every storage layout under both T modes.
+    std::vector<std::unique_ptr<LiveCheck>> Engines;
+    for (TMode Mode : {TMode::Propagated, TMode::Filtered})
+      for (TStorage Storage :
+           {TStorage::Bitset, TStorage::SortedArray, TStorage::Arena}) {
+        LiveCheckOptions EOpts;
+        EOpts.Mode = Mode;
+        EOpts.Storage = Storage;
+        Engines.push_back(std::make_unique<LiveCheck>(G, D, DT, EOpts));
+      }
+
+    auto Vars = placeVariables(G, DT, Rng, 10);
+    BitVector InSweep, OutSweep, Mask(N);
+    for (const SyntheticVar &V : Vars) {
+      // The renumbered-plane inputs. RawNums keeps the translation order
+      // (with duplicates) — the span contract allows any order — while
+      // Nums is the sorted/deduped form a batching caller would prepare.
+      std::vector<unsigned> RawNums = V.Uses;
+      for (unsigned &U : RawNums)
+        U = DT.num(U);
+      std::vector<unsigned> Nums = RawNums;
+      std::sort(Nums.begin(), Nums.end());
+      Nums.erase(std::unique(Nums.begin(), Nums.end()), Nums.end());
+      Mask.reset();
+      for (unsigned U : Nums)
+        Mask.set(U);
+
+      for (const auto &E : Engines) {
+        LiveCheck::PreparedVar PVSpan;
+        E->prepareDef(V.Def, PVSpan);
+        PVSpan.NumsBegin = Nums.data();
+        PVSpan.NumsEnd = Nums.data() + Nums.size();
+        LiveCheck::PreparedVar PVMask = PVSpan;
+        PVMask.Mask = &Mask;
+
+        E->liveInBlocks(V.Def, V.Uses, InSweep);
+        E->liveOutBlocks(V.Def, V.Uses, OutSweep);
+        BitVector InBoth, OutBoth;
+        E->liveInOutBlocks(V.Def, V.Uses, InBoth, OutBoth);
+        EXPECT_EQ(InBoth, InSweep) << "combined sweep (in) diverges";
+        EXPECT_EQ(OutBoth, OutSweep) << "combined sweep (out) diverges";
+
+        for (unsigned Q = 0; Q != N; ++Q) {
+          bool WantIn = LivenessOracle::liveInSearch(G, V.Def, V.Uses, Q);
+          bool WantOut = LivenessOracle::liveOutSearch(G, V.Def, V.Uses, Q);
+          auto Ctx = [&](const char *Entry) {
+            return ::testing::Message()
+                   << C.Name << " seed " << Seed << " def " << V.Def
+                   << " q " << Q << " entry " << Entry << " storage "
+                   << static_cast<int>(E->options().Storage) << " mode "
+                   << static_cast<int>(E->options().Mode);
+          };
+          EXPECT_EQ(E->isLiveIn(V.Def, Q, V.Uses), WantIn) << Ctx("blocks");
+          EXPECT_EQ(E->isLiveOut(V.Def, Q, V.Uses), WantOut)
+              << Ctx("blocks");
+          EXPECT_EQ(E->isLiveInNums(V.Def, Q, Nums.data(),
+                                    Nums.data() + Nums.size()),
+                    WantIn)
+              << Ctx("nums");
+          EXPECT_EQ(E->isLiveOutNums(V.Def, Q, Nums.data(),
+                                     Nums.data() + Nums.size()),
+                    WantOut)
+              << Ctx("nums");
+          EXPECT_EQ(E->isLiveInNums(V.Def, Q, RawNums.data(),
+                                    RawNums.data() + RawNums.size()),
+                    WantIn)
+              << Ctx("raw-nums");
+          EXPECT_EQ(E->isLiveOutNums(V.Def, Q, RawNums.data(),
+                                     RawNums.data() + RawNums.size()),
+                    WantOut)
+              << Ctx("raw-nums");
+          EXPECT_EQ(E->isLiveInMask(V.Def, Q, Mask), WantIn) << Ctx("mask");
+          EXPECT_EQ(E->isLiveOutMask(V.Def, Q, Mask), WantOut)
+              << Ctx("mask");
+          EXPECT_EQ(E->isLiveInPrepared(PVSpan, Q), WantIn)
+              << Ctx("prepared-span");
+          EXPECT_EQ(E->isLiveOutPrepared(PVSpan, Q), WantOut)
+              << Ctx("prepared-span");
+          EXPECT_EQ(E->isLiveInPrepared(PVMask, Q), WantIn)
+              << Ctx("prepared-mask");
+          EXPECT_EQ(E->isLiveOutPrepared(PVMask, Q), WantOut)
+              << Ctx("prepared-mask");
+          EXPECT_EQ(InSweep.test(Q), WantIn) << Ctx("liveInBlocks");
+          EXPECT_EQ(OutSweep.test(Q), WantOut) << Ctx("liveOutBlocks");
+        }
+      }
+    }
+  }
+}
+
+TEST(StoragePlane, MemoryAccountingOrdersLayouts) {
+  // On a loop-bearing graph the arena drops the per-row containers and the
+  // sorted layout drops the T matrix; the honest memoryBytes() must
+  // reflect that ordering, and every term of the accounting (side tables
+  // included) must be covered: an engine is never lighter than its R
+  // payload.
+  RandomEngine Rng(99);
+  CFGGenOptions Opts;
+  Opts.TargetBlocks = 200;
+  CFG G = generateCFG(Opts, Rng);
+  DFS D(G);
+  DomTree DT(G, D);
+  unsigned N = G.numNodes();
+  auto Build = [&](TStorage S) {
+    LiveCheckOptions EOpts;
+    EOpts.Storage = S;
+    return std::make_unique<LiveCheck>(G, D, DT, EOpts);
+  };
+  auto Bitset = Build(TStorage::Bitset);
+  auto Sorted = Build(TStorage::SortedArray);
+  auto Arena = Build(TStorage::Arena);
+  std::size_t RPayload = std::size_t(N) * ((N + 63) / 64) * 8;
+  EXPECT_GT(Bitset->memoryBytes(), RPayload);
+  EXPECT_GT(Sorted->memoryBytes(), RPayload);
+  EXPECT_GT(Arena->memoryBytes(), RPayload);
+  // The arena holds two packed matrices and the side tables, nothing else:
+  // it must be the lightest full-T layout.
+  EXPECT_LT(Arena->memoryBytes(), Bitset->memoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StoragePlane,
+    ::testing::Values(Config{"TinyReducible", 2, 8, 0, 12},
+                      Config{"SmallReducible", 8, 24, 0, 8},
+                      Config{"MediumReducible", 24, 56, 0, 3},
+                      Config{"TinyIrreducible", 3, 10, 2, 12},
+                      Config{"SmallIrreducible", 8, 24, 3, 8},
+                      Config{"MediumIrreducible", 24, 56, 5, 3}),
+    [](const auto &Info) { return Info.param.Name; });

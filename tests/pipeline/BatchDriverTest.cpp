@@ -77,7 +77,8 @@ TEST(BatchDriver, AllBackendsAgree) {
   std::vector<std::uint8_t> Reference;
   for (BatchBackend B :
        {BatchBackend::LiveCheckPropagated, BatchBackend::LiveCheckFiltered,
-        BatchBackend::LiveCheckSorted, BatchBackend::Dataflow,
+        BatchBackend::LiveCheckSorted, BatchBackend::LiveCheckBitset,
+        BatchBackend::LiveCheckBlockSweep, BatchBackend::Dataflow,
         BatchBackend::PathExploration}) {
     BatchOptions Opts;
     Opts.Backend = B;
@@ -175,5 +176,26 @@ TEST(BatchDriver, WorkloadGenerationIsDeterministic) {
     EXPECT_EQ(A[I].ValueId, B[I].ValueId);
     EXPECT_EQ(A[I].BlockId, B[I].BlockId);
     EXPECT_EQ(A[I].IsLiveOut, B[I].IsLiveOut);
+  }
+}
+
+TEST(BatchDriver, BlockSweepDeterministicAcrossThreadCounts) {
+  // The block-sweep backend reorders each worker's span by (function,
+  // value) to amortize the interval sweeps; answers must still land in
+  // their own slots, byte-identical for every thread count.
+  Module M(6, 0xF00D);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 0xABC, 8000);
+  ASSERT_FALSE(Workload.empty());
+  BatchOptions Single;
+  Single.Backend = BatchBackend::LiveCheckBlockSweep;
+  Single.Threads = 1;
+  BatchResult Reference = BatchLivenessDriver(M.Funcs, Single).run(Workload);
+  for (unsigned Threads : {2u, 5u}) {
+    BatchOptions Opts = Single;
+    Opts.Threads = Threads;
+    BatchResult R = BatchLivenessDriver(M.Funcs, Opts).run(Workload);
+    EXPECT_EQ(R.Answers, Reference.Answers)
+        << Threads << "-thread block-sweep diverges";
   }
 }

@@ -10,7 +10,12 @@
 // report.
 //
 //   ssalive-batch [options] [module.ssair]
-//     --backend=propagated|filtered|sorted|dataflow|path-exploration
+//     --backend=propagated|filtered|sorted|bitset|block-sweep|
+//               dataflow|path-exploration
+//                 propagated/filtered run on the BitMatrix arena layout;
+//                 bitset is the legacy per-row-BitVector baseline;
+//                 block-sweep answers via whole-interval liveInBlocks
+//                 sweeps with per-value query grouping
 //     --threads=N     worker threads (default 1; 0 = hardware concurrency)
 //     --queries=N     workload size (default 500000)
 //     --seed=S        workload RNG seed (default 42)
