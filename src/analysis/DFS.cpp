@@ -8,26 +8,51 @@
 
 #include "support/Debug.h"
 
+#include <algorithm>
+
 using namespace ssalive;
 
 namespace {
 constexpr unsigned Unvisited = ~0u;
 }
 
-DFS::DFS(const CFG &Graph) : G(Graph) {
+DFS::DFS(const CFG &Graph) : G(Graph) { compute(); }
+
+void DFS::compute() {
   unsigned N = G.numNodes();
   Pre.assign(N, Unvisited);
   Post.assign(N, Unvisited);
   Parent.assign(N, Unvisited);
-  Kinds.resize(N);
   BackTarget.assign(N, false);
   BackSource.assign(N, false);
+  PreSeq.clear();
+  PostSeq.clear();
+  BackEdgeList.clear();
   PreSeq.reserve(N);
   PostSeq.reserve(N);
-  if (N == 0)
+  if (N == 0) {
+    KindOff.assign(1, 0);
+    KindData.clear();
+    SuccData.clear();
+    RedOff.assign(1, 0);
+    RedData.clear();
     return;
+  }
+  // Flat CSR reset: array assigns, no per-node vector churn — this runs
+  // on every incremental refresh. SuccData mirrors the graph's successor
+  // lists contiguously; the search below and every downstream analysis
+  // loop iterate the mirror.
+  KindOff.resize(N + 1);
+  KindOff[0] = 0;
   for (unsigned V = 0; V != N; ++V)
-    Kinds[V].resize(G.successors(V).size(), EdgeKind::Cross);
+    KindOff[V + 1] =
+        KindOff[V] + static_cast<unsigned>(G.successors(V).size());
+  KindData.assign(KindOff[N], EdgeKind::Cross);
+  SuccData.resize(KindOff[N]);
+  for (unsigned V = 0; V != N; ++V) {
+    const auto &Succs = G.successors(V);
+    std::copy(Succs.begin(), Succs.end(), SuccData.begin() + KindOff[V]);
+  }
 
   // Iterative DFS. OnStack marks "discovered but not finished", which is
   // exactly the condition distinguishing back edges from cross edges.
@@ -48,8 +73,8 @@ DFS::DFS(const CFG &Graph) : G(Graph) {
   while (!Stack.empty()) {
     Frame &F = Stack.back();
     unsigned U = F.Node;
-    const auto &Succs = G.successors(U);
-    if (F.NextSucc == Succs.size()) {
+    unsigned Count = KindOff[U + 1] - KindOff[U];
+    if (F.NextSucc == Count) {
       OnStack[U] = false;
       Post[U] = static_cast<unsigned>(PostSeq.size());
       PostSeq.push_back(U);
@@ -57,9 +82,9 @@ DFS::DFS(const CFG &Graph) : G(Graph) {
       continue;
     }
     unsigned Idx = F.NextSucc++;
-    unsigned V = Succs[Idx];
+    unsigned V = SuccData[KindOff[U] + Idx];
     if (Pre[V] == Unvisited) {
-      Kinds[U][Idx] = EdgeKind::Tree;
+      KindData[KindOff[U] + Idx] = EdgeKind::Tree;
       Pre[V] = static_cast<unsigned>(PreSeq.size());
       PreSeq.push_back(V);
       Parent[V] = U;
@@ -70,15 +95,139 @@ DFS::DFS(const CFG &Graph) : G(Graph) {
     if (OnStack[V]) {
       // Discovered, unfinished: V is an ancestor of U (includes U == V,
       // the self-loop case).
-      Kinds[U][Idx] = EdgeKind::Back;
+      KindData[KindOff[U] + Idx] = EdgeKind::Back;
       BackEdgeList.emplace_back(U, V);
       BackTarget[V] = true;
       BackSource[U] = true;
       continue;
     }
-    Kinds[U][Idx] = Pre[U] < Pre[V] ? EdgeKind::Forward : EdgeKind::Cross;
+    KindData[KindOff[U] + Idx] =
+        Pre[U] < Pre[V] ? EdgeKind::Forward : EdgeKind::Cross;
   }
 
   assert(PreSeq.size() == N && "CFG has nodes unreachable from the entry; "
                                "run the verifier first");
+  buildReducedCSR();
+}
+
+void DFS::buildReducedCSR() {
+  unsigned N = static_cast<unsigned>(KindOff.size()) - 1;
+  RedOff.resize(N + 1);
+  RedOff[0] = 0;
+  RedData.resize(SuccData.size());
+  unsigned Out = 0;
+  for (unsigned V = 0; V != N; ++V) {
+    for (unsigned I = KindOff[V], E = KindOff[V + 1]; I != E; ++I)
+      if (KindData[I] != EdgeKind::Back)
+        RedData[Out++] = SuccData[I];
+    RedOff[V + 1] = Out;
+  }
+  RedData.resize(Out);
+}
+
+void DFS::applyUpdates(const CFGDelta *B, const CFGDelta *E) {
+  unsigned N = G.numNodes();
+  // The spanning tree (and with it both orders) survives exactly the
+  // edits that never offer the search a new tree edge:
+  //  * removing a non-tree edge — for the unique edge (u,v), "tree"
+  //    means Parent[v] == u (self loops excepted);
+  //  * inserting (u,v) where v is already discovered when the appended
+  //    edge is scanned, i.e. just before u finishes: anything except a
+  //    node that both starts and finishes after u in the old order.
+  // Each delta is checked against the one unchanging tree, so the whole
+  // batch composes.
+  bool Fast = N == Pre.size() && B != E;
+  for (const CFGDelta *Dp = B; Fast && Dp != E; ++Dp) {
+    if (Dp->K == CFGDelta::Kind::NodeAdd || Dp->From >= N || Dp->To >= N) {
+      Fast = false;
+      break;
+    }
+    unsigned U = Dp->From, V = Dp->To;
+    if (Dp->K == CFGDelta::Kind::EdgeInsert)
+      Fast = !(Pre[V] > Pre[U] && Post[V] > Post[U]);
+    else
+      Fast = V == U || Parent[V] != U;
+  }
+  if (!Fast) {
+    compute();
+    return;
+  }
+
+  // Tree, preorder and postorder are untouched. The CSR mirrors are
+  // patched straight from the deltas — the graph's scattered per-node
+  // vectors are never read on this path. The classification of every
+  // (unique) edge is a pure function of Pre/Post/Parent: the edge to a
+  // node's tree parent is the tree edge, an edge to a (reflexive)
+  // ancestor is Back, to a proper descendant Forward, anything else
+  // Cross.
+  auto classify = [this](unsigned U, unsigned V) {
+    if (V != U && Parent[V] == U)
+      return EdgeKind::Tree;
+    if (isTreeAncestor(V, U))
+      return EdgeKind::Back;
+    if (isTreeAncestor(U, V))
+      return EdgeKind::Forward;
+    return EdgeKind::Cross;
+  };
+  bool ReducedTouched = false;
+  for (const CFGDelta *Dp = B; Dp != E; ++Dp) {
+    unsigned U = Dp->From, V = Dp->To;
+    if (Dp->K == CFGDelta::Kind::EdgeInsert) {
+      // Append at the end of U's row (where CFG::addEdge put it).
+      unsigned At = KindOff[U + 1];
+      EdgeKind K = classify(U, V);
+      ReducedTouched |= K != EdgeKind::Back;
+      SuccData.insert(SuccData.begin() + At, V);
+      KindData.insert(KindData.begin() + At, K);
+      for (unsigned I = U + 1; I != N + 1; ++I)
+        ++KindOff[I];
+    } else {
+      // Remove the (unique) occurrence from U's row.
+      unsigned At = KindOff[U];
+      while (At != KindOff[U + 1] && SuccData[At] != V)
+        ++At;
+      assert(At != KindOff[U + 1] && "removed edge missing from mirror");
+      ReducedTouched |= KindData[At] != EdgeKind::Back;
+      SuccData.erase(SuccData.begin() + At);
+      KindData.erase(KindData.begin() + At);
+      for (unsigned I = U + 1; I != N + 1; ++I)
+        --KindOff[I];
+    }
+  }
+
+  // Rebuild the back-edge bookkeeping by re-walking the unchanged tree in
+  // the original order, emitting non-tree edges exactly as the search
+  // would scan them — so the result is indistinguishable from a fresh
+  // DFS, list order included.
+  BackEdgeList.clear();
+  BackTarget.assign(N, false);
+  BackSource.assign(N, false);
+  struct Frame {
+    unsigned Node;
+    unsigned NextSucc;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{G.entry(), 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    unsigned U = F.Node;
+    if (F.NextSucc == KindOff[U + 1] - KindOff[U]) {
+      Stack.pop_back();
+      continue;
+    }
+    unsigned At = KindOff[U] + F.NextSucc++;
+    EdgeKind K = KindData[At];
+    if (K == EdgeKind::Tree) {
+      Stack.push_back(Frame{SuccData[At], 0});
+      continue;
+    }
+    if (K == EdgeKind::Back) {
+      BackEdgeList.emplace_back(U, SuccData[At]);
+      BackTarget[SuccData[At]] = true;
+      BackSource[U] = true;
+    }
+  }
+  // Back-edge toggles leave the reduced graph (non-back edges) alone.
+  if (ReducedTouched)
+    buildReducedCSR();
 }

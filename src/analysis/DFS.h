@@ -17,6 +17,7 @@
 #define SSALIVE_ANALYSIS_DFS_H
 
 #include "ir/CFG.h"
+#include "ir/CFGDelta.h"
 
 #include <utility>
 #include <vector>
@@ -37,6 +38,23 @@ enum class EdgeKind : unsigned char {
 class DFS {
 public:
   explicit DFS(const CFG &G);
+
+  /// Re-runs the search against the (mutated) graph, in place. The DFS is
+  /// linear and allocation-light, so the incremental-analysis refresh path
+  /// recomputes it wholesale; consumers that need the pre-edit
+  /// classification (LiveCheck::update diffs old vs new back edges) must
+  /// snapshot it before calling this.
+  void recompute() { compute(); }
+
+  /// recompute() with a fast path: when every edit in \p [B, E) toggles an
+  /// edge whose head is a DFS-tree ancestor of its tail (reflexively —
+  /// self loops count), the spanning tree and both orders are provably
+  /// unchanged (an inserted edge is appended last in its source's
+  /// successor list and leads to a still-on-stack node; a removed one was
+  /// a non-tree edge), so only the touched sources' edge classifications
+  /// and the back-edge bookkeeping are rebuilt. Anything else falls back
+  /// to the full recompute.
+  void applyUpdates(const CFGDelta *B, const CFGDelta *E);
 
   const CFG &graph() const { return G; }
   unsigned numNodes() const { return G.numNodes(); }
@@ -63,8 +81,30 @@ public:
 
   /// Class of the edge successors(\p From)[\p SuccIndex].
   EdgeKind edgeKind(unsigned From, unsigned SuccIndex) const {
-    return Kinds[From][SuccIndex];
+    return KindData[KindOff[From] + SuccIndex];
   }
+
+  /// \name Contiguous topology mirrors.
+  /// The successor lists (and their non-back "reduced graph" projection,
+  /// the ~G every LiveCheck recurrence sweeps) as flat CSR arenas. The
+  /// graph's own per-node vectors scatter across the heap of a long-lived
+  /// function; the analyses' hot loops iterate these instead, and the
+  /// incremental fast path patches them straight from the deltas without
+  /// touching the graph at all.
+  /// @{
+  const unsigned *succBegin(unsigned V) const {
+    return SuccData.data() + KindOff[V];
+  }
+  const unsigned *succEnd(unsigned V) const {
+    return SuccData.data() + KindOff[V + 1];
+  }
+  const unsigned *reducedBegin(unsigned V) const {
+    return RedData.data() + RedOff[V];
+  }
+  const unsigned *reducedEnd(unsigned V) const {
+    return RedData.data() + RedOff[V + 1];
+  }
+  /// @}
 
   /// All back edges (source, target) in discovery order.
   const std::vector<std::pair<unsigned, unsigned>> &backEdges() const {
@@ -78,13 +118,27 @@ public:
   bool isBackEdgeSource(unsigned V) const { return BackSource[V]; }
 
 private:
+  void compute();
+
   const CFG &G;
   std::vector<unsigned> Pre;
   std::vector<unsigned> Post;
   std::vector<unsigned> Parent;
   std::vector<unsigned> PreSeq;
   std::vector<unsigned> PostSeq;
-  std::vector<std::vector<EdgeKind>> Kinds;
+  /// Rebuilds the reduced-graph CSR from the classification arrays.
+  void buildReducedCSR();
+
+  /// Edge classifications and successor mirror in flat CSR arenas
+  /// (KindOff[v] is node v's first slot, shared by both): recompute()
+  /// resets flat arrays instead of churning per-node vectors — it runs on
+  /// every incremental refresh.
+  std::vector<unsigned> KindOff;
+  std::vector<EdgeKind> KindData;
+  std::vector<unsigned> SuccData;
+  /// Non-back successors only (the reduced graph ~G).
+  std::vector<unsigned> RedOff;
+  std::vector<unsigned> RedData;
   std::vector<std::pair<unsigned, unsigned>> BackEdgeList;
   std::vector<bool> BackTarget;
   std::vector<bool> BackSource;

@@ -3,10 +3,46 @@
 // Part of the ssalive project, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Scoped incremental repair (applyUpdates): after a batch of edge edits
+// whose endpoints all lie inside the old dominance subtree of an anchor c
+// (chosen as the NCA of every endpoint and its old idom), the following
+// hold, which make re-solving just that region correct:
+//
+//  * The old graph has no edge from outside subtree(c) into subtree(c)
+//    except into c itself — otherwise the edge's head would have an
+//    entry path avoiding c and could not be in c's subtree. Edited edges
+//    are region-internal, so the post-edit graph has none either. Hence
+//    every entry path into the region still runs through c, the induced
+//    region subgraph rooted at c decides region dominance by itself, and
+//    c's own dominators (and idom) are untouched by region-internal edits.
+//
+//  * No node outside the region changes its idom: external nodes keep an
+//    entry path that avoids the region entirely (they are not dominated
+//    by c), so they lose no dominators to edge removals inside it; and
+//    because every path through the region can be re-routed through any
+//    surviving region interior (validity check below), they gain none
+//    either.
+//
+//  * Validity check: the repair is only spliced when every region node is
+//    still reachable from c within the region. A node that is not has
+//    either left c's subtree or become unreachable — both outside what a
+//    scoped repair may decide — so the caller falls back to a full build.
+//
+// The region itself is re-solved with the checked Lengauer-Tarjan kernel
+// (SemiNCA.h) on a compact local graph, then spliced, and the preorder
+// numbering is rebuilt from the idom array — making the repaired tree
+// bit-identical to a from-scratch construction, which the differential
+// fuzz suite asserts.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/DomTree.h"
 
+#include "analysis/SemiNCA.h"
 #include "support/Debug.h"
+
+#include <algorithm>
 
 using namespace ssalive;
 
@@ -14,10 +50,12 @@ namespace {
 constexpr unsigned Undef = ~0u;
 }
 
-DomTree::DomTree(const CFG &G, const DFS &D) {
+DomTree::DomTree(const CFG &G, const DFS &D) { build(G, D); }
+
+void DomTree::build(const CFG &G, const DFS &D) {
   unsigned N = G.numNodes();
   Idom.assign(N, Undef);
-  Children.resize(N);
+  Children.assign(N, {});
   Num.assign(N, 0);
   MaxNum.assign(N, 0);
   NodeAtNum.assign(N, 0);
@@ -62,12 +100,31 @@ DomTree::DomTree(const CFG &G, const DFS &D) {
     }
   }
 
+  renumber();
+}
+
+void DomTree::renumber() {
+  unsigned N = static_cast<unsigned>(Idom.size());
+  // clear() instead of assign: the per-node child vectors keep their
+  // capacity, so a repair-path renumber allocates (almost) nothing.
+  Children.resize(N);
+  for (auto &C : Children)
+    C.clear();
+  Num.assign(N, 0);
+  MaxNum.assign(N, 0);
+  NodeAtNum.assign(N, 0);
+  if (N == 0)
+    return;
+  unsigned Entry = 0;
   for (unsigned V = 0; V != N; ++V)
     if (V != Entry)
       Children[Idom[V]].push_back(V);
 
   // Dominance-tree preorder numbering with subtree bounds (Section 5.1).
   // Iterative preorder walk; a sentinel frame assigns MaxNum on exit.
+  // Children are visited in node-id order, so the numbering is a
+  // deterministic function of the idom array alone — a repaired tree
+  // renumbers identically to a fresh build.
   unsigned Counter = 0;
   struct Frame {
     unsigned Node;
@@ -93,4 +150,179 @@ DomTree::DomTree(const CFG &G, const DFS &D) {
     Stack.push_back(Frame{C, 0});
   }
   assert(Counter == N && "dominance numbering must cover all nodes");
+}
+
+unsigned DomTree::nca(unsigned A, unsigned B) const {
+  // Walk the deeper (larger preorder number) side up until the chains meet.
+  while (A != B) {
+    if (Num[A] < Num[B])
+      B = Idom[B];
+    else
+      A = Idom[A];
+  }
+  return A;
+}
+
+bool DomTree::tryScopedRepair(const CFG &G, const CFGDelta *B,
+                              const CFGDelta *E) {
+  const unsigned OldN = numNodes();
+  const unsigned N = G.numNodes();
+  if (OldN == 0 || N < OldN)
+    return false; // Shrinking graphs are rebuild territory.
+
+  // Anchor: the NCA of every edit endpoint that existed in the old tree,
+  // together with its old idom (the idom matters for removals — the
+  // affected set of deleting (u, v) is bounded by subtree(idom(v))).
+  // Endpoints that are new nodes have no old position; they join the
+  // region below, and their edges' old endpoints steer the anchor.
+  unsigned Anchor = Undef;
+  auto meld = [&](unsigned V) {
+    if (V >= OldN)
+      return; // New node: no old tree position.
+    unsigned WithIdom = Idom[V] == V ? V : Idom[V];
+    Anchor = Anchor == Undef ? V : nca(Anchor, V);
+    Anchor = nca(Anchor, WithIdom);
+  };
+  for (const CFGDelta *D = B; D != E; ++D) {
+    if (D->K == CFGDelta::Kind::NodeAdd)
+      continue;
+    meld(D->From);
+    meld(D->To);
+  }
+  if (Anchor == Undef || Anchor == 0)
+    return false; // No old endpoints, or the region is the whole graph.
+
+  // Region: the anchor's old dominance subtree (a contiguous preorder
+  // interval) plus every node added by the batch. New nodes are reachable
+  // only through batch-inserted edges, whose old endpoints sit in the
+  // region, so they belong to it by construction.
+  const unsigned Lo = Num[Anchor];
+  const unsigned Hi = MaxNum[Anchor];
+  const unsigned RegionSize = (Hi - Lo + 1) + (N - OldN);
+  if (RegionSize > N / 2)
+    return false; // Scoped solving would not beat a full rebuild.
+
+  std::vector<unsigned> RegionNodes;
+  RegionNodes.reserve(RegionSize);
+  std::vector<unsigned> LocalId(N, Undef);
+  for (unsigned I = Lo; I <= Hi; ++I) {
+    unsigned V = NodeAtNum[I];
+    LocalId[V] = static_cast<unsigned>(RegionNodes.size());
+    RegionNodes.push_back(V);
+  }
+  for (unsigned V = OldN; V != N; ++V) {
+    LocalId[V] = static_cast<unsigned>(RegionNodes.size());
+    RegionNodes.push_back(V);
+  }
+  assert(LocalId[Anchor] == 0 && "anchor must be local root");
+
+  // Induced subgraph; edges leaving the region are irrelevant (simple
+  // entry paths of region nodes cannot detour outside and re-enter except
+  // through the anchor), edges entering it other than at the anchor
+  // cannot exist (see the file comment).
+  CFG Local(static_cast<unsigned>(RegionNodes.size()));
+  for (unsigned V : RegionNodes)
+    for (unsigned S : G.successors(V))
+      if (LocalId[S] != Undef && LocalId[S] != 0)
+        Local.addEdge(LocalId[V], LocalId[S]);
+
+  // Region-local semi-NCA solve. An unreachable region node means the
+  // batch moved it out of the anchor's subtree (or disconnected it):
+  // outside what a scoped repair may decide.
+  std::vector<unsigned> LocalIdom;
+  if (!computeIdomsLengauerTarjanChecked(Local, LocalIdom))
+    return false;
+
+  // Splice: region nodes adopt the local solution, everything else keeps
+  // its idom.
+  if (N > OldN)
+    Idom.resize(N, Undef);
+  for (unsigned L = 1, LE = static_cast<unsigned>(RegionNodes.size());
+       L != LE; ++L)
+    Idom[RegionNodes[L]] = RegionNodes[LocalIdom[L]];
+
+  if (N != OldN) {
+    // Node additions grow the subtree interval and shift every number
+    // after it: renumber globally.
+    renumber();
+    return true;
+  }
+
+  // Same node count: the subtree keeps its [Lo, Hi] interval, so only the
+  // region's own numbering moves — rebuild children and re-walk just the
+  // anchor's subtree, leaving the rest of the numbering untouched.
+  // Children must be re-added in node-id order to renumber exactly like a
+  // full build (renumber() visits children in id order).
+  std::vector<unsigned> ById = RegionNodes;
+  std::sort(ById.begin(), ById.end());
+  for (unsigned V : ById)
+    Children[V].clear();
+  for (unsigned V : ById)
+    if (V != Anchor)
+      Children[Idom[V]].push_back(V);
+
+  unsigned Counter = Lo;
+  struct Frame {
+    unsigned Node;
+    unsigned NextChild;
+  };
+  std::vector<Frame> Stack;
+  Num[Anchor] = Counter;
+  NodeAtNum[Counter] = Anchor;
+  ++Counter;
+  Stack.push_back(Frame{Anchor, 0});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const auto &Kids = Children[F.Node];
+    if (F.NextChild == Kids.size()) {
+      MaxNum[F.Node] = Counter - 1;
+      Stack.pop_back();
+      continue;
+    }
+    unsigned C = Kids[F.NextChild++];
+    Num[C] = Counter;
+    NodeAtNum[Counter] = C;
+    ++Counter;
+    Stack.push_back(Frame{C, 0});
+  }
+  assert(Counter == Hi + 1 && "scoped renumber must fill the interval");
+  return true;
+}
+
+void DomTree::applyUpdates(const CFG &G, const DFS &D, const CFGDelta *B,
+                           const CFGDelta *E) {
+  if (B == E && G.numNodes() == numNodes())
+    return; // Empty batch.
+  // Dominance is decided by simple paths, and no simple path can use an
+  // edge whose head dominates its tail (it would have to revisit the
+  // head). Toggling such edges — the classic "add/remove a loop back
+  // edge" edit — therefore changes nothing; recognizing the whole batch
+  // as that shape skips even the scoped solve. Each delta is checked
+  // against the current tree, which stays valid inductively because none
+  // of the preceding deltas changed it.
+  if (G.numNodes() == numNodes()) {
+    bool AllDominatorToggles = true;
+    for (const CFGDelta *Dp = B; Dp != E && AllDominatorToggles; ++Dp)
+      AllDominatorToggles = Dp->K != CFGDelta::Kind::NodeAdd &&
+                            dominates(Dp->To, Dp->From);
+    if (AllDominatorToggles) {
+      ++UStats.NoChangeShortcuts;
+      return;
+    }
+  }
+  if (tryScopedRepair(G, B, E)) {
+    ++UStats.ScopedRepairs;
+    return;
+  }
+  ++UStats.FullRebuilds;
+  // Full fallback: one Lengauer-Tarjan pass beats re-iterating the
+  // Cooper-Harvey-Kennedy fixed point, and idoms are unique, so the
+  // result (after the shared renumber) is identical to build()'s.
+  std::vector<unsigned> LTIdom;
+  if (computeIdomsLengauerTarjanChecked(G, LTIdom)) {
+    Idom = std::move(LTIdom);
+    renumber();
+    return;
+  }
+  build(G, D);
 }

@@ -19,6 +19,7 @@
 #define SSALIVE_ANALYSIS_DOMTREE_H
 
 #include "analysis/DFS.h"
+#include "ir/CFGDelta.h"
 
 namespace ssalive {
 
@@ -28,6 +29,39 @@ public:
   /// Builds the tree; \p D must be a DFS of \p G (its reverse postorder
   /// drives the fixed-point iteration).
   DomTree(const CFG &G, const DFS &D);
+
+  /// Outcome counters of applyUpdates, for tests and the bench.
+  struct UpdateStats {
+    std::uint64_t ScopedRepairs = 0; ///< Region-local semi-NCA recomputes.
+    std::uint64_t FullRebuilds = 0;  ///< Fallbacks to from-scratch builds.
+    /// Batches proven to leave the tree untouched without solving
+    /// anything: every edit toggles an edge into a dominator of its
+    /// source (the loop back-edge edits of Section 2.1), and no simple
+    /// path can use such an edge.
+    std::uint64_t NoChangeShortcuts = 0;
+  };
+
+  /// Repairs the tree in place after the batch of structural edits
+  /// \p [B, E) was applied to \p G (\p D must already be a DFS of the
+  /// *post-edit* graph). The repair is scoped: all idom changes provably
+  /// lie inside the old dominance subtree of an anchor node — the nearest
+  /// common dominator of every edit endpoint and its old idom — so only
+  /// that region is re-solved (Lengauer-Tarjan on the induced subgraph
+  /// rooted at the anchor) and spliced back; nodes outside the region keep
+  /// their idoms. Falls back to a full rebuild when the batch is not
+  /// expressible as a scoped repair: the anchor is the root, the region
+  /// exceeds half the graph, a region node became unreachable from the
+  /// anchor (the post-hoc validity check), or node additions interleave
+  /// with the batch in a way the region cannot absorb.
+  ///
+  /// The resulting tree — idoms, children order, and the num/maxnum
+  /// preorder numbering — is bit-identical to a fresh DomTree(G, D):
+  /// idoms are unique, and the numbering is a deterministic function of
+  /// the idom array alone.
+  void applyUpdates(const CFG &G, const DFS &D, const CFGDelta *B,
+                    const CFGDelta *E);
+
+  const UpdateStats &updateStats() const { return UStats; }
 
   unsigned numNodes() const { return static_cast<unsigned>(Idom.size()); }
 
@@ -59,11 +93,21 @@ public:
   }
 
 private:
+  /// From-scratch Cooper-Harvey-Kennedy build (the constructor body).
+  void build(const CFG &G, const DFS &D);
+  /// Rebuilds Children and the num/maxnum preorder numbering from Idom.
+  void renumber();
+  /// The scoped path of applyUpdates; false means "fall back to build()".
+  bool tryScopedRepair(const CFG &G, const CFGDelta *B, const CFGDelta *E);
+  /// Nearest common dominator on the current tree.
+  unsigned nca(unsigned A, unsigned B) const;
+
   std::vector<unsigned> Idom;
   std::vector<std::vector<unsigned>> Children;
   std::vector<unsigned> Num;
   std::vector<unsigned> MaxNum;
   std::vector<unsigned> NodeAtNum;
+  UpdateStats UStats;
 };
 
 } // namespace ssalive

@@ -24,10 +24,15 @@ public:
     Ancestor.assign(N, ~0u);
     Label.assign(N, 0);
     Dom.assign(N, 0);
-    Bucket.resize(N);
+    BucketHead.assign(N, ~0u);
+    BucketNext.assign(N, ~0u);
   }
 
   std::vector<unsigned> run();
+
+  /// Nodes discovered by run()'s DFS; < numNodes() when the graph has
+  /// unreachable nodes.
+  unsigned discovered() const { return Count; }
 
 private:
   void dfs(unsigned Root);
@@ -41,7 +46,12 @@ private:
   std::vector<unsigned> Ancestor; // Forest for eval/link; ~0u = root.
   std::vector<unsigned> Label;    // Minimum-semi label on forest paths.
   std::vector<unsigned> Dom;
-  std::vector<std::vector<unsigned>> Bucket;
+  /// Intrusive bucket lists (each node is in at most one bucket at a
+  /// time): no per-node vectors, no allocation during the run — the
+  /// incremental DomTree repair runs this on every scoped region.
+  std::vector<unsigned> BucketHead;
+  std::vector<unsigned> BucketNext;
+  std::vector<unsigned> Path; // compress() scratch.
   unsigned Count = 0;
 };
 
@@ -78,8 +88,10 @@ void LengauerTarjan::dfs(unsigned Root) {
 }
 
 void LengauerTarjan::compress(unsigned V) {
-  // Iterative path compression to stay stack-safe on deep graphs.
-  std::vector<unsigned> Path;
+  // Iterative path compression to stay stack-safe on deep graphs. Path is
+  // member scratch: eval() runs per predecessor edge and must not touch
+  // the allocator.
+  Path.clear();
   while (Ancestor[Ancestor[V]] != ~0u) {
     Path.push_back(V);
     V = Ancestor[V];
@@ -107,28 +119,34 @@ std::vector<unsigned> LengauerTarjan::run() {
     return Idom;
   unsigned Root = G.entry();
   dfs(Root);
-  assert(Count == N && "CFG has unreachable nodes");
+  // Undiscovered nodes (Count < N) keep Idom == ~0u; the checked entry
+  // point reports them, the asserting one rejects them.
 
-  for (unsigned I = N; I >= 2; --I) {
+  for (unsigned I = Count; I >= 2; --I) {
     unsigned W = Vertex[I];
     // Step 2: semidominators.
     for (unsigned V : G.predecessors(W)) {
+      if (Semi[V] == 0)
+        continue; // Predecessor unreachable from the entry.
       unsigned U = eval(V);
       if (Semi[U] < Semi[W])
         Semi[W] = Semi[U];
     }
-    Bucket[Vertex[Semi[W]]].push_back(W);
+    unsigned SemiNode = Vertex[Semi[W]];
+    BucketNext[W] = BucketHead[SemiNode];
+    BucketHead[SemiNode] = W;
     Ancestor[W] = Parent[W]; // link(parent(w), w)
     // Step 3: implicit idoms for parent's bucket.
-    auto &B = Bucket[Parent[W]];
-    for (unsigned V : B) {
+    for (unsigned V = BucketHead[Parent[W]]; V != ~0u;) {
+      unsigned Next = BucketNext[V];
       unsigned U = eval(V);
       Dom[V] = Semi[U] < Semi[V] ? U : Parent[W];
+      V = Next;
     }
-    B.clear();
+    BucketHead[Parent[W]] = ~0u;
   }
   // Step 4: explicit idoms in DFS order.
-  for (unsigned I = 2; I <= N; ++I) {
+  for (unsigned I = 2; I <= Count; ++I) {
     unsigned W = Vertex[I];
     if (Dom[W] != Vertex[Semi[W]])
       Dom[W] = Dom[Dom[W]];
@@ -139,5 +157,16 @@ std::vector<unsigned> LengauerTarjan::run() {
 }
 
 std::vector<unsigned> ssalive::computeIdomsLengauerTarjan(const CFG &G) {
-  return LengauerTarjan(G).run();
+  LengauerTarjan LT(G);
+  std::vector<unsigned> Idom = LT.run();
+  assert((G.numNodes() == 0 || LT.discovered() == G.numNodes()) &&
+         "CFG has unreachable nodes");
+  return Idom;
+}
+
+bool ssalive::computeIdomsLengauerTarjanChecked(const CFG &G,
+                                                std::vector<unsigned> &IdomOut) {
+  LengauerTarjan LT(G);
+  IdomOut = LT.run();
+  return G.numNodes() == 0 || LT.discovered() == G.numNodes();
 }

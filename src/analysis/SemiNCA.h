@@ -26,6 +26,16 @@ namespace ssalive {
 /// maps to itself. All nodes must be reachable.
 std::vector<unsigned> computeIdomsLengauerTarjan(const CFG &G);
 
+/// As above, but tolerates unreachable nodes: returns false (leaving
+/// \p IdomOut unspecified) when some node of \p G cannot be reached from
+/// the entry, true with the idom array otherwise. This is the kernel of
+/// DomTree's scoped repair: the affected region is re-solved as its own
+/// little graph rooted at the region anchor, and an unreachable region
+/// node is exactly the condition under which the scoped recompute is
+/// invalid and the caller must fall back to a full rebuild.
+bool computeIdomsLengauerTarjanChecked(const CFG &G,
+                                       std::vector<unsigned> &IdomOut);
+
 } // namespace ssalive
 
 #endif // SSALIVE_ANALYSIS_SEMINCA_H

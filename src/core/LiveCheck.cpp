@@ -36,6 +36,8 @@
 #include "support/Debug.h"
 
 #include <algorithm>
+#include <cstring>
+#include <iterator>
 
 using namespace ssalive;
 
@@ -319,11 +321,19 @@ void LiveCheck::bindKernelsFull() {
 
 LiveCheck::LiveCheck(const CFG &Graph, const DFS &Dfs, const DomTree &Tree,
                      LiveCheckOptions Options)
-    : G(Graph), D(Dfs), DT(Tree), Opts(Options), NumNodes(Graph.numNodes()) {
+    : G(Graph), D(Dfs), DT(Tree), Opts(Options) {
+  computeAll();
+}
+
+void LiveCheck::computeAll() {
+  NumNodes = G.numNodes();
   RMat.resize(NumNodes, NumNodes);
   TMat.resize(NumNodes, NumNodes);
-  MaxNumByNum.resize(NumNodes);
-  BackTargetByNum.resize(NumNodes);
+  RByNum.clear();
+  TByNum.clear();
+  TSortedByNum.clear();
+  MaxNumByNum.assign(NumNodes, 0);
+  BackTargetByNum.assign(NumNodes, 0);
   for (unsigned V = 0; V != NumNodes; ++V) {
     MaxNumByNum[DT.num(V)] = DT.maxnum(V);
     BackTargetByNum[DT.num(V)] = D.isBackEdgeTarget(V);
@@ -335,10 +345,12 @@ LiveCheck::LiveCheck(const CFG &Graph, const DFS &Dfs, const DomTree &Tree,
   else
     computeTFiltered();
 
+  FastPath = false;
   if (Opts.ReducibleFastPath && Opts.Mode == TMode::Filtered)
     FastPath = analyzeReducibility(D, DT).Reducible;
 
   finalizeStorage();
+  captureSnapshots();
 }
 
 void LiveCheck::finalizeStorage() {
@@ -400,79 +412,153 @@ void LiveCheck::computeR() {
   for (unsigned V : D.postorderSequence()) {
     unsigned VNum = DT.num(V);
     RMat.set(VNum, VNum);
-    const auto &Succs = G.successors(V);
-    for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
-         ++Idx) {
-      if (D.edgeKind(V, Idx) == EdgeKind::Back)
-        continue;
-      RMat.unionRows(VNum, DT.num(Succs[Idx]));
-    }
+    for (const unsigned *S = D.reducedBegin(V), *E = D.reducedEnd(V); S != E;
+         ++S)
+      RMat.unionRows(VNum, DT.num(*S));
   }
 }
 
-void LiveCheck::computeTargetSets(std::vector<BitVector> &TargetT) const {
+void LiveCheck::computeTargetSets(std::vector<BitVector> &TargetT) {
   // Exact Definition-5 sets for back-edge targets via Equation 1:
   //   T_t = {t} ∪ ⋃ { T_t' | t' ∈ T↑_t }
   //   T↑_t = { t' ∉ R_t | ∃ back edge (s', t') with s' ∈ R_t }.
   // Theorem 3: every t' ∈ T↑_t has a smaller DFS preorder than t, so
   // processing targets in increasing DFS preorder meets all dependencies.
-  TargetT.assign(NumNodes, BitVector());
-  const auto &BackEdges = D.backEdges();
+  //
+  // Instead of testing every back edge against every target (the loop
+  // runs on each incremental update, not just at construction), the back
+  // edges are grouped by source preorder number once and each target
+  // iterates only the set bits of R_t ∩ {source numbers} — a word-level
+  // sweep that touches exactly the reachable sources.
+  //
+  // A right-sized \p TargetT is reused row by row (reset, not destroyed):
+  // callers on the update path pass persistent scratch, and an all-zero
+  // row of a former target is indistinguishable from an absent one to
+  // every consumer.
+  if (TargetT.size() != NumNodes) {
+    TargetT.assign(NumNodes, BitVector());
+  } else {
+    for (BitVector &Row : TargetT)
+      if (!Row.empty())
+        Row.reset();
+  }
+  TargetContrib.resize(NumNodes);
+  if (D.backEdges().empty())
+    return;
+  BackEdgeCSR CSR;
+  buildBackEdgeCSR(CSR);
   for (unsigned V : D.preorderSequence()) {
     if (!D.isBackEdgeTarget(V))
       continue;
-    BitVector &T = TargetT[V];
+    recomputeTargetRow(V, CSR, TargetT);
+  }
+}
+
+void LiveCheck::buildBackEdgeCSR(BackEdgeCSR &CSR) const {
+  const auto &BackEdges = D.backEdges();
+  CSR.SrcMask.resize(NumNodes);
+  CSR.SrcMask.reset();
+  CSR.SrcOff.assign(NumNodes + 1, 0);
+  for (auto [S, Tgt] : BackEdges) {
+    CSR.SrcMask.set(DT.num(S));
+    ++CSR.SrcOff[DT.num(S) + 1];
+  }
+  for (unsigned I = 0; I != NumNodes; ++I)
+    CSR.SrcOff[I + 1] += CSR.SrcOff[I];
+  CSR.Tgts.resize(BackEdges.size());
+  std::vector<unsigned> Fill(CSR.SrcOff.begin(), CSR.SrcOff.end() - 1);
+  for (auto [S, Tgt] : BackEdges)
+    CSR.Tgts[Fill[DT.num(S)]++] = {DT.num(Tgt), Tgt};
+}
+
+void LiveCheck::recomputeTargetRow(unsigned V, const BackEdgeCSR &CSR,
+                                   std::vector<BitVector> &TargetT) {
+  BitVector &T = TargetT[V];
+  if (T.empty())
     T.resize(NumNodes);
-    unsigned VNum = DT.num(V);
-    T.set(VNum);
-    const BitMatrix::Word *R = RMat.row(VNum);
-    for (auto [S, Tgt] : BackEdges) {
-      if (!BitMatrix::testBit(R, DT.num(S)))
-        continue; // Source not reduced reachable from V.
-      if (BitMatrix::testBit(R, DT.num(Tgt)))
-        continue; // Filter: target adds no new reachability.
-      assert(!TargetT[Tgt].empty() && "Theorem 3 ordering violated");
-      T |= TargetT[Tgt];
+  else
+    T.reset();
+  unsigned VNum = DT.num(V);
+  T.set(VNum);
+  std::vector<unsigned> &Contrib = TargetContrib[V];
+  Contrib.clear();
+  const BitMatrix::Word *R = RMat.row(VNum);
+  const BitMatrix::Word *MaskW = CSR.SrcMask.words();
+  for (unsigned WI = 0, WE = CSR.SrcMask.numWordsInUse(); WI != WE; ++WI) {
+    BitMatrix::Word Hits = R[WI] & MaskW[WI];
+    while (Hits) {
+      unsigned SNum = WI * BitMatrix::WordBits +
+                      static_cast<unsigned>(std::countr_zero(Hits));
+      Hits &= Hits - 1;
+      for (unsigned I = CSR.SrcOff[SNum], E = CSR.SrcOff[SNum + 1]; I != E;
+           ++I) {
+        auto [TgtNum, Tgt] = CSR.Tgts[I];
+        if (BitMatrix::testBit(R, TgtNum))
+          continue; // Filter: target adds no new reachability.
+        assert(!TargetT[Tgt].empty() && "Theorem 3 ordering violated");
+        T |= TargetT[Tgt];
+        Contrib.push_back(Tgt);
+      }
     }
   }
 }
 
-void LiveCheck::computeTPropagated() {
-  std::vector<BitVector> TargetT;
-  computeTargetSets(TargetT);
-
+void LiveCheck::computeAtSource(const std::vector<BitVector> &TargetT,
+                                std::vector<BitVector> &AtSource) const {
   // Union the target sets at each back-edge source ("the set Ts \ {s} for
-  // each back edge source s"), then propagate through the reduced graph in
-  // increasing postorder like R, and finally add v to each T_v.
-  std::vector<BitVector> AtSource(NumNodes);
+  // each back edge source s"); rows stay empty (or all-zero, for reused
+  // scratch) at non-sources.
+  if (AtSource.size() != NumNodes) {
+    AtSource.assign(NumNodes, BitVector());
+  } else {
+    for (BitVector &Row : AtSource)
+      if (!Row.empty())
+        Row.reset();
+  }
   for (auto [S, Tgt] : D.backEdges()) {
     if (AtSource[S].empty())
       AtSource[S].resize(NumNodes);
     AtSource[S] |= TargetT[Tgt];
   }
+}
 
+void LiveCheck::propagateT(const std::vector<BitVector> &AtSource) {
+  // Propagate the per-source unions through the reduced graph in
+  // increasing postorder like R, and finally add v to each T_v.
+  //
   // Self bits are added only after the propagation, otherwise unioning a
   // successor's set would drag in the successor itself (and transitively
-  // all of R_v), bloating T far beyond Definition 5.
+  // all of R_v), bloating T far beyond Definition 5. The pre-self-bit
+  // self-membership ("is v in its own propagated set?") is recorded first:
+  // the incremental repatch needs it to reuse a stored row as a
+  // successor's propagation contribution.
   for (unsigned V : D.postorderSequence()) {
     unsigned VNum = DT.num(V);
     if (!AtSource[V].empty())
       TMat.orRowWith(VNum, AtSource[V]);
-    const auto &Succs = G.successors(V);
-    for (unsigned Idx = 0, E = static_cast<unsigned>(Succs.size()); Idx != E;
-         ++Idx) {
-      if (D.edgeKind(V, Idx) == EdgeKind::Back)
-        continue;
-      TMat.unionRows(VNum, DT.num(Succs[Idx]));
-    }
+    for (const unsigned *S = D.reducedBegin(V), *E = D.reducedEnd(V); S != E;
+         ++S)
+      TMat.unionRows(VNum, DT.num(*S));
   }
+  SelfInPropNode.resize(NumNodes);
+  SelfInPropNode.reset();
+  for (unsigned V = 0; V != NumNodes; ++V)
+    if (TMat.test(DT.num(V), DT.num(V)))
+      SelfInPropNode.set(V);
   for (unsigned Num = 0; Num != NumNodes; ++Num)
     TMat.set(Num, Num);
 }
 
+void LiveCheck::computeTPropagated() {
+  // The target sets and source unions go into the retained members: the
+  // incremental update dirty-tracks against exactly this state.
+  computeTargetSets(UpdTargetT);
+  computeAtSource(UpdTargetT, UpdAtSource);
+  propagateT(UpdAtSource);
+}
+
 void LiveCheck::computeTFiltered() {
-  std::vector<BitVector> TargetT;
-  computeTargetSets(TargetT);
+  computeTargetSets(UpdTargetT);
 
   // Definition 5 verbatim at every node: the first chain link also applies
   // the t' ∉ R_q filter.
@@ -486,9 +572,632 @@ void LiveCheck::computeTFiltered() {
         continue;
       if (BitMatrix::testBit(R, DT.num(Tgt)))
         continue;
-      TMat.orRowWith(QNum, TargetT[Tgt]);
+      TMat.orRowWith(QNum, UpdTargetT[Tgt]);
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental update
+//===----------------------------------------------------------------------===//
+//
+// update() exploits that R and T are least fixpoints of monotone
+// recurrences over the reduced graph, repaired by exact dirty tracking:
+// a row is recomputed only when one of its direct inputs changed (its own
+// edges, its AtSource union, a successor's row), and the recomputed row
+// is compared against its previous content so the ripple stops the
+// moment the fixpoint reconverges. Because least fixpoints are unique,
+// the repaired engine is bit-identical to a freshly constructed one —
+// the differential fuzz suite asserts exactly that. The T inputs (the
+// Definition-5 target sets and the per-source unions) live in retained
+// members between updates and are themselves dirty-tracked through the
+// cached T↑ contributor chains.
+
+void LiveCheck::captureCoordSnapshots() {
+  SnapNodeAtNum.resize(NumNodes);
+  for (unsigned I = 0; I != NumNodes; ++I)
+    SnapNodeAtNum[I] = DT.nodeAtNum(I);
+  SnapBackEdges = D.backEdges();
+  std::sort(SnapBackEdges.begin(), SnapBackEdges.end());
+}
+
+void LiveCheck::captureSnapshots() {
+  if (!Opts.Incremental || Opts.Storage != TStorage::Arena) {
+    SnapNodeAtNum.clear();
+    SnapBackEdges.clear();
+    UpdTargetT.clear();
+    UpdAtSource.clear();
+    TargetContrib.clear();
+    return;
+  }
+  captureCoordSnapshots();
+  // The T-input members were already filled by the compute pass
+  // (computeTPropagated/computeTFiltered route through them); for the
+  // Propagated mode the AtSource rows exist, for Filtered only TargetT.
+}
+
+bool LiveCheck::permuteInterval(unsigned Lo, unsigned Hi) {
+  // P[i - Lo]: the new preorder number of the node that held old number i.
+  // A scoped dominator repair moves numbers only inside the repaired
+  // subtree's interval, so the permutation must stay within [Lo, Hi];
+  // anything else falls back to the full recompute.
+  const unsigned W = Hi - Lo + 1;
+  std::vector<unsigned> P(W);
+  for (unsigned I = Lo; I <= Hi; ++I) {
+    unsigned NewNum = DT.num(SnapNodeAtNum[I]);
+    if (NewNum < Lo || NewNum > Hi)
+      return false;
+    P[I - Lo] = NewNum;
+  }
+
+  // A renumbering moves whole dominance subtrees, so P decomposes into a
+  // handful of consecutive runs; each run moves as one word-shifted block
+  // instead of bit by bit.
+  struct Run {
+    unsigned SrcLo, SrcHi, DstLo;
+  };
+  std::vector<Run> Runs;
+  for (unsigned I = 0; I != W;) {
+    unsigned J = I + 1;
+    while (J != W && P[J] == P[J - 1] + 1)
+      ++J;
+    Runs.push_back(Run{Lo + I, Lo + J - 1, P[I]});
+    I = J;
+  }
+
+  const unsigned FirstWord = Lo / BitMatrix::WordBits;
+  const unsigned LastWord = Hi / BitMatrix::WordBits;
+  const unsigned SpanWords = LastWord - FirstWord + 1;
+  // Masks selecting the [Lo, Hi] bits of each covered word.
+  std::vector<BitMatrix::Word> SpanMask(SpanWords, ~BitMatrix::Word(0));
+  if (Lo % BitMatrix::WordBits != 0)
+    SpanMask.front() &= ~BitMatrix::Word(0) << (Lo % BitMatrix::WordBits);
+  if (unsigned Rem = Hi % BitMatrix::WordBits; Rem != BitMatrix::WordBits - 1)
+    SpanMask.back() &= (BitMatrix::Word(1) << (Rem + 1)) - 1;
+
+  std::vector<BitMatrix::Word> Band;
+  std::vector<BitMatrix::Word> Col(SpanWords + 1);
+  for (BitMatrix *M : {&RMat, &TMat}) {
+    unsigned Stride = M->strideWords();
+    // Rows: lift the band out, drop each row back at its new index.
+    Band.assign(std::size_t(W) * Stride, 0);
+    for (unsigned I = Lo; I <= Hi; ++I)
+      std::memcpy(Band.data() + std::size_t(I - Lo) * Stride, M->row(I),
+                  Stride * sizeof(BitMatrix::Word));
+    for (unsigned I = Lo; I <= Hi; ++I)
+      std::memcpy(M->row(P[I - Lo]),
+                  Band.data() + std::size_t(I - Lo) * Stride,
+                  Stride * sizeof(BitMatrix::Word));
+    // Columns: rebuild the covered words of every row from the runs.
+    const unsigned Base = FirstWord * BitMatrix::WordBits;
+    for (unsigned R = 0; R != NumNodes; ++R) {
+      BitMatrix::Word *Row = M->row(R);
+      std::memset(Col.data(), 0, Col.size() * sizeof(BitMatrix::Word));
+      for (const Run &Rn : Runs)
+        BitMatrix::wordsOrCopyRange(Row, Rn.SrcLo, Rn.SrcHi, Col.data(),
+                                    Rn.DstLo - Base);
+      for (unsigned I = 0; I != SpanWords; ++I)
+        Row[FirstWord + I] = (Row[FirstWord + I] & ~SpanMask[I]) |
+                             (Col[I] & SpanMask[I]);
+    }
+  }
+
+  // The retained num-space T inputs permute the same way (content only —
+  // they are indexed by node), so they stay exact across renumberings.
+  const unsigned Base = FirstWord * BitMatrix::WordBits;
+  auto permuteRow = [&](BitVector &BV) {
+    if (BV.empty())
+      return;
+    BitMatrix::Word *RowW = BV.words();
+    std::memset(Col.data(), 0, Col.size() * sizeof(BitMatrix::Word));
+    for (const Run &Rn : Runs)
+      BitMatrix::wordsOrCopyRange(RowW, Rn.SrcLo, Rn.SrcHi, Col.data(),
+                                  Rn.DstLo - Base);
+    for (unsigned I = 0; I != SpanWords; ++I)
+      RowW[FirstWord + I] = (RowW[FirstWord + I] & ~SpanMask[I]) |
+                            (Col[I] & SpanMask[I]);
+  };
+  for (BitVector &BV : UpdTargetT)
+    permuteRow(BV);
+  for (BitVector &BV : UpdAtSource)
+    permuteRow(BV);
+  return true;
+}
+
+bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
+  if (!Opts.Incremental || Opts.Storage != TStorage::Arena)
+    return false;
+  const unsigned N = NumNodes;
+  if (G.numNodes() != N || SnapNodeAtNum.size() != N)
+    return false; // Node count changed, or no snapshot to diff against.
+  for (const CFGDelta *Dp = DB; Dp != DE; ++Dp)
+    if (Dp->K == CFGDelta::Kind::NodeAdd)
+      return false;
+
+  // --- Back-edge set diff (old snapshot vs new DFS). The snapshot is
+  // stored sorted; only the new list needs sorting. ---
+  const std::vector<std::pair<unsigned, unsigned>> &OldBE = SnapBackEdges;
+  std::vector<std::pair<unsigned, unsigned>> NewBE = D.backEdges();
+  std::sort(NewBE.begin(), NewBE.end());
+  std::vector<std::pair<unsigned, unsigned>> OnlyOld, OnlyNew;
+  std::set_difference(OldBE.begin(), OldBE.end(), NewBE.begin(), NewBE.end(),
+                      std::back_inserter(OnlyOld));
+  std::set_difference(NewBE.begin(), NewBE.end(), OldBE.begin(), OldBE.end(),
+                      std::back_inserter(OnlyNew));
+
+  // --- Seeds. ---
+  // SeedR: sources of reduced-graph edge changes (rows of R can change).
+  // SeedT: SeedR plus sources of back-edge set changes (inputs of T can
+  // change even when R does not — toggling a back edge alters the
+  // per-source target unions but leaves the reduced graph alone).
+  BitVector SeedRSet(N), SeedTSet(N);
+  std::vector<unsigned> SeedR, SeedT;
+  auto addSeedT = [&](unsigned S) {
+    if (!SeedTSet.test(S)) {
+      SeedTSet.set(S);
+      SeedT.push_back(S);
+    }
+  };
+  auto addSeedR = [&](unsigned S) {
+    if (!SeedRSet.test(S)) {
+      SeedRSet.set(S);
+      SeedR.push_back(S);
+    }
+    addSeedT(S);
+  };
+  auto isIn = [](const std::vector<std::pair<unsigned, unsigned>> &Sorted,
+                 std::pair<unsigned, unsigned> E) {
+    return std::binary_search(Sorted.begin(), Sorted.end(), E);
+  };
+  for (const CFGDelta *Dp = DB; Dp != DE; ++Dp) {
+    std::pair<unsigned, unsigned> Edge{Dp->From, Dp->To};
+    if (Dp->K == CFGDelta::Kind::EdgeInsert) {
+      // Inserted as a back edge: only T inputs change. Otherwise the
+      // reduced graph gained an edge.
+      if (isIn(NewBE, Edge))
+        addSeedT(Dp->From);
+      else
+        addSeedR(Dp->From);
+    } else {
+      if (isIn(OldBE, Edge))
+        addSeedT(Dp->From);
+      else
+        addSeedR(Dp->From);
+    }
+  }
+  // Classification flips: a back-set difference not explained by an edit
+  // to that very edge means the edge persists but crossed between the
+  // reduced graph and the back set — both planes see it.
+  auto isDeltaEdge = [&](std::pair<unsigned, unsigned> E,
+                         CFGDelta::Kind K) {
+    for (const CFGDelta *Dp = DB; Dp != DE; ++Dp)
+      if (Dp->K == K && Dp->From == E.first && Dp->To == E.second)
+        return true;
+    return false;
+  };
+  for (auto E : OnlyNew)
+    if (!isDeltaEdge(E, CFGDelta::Kind::EdgeInsert))
+      addSeedR(E.first);
+  for (auto E : OnlyOld)
+    if (!isDeltaEdge(E, CFGDelta::Kind::EdgeRemove))
+      addSeedR(E.first);
+
+  if (SeedT.empty())
+    return true; // Net-zero batch: graph state identical to the snapshot.
+
+  // --- Renumbering: permute the arenas when the dominance preorder
+  // shifted (a scoped DomTree repair moves a contiguous interval). ---
+  unsigned PLo = BitVector::npos, PHi = 0;
+  for (unsigned I = 0; I != N; ++I)
+    if (SnapNodeAtNum[I] != DT.nodeAtNum(I)) {
+      if (PLo == BitVector::npos)
+        PLo = I;
+      PHi = I;
+    }
+  if (PLo != BitVector::npos) {
+    if (PHi - PLo + 1 > N / 2)
+      return false; // Near-global renumbering: recompute instead.
+    if (!permuteInterval(PLo, PHi))
+      return false;
+  }
+
+  // --- R repair: exact dirty propagation in increasing new postorder.
+  // A row needs recomputing only when its own reduced out-edges changed
+  // (a SeedR source) or a reduced successor's row *actually* changed;
+  // comparing the recomputed row against its previous content stops the
+  // ripple as soon as reconvergence is reached — local edits usually dirty
+  // a handful of rows even though their reachability cone is huge. ---
+  const unsigned Stride = RMat.strideWords();
+  std::vector<BitMatrix::Word> OldRow(Stride);
+  BitVector DirtyR(N);
+  if (!SeedR.empty()) {
+    for (unsigned V : D.postorderSequence()) {
+      const unsigned *RB = D.reducedBegin(V), *RE = D.reducedEnd(V);
+      bool Need = SeedRSet.test(V);
+      for (const unsigned *S = RB; !Need && S != RE; ++S)
+        Need = DirtyR.test(*S);
+      if (!Need)
+        continue;
+      unsigned VNum = DT.num(V);
+      BitMatrix::Word *Row = RMat.row(VNum);
+      std::memcpy(OldRow.data(), Row, Stride * sizeof(BitMatrix::Word));
+      std::memset(Row, 0, Stride * sizeof(BitMatrix::Word));
+      RMat.set(VNum, VNum);
+      for (const unsigned *S = RB; S != RE; ++S)
+        RMat.unionRows(VNum, DT.num(*S));
+      ++UStats.RRowsRepatched;
+      if (std::memcmp(Row, OldRow.data(),
+                      Stride * sizeof(BitMatrix::Word)) != 0)
+        DirtyR.set(V);
+    }
+  }
+
+  // --- Side tables. maxnum must be refreshed whenever the dominator
+  // tree was repaired, NOT only when the preorder sequence moved: a
+  // reparenting can shrink or grow a subtree while leaving NodeAtNum
+  // byte-identical, and a stale maxnum makes the subtree skip jump over
+  // real targets (wrong answers — found by review, now pinned by the
+  // fuzz suite's side-table comparison). The refresh is one linear pass;
+  // the back-target flags genuinely depend only on the back-edge set, so
+  // a numbering-stable update touches O(|symdiff|) of them. ---
+  for (unsigned V = 0; V != N; ++V)
+    MaxNumByNum[DT.num(V)] = DT.maxnum(V);
+  if (PLo != BitVector::npos) {
+    for (unsigned V = 0; V != N; ++V)
+      BackTargetByNum[DT.num(V)] = D.isBackEdgeTarget(V);
+  } else {
+    for (auto E : OnlyNew)
+      BackTargetByNum[DT.num(E.second)] = D.isBackEdgeTarget(E.second);
+    for (auto E : OnlyOld)
+      if (E.second < N)
+        BackTargetByNum[DT.num(E.second)] = D.isBackEdgeTarget(E.second);
+  }
+
+  // --- T inputs: dirty-track the retained target sets and per-source
+  // unions against their own previous content. A target's Definition-5
+  // set can change only if its R row changed (DirtyR), a back-edge toggle
+  // is visible from it (the toggle's source is reduced-reachable — which
+  // for the toggled edge's own target always holds, since a back-edge
+  // target reaches its source along tree edges), or a cached T↑
+  // contributor's set changed (Theorem-3 preorder makes contributor
+  // verdicts final before they are consulted). A source union can change
+  // only if one of its targets' sets changed or its own back-edge set was
+  // edited. Everything else keeps its retained row untouched. ---
+  if (UpdTargetT.size() != N)
+    return false; // Retained sets missing (shouldn't happen once built).
+  const bool AnyBackChange = !OnlyOld.empty() || !OnlyNew.empty();
+
+  // --- Single inserted back edge (the paper's loop-creation edit):
+  // everything grows by one uniform delta. R and the numbering are
+  // untouched; the only new chain content anywhere is TargetT[v] — every
+  // target that sees the new edge gains exactly it, every source feeding
+  // a grown target gains exactly it, and every T row reaching a changed
+  // source gains exactly it. Three subset-checked union sweeps replace
+  // the whole generic repair. ---
+  if (Opts.Mode == TMode::Propagated && SeedR.empty() &&
+      PLo == BitVector::npos && OnlyOld.empty() && OnlyNew.size() == 1 &&
+      DE - DB == 1 && DB->K == CFGDelta::Kind::EdgeInsert) {
+    const unsigned U = DB->From, V = DB->To;
+    TargetContrib.resize(N);
+    // Ensure v's own Definition-5 set. If v already was a target, the
+    // dirty machinery has kept its row current, and the new edge changes
+    // nothing in it (its candidate v is filtered out of its own T↑ by
+    // v ∈ R_v). A *new* target's slot may hold stale ex-target content:
+    // rebuild it from the existing — smaller-preorder, hence current —
+    // target sets. "Was a target" is decided off the old back-edge set,
+    // never off row contents.
+    BitVector &TV = UpdTargetT[V];
+    unsigned VNum = DT.num(V);
+    bool WasTarget = false;
+    for (auto [S2, Tgt2] : OldBE)
+      if (Tgt2 == V) {
+        WasTarget = true;
+        break;
+      }
+    if (!WasTarget) {
+      if (TV.empty())
+        TV.resize(N);
+      else
+        TV.reset();
+      TV.set(VNum);
+      std::vector<unsigned> &Contrib = TargetContrib[V];
+      Contrib.clear();
+      const BitMatrix::Word *R = RMat.row(VNum);
+      for (auto [S2, Tgt2] : NewBE) {
+        if (Tgt2 == V)
+          continue;
+        if (!BitMatrix::testBit(R, DT.num(S2)))
+          continue;
+        if (BitMatrix::testBit(R, DT.num(Tgt2)))
+          continue;
+        TV |= UpdTargetT[Tgt2];
+        Contrib.push_back(Tgt2);
+      }
+      // v is a back-edge target now; the Algorithm-2 line-8 side table
+      // must agree (the numbering did not move).
+      BackTargetByNum[VNum] = 1;
+    }
+    const BitVector &Delta = TV;
+    const unsigned UNum = DT.num(U);
+    // Targets that see the edge directly (u reachable, v not yet in R)
+    // or through a grown contributor gain Delta; Theorem-3 preorder makes
+    // contributor verdicts final in time.
+    BitVector Grown(N);
+    for (unsigned T : D.preorderSequence()) {
+      if (!D.isBackEdgeTarget(T) || T == V)
+        continue;
+      const BitMatrix::Word *R = RMat.row(DT.num(T));
+      bool Direct = BitMatrix::testBit(R, UNum) &&
+                    !BitMatrix::testBit(R, VNum);
+      bool Chained = false;
+      if (!Direct)
+        for (unsigned C : TargetContrib[T])
+          if (Grown.test(C)) {
+            Chained = true;
+            break;
+          }
+      if (!Direct && !Chained)
+        continue;
+      BitVector &Row = UpdTargetT[T];
+      if (Row.empty())
+        Row.resize(N);
+      if (!Delta.isSubsetOf(Row)) {
+        Row |= Delta;
+        Grown.set(T);
+      }
+      if (Direct)
+        TargetContrib[T].push_back(V);
+    }
+    // Sources feeding the new edge or any grown target gain Delta.
+    BitVector SeedMaskNum(N);
+    for (auto [S2, Tgt2] : NewBE) {
+      if (S2 != U && !Grown.test(Tgt2))
+        continue;
+      BitVector &Row = UpdAtSource[S2];
+      if (Row.empty())
+        Row.resize(N);
+      if (!Delta.isSubsetOf(Row)) {
+        Row |= Delta;
+        SeedMaskNum.set(DT.num(S2));
+      }
+    }
+    // T rows reaching any changed source gain Delta.
+    if (SeedMaskNum.any()) {
+      const BitMatrix::Word *MaskW = SeedMaskNum.words();
+      const unsigned Stride0 = RMat.strideWords();
+      for (unsigned XNum = 0; XNum != N; ++XNum) {
+        if (!BitMatrix::wordsAnyCommon(RMat.row(XNum), MaskW, Stride0))
+          continue;
+        TMat.orRowWith(XNum, Delta);
+        if (Delta.test(XNum))
+          SelfInPropNode.set(DT.nodeAtNum(XNum));
+        ++UStats.TRowsRepatched;
+      }
+    }
+    SnapBackEdges = std::move(NewBE); // Already sorted.
+    return true;
+  }
+
+  BitVector TargetDirty(N);
+  BitVector OldSet;
+  if (AnyBackChange || DirtyR.any()) {
+    BackEdgeCSR CSR;
+    buildBackEdgeCSR(CSR);
+    TargetContrib.resize(N);
+    for (unsigned V : D.preorderSequence()) {
+      if (!D.isBackEdgeTarget(V))
+        continue;
+      bool Need = DirtyR.test(V);
+      const BitMatrix::Word *R = RMat.row(DT.num(V));
+      if (!Need)
+        for (auto E : OnlyNew)
+          if (BitMatrix::testBit(R, DT.num(E.first))) {
+            Need = true;
+            break;
+          }
+      if (!Need)
+        for (auto E : OnlyOld)
+          if (E.first < N && BitMatrix::testBit(R, DT.num(E.first))) {
+            Need = true;
+            break;
+          }
+      if (!Need)
+        for (unsigned C : TargetContrib[V])
+          if (TargetDirty.test(C)) {
+            Need = true;
+            break;
+          }
+      if (!Need)
+        continue;
+      // Same kernel as the full pass, against the retained rows of the —
+      // already final — contributors; compare for exactness.
+      OldSet = UpdTargetT[V];
+      recomputeTargetRow(V, CSR, UpdTargetT);
+      if (OldSet != UpdTargetT[V])
+        TargetDirty.set(V);
+    }
+  }
+
+  if (Opts.Mode == TMode::Propagated && (TargetDirty.any() ||
+                                         AnyBackChange)) {
+    // Sources to refresh: those incident to a back-edge toggle or
+    // feeding a dirty target set. Changed unions become T seeds.
+    BitVector SrcNeed(N);
+    for (auto [S, Tgt] : NewBE)
+      if (TargetDirty.test(Tgt))
+        SrcNeed.set(S);
+    for (auto E : OnlyNew)
+      SrcNeed.set(E.first);
+    for (auto E : OnlyOld)
+      if (E.first < N)
+        SrcNeed.set(E.first);
+    for (unsigned S = SrcNeed.findFirstSet(); S != BitVector::npos;
+         S = SrcNeed.findNextSet(S + 1)) {
+      BitVector &Row = UpdAtSource[S];
+      OldSet = Row;
+      if (Row.empty())
+        Row.resize(N);
+      else
+        Row.reset();
+      auto It = std::lower_bound(NewBE.begin(), NewBE.end(),
+                                 std::make_pair(S, 0u));
+      for (; It != NewBE.end() && It->first == S; ++It)
+        Row |= UpdTargetT[It->second];
+      if (OldSet != Row)
+        addSeedT(S);
+    }
+  } else if (Opts.Mode == TMode::Filtered) {
+    // Filtered rows consume the target sets directly, gated per back edge
+    // by the querying row's R bits: a changed target set re-seeds every
+    // source that can deliver it.
+    if (TargetDirty.any())
+      for (auto [S, Tgt] : NewBE)
+        if (TargetDirty.test(Tgt))
+          addSeedT(S);
+  }
+
+  // --- T repair. ---
+  // Pure-growth shortcut: a batch that only *inserts back edges* leaves R
+  // and the numbering alone and can only grow the T fixpoint (T↑ sets
+  // gain members, never lose any). The new fixpoint is then exactly the
+  // old one with each changed source union OR-ed into every row that
+  // reduced-reaches that source — a column-gated word-level broadcast,
+  // no per-row recompute or compare at all.
+  // Worth it only while few source unions changed: with long T↑ chains
+  // the per-source broadcasts overlap heavily and the compare-bounded
+  // ripple below is cheaper.
+  bool PureGrowth = Opts.Mode == TMode::Propagated && SeedR.empty() &&
+                    PLo == BitVector::npos && OnlyOld.empty() &&
+                    SeedT.size() <= 4;
+  for (const CFGDelta *Dp = DB; PureGrowth && Dp != DE; ++Dp)
+    PureGrowth = Dp->K == CFGDelta::Kind::EdgeInsert;
+  if (PureGrowth) {
+    for (unsigned Y : SeedT) {
+      const BitVector &Src = UpdAtSource[Y];
+      if (Src.empty() || Src.none())
+        continue;
+      unsigned YNum = DT.num(Y);
+      for (unsigned XNum = 0; XNum != N; ++XNum) {
+        if (!RMat.test(XNum, YNum))
+          continue;
+        TMat.orRowWith(XNum, Src);
+        if (Src.test(XNum))
+          SelfInPropNode.set(DT.nodeAtNum(XNum));
+        ++UStats.TRowsRepatched;
+      }
+    }
+  } else if (Opts.Mode == TMode::Propagated) {
+    // Same exact dirty propagation as R: the propagated recurrence is
+    // prop_v = AtSource[v] ∪ ⋃ prop_succ over reduced successors, so a
+    // row needs recomputing only when its own AtSource changed, its
+    // reduced out-edges changed, or a successor's prop genuinely changed.
+    BitVector DirtyT(N);
+    {
+      for (unsigned V : D.postorderSequence()) {
+        const unsigned *RB = D.reducedBegin(V), *RE = D.reducedEnd(V);
+        bool Need = SeedTSet.test(V);
+        for (const unsigned *S = RB; !Need && S != RE; ++S)
+          Need = DirtyT.test(*S);
+        if (!Need)
+          continue;
+        unsigned VNum = DT.num(V);
+        BitMatrix::Word *Row = TMat.row(VNum);
+        std::memcpy(OldRow.data(), Row, Stride * sizeof(BitMatrix::Word));
+        std::memset(Row, 0, Stride * sizeof(BitMatrix::Word));
+        if (!UpdAtSource[V].empty())
+          TMat.orRowWith(VNum, UpdAtSource[V]);
+        for (const unsigned *SP = RB; SP != RE; ++SP) {
+          unsigned S = *SP;
+          unsigned SNum = DT.num(S);
+          // A stored successor row is prop ∪ {self}; subtract the self
+          // bit unless the successor genuinely propagates itself, and
+          // unless the bit was already present from earlier
+          // contributions.
+          bool Had = BitMatrix::testBit(Row, SNum);
+          TMat.unionRows(VNum, SNum);
+          if (!SelfInPropNode.test(S) && !Had)
+            Row[SNum / BitMatrix::WordBits] &=
+                ~(BitMatrix::Word(1) << (SNum % BitMatrix::WordBits));
+        }
+        bool OldSelf = SelfInPropNode.test(V);
+        bool NewSelf = BitMatrix::testBit(Row, VNum);
+        if (NewSelf)
+          SelfInPropNode.set(V);
+        else
+          SelfInPropNode.reset(V);
+        TMat.set(VNum, VNum);
+        ++UStats.TRowsRepatched;
+        // Dirty means the row's *contribution* to predecessors changed:
+        // either the stored bits, or the self-membership flag that decides
+        // whether the forced self bit is part of the propagated content.
+        if (OldSelf != NewSelf ||
+            std::memcmp(Row, OldRow.data(),
+                        Stride * sizeof(BitMatrix::Word)) != 0)
+          DirtyT.set(V);
+      }
+    }
+  } else {
+    // Filtered rows have no inter-row recurrence: recompute exactly the
+    // rows whose R content changed (DirtyR) or that can see a changed
+    // back edge / changed target set (an R-column probe per seed; a node
+    // whose *old* reach differed from its new reach has a changed R row
+    // and is caught by DirtyR).
+    for (unsigned V = 0; V != N; ++V) {
+      unsigned VNum = DT.num(V);
+      bool Need = DirtyR.test(V);
+      if (!Need) {
+        const BitMatrix::Word *R = RMat.row(VNum);
+        for (unsigned S : SeedT)
+          if (BitMatrix::testBit(R, DT.num(S))) {
+            Need = true;
+            break;
+          }
+      }
+      if (!Need)
+        continue;
+      std::memset(TMat.row(VNum), 0, Stride * sizeof(BitMatrix::Word));
+      TMat.set(VNum, VNum);
+      const BitMatrix::Word *R = RMat.row(VNum);
+      for (auto [S, Tgt] : D.backEdges()) {
+        if (!BitMatrix::testBit(R, DT.num(S)))
+          continue;
+        if (BitMatrix::testBit(R, DT.num(Tgt)))
+          continue;
+        TMat.orRowWith(VNum, UpdTargetT[Tgt]);
+      }
+      ++UStats.TRowsRepatched;
+    }
+  }
+
+  // --- Fast path and kernels: reducibility can flip with the back-edge
+  // set; rebinding is one switch. ---
+  bool OldFastPath = FastPath;
+  FastPath = false;
+  if (Opts.ReducibleFastPath && Opts.Mode == TMode::Filtered)
+    FastPath = analyzeReducibility(D, DT).Reducible;
+  if (FastPath != OldFastPath)
+    bindKernels<ScanLayout::Arena>();
+
+  // Refresh the snapshot: the retained T inputs are already current (the
+  // dirty tracking repaired them in place); only the coordinate system
+  // needs re-capturing, and only the parts that moved.
+  if (PLo != BitVector::npos) {
+    for (unsigned I = PLo; I <= PHi; ++I)
+      SnapNodeAtNum[I] = DT.nodeAtNum(I);
+  }
+  if (AnyBackChange)
+    SnapBackEdges = std::move(NewBE); // Already sorted.
+  return true;
+}
+
+void LiveCheck::update(const CFGDelta *B, const CFGDelta *E) {
+  ++UStats.Updates;
+  if (tryIncrementalUpdate(B, E)) {
+    ++UStats.IncrementalRepatches;
+    return;
+  }
+  ++UStats.FullRecomputes;
+  computeAll();
 }
 
 //===----------------------------------------------------------------------===//
@@ -716,5 +1425,15 @@ size_t LiveCheck::memoryBytes() const {
     Bytes += T.capacity() * sizeof(unsigned) + sizeof(T);
   Bytes += MaxNumByNum.capacity() * sizeof(unsigned);
   Bytes += BackTargetByNum.capacity() * sizeof(std::uint8_t);
+  // Retained incremental-update state (Opts.Incremental engines only).
+  Bytes += SnapNodeAtNum.capacity() * sizeof(unsigned);
+  Bytes += SnapBackEdges.capacity() * sizeof(std::pair<unsigned, unsigned>);
+  for (const BitVector &B : UpdTargetT)
+    Bytes += B.memoryBytes() + sizeof(BitVector);
+  for (const BitVector &B : UpdAtSource)
+    Bytes += B.memoryBytes() + sizeof(BitVector);
+  for (const auto &C : TargetContrib)
+    Bytes += C.capacity() * sizeof(unsigned) + sizeof(C);
+  Bytes += SelfInPropNode.memoryBytes();
   return Bytes;
 }

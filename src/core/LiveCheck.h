@@ -68,10 +68,12 @@
 #define SSALIVE_CORE_LIVECHECK_H
 
 #include "analysis/DomTree.h"
+#include "ir/CFGDelta.h"
 #include "support/BitMatrix.h"
 #include "support/BitVector.h"
 
 #include <cstdint>
+#include <utility>
 
 namespace ssalive {
 
@@ -119,6 +121,22 @@ struct LiveCheckOptions {
   /// and Mode == Filtered.
   bool ReducibleFastPath = true;
   TStorage Storage = TStorage::Arena;
+  /// Retain the (small) snapshot state that lets update() repatch R/T rows
+  /// in place after CFG edits instead of recomputing everything. Costs a
+  /// few per-node side arrays plus node-space copies of the back-edge
+  /// target sets; update() works without it but always takes the full
+  /// recompute path. The AnalysisManager turns this on for its cached
+  /// engines (its refresh path is the consumer).
+  bool Incremental = false;
+};
+
+/// Outcome counters of LiveCheck::update, for tests and the bench.
+struct LiveCheckUpdateStats {
+  std::uint64_t Updates = 0;
+  std::uint64_t IncrementalRepatches = 0; ///< Row-level in-place repairs.
+  std::uint64_t FullRecomputes = 0;       ///< Fallbacks to computeAll.
+  std::uint64_t RRowsRepatched = 0;
+  std::uint64_t TRowsRepatched = 0;
 };
 
 /// Query statistics, for the evaluation harnesses. Queries never touch
@@ -152,6 +170,24 @@ public:
   /// Precomputes R and T for \p G. \p D and \p DT must belong to \p G.
   LiveCheck(const CFG &G, const DFS &D, const DomTree &DT,
             LiveCheckOptions Opts = {});
+
+  /// Repairs the precomputation after the structural edits \p [B, E) were
+  /// applied to the referenced CFG. Call order matters: the referenced DFS
+  /// must already be recomputed and the referenced DomTree repaired for
+  /// the post-edit graph (AnalysisManager::refresh orchestrates exactly
+  /// this sequence). Under TStorage::Arena with Opts.Incremental set, the
+  /// engine diffs the old and new back-edge sets and dominance numbering
+  /// against its retained snapshot and repatches only the R/T rows whose
+  /// reduced-reachability or back-target sets can have changed (plus a
+  /// row/column permutation of the arena when the preorder numbering
+  /// shifted); otherwise — including node-count changes, numbering shifts
+  /// or affected sets past half the graph, and the non-arena layouts — it
+  /// recomputes everything in place. Either way the result answers every
+  /// query identically to a freshly constructed engine, which the
+  /// differential fuzz suite asserts bit for bit.
+  void update(const CFGDelta *B, const CFGDelta *E);
+
+  const LiveCheckUpdateStats &updateStats() const { return UStats; }
 
   /// Algorithm 3: is the variable (def block \p DefBlock, use blocks
   /// [\p UsesBegin, \p UsesEnd)) live-in at block \p Q? When \p Sink is
@@ -317,6 +353,16 @@ public:
   /// Whether the single-test fast path is active.
   bool usesReducibleFastPath() const { return FastPath; }
 
+  /// The cached scan side tables, by preorder number — what the subtree
+  /// skip and the Algorithm-2 line-8 exclusion actually read. The
+  /// differential fuzz suite compares them against a fresh engine's: a
+  /// stale entry here produces wrong answers only on narrow query shapes
+  /// that sampling alone can miss.
+  unsigned cachedMaxNum(unsigned Num) const { return MaxNumByNum[Num]; }
+  bool cachedBackTarget(unsigned Num) const {
+    return BackTargetByNum[Num] != 0;
+  }
+
   /// Number of CFG nodes (== bits per R/T row).
   unsigned numNodes() const { return NumNodes; }
 
@@ -343,13 +389,55 @@ private:
                               const BitVector &UseMask, bool ExcludeTrivialQ,
                               LiveCheckStats *Sink);
 
+  /// From-scratch build of everything (the constructor body); also the
+  /// fallback path of update().
+  void computeAll();
   void computeR();
-  void computeTargetSets(std::vector<BitVector> &TargetT) const;
+  /// Back edges grouped by source preorder number: the shared iteration
+  /// structure of every Definition-5 target-set (re)computation.
+  struct BackEdgeCSR {
+    BitVector SrcMask;                                ///< Source nums.
+    std::vector<unsigned> SrcOff;                     ///< Per-num offsets.
+    std::vector<std::pair<unsigned, unsigned>> Tgts;  ///< (tgt num, node).
+  };
+  void buildBackEdgeCSR(BackEdgeCSR &CSR) const;
+  /// Recomputes one target's Definition-5 set (Equation 1) and its
+  /// TargetContrib chain from the current R row and the grouped back
+  /// edges; contributors' rows in \p TargetT must already be final
+  /// (Theorem-3 preorder). The single kernel both the full pass and the
+  /// incremental dirty repair run, so they cannot diverge.
+  void recomputeTargetRow(unsigned V, const BackEdgeCSR &CSR,
+                          std::vector<BitVector> &TargetT);
+  /// Recomputes every target's Definition-5 set into \p TargetT (reused
+  /// row by row) and refreshes the TargetContrib dependency lists.
+  void computeTargetSets(std::vector<BitVector> &TargetT);
+  /// Per-back-edge-source unions of the target sets (the "T_s at each back
+  /// edge source" of Section 5.2); rows are empty for non-sources.
+  void computeAtSource(const std::vector<BitVector> &TargetT,
+                       std::vector<BitVector> &AtSource) const;
+  /// The increasing-postorder reduced-graph propagation of TMode::
+  /// Propagated, including the SelfInProp capture and the final self bits.
+  void propagateT(const std::vector<BitVector> &AtSource);
   void computeTPropagated();
   void computeTFiltered();
   /// Moves the freshly computed arena matrices into the layout Opts.Storage
   /// requests and binds the scan kernels.
   void finalizeStorage();
+
+  /// \name Incremental update machinery (see update()).
+  /// @{
+  /// Refreshes the retained snapshot (numbering, back edges) after a
+  /// from-scratch build; clears all retained update state when the
+  /// options rule incremental updates out.
+  void captureSnapshots();
+  void captureCoordSnapshots();
+  /// The row-repatch path; false means "fall back to computeAll".
+  bool tryIncrementalUpdate(const CFGDelta *B, const CFGDelta *E);
+  /// Applies the old-to-new dominance renumbering to both arenas (rows and
+  /// columns move only inside [Lo, Hi]); false if the permutation escapes
+  /// the interval.
+  bool permuteInterval(unsigned Lo, unsigned Hi);
+  /// @}
   template <ScanLayout L> void bindKernels();
   template <ScanLayout L, bool Skip> void bindKernelsSkip();
   template <ScanLayout L, bool Skip, bool FP> void bindKernelsFull();
@@ -416,6 +504,37 @@ private:
   std::vector<unsigned> MaxNumByNum;
   /// Back-edge-target flag by preorder number (Algorithm 2 line 8).
   std::vector<std::uint8_t> BackTargetByNum;
+
+  /// \name Retained update state (Opts.Incremental under Arena only).
+  /// Snapshots of the coordinate system and the T-set inputs as of the
+  /// last build/repatch, all numbering-independent (node space) where the
+  /// numbering itself can shift. update() diffs the next state against
+  /// these to find the rows that can change.
+  /// @{
+  std::vector<unsigned> SnapNodeAtNum; ///< Old preorder num -> node.
+  /// Back edges as of the snapshot, kept sorted (the diff consumes them
+  /// sorted anyway).
+  std::vector<std::pair<unsigned, unsigned>> SnapBackEdges;
+  /// The living Definition-5 target sets (indexed by target node, content
+  /// in preorder-number space) and the per-source unions feeding the
+  /// propagated T recurrence. Between updates these are the persistent
+  /// truth: an update dirty-tracks which rows can change (via DirtyR, the
+  /// back-edge diff, and the cached contributor chains below) and
+  /// recomputes only those, diffing against the previous content to seed
+  /// the T repair. A renumbering permutes their bits alongside the
+  /// arenas, so they never go stale.
+  std::vector<BitVector> UpdTargetT;
+  std::vector<BitVector> UpdAtSource;
+  /// Per target node: the target nodes whose sets were unioned into its
+  /// row at its last recompute (the T↑ chain, Theorem 3) — the dependency
+  /// edges of the dirty tracking.
+  std::vector<std::vector<unsigned>> TargetContrib;
+  /// Bit v set iff v is in its own *propagated* T set before the final
+  /// self-bit pass — needed to subtract a successor's self bit correctly
+  /// when re-running the propagation for a single row (Propagated mode).
+  BitVector SelfInPropNode;
+  LiveCheckUpdateStats UStats;
+  /// @}
 
   /// Scan kernels bound once at construction — the per-query dispatch is
   /// one indirect call, never an Opts branch. BlockScan takes block-id

@@ -75,7 +75,7 @@ void BasicBlock::addSuccessor(BasicBlock *Succ) {
   Succs.push_back(Succ);
   Succ->Preds.push_back(this);
   if (Parent)
-    Parent->bumpCFGVersion();
+    Parent->recordCFGDelta(CFGDelta::edgeInsert(Id, Succ->id()));
 }
 
 void BasicBlock::removeSuccessor(BasicBlock *Succ) {
@@ -88,5 +88,5 @@ void BasicBlock::removeSuccessor(BasicBlock *Succ) {
   for (Instruction *Phi : Succ->phis())
     Phi->removeOperand(PredIdx);
   if (Parent)
-    Parent->bumpCFGVersion();
+    Parent->recordCFGDelta(CFGDelta::edgeRemove(Id, Succ->id()));
 }

@@ -36,5 +36,5 @@ void CFG::removeEdge(unsigned From, unsigned To) {
   auto PIt = std::find(P.begin(), P.end(), From);
   assert(PIt != P.end() && "succ/pred lists out of sync");
   P.erase(PIt);
-  bumpVersion();
+  recordDelta(CFGDelta::edgeRemove(From, To));
 }

@@ -16,6 +16,8 @@
 #ifndef SSALIVE_IR_CFG_H
 #define SSALIVE_IR_CFG_H
 
+#include "ir/CFGDelta.h"
+
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -36,10 +38,19 @@ public:
   /// Extracts the block graph of \p F; node ids equal block ids.
   static CFG fromFunction(const Function &F);
 
+  /// Grows (or reshapes) the node set. Growth is journaled as one NodeAdd
+  /// delta per new node; shrinking (or a same-size call) is not describable
+  /// as deltas and poisons the journal.
   void resize(unsigned NumNodes) {
+    unsigned Old = numNodes();
     Succs.resize(NumNodes);
     Preds.resize(NumNodes);
-    bumpVersion();
+    if (NumNodes > Old) {
+      for (unsigned Id = Old; Id != NumNodes; ++Id)
+        recordDelta(CFGDelta::nodeAdd(Id));
+    } else {
+      bumpVersion();
+    }
   }
 
   unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
@@ -63,21 +74,52 @@ public:
     assert(From < numNodes() && To < numNodes() && "edge endpoint range");
     Succs[From].push_back(To);
     Preds[To].push_back(From);
-    bumpVersion();
+    recordDelta(CFGDelta::edgeInsert(From, To));
   }
 
   /// Removes the directed edge \p From -> \p To (which must exist).
   void removeEdge(unsigned From, unsigned To);
 
-  /// \name Structural modification epoch.
+  /// \name Structural modification epoch and delta journal.
+  ///
   /// The version counts structural edits (node or edge changes). Analyses
   /// cached against a CFG record the version they were built at and treat a
   /// mismatch as invalidation (the paper's Section 7 stability property:
   /// only CFG edits invalidate the liveness precomputation — variable and
   /// instruction edits never do, so nothing else bumps this).
+  ///
+  /// ## Delta-journal contract
+  ///
+  /// *Who records:* every structural mutator of this class — addEdge,
+  /// removeEdge, and growing resize — appends one CFGDelta per version
+  /// bump, in application order. A bare bumpVersion() (the escape hatch
+  /// for edits made behind the graph's back) advances the epoch but
+  /// poisons the journal.
+  ///
+  /// *Who drains:* a consumer that snapshotted analyses at epoch E calls
+  /// deltasSince(E). A non-null span is the exact ordered edit sequence
+  /// from E to version(); replaying it against the snapshot reproduces the
+  /// current graph, which is what the incremental repair paths
+  /// (DFS::recompute + DomTree::applyUpdates + LiveCheck::update) consume.
+  /// Draining is non-destructive — any number of consumers at different
+  /// epochs may read the journal; it trims itself only by capacity.
+  ///
+  /// *Epoch semantics:* version() == journal base + journal length always
+  /// holds while only recording mutators run. deltasSince returns
+  /// std::nullopt whenever the journal cannot prove it covers E (E predates
+  /// the base, the journal was poisoned, or an unrecorded bump happened);
+  /// the caller must then fall back to a full rebuild. Nullopt is always a
+  /// safe answer — the journal accelerates invalidation, it never replaces
+  /// it.
   /// @{
   std::uint64_t version() const { return Version; }
-  void bumpVersion() { ++Version; }
+  void bumpVersion() {
+    ++Version;
+    Journal.poison(Version);
+  }
+  std::optional<CFGDeltaSpan> deltasSince(std::uint64_t V) const {
+    return Journal.deltasSince(V, Version);
+  }
   /// @}
 
   /// Returns true if the edge \p From -> \p To exists.
@@ -94,9 +136,15 @@ public:
   }
 
 private:
+  void recordDelta(const CFGDelta &D) {
+    ++Version;
+    Journal.record(D, Version);
+  }
+
   std::vector<std::vector<unsigned>> Succs;
   std::vector<std::vector<unsigned>> Preds;
   std::uint64_t Version = 0;
+  DeltaJournal Journal;
 };
 
 } // namespace ssalive

@@ -1,0 +1,114 @@
+//===- ir/CFGDelta.h - Structural-edit deltas and their journal -*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of the incremental-analysis contract: every structural CFG edit
+/// (edge insert, edge remove, node addition) is describable as a CFGDelta,
+/// and both `CFG` and `Function` keep a bounded DeltaJournal of the edits
+/// behind their modification epoch. A consumer that cached analyses at
+/// epoch E asks `deltasSince(E)`; when the journal still covers E it gets
+/// the exact edit sequence and can repair its analyses in place
+/// (DomTree::applyUpdates, LiveCheck::update, AnalysisManager::refresh)
+/// instead of rebuilding them. When the journal has been trimmed, or an
+/// edit was recorded only as a bare epoch bump, the call returns
+/// std::nullopt and the consumer falls back to a full rebuild — the journal
+/// is an optimization channel, never a correctness requirement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_IR_CFGDELTA_H
+#define SSALIVE_IR_CFGDELTA_H
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ssalive {
+
+/// One structural edit to a CFG.
+struct CFGDelta {
+  enum class Kind : unsigned char {
+    EdgeInsert, ///< Edge From -> To added.
+    EdgeRemove, ///< Edge From -> To removed.
+    NodeAdd,    ///< Node with id From appended (no edges yet).
+  };
+
+  Kind K = Kind::EdgeInsert;
+  unsigned From = 0;
+  unsigned To = 0;
+
+  static CFGDelta edgeInsert(unsigned From, unsigned To) {
+    return {Kind::EdgeInsert, From, To};
+  }
+  static CFGDelta edgeRemove(unsigned From, unsigned To) {
+    return {Kind::EdgeRemove, From, To};
+  }
+  static CFGDelta nodeAdd(unsigned Id) { return {Kind::NodeAdd, Id, Id}; }
+
+  bool operator==(const CFGDelta &RHS) const {
+    return K == RHS.K && From == RHS.From && To == RHS.To;
+  }
+};
+
+/// A contiguous, read-only view of recorded deltas.
+using CFGDeltaSpan = std::pair<const CFGDelta *, const CFGDelta *>;
+
+/// Bounded journal of structural edits, kept in lock-step with an epoch
+/// counter owned by the graph: invariant `BaseVersion + size() == epoch`,
+/// i.e. journal entry i is exactly the edit that moved the graph from
+/// version BaseVersion+i to BaseVersion+i+1. A bare epoch bump with no
+/// describable delta poisons the journal (clears it and re-bases at the
+/// current epoch), as does overflowing the capacity — consumers older than
+/// the base simply rebuild.
+class DeltaJournal {
+public:
+  /// Appends \p D as the edit that produced \p VersionAfter. Restarts the
+  /// journal if the caller's version does not extend the recorded history
+  /// (an unrecorded bump slipped in) or the capacity is exhausted.
+  void record(const CFGDelta &D, std::uint64_t VersionAfter) {
+    if (BaseVersion + Deltas.size() + 1 != VersionAfter ||
+        Deltas.size() >= Capacity)
+      poison(VersionAfter - 1);
+    Deltas.push_back(D);
+  }
+
+  /// Forgets all history; the journal now covers only [\p CurrentVersion,
+  /// \p CurrentVersion].
+  void poison(std::uint64_t CurrentVersion) {
+    Deltas.clear();
+    BaseVersion = CurrentVersion;
+  }
+
+  /// The edits that advance a snapshot taken at \p Version to the current
+  /// state, or std::nullopt when the journal no longer covers \p Version.
+  /// \p CurrentVersion must be the owner's present epoch (consistency
+  /// check against lost bumps).
+  std::optional<CFGDeltaSpan> deltasSince(std::uint64_t Version,
+                                          std::uint64_t CurrentVersion) const {
+    if (BaseVersion + Deltas.size() != CurrentVersion)
+      return std::nullopt; // Unrecorded edits happened after the last record.
+    if (Version < BaseVersion || Version > CurrentVersion)
+      return std::nullopt;
+    const CFGDelta *Begin = Deltas.data() + (Version - BaseVersion);
+    return CFGDeltaSpan{Begin, Deltas.data() + Deltas.size()};
+  }
+
+  std::uint64_t baseVersion() const { return BaseVersion; }
+  std::size_t size() const { return Deltas.size(); }
+
+private:
+  /// Generous bound: a consumer that falls 4096 structural edits behind is
+  /// cheaper to rebuild than to replay.
+  static constexpr std::size_t Capacity = 4096;
+
+  std::vector<CFGDelta> Deltas;
+  std::uint64_t BaseVersion = 0;
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_IR_CFGDELTA_H

@@ -14,7 +14,7 @@ BasicBlock *Function::createBlock(std::string BlockName) {
     BlockName = "bb" + std::to_string(Id);
   Blocks.push_back(std::make_unique<BasicBlock>(Id, std::move(BlockName)));
   Blocks.back()->setParent(this);
-  bumpCFGVersion();
+  recordCFGDelta(CFGDelta::nodeAdd(Id));
   return Blocks.back().get();
 }
 

@@ -14,6 +14,7 @@
 #define SSALIVE_IR_FUNCTION_H
 
 #include "ir/BasicBlock.h"
+#include "ir/CFGDelta.h"
 
 #include <cstdint>
 #include <memory>
@@ -76,15 +77,33 @@ public:
   /// densities (paper Section 6.1).
   unsigned numEdges() const;
 
-  /// \name CFG modification epoch.
+  /// \name CFG modification epoch and delta journal.
   /// Counts structural edits to the block graph: block creation and edge
   /// insertion/removal (BasicBlock::addSuccessor/removeSuccessor bump it).
   /// Instruction and value edits leave it unchanged — the paper's Section 7
   /// stability property, which lets the AnalysisManager cache the liveness
   /// precomputation across arbitrary non-structural rewrites.
+  ///
+  /// Alongside the counter, the structural mutators journal what each bump
+  /// did (see the delta-journal contract in ir/CFG.h — Function keeps the
+  /// same journal over block ids). AnalysisManager::refresh drains
+  /// deltasSince(cached epoch) to repair the function's cached analyses in
+  /// place instead of rebuilding them; a bare bumpCFGVersion() poisons the
+  /// journal and forces the rebuild path.
   /// @{
   std::uint64_t cfgVersion() const { return CFGEpoch; }
-  void bumpCFGVersion() { ++CFGEpoch; }
+  void bumpCFGVersion() {
+    ++CFGEpoch;
+    Journal.poison(CFGEpoch);
+  }
+  /// Journaled epoch bump; called by the structural mutators.
+  void recordCFGDelta(const CFGDelta &D) {
+    ++CFGEpoch;
+    Journal.record(D, CFGEpoch);
+  }
+  std::optional<CFGDeltaSpan> deltasSince(std::uint64_t V) const {
+    return Journal.deltasSince(V, CFGEpoch);
+  }
   /// @}
 
 private:
@@ -96,6 +115,7 @@ private:
   std::vector<std::unique_ptr<Value>> Values;
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
   std::uint64_t CFGEpoch = 0;
+  DeltaJournal Journal;
 };
 
 } // namespace ssalive

@@ -64,6 +64,48 @@ const LiveCheck &FunctionAnalyses::liveCheck() {
   return *Engine;
 }
 
+void FunctionAnalyses::applyDeltas(const CFGDelta *B, const CFGDelta *E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Graph) {
+    // Nothing materialized: re-stamping the epoch is the whole repair.
+    Epoch = F.cfgVersion();
+    return;
+  }
+  // Mirror the journaled edits onto the cached graph view (block ids equal
+  // node ids, so the deltas replay verbatim).
+  for (const CFGDelta *D = B; D != E; ++D) {
+    switch (D->K) {
+    case CFGDelta::Kind::EdgeInsert:
+      Graph->addEdge(D->From, D->To);
+      break;
+    case CFGDelta::Kind::EdgeRemove:
+      Graph->removeEdge(D->From, D->To);
+      break;
+    case CFGDelta::Kind::NodeAdd:
+      Graph->resize(Graph->numNodes() + 1);
+      break;
+    }
+  }
+  // The mirror accumulates its own journal through those mutators, and
+  // nothing ever reads it (consumers follow the *function's* journal):
+  // poison it so a long-lived cache entry does not retain thousands of
+  // dead deltas.
+  Graph->bumpVersion();
+  // Repair order matters: DFS first (the tree and the engine read its
+  // classification), then the dominator tree (the engine reads its
+  // numbering), then the engine itself.
+  if (Dfs)
+    Dfs->applyUpdates(B, E);
+  if (Tree) {
+    assert(Dfs && "dominator tree without DFS");
+    Tree->applyUpdates(*Graph, *Dfs, B, E);
+  }
+  Loops.reset(); // Linear to rebuild; lazily, on next request.
+  if (Engine)
+    Engine->update(B, E);
+  Epoch = F.cfgVersion();
+}
+
 FunctionAnalyses &AnalysisManager::get(const Function &F) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Cache.find(&F);
@@ -81,6 +123,30 @@ FunctionAnalyses &AnalysisManager::get(const Function &F) {
   auto Inserted =
       Cache.emplace(&F, std::make_unique<FunctionAnalyses>(F, Opts));
   return *Inserted.first->second;
+}
+
+FunctionAnalyses &AnalysisManager::refresh(const Function &F) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Cache.find(&F);
+  if (It == Cache.end()) {
+    ++Counters.Misses;
+    auto Inserted =
+        Cache.emplace(&F, std::make_unique<FunctionAnalyses>(F, Opts));
+    return *Inserted.first->second;
+  }
+  if (It->second->epoch() == F.cfgVersion()) {
+    ++Counters.Hits;
+    return *It->second;
+  }
+  if (auto Span = F.deltasSince(It->second->epoch())) {
+    It->second->applyDeltas(Span->first, Span->second);
+    ++Counters.Refreshes;
+    return *It->second;
+  }
+  // Journal gap (a bare epoch bump poisoned it): rebuild like get() would.
+  ++Counters.Invalidations;
+  It->second = std::make_unique<FunctionAnalyses>(F, Opts);
+  return *It->second;
 }
 
 void AnalysisManager::invalidate(const Function &F) {

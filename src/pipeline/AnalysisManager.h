@@ -63,6 +63,20 @@ public:
   const LiveCheck &liveCheck();
   /// @}
 
+  /// Advances the snapshot to the function's current epoch by replaying
+  /// the journaled edits \p [B, E) against whatever analyses are already
+  /// materialized: the cached CFG mirror absorbs the deltas, the DFS
+  /// repairs or recomputes itself in place, the DomTree takes its scoped
+  /// repair, the LiveCheck engine repatches its R/T rows, and the loop
+  /// forest is dropped for lazy rebuild. Not-yet-built analyses stay
+  /// unbuilt. Any delta batch from the owning function's journal is
+  /// applicable — each repair layer carries its own full-recompute
+  /// fallback — so this cannot fail; the caller-side rebuild fallback
+  /// exists for journal gaps, which are detected before calling this.
+  /// The usual phase discipline applies: no concurrent queries while
+  /// refreshing.
+  void applyDeltas(const CFGDelta *B, const CFGDelta *E);
+
 private:
   // Unlocked build chain; callers hold Mutex.
   void ensureCFG();
@@ -70,7 +84,7 @@ private:
   void ensureDomTree();
 
   const Function &F;
-  const std::uint64_t Epoch;
+  std::uint64_t Epoch;
   const LiveCheckOptions Opts;
 
   std::mutex Mutex;
@@ -92,18 +106,30 @@ private:
 /// exactly this way).
 class AnalysisManager {
 public:
-  explicit AnalysisManager(LiveCheckOptions Opts = {}) : Opts(Opts) {}
+  /// The manager opts its engines into LiveCheck's incremental update
+  /// state: refresh() is the consumer of the in-place repatch path.
+  explicit AnalysisManager(LiveCheckOptions Opts = {})
+      : Opts(withIncremental(Opts)) {}
 
   /// Cache-miss/hit counters, for tests and throughput reports.
   struct CacheCounters {
     std::uint64_t Hits = 0;
     std::uint64_t Misses = 0;         ///< First-time builds.
     std::uint64_t Invalidations = 0;  ///< Rebuilds forced by a stale epoch.
+    std::uint64_t Refreshes = 0;      ///< In-place delta-journal repairs.
   };
 
   /// The analyses of \p F at its current CFG epoch, building or rebuilding
   /// the entry as needed.
   FunctionAnalyses &get(const Function &F);
+
+  /// Like get(), but a stale entry consumes the function's delta journal
+  /// and repairs its analyses in place (FunctionAnalyses::applyDeltas)
+  /// instead of being thrown away — the "incremental analysis update
+  /// instead of full rebuild on CFG epoch bump" path. Falls back to the
+  /// get() rebuild behaviour whenever the journal cannot cover the gap (a
+  /// bare epoch bump, too many edits) or the entry has nothing built yet.
+  FunctionAnalyses &refresh(const Function &F);
 
   /// \name One-call conveniences.
   /// @{
@@ -128,6 +154,11 @@ public:
   const LiveCheckOptions &liveCheckOptions() const { return Opts; }
 
 private:
+  static LiveCheckOptions withIncremental(LiveCheckOptions O) {
+    O.Incremental = true;
+    return O;
+  }
+
   const LiveCheckOptions Opts;
   mutable std::mutex Mutex;
   std::unordered_map<const Function *, std::unique_ptr<FunctionAnalyses>>

@@ -167,6 +167,51 @@ public:
     return false;
   }
 
+  /// ORs bits [\p SLo, \p SHi] (inclusive) of span \p Src into span \p Dst
+  /// starting at bit \p DLo — a word-shifted block move, the primitive
+  /// behind run-based bit permutations. Destination words must exist up to
+  /// bit DLo + (SHi - SLo).
+  static void wordsOrCopyRange(const Word *Src, unsigned SLo, unsigned SHi,
+                               Word *Dst, unsigned DLo) {
+    unsigned Remaining = SHi - SLo + 1;
+    unsigned SPos = SLo, DPos = DLo;
+    while (Remaining) {
+      unsigned SWord = SPos / WordBits, SOff = SPos % WordBits;
+      unsigned Chunk = WordBits - SOff;
+      if (Chunk > Remaining)
+        Chunk = Remaining;
+      Word Bits = Src[SWord] >> SOff;
+      if (Chunk < WordBits)
+        Bits &= (Word(1) << Chunk) - 1;
+      unsigned DWord = DPos / WordBits, DOff = DPos % WordBits;
+      Dst[DWord] |= Bits << DOff;
+      if (DOff + Chunk > WordBits)
+        Dst[DWord + 1] |= Bits >> (WordBits - DOff);
+      SPos += Chunk;
+      DPos += Chunk;
+      Remaining -= Chunk;
+    }
+  }
+
+  /// Clears every bit of span \p W inside [\p Lo, \p Hi] (inclusive).
+  static void wordsClearRange(Word *W, unsigned Lo, unsigned Hi) {
+    if (Lo > Hi)
+      return;
+    unsigned FirstWord = Lo / WordBits;
+    unsigned LastWord = Hi / WordBits;
+    for (unsigned I = FirstWord; I <= LastWord; ++I) {
+      Word Keep = 0;
+      if (I == FirstWord && Lo % WordBits != 0)
+        Keep |= (Word(1) << (Lo % WordBits)) - 1;
+      if (I == LastWord) {
+        unsigned Rem = Hi % WordBits;
+        if (Rem != WordBits - 1)
+          Keep |= ~Word(0) << (Rem + 1);
+      }
+      W[I] &= Keep;
+    }
+  }
+
   /// Do spans \p A and \p B of \p NumWords words share a set bit, ignoring
   /// \p ExcludeBit?
   static bool wordsAnyCommon(const Word *A, const Word *B, unsigned NumWords,

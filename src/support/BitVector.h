@@ -118,6 +118,9 @@ public:
   /// \name Raw word access (interop with BitMatrix row spans).
   /// @{
   const std::uint64_t *words() const { return Words.data(); }
+  /// Mutable span for word-level in-place transforms (the caller must
+  /// keep bits beyond size() clear).
+  std::uint64_t *words() { return Words.data(); }
   unsigned numWordsInUse() const {
     return static_cast<unsigned>(Words.size());
   }

@@ -14,6 +14,11 @@
 #ifndef SSALIVE_TESTS_TESTUTIL_H
 #define SSALIVE_TESTS_TESTUTIL_H
 
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "core/LiveCheck.h"
+#include "core/LivenessInterface.h"
+#include "core/UseInfo.h"
 #include "ir/CFG.h"
 #include "ir/Function.h"
 #include "ir/Verifier.h"
@@ -84,6 +89,68 @@ randomImperativeFunction(std::uint64_t Seed,
   EXPECT_TRUE(verifyStructure(*F).ok()) << verifyStructure(*F).message();
   return F;
 }
+
+/// A liveness backend answering exclusively through LiveCheck's renumbered
+/// query plane — PreparedVar entries (or the mask entries when \p UseMask
+/// is set) instead of the block-id entries FunctionLiveness historically
+/// used. The ssa test matrices run the interference check and SSA
+/// destruction against this side by side with FunctionLiveness and demand
+/// identical decisions: the groundwork for migrating SSA destruction to
+/// prepareDef (ROADMAP).
+class PreparedLiveness : public LivenessQueries {
+public:
+  explicit PreparedLiveness(const Function &F, bool UseMask = false,
+                            LiveCheckOptions Opts = {})
+      : Graph(CFG::fromFunction(F)), Dfs(Graph), Tree(Graph, Dfs),
+        Engine(Graph, Dfs, Tree, Opts), UseMask(UseMask),
+        Mask(Graph.numNodes()) {}
+
+  bool isLiveIn(const Value &V, const BasicBlock &B) override {
+    prepare(V);
+    if (UseMask)
+      return Engine.isLiveInMask(defBlockId(V), B.id(), Mask);
+    return Engine.isLiveInPrepared(Prep, B.id());
+  }
+
+  bool isLiveOut(const Value &V, const BasicBlock &B) override {
+    prepare(V);
+    if (UseMask)
+      return Engine.isLiveOutMask(defBlockId(V), B.id(), Mask);
+    return Engine.isLiveOutPrepared(Prep, B.id());
+  }
+
+  const char *backendName() const override {
+    return UseMask ? "livecheck-mask" : "livecheck-prepared";
+  }
+
+  const LiveCheck &engine() const { return Engine; }
+
+private:
+  void prepare(const Value &V) {
+    Blocks.clear();
+    appendLiveUseBlocks(V, Blocks);
+    Nums.clear();
+    Mask.reset();
+    for (unsigned B : Blocks) {
+      Nums.push_back(Tree.num(B));
+      Mask.set(Tree.num(B));
+    }
+    Engine.prepareDef(defBlockId(V), Prep);
+    Prep.NumsBegin = Nums.data();
+    Prep.NumsEnd = Nums.data() + Nums.size();
+    Prep.Mask = nullptr;
+  }
+
+  CFG Graph;
+  DFS Dfs;
+  DomTree Tree;
+  LiveCheck Engine;
+  bool UseMask;
+  LiveCheck::PreparedVar Prep;
+  std::vector<unsigned> Blocks;
+  std::vector<unsigned> Nums;
+  BitVector Mask;
+};
 
 } // namespace ssalive::testutil
 

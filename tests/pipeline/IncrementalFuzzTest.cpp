@@ -1,0 +1,526 @@
+//===- tests/pipeline/IncrementalFuzzTest.cpp -----------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The differential mutation-fuzz harness of the incremental analysis
+// plane. Thousands of randomized structural CFG edits (CFGMutator) are
+// applied step by step; after every step the incrementally repaired
+// analyses — DFS::recompute + DomTree::applyUpdates + LiveCheck::update,
+// and at the IR level AnalysisManager::refresh — must answer exactly like
+// a from-scratch rebuild: identical dominator trees (idoms and preorder
+// numbering, cross-checked against Lengauer-Tarjan as a second opinion),
+// identical R/T set contents, and identical liveness answers across every
+// TStorage layout and every query entry point (block-id spans, pre-
+// numbered spans, use masks, PreparedVar, and the whole-interval
+// block sweeps). On a mismatch the failing sequence is reported as a
+// replayable (seed, mode, step) triple.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/AnalysisManager.h"
+
+#include "TestUtil.h"
+#include "analysis/SemiNCA.h"
+#include "core/LiveCheck.h"
+#include "core/UseInfo.h"
+#include "workload/CFGMutator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+namespace {
+
+std::string describeMutation(const Mutation &M) {
+  std::ostringstream OS;
+  switch (M.Kind) {
+  case MutationKind::AddEdge:
+    OS << "add " << M.From << "->" << M.To;
+    break;
+  case MutationKind::RemoveEdge:
+    OS << "remove " << M.From << "->" << M.To;
+    break;
+  case MutationKind::RetargetBranch:
+    OS << "retarget " << M.From << "->" << M.To << " to " << M.From << "->"
+       << M.To2;
+    break;
+  case MutationKind::SplitBlock:
+    OS << "split " << M.From << " (new node " << M.To << ")";
+    break;
+  }
+  return OS.str();
+}
+
+/// The replayable failure tag every assertion carries.
+std::string replayTag(std::uint64_t Seed, bool Reducible, unsigned Step,
+                      const Mutation &M) {
+  std::ostringstream OS;
+  OS << "replay: seed=" << Seed
+     << " mode=" << (Reducible ? "reducible" : "general")
+     << " step=" << Step << " mutation={" << describeMutation(M) << "}";
+  return OS.str();
+}
+
+/// One incrementally maintained analysis stack over a shared CFG.
+struct Rig {
+  std::string Name;
+  DFS D;
+  DomTree DT;
+  LiveCheck LC;
+
+  Rig(const CFG &G, std::string Name, LiveCheckOptions O)
+      : Name(std::move(Name)), D(G), DT(G, D),
+        LC(G, D, DT, withIncremental(O)) {}
+
+  static LiveCheckOptions withIncremental(LiveCheckOptions O) {
+    O.Incremental = true;
+    return O;
+  }
+
+  void step(const CFG &G, CFGDeltaSpan Span) {
+    D.applyUpdates(Span.first, Span.second);
+    DT.applyUpdates(G, D, Span.first, Span.second);
+    LC.update(Span.first, Span.second);
+  }
+};
+
+/// A random variable shape: a def block plus a handful of use blocks.
+struct VarSample {
+  unsigned Def = 0;
+  std::vector<unsigned> Uses;
+};
+
+std::vector<VarSample> sampleVariables(const CFG &G, RandomEngine &Rng,
+                                       unsigned Count) {
+  std::vector<VarSample> Vars(Count);
+  unsigned N = G.numNodes();
+  for (VarSample &V : Vars) {
+    V.Def = Rng.nextBelow(N);
+    unsigned Uses = 1 + Rng.nextBelow(5);
+    for (unsigned U = 0; U != Uses; ++U)
+      V.Uses.push_back(Rng.nextBelow(N));
+  }
+  return Vars;
+}
+
+/// Compares every entry point of \p Inc (incrementally updated, with its
+/// own repaired DomTree \p IncDT) against \p Fresh (freshly built over
+/// \p FreshDT) for the given variables. Returns false on the first
+/// mismatch, with the offending query in the failure message.
+bool compareEngines(const LiveCheck &Inc, const DomTree &IncDT,
+                    const LiveCheck &Fresh, const DomTree &FreshDT,
+                    const std::vector<VarSample> &Vars, RandomEngine &Rng,
+                    const std::string &Tag) {
+  unsigned N = Inc.numNodes();
+  if (N != Fresh.numNodes()) {
+    ADD_FAILURE() << Tag << ": node count " << Inc.numNodes() << " vs "
+                  << Fresh.numNodes();
+    return false;
+  }
+  BitVector IncIn, IncOut, FreshIn, FreshOut;
+  std::vector<unsigned> IncNums, FreshNums;
+  BitVector IncMask(N), FreshMask(N);
+  for (const VarSample &V : Vars) {
+    // Whole-graph coverage through the batch sweeps (one comparison per
+    // block and direction, at word speed).
+    Inc.liveInOutBlocks(V.Def, V.Uses, IncIn, IncOut);
+    Fresh.liveInOutBlocks(V.Def, V.Uses, FreshIn, FreshOut);
+    if (IncIn != FreshIn || IncOut != FreshOut) {
+      ADD_FAILURE() << Tag << ": block-sweep mismatch, def=" << V.Def;
+      return false;
+    }
+    // Per-entry-point checks on sampled query blocks.
+    IncNums.clear();
+    FreshNums.clear();
+    IncMask.reset();
+    FreshMask.reset();
+    for (unsigned U : V.Uses) {
+      IncNums.push_back(IncDT.num(U));
+      FreshNums.push_back(FreshDT.num(U));
+      IncMask.set(IncDT.num(U));
+      FreshMask.set(FreshDT.num(U));
+    }
+    LiveCheck::PreparedVar IncPrep, FreshPrep;
+    Inc.prepareDef(V.Def, IncPrep);
+    Fresh.prepareDef(V.Def, FreshPrep);
+    IncPrep.NumsBegin = IncNums.data();
+    IncPrep.NumsEnd = IncNums.data() + IncNums.size();
+    FreshPrep.NumsBegin = FreshNums.data();
+    FreshPrep.NumsEnd = FreshNums.data() + FreshNums.size();
+
+    for (unsigned Probe = 0; Probe != 12; ++Probe) {
+      unsigned Q = Rng.nextBelow(N);
+      bool In[5] = {Inc.isLiveIn(V.Def, Q, V.Uses),
+                    Inc.isLiveInNums(V.Def, Q, IncNums.data(),
+                                     IncNums.data() + IncNums.size()),
+                    Inc.isLiveInMask(V.Def, Q, IncMask),
+                    Inc.isLiveInPrepared(IncPrep, Q),
+                    Fresh.isLiveIn(V.Def, Q, V.Uses)};
+      bool FreshIn2[3] = {
+          Fresh.isLiveInNums(V.Def, Q, FreshNums.data(),
+                             FreshNums.data() + FreshNums.size()),
+          Fresh.isLiveInMask(V.Def, Q, FreshMask),
+          Fresh.isLiveInPrepared(FreshPrep, Q)};
+      bool Out[5] = {Inc.isLiveOut(V.Def, Q, V.Uses),
+                     Inc.isLiveOutNums(V.Def, Q, IncNums.data(),
+                                       IncNums.data() + IncNums.size()),
+                     Inc.isLiveOutMask(V.Def, Q, IncMask),
+                     Inc.isLiveOutPrepared(IncPrep, Q),
+                     Fresh.isLiveOut(V.Def, Q, V.Uses)};
+      bool FreshOut2[3] = {
+          Fresh.isLiveOutNums(V.Def, Q, FreshNums.data(),
+                              FreshNums.data() + FreshNums.size()),
+          Fresh.isLiveOutMask(V.Def, Q, FreshMask),
+          Fresh.isLiveOutPrepared(FreshPrep, Q)};
+      for (int I = 0; I != 5; ++I)
+        if (In[I] != In[4] || Out[I] != Out[4]) {
+          ADD_FAILURE() << Tag << ": live-in/out entry-point mismatch at "
+                        << "def=" << V.Def << " q=" << Q << " entry#" << I;
+          return false;
+        }
+      for (int I = 0; I != 3; ++I)
+        if (FreshIn2[I] != In[4] || FreshOut2[I] != Out[4]) {
+          ADD_FAILURE() << Tag << ": fresh-engine entry-point disagreement "
+                        << "at def=" << V.Def << " q=" << Q;
+          return false;
+        }
+    }
+  }
+  return true;
+}
+
+/// Full R/T content equality between an incrementally updated engine and a
+/// fresh build (the fixpoints are unique, so repatch must be bit-exact) —
+/// plus the scan side tables (maxnum / back-target by preorder number): a
+/// stale subtree-skip bound only corrupts answers on query shapes narrow
+/// enough that sampled probes can miss them for thousands of steps.
+bool compareSets(const LiveCheck &Inc, const LiveCheck &Fresh,
+                 const std::string &Tag) {
+  unsigned N = Inc.numNodes();
+  for (unsigned Num = 0; Num != N; ++Num) {
+    if (Inc.cachedMaxNum(Num) != Fresh.cachedMaxNum(Num)) {
+      ADD_FAILURE() << Tag << ": stale maxnum side table at num " << Num
+                    << " (repatched=" << Inc.cachedMaxNum(Num)
+                    << " fresh=" << Fresh.cachedMaxNum(Num) << ")";
+      return false;
+    }
+    if (Inc.cachedBackTarget(Num) != Fresh.cachedBackTarget(Num)) {
+      ADD_FAILURE() << Tag << ": stale back-target side table at num "
+                    << Num;
+      return false;
+    }
+  }
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B) {
+      if (Inc.isReducedReachable(A, B) != Fresh.isReducedReachable(A, B)) {
+        ADD_FAILURE() << Tag << ": R mismatch at (" << A << "," << B << ")";
+        return false;
+      }
+      if (Inc.isInT(A, B) != Fresh.isInT(A, B)) {
+        ADD_FAILURE() << Tag << ": T mismatch at (" << A << "," << B << ")";
+        return false;
+      }
+    }
+  return true;
+}
+
+bool compareDomTrees(const DomTree &Inc, const DomTree &Fresh,
+                     const std::vector<unsigned> &LTIdoms,
+                     const std::string &Tag) {
+  if (Inc.numNodes() != Fresh.numNodes()) {
+    ADD_FAILURE() << Tag << ": dom tree node count";
+    return false;
+  }
+  for (unsigned V = 0; V != Inc.numNodes(); ++V) {
+    if (Inc.idom(V) != Fresh.idom(V) || Inc.idom(V) != LTIdoms[V]) {
+      ADD_FAILURE() << Tag << ": idom(" << V << ") repaired="
+                    << Inc.idom(V) << " fresh=" << Fresh.idom(V)
+                    << " lengauer-tarjan=" << LTIdoms[V];
+      return false;
+    }
+    if (Inc.num(V) != Fresh.num(V) || Inc.maxnum(V) != Fresh.maxnum(V)) {
+      ADD_FAILURE() << Tag << ": preorder numbering of node " << V;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one CFG-level fuzz campaign; returns the number of executed steps.
+unsigned runCFGFuzz(std::uint64_t Seed, bool Reducible, unsigned Steps) {
+  RandomEngine Rng(Seed);
+  CFGGenOptions GOpts;
+  GOpts.TargetBlocks = 40;
+  GOpts.GotoEdges = Reducible ? 0 : 3;
+  CFG G = generateCFG(GOpts, Rng);
+
+  // Every storage layout, both T modes. Arena rigs take the row-repatch
+  // path; Bitset and SortedArray exercise update()'s in-place full
+  // recompute fallback.
+  LiveCheckOptions ArenaProp;
+  LiveCheckOptions ArenaFilt;
+  ArenaFilt.Mode = TMode::Filtered;
+  LiveCheckOptions BitsetProp;
+  BitsetProp.Storage = TStorage::Bitset;
+  LiveCheckOptions SortedFilt;
+  SortedFilt.Mode = TMode::Filtered;
+  SortedFilt.Storage = TStorage::SortedArray;
+
+  std::vector<std::unique_ptr<Rig>> Rigs;
+  Rigs.push_back(std::make_unique<Rig>(G, "arena/prop", ArenaProp));
+  Rigs.push_back(std::make_unique<Rig>(G, "arena/filt", ArenaFilt));
+  Rigs.push_back(std::make_unique<Rig>(G, "bitset/prop", BitsetProp));
+  Rigs.push_back(std::make_unique<Rig>(G, "sorted/filt", SortedFilt));
+
+  CFGMutatorOptions MOpts;
+  MOpts.PreserveReducibility = Reducible;
+  MOpts.MaxNodes = 96;
+
+  std::uint64_t LastVersion = G.version();
+  unsigned Executed = 0;
+  for (unsigned Step = 0; Step != Steps; ++Step) {
+    auto M = mutateCFG(G, Rng, MOpts);
+    if (!M)
+      continue; // Saturated graph; extremely unlikely at these settings.
+    auto Span = G.deltasSince(LastVersion);
+    if (!Span.has_value()) {
+      ADD_FAILURE() << "mutator must keep the journal intact "
+                    << replayTag(Seed, Reducible, Step, *M);
+      return Executed;
+    }
+    LastVersion = G.version();
+    for (auto &R : Rigs)
+      R->step(G, *Span);
+    ++Executed;
+
+    std::string Tag = replayTag(Seed, Reducible, Step, *M);
+    DFS FreshD(G);
+    DomTree FreshDT(G, FreshD);
+    std::vector<unsigned> LTIdoms = computeIdomsLengauerTarjan(G);
+    for (auto &R : Rigs)
+      if (!compareDomTrees(R->DT, FreshDT, LTIdoms, Tag + " [" + R->Name +
+                                                        "]"))
+        return Executed;
+
+    std::vector<VarSample> Vars = sampleVariables(G, Rng, 6);
+    for (auto &R : Rigs) {
+      LiveCheck Fresh(G, FreshD, FreshDT, R->LC.options());
+      std::string RTag = Tag + " [" + R->Name + "]";
+      if (!compareEngines(R->LC, R->DT, Fresh, FreshDT, Vars, Rng, RTag))
+        return Executed;
+      // Bit-exact set equality: cheap at this size for the arena rigs
+      // (the repatch path), sampled implicitly through queries elsewhere.
+      if (R->LC.options().Storage == TStorage::Arena)
+        if (!compareSets(R->LC, Fresh, RTag))
+          return Executed;
+    }
+  }
+
+  // The campaign must actually exercise the incremental plane.
+  const auto &ArenaStats = Rigs[0]->LC.updateStats();
+  EXPECT_GT(ArenaStats.IncrementalRepatches, Executed / 4)
+      << "seed=" << Seed << ": the arena rig almost never took the "
+      << "row-repatch path; the fuzz is not testing what it claims";
+  EXPECT_GT(Rigs[0]->DT.updateStats().ScopedRepairs, 0u) << "seed=" << Seed;
+  return Executed;
+}
+
+/// IR-level campaign: AnalysisManager::refresh against fresh rebuilds.
+unsigned runFunctionFuzz(std::uint64_t Seed, unsigned Steps) {
+  auto F = randomSSAFunction(Seed, {/*TargetBlocks=*/28});
+  if (::testing::Test::HasFailure())
+    return 0;
+  AnalysisManager AM;
+  (void)AM.get(*F).liveCheck(); // Materialize the cached stack.
+
+  RandomEngine Rng(Seed * 977 + 5);
+  CFGMutatorOptions MOpts;
+  MOpts.MaxNodes = 72;
+  unsigned Executed = 0;
+  for (unsigned Step = 0; Step != Steps; ++Step) {
+    auto M = mutateFunctionCFG(*F, Rng, MOpts);
+    if (!M)
+      continue;
+    FunctionAnalyses &FA = AM.refresh(*F);
+    EXPECT_EQ(FA.epoch(), F->cfgVersion());
+    const LiveCheck &LC = FA.liveCheck();
+    const DomTree &DT = FA.domTree();
+    ++Executed;
+
+    std::ostringstream OS;
+    OS << "function-fuzz replay: seed=" << Seed << " step=" << Step
+       << " mutation={" << describeMutation(*M) << "}";
+    std::string Tag = OS.str();
+
+    CFG FreshG = CFG::fromFunction(*F);
+    DFS FreshD(FreshG);
+    DomTree FreshDT(FreshG, FreshD);
+    std::vector<unsigned> LTIdoms = computeIdomsLengauerTarjan(FreshG);
+    if (!compareDomTrees(DT, FreshDT, LTIdoms, Tag))
+      return Executed;
+    LiveCheck Fresh(FreshG, FreshD, FreshDT, AM.liveCheckOptions());
+
+    // Real SSA variables: every function value with a definition, queried
+    // through its Definition-1 use blocks.
+    std::vector<VarSample> Vars;
+    for (const auto &V : F->values()) {
+      if (V->defs().size() != 1)
+        continue;
+      VarSample S;
+      S.Def = defBlockId(*V);
+      S.Uses = liveUseBlocks(*V);
+      if (!S.Uses.empty())
+        Vars.push_back(std::move(S));
+      if (Vars.size() == 10)
+        break;
+    }
+    if (!compareEngines(LC, DT, Fresh, FreshDT, Vars, Rng, Tag))
+      return Executed;
+    if (!compareSets(LC, Fresh, Tag))
+      return Executed;
+  }
+
+  // The refresh path, not the invalidation path, must have served the
+  // campaign: the journal covered every step.
+  EXPECT_EQ(AM.counters().Invalidations, 0u) << "seed=" << Seed;
+  EXPECT_EQ(AM.counters().Refreshes, Executed) << "seed=" << Seed;
+  return Executed;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The campaigns. Together they execute >= 10000 mutation steps.
+//===----------------------------------------------------------------------===//
+
+// The three campaigns together execute >= 10000 mutation steps (the
+// per-test floors sum past 10k; mutateCFG virtually never exhausts its
+// retry budget at these settings).
+TEST(IncrementalFuzz, ReducibleCampaigns) {
+  unsigned Total = 0;
+  for (std::uint64_t Seed : {11, 12, 13, 14, 15, 16})
+    Total += runCFGFuzz(Seed, /*Reducible=*/true, 750);
+  RecordProperty("steps", static_cast<int>(Total));
+  EXPECT_GE(Total, 4200u);
+}
+
+TEST(IncrementalFuzz, GeneralCampaigns) {
+  unsigned Total = 0;
+  for (std::uint64_t Seed : {21, 22, 23, 24, 25, 26})
+    Total += runCFGFuzz(Seed, /*Reducible=*/false, 750);
+  RecordProperty("steps", static_cast<int>(Total));
+  EXPECT_GE(Total, 4200u);
+}
+
+TEST(IncrementalFuzz, AnalysisManagerRefreshCampaigns) {
+  unsigned Total = 0;
+  for (std::uint64_t Seed : {31, 32, 33, 34})
+    Total += runFunctionFuzz(Seed, 500);
+  RecordProperty("steps", static_cast<int>(Total));
+  EXPECT_GE(Total, 1800u);
+}
+
+//===----------------------------------------------------------------------===//
+// Directed cases around the journal/refresh contract.
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalFuzz, StaleMaxnumRegression) {
+  // Review-found wrong-answer bug: a retarget can reparent a node so a
+  // dominance subtree shrinks while the preorder *sequence* stays
+  // byte-identical; the update used to skip the MaxNumByNum refresh in
+  // that case, and the stale bound made the subtree skip jump over a
+  // real target (isLiveOut(def=0, q=3) answered false, fresh said true).
+  // Exhaustive (def, q) comparison over the exact graph and edit.
+  CFG G = makeCFG(8, {{0, 1},
+                      {0, 3},
+                      {1, 2},
+                      {1, 6},
+                      {2, 3},
+                      {3, 4},
+                      {4, 5},
+                      {4, 3},
+                      {4, 7},
+                      {5, 4},
+                      {5, 6},
+                      {6, 7},
+                      {6, 4},
+                      {7, 7}});
+  LiveCheckOptions Opts;
+  Opts.Incremental = true;
+  DFS D(G);
+  DomTree DT(G, D);
+  LiveCheck LC(G, D, DT, Opts);
+
+  std::uint64_t V0 = G.version();
+  G.removeEdge(2, 3);
+  G.addEdge(2, 1);
+  auto Span = G.deltasSince(V0);
+  ASSERT_TRUE(Span.has_value());
+  D.applyUpdates(Span->first, Span->second);
+  DT.applyUpdates(G, D, Span->first, Span->second);
+  LC.update(Span->first, Span->second);
+
+  DFS FD(G);
+  DomTree FDT(G, FD);
+  LiveCheck Fresh(G, FD, FDT, Opts);
+  std::vector<unsigned> AllBlocks;
+  for (unsigned B = 0; B != G.numNodes(); ++B)
+    AllBlocks.push_back(B);
+  for (unsigned Def = 0; Def != G.numNodes(); ++Def)
+    for (unsigned Q = 0; Q != G.numNodes(); ++Q) {
+      EXPECT_EQ(LC.isLiveIn(Def, Q, AllBlocks),
+                Fresh.isLiveIn(Def, Q, AllBlocks))
+          << "def=" << Def << " q=" << Q;
+      EXPECT_EQ(LC.isLiveOut(Def, Q, AllBlocks),
+                Fresh.isLiveOut(Def, Q, AllBlocks))
+          << "def=" << Def << " q=" << Q;
+    }
+  for (unsigned Num = 0; Num != G.numNodes(); ++Num)
+    EXPECT_EQ(LC.cachedMaxNum(Num), Fresh.cachedMaxNum(Num)) << Num;
+}
+
+TEST(IncrementalFuzz, JournalCoversRecordedEdits) {
+  CFG G(4);
+  std::uint64_t V0 = G.version();
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.removeEdge(1, 2);
+  auto Span = G.deltasSince(V0);
+  ASSERT_TRUE(Span.has_value());
+  ASSERT_EQ(Span->second - Span->first, 3);
+  EXPECT_TRUE(Span->first[0] == CFGDelta::edgeInsert(0, 1));
+  EXPECT_TRUE(Span->first[1] == CFGDelta::edgeInsert(1, 2));
+  EXPECT_TRUE(Span->first[2] == CFGDelta::edgeRemove(1, 2));
+  // A bare bump poisons: the old epoch is no longer covered.
+  G.bumpVersion();
+  EXPECT_FALSE(G.deltasSince(V0).has_value());
+  // But the post-poison epoch is.
+  std::uint64_t V1 = G.version();
+  G.addEdge(1, 3);
+  ASSERT_TRUE(G.deltasSince(V1).has_value());
+}
+
+TEST(IncrementalFuzz, RefreshFallsBackOnPoisonedJournal) {
+  auto F = randomSSAFunction(401, {/*TargetBlocks=*/16});
+  AnalysisManager AM;
+  (void)AM.get(*F).liveCheck();
+  F->bumpCFGVersion(); // Structural edit the journal cannot describe.
+  (void)AM.refresh(*F).liveCheck();
+  EXPECT_EQ(AM.counters().Refreshes, 0u);
+  EXPECT_EQ(AM.counters().Invalidations, 1u);
+}
+
+TEST(IncrementalFuzz, RefreshIsAHitAtCurrentEpoch) {
+  auto F = randomSSAFunction(402, {/*TargetBlocks=*/16});
+  AnalysisManager AM;
+  (void)AM.get(*F).liveCheck();
+  (void)AM.refresh(*F);
+  EXPECT_EQ(AM.counters().Hits, 1u);
+  EXPECT_EQ(AM.counters().Refreshes, 0u);
+}

@@ -175,6 +175,79 @@ x:
   EXPECT_TRUE(Fx.Check.interfere(*Fx.value("i"), *Fx.value("i2")));
 }
 
+TEST(Interference, PreparedAndMaskEntriesMatchBlockIdEntries) {
+  // The renumbered query plane (PreparedVar spans and use masks) must
+  // answer every interference-relevant query exactly like the block-id
+  // entries the SSA layer historically used — per raw engine query and
+  // per interfere() verdict. Groundwork for migrating SSA destruction to
+  // prepareDef (ROADMAP).
+  for (std::uint64_t Seed = 500; Seed != 512; ++Seed) {
+    auto F = randomSSAFunction(Seed);
+    CFG G = CFG::fromFunction(*F);
+    DFS D(G);
+    DomTree DT(G, D);
+    FunctionLiveness Live(*F);
+    PreparedLiveness Prepared(*F);
+    PreparedLiveness Masked(*F, /*UseMask=*/true);
+
+    // Raw entry-point agreement over every (value, block) pair.
+    const LiveCheck &E = Prepared.engine();
+    std::vector<unsigned> Nums;
+    BitVector Mask(G.numNodes());
+    for (const auto &V : F->values()) {
+      if (V->defs().size() != 1)
+        continue;
+      unsigned Def = defBlockId(*V);
+      std::vector<unsigned> Uses = liveUseBlocks(*V);
+      Nums.clear();
+      Mask.reset();
+      for (unsigned U : Uses) {
+        Nums.push_back(DT.num(U));
+        Mask.set(DT.num(U));
+      }
+      LiveCheck::PreparedVar P;
+      E.prepareDef(Def, P);
+      P.NumsBegin = Nums.data();
+      P.NumsEnd = Nums.data() + Nums.size();
+      for (unsigned Q = 0; Q != G.numNodes(); ++Q) {
+        bool In = E.isLiveIn(Def, Q, Uses);
+        ASSERT_EQ(In, E.isLiveInNums(Def, Q, P.NumsBegin, P.NumsEnd))
+            << "seed " << Seed << " %" << V->name() << " q=" << Q;
+        ASSERT_EQ(In, E.isLiveInMask(Def, Q, Mask))
+            << "seed " << Seed << " %" << V->name() << " q=" << Q;
+        ASSERT_EQ(In, E.isLiveInPrepared(P, Q))
+            << "seed " << Seed << " %" << V->name() << " q=" << Q;
+        bool Out = E.isLiveOut(Def, Q, Uses);
+        ASSERT_EQ(Out, E.isLiveOutNums(Def, Q, P.NumsBegin, P.NumsEnd))
+            << "seed " << Seed << " %" << V->name() << " q=" << Q;
+        ASSERT_EQ(Out, E.isLiveOutMask(Def, Q, Mask))
+            << "seed " << Seed << " %" << V->name() << " q=" << Q;
+        ASSERT_EQ(Out, E.isLiveOutPrepared(P, Q))
+            << "seed " << Seed << " %" << V->name() << " q=" << Q;
+      }
+    }
+
+    // Interference verdicts through all three backends.
+    InterferenceCheck ViaBlocks(*F, DT, Live);
+    InterferenceCheck ViaPrepared(*F, DT, Prepared);
+    InterferenceCheck ViaMask(*F, DT, Masked);
+    std::vector<Value *> Defined;
+    for (const auto &V : F->values())
+      if (V->defs().size() == 1)
+        Defined.push_back(V.get());
+    for (size_t I = 0; I < Defined.size(); ++I)
+      for (size_t J = I + 1; J < std::min(Defined.size(), I + 12); ++J) {
+        bool Expect = ViaBlocks.interfere(*Defined[I], *Defined[J]);
+        EXPECT_EQ(Expect, ViaPrepared.interfere(*Defined[I], *Defined[J]))
+            << "seed " << Seed << " %" << Defined[I]->name() << " vs %"
+            << Defined[J]->name();
+        EXPECT_EQ(Expect, ViaMask.interfere(*Defined[I], *Defined[J]))
+            << "seed " << Seed << " %" << Defined[I]->name() << " vs %"
+            << Defined[J]->name();
+      }
+  }
+}
+
 TEST(Interference, ConservativeNeverMissesRealOverlap) {
   // Property: if two values are both live-in at some block (a sufficient
   // condition for a real overlap), interfere() must say so.
