@@ -52,6 +52,30 @@ bool ssalive::parseBatchBackend(const std::string &Name, BatchBackend &Out) {
   return false;
 }
 
+const char *ssalive::queryPlaneName(QueryPlane P) {
+  switch (P) {
+  case QueryPlane::BlockId:
+    return "block-id";
+  case QueryPlane::Nums:
+    return "nums";
+  case QueryPlane::Mask:
+    return "mask";
+  case QueryPlane::Prepared:
+    return "prepared";
+  }
+  return "unknown";
+}
+
+bool ssalive::parseQueryPlane(const std::string &Name, QueryPlane &Out) {
+  for (QueryPlane P : {QueryPlane::BlockId, QueryPlane::Nums,
+                       QueryPlane::Mask, QueryPlane::Prepared})
+    if (Name == queryPlaneName(P)) {
+      Out = P;
+      return true;
+    }
+  return false;
+}
+
 std::uint64_t BatchResult::checksum() const {
   // Sequential FNV-style fold: position-sensitive, so any differing answer
   // (not just a differing multiset) changes the digest.
@@ -95,21 +119,33 @@ BatchLivenessDriver::liveCheckOptionsFor(BatchBackend B) {
   return Opts;
 }
 
+bool ssalive::batchBackendUsesLiveCheck(BatchBackend B) {
+  return B == BatchBackend::LiveCheckPropagated ||
+         B == BatchBackend::LiveCheckFiltered ||
+         B == BatchBackend::LiveCheckSorted ||
+         B == BatchBackend::LiveCheckBitset ||
+         B == BatchBackend::LiveCheckBlockSweep;
+}
+
 bool BatchLivenessDriver::usesLiveCheck() const {
-  return Opts.Backend == BatchBackend::LiveCheckPropagated ||
-         Opts.Backend == BatchBackend::LiveCheckFiltered ||
-         Opts.Backend == BatchBackend::LiveCheckSorted ||
-         Opts.Backend == BatchBackend::LiveCheckBitset ||
-         Opts.Backend == BatchBackend::LiveCheckBlockSweep;
+  return batchBackendUsesLiveCheck(Opts.Backend);
 }
 
 BatchLivenessDriver::BatchLivenessDriver(std::vector<const Function *> Funcs,
                                          BatchOptions Opts)
     : Funcs(std::move(Funcs)), Opts(Opts),
       Manager(liveCheckOptionsFor(Opts.Backend)),
-      Pool(std::make_unique<ThreadPool>(Opts.Threads)) {}
+      OwnedPool(std::make_unique<ThreadPool>(Opts.Threads)),
+      Pool(OwnedPool.get()) {}
+
+BatchLivenessDriver::BatchLivenessDriver(std::vector<const Function *> Funcs,
+                                         BatchOptions Opts, ThreadPool &Pool)
+    : Funcs(std::move(Funcs)), Opts(Opts),
+      Manager(liveCheckOptionsFor(Opts.Backend)), Pool(&Pool) {}
 
 BatchLivenessDriver::~BatchLivenessDriver() = default;
+
+void BatchLivenessDriver::notifyCFGEdited() { Baselines.clear(); }
 
 unsigned BatchLivenessDriver::numThreads() const {
   return Pool->numThreads();
@@ -158,12 +194,24 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
           .count();
 
   // Resolve the per-function engines up front so the query loop never
-  // touches the manager's lock.
+  // touches the manager's lock. The renumbered planes additionally need
+  // each function's dominator tree to translate use blocks to preorder
+  // numbers.
   std::vector<const LiveCheck *> Engines;
+  std::vector<const DomTree *> Trees;
+  bool NeedsTrees = usesLiveCheck() &&
+                    Opts.Backend != BatchBackend::LiveCheckBlockSweep &&
+                    Opts.Plane != QueryPlane::BlockId;
   if (usesLiveCheck()) {
     Engines.reserve(Funcs.size());
-    for (const Function *F : Funcs)
-      Engines.push_back(&Manager.get(*F).liveCheck());
+    if (NeedsTrees)
+      Trees.reserve(Funcs.size());
+    for (const Function *F : Funcs) {
+      FunctionAnalyses &FA = Manager.get(*F);
+      Engines.push_back(&FA.liveCheck());
+      if (NeedsTrees)
+        Trees.push_back(&FA.domTree());
+    }
   }
 
   // Phase 2 — the query stream, split into contiguous per-worker spans.
@@ -227,6 +275,8 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
       return;
     }
 
+    std::vector<unsigned> Nums; // Scratch for the renumbered planes.
+    BitVector Mask;
     for (std::size_t I = Begin; I != End; ++I) {
       const BatchQuery &Q = Workload[I];
       assert(Q.FuncIndex < Funcs.size() && "query function out of range");
@@ -238,11 +288,55 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
           Uses.clear();
           appendLiveUseBlocks(V, Uses);
           const LiveCheck &E = *Engines[Q.FuncIndex];
-          Answer = Q.IsLiveOut
-                       ? E.isLiveOut(defBlockId(V), Q.BlockId, Uses,
-                                     &Stats.Engine)
-                       : E.isLiveIn(defBlockId(V), Q.BlockId, Uses,
-                                    &Stats.Engine);
+          unsigned Def = defBlockId(V);
+          switch (NeedsTrees ? Opts.Plane : QueryPlane::BlockId) {
+          case QueryPlane::BlockId:
+            Answer = Q.IsLiveOut
+                         ? E.isLiveOut(Def, Q.BlockId, Uses, &Stats.Engine)
+                         : E.isLiveIn(Def, Q.BlockId, Uses, &Stats.Engine);
+            break;
+          case QueryPlane::Nums: {
+            const DomTree &DT = *Trees[Q.FuncIndex];
+            Nums.clear();
+            for (unsigned U : Uses)
+              Nums.push_back(DT.num(U));
+            Answer = Q.IsLiveOut
+                         ? E.isLiveOutNums(Def, Q.BlockId, Nums.data(),
+                                           Nums.data() + Nums.size(),
+                                           &Stats.Engine)
+                         : E.isLiveInNums(Def, Q.BlockId, Nums.data(),
+                                          Nums.data() + Nums.size(),
+                                          &Stats.Engine);
+            break;
+          }
+          case QueryPlane::Mask: {
+            const DomTree &DT = *Trees[Q.FuncIndex];
+            Mask.resize(E.numNodes());
+            Mask.reset();
+            for (unsigned U : Uses)
+              Mask.set(DT.num(U));
+            Answer = Q.IsLiveOut
+                         ? E.isLiveOutMask(Def, Q.BlockId, Mask,
+                                           &Stats.Engine)
+                         : E.isLiveInMask(Def, Q.BlockId, Mask,
+                                          &Stats.Engine);
+            break;
+          }
+          case QueryPlane::Prepared: {
+            const DomTree &DT = *Trees[Q.FuncIndex];
+            Nums.clear();
+            for (unsigned U : Uses)
+              Nums.push_back(DT.num(U));
+            LiveCheck::PreparedVar P;
+            E.prepareDef(Def, P);
+            P.NumsBegin = Nums.data();
+            P.NumsEnd = Nums.data() + Nums.size();
+            Answer = Q.IsLiveOut
+                         ? E.isLiveOutPrepared(P, Q.BlockId, &Stats.Engine)
+                         : E.isLiveInPrepared(P, Q.BlockId, &Stats.Engine);
+            break;
+          }
+          }
         } else {
           LivenessQueries &B = *Baselines[Q.FuncIndex];
           const BasicBlock &Block = *F.block(Q.BlockId);

@@ -50,6 +50,28 @@ const char *batchBackendName(BatchBackend B);
 /// "dataflow", "path-exploration" (returns false on anything else).
 bool parseBatchBackend(const std::string &Name, BatchBackend &Out);
 
+/// Which LiveCheck entry point answers each query (LiveCheck backends
+/// other than block-sweep; the baselines and the sweep ignore it). All
+/// planes answer identically — the liveness server exposes the selector so
+/// its differential clients can cross-exercise the whole renumbered query
+/// plane over the wire.
+enum class QueryPlane : std::uint8_t {
+  BlockId,  ///< Classic block-id spans (isLiveIn/isLiveOut).
+  Nums,     ///< Pre-numbered spans (isLiveInNums/isLiveOutNums).
+  Mask,     ///< Use-number masks (isLiveInMask/isLiveOutMask).
+  Prepared, ///< PreparedVar entries (isLiveInPrepared/isLiveOutPrepared).
+};
+
+const char *queryPlaneName(QueryPlane P);
+
+/// Parses "block-id", "nums", "mask", "prepared".
+bool parseQueryPlane(const std::string &Name, QueryPlane &Out);
+
+/// True when \p B answers through the cached LiveCheck engines (and thus
+/// benefits from AnalysisManager::refresh after CFG edits); false for the
+/// standalone baselines, which are simply rebuilt.
+bool batchBackendUsesLiveCheck(BatchBackend B);
+
 /// One liveness query against one function of the module.
 struct BatchQuery {
   std::uint32_t FuncIndex; ///< Index into the driver's function list.
@@ -61,8 +83,11 @@ struct BatchQuery {
 /// Workload-execution knobs.
 struct BatchOptions {
   BatchBackend Backend = BatchBackend::LiveCheckPropagated;
-  /// Worker threads for both phases; 0 = hardware concurrency.
+  /// Worker threads for both phases; 0 = hardware concurrency. Ignored
+  /// when the driver is constructed over a shared pool.
   unsigned Threads = 1;
+  /// LiveCheck entry point per query (see QueryPlane).
+  QueryPlane Plane = QueryPlane::BlockId;
 };
 
 /// Per-worker tallies; aggregation across workers is a fold, never a shared
@@ -101,6 +126,11 @@ class BatchLivenessDriver {
 public:
   BatchLivenessDriver(std::vector<const Function *> Funcs,
                       BatchOptions Opts = {});
+  /// Shares \p Pool instead of owning one — the liveness server runs every
+  /// session's query fan-out over one process-wide pool this way. The pool
+  /// must outlive the driver. Opts.Threads is ignored.
+  BatchLivenessDriver(std::vector<const Function *> Funcs, BatchOptions Opts,
+                      ThreadPool &Pool);
   ~BatchLivenessDriver();
 
   /// Builds (or reuses, for LiveCheck backends via the AnalysisManager)
@@ -117,6 +147,15 @@ public:
   /// epoch-validated entries).
   AnalysisManager &analysisManager() { return Manager; }
 
+  /// Tells the driver a function's CFG was structurally edited. The
+  /// LiveCheck backends need nothing (the AnalysisManager revalidates by
+  /// epoch — callers wanting the in-place repair route the edit through
+  /// analysisManager().refresh), but the baseline engines have no
+  /// invalidation story of their own: this drops them so the next run()
+  /// rebuilds fresh ones. The liveness server calls it from its CFG-edit
+  /// command.
+  void notifyCFGEdited();
+
   /// Draws \p Count random valid queries over \p Funcs: values with a
   /// single def and at least one use, blocks uniform over the function,
   /// live-in/live-out split evenly. Deterministic in \p Seed.
@@ -131,7 +170,8 @@ private:
   std::vector<const Function *> Funcs;
   BatchOptions Opts;
   AnalysisManager Manager;
-  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<ThreadPool> OwnedPool; ///< Null when sharing a pool.
+  ThreadPool *Pool;                      ///< Owned or shared; never null.
   /// Baseline engines per function (Dataflow/PathExploration backends).
   std::vector<std::unique_ptr<LivenessQueries>> Baselines;
 };

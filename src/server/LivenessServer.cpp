@@ -1,0 +1,172 @@
+//===- server/LivenessServer.cpp - Long-lived liveness server -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/LivenessServer.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ssalive;
+using namespace ssalive::server;
+using namespace ssalive::protocol;
+
+LivenessServer::LivenessServer(ServerConfig Cfg) : Cfg(Cfg), Mgr(Cfg) {
+  ignoreSigpipe();
+}
+
+LivenessServer::~LivenessServer() {
+  stop();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  joinHandlers();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (!SocketPath.empty())
+    ::unlink(SocketPath.c_str());
+}
+
+void LivenessServer::serveStream(int InFd, int OutFd) {
+  Connections.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<Session> S = Mgr.createSession();
+  std::vector<std::uint8_t> Payload;
+  for (;;) {
+    ReadStatus RS = readFrame(InFd, Payload, Cfg.MaxFrameBytes);
+    if (RS == ReadStatus::TooLarge) {
+      // The oversized frame was never consumed, so the stream cannot be
+      // resynchronized: answer once, well-formed, and hang up.
+      (void)writeFrame(OutFd,
+                       encodeError(ErrorCode::FrameTooLarge,
+                                   "frame exceeds the server's size cap"),
+                       Cfg.MaxFrameBytes);
+      return;
+    }
+    if (RS != ReadStatus::Ok)
+      return; // Eof / Truncated / IoError: nothing sane left to say.
+    if (!writeFrame(OutFd, S->handle(Payload), Cfg.MaxFrameBytes))
+      return;
+    if (S->shutdownRequested()) {
+      stop();
+      return;
+    }
+  }
+}
+
+bool LivenessServer::listenUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Path.c_str()); // A stale file from a dead server would EADDRINUSE.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("bind(") + Path + "): " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 64) != 0) {
+    Err = std::string("listen(): ") + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return false;
+  }
+  ListenFd = Fd;
+  SocketPath = Path;
+  return true;
+}
+
+void LivenessServer::start() {
+  Acceptor = std::thread([this] { acceptLoop(); });
+}
+
+void LivenessServer::acceptLoop() {
+  // Poll with a timeout instead of blocking in accept(): stop() only has
+  // to raise the flag — no fd games, no race with a handler closing it.
+  // Finished handlers are reaped every iteration (idle ticks included),
+  // so disconnected clients never leave unjoined threads lingering.
+  while (!stopRequested()) {
+    reapFinishedHandlers();
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, /*timeout ms=*/100);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (N == 0 || !(P.revents & POLLIN))
+      continue;
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0)
+      continue;
+    auto H = std::make_unique<Handler>();
+    Handler *Raw = H.get();
+    {
+      std::lock_guard<std::mutex> Lock(HandlersMutex);
+      Handlers.push_back(std::move(H));
+    }
+    Raw->Thread = std::thread([this, Client, Raw] {
+      serveStream(Client, Client);
+      ::close(Client);
+      Raw->Done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void LivenessServer::reapFinishedHandlers() {
+  std::vector<std::unique_ptr<Handler>> Finished;
+  {
+    std::lock_guard<std::mutex> Lock(HandlersMutex);
+    for (auto It = Handlers.begin(); It != Handlers.end();) {
+      if ((*It)->Done.load(std::memory_order_acquire)) {
+        Finished.push_back(std::move(*It));
+        It = Handlers.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  for (auto &H : Finished)
+    H->Thread.join(); // Done was set last; the join is near-instant.
+}
+
+void LivenessServer::wait() {
+  if (Acceptor.joinable())
+    Acceptor.join();
+  joinHandlers();
+}
+
+void LivenessServer::stop() {
+  StopFlag.store(true, std::memory_order_release);
+}
+
+void LivenessServer::joinHandlers() {
+  // Handlers may still be spawning while we drain (the acceptor appends
+  // under the same mutex), so swap the vector out repeatedly until it
+  // stays empty.
+  for (;;) {
+    std::vector<std::unique_ptr<Handler>> Local;
+    {
+      std::lock_guard<std::mutex> Lock(HandlersMutex);
+      Local.swap(Handlers);
+    }
+    if (Local.empty())
+      return;
+    for (auto &H : Local)
+      H->Thread.join();
+  }
+}

@@ -1,0 +1,216 @@
+//===- server/Protocol.cpp - Liveness server wire protocol ----------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <cerrno>
+#include <csignal>
+#include <mutex>
+#include <unistd.h>
+
+using namespace ssalive;
+using namespace ssalive::protocol;
+
+std::vector<std::uint8_t>
+protocol::encodeLoadModule(std::uint8_t Backend, std::uint8_t Plane,
+                           const std::string &ModuleText) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::LoadModule));
+  W.u8(Backend);
+  W.u8(Plane);
+  W.raw(ModuleText.data(), ModuleText.size());
+  return W.take();
+}
+
+std::vector<std::uint8_t>
+protocol::encodeQueryBatch(const std::vector<QueryItem> &Qs) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::QueryBatch));
+  W.u32(static_cast<std::uint32_t>(Qs.size()));
+  for (const QueryItem &Q : Qs) {
+    W.u32(Q.FuncIndex);
+    W.u32(Q.ValueId);
+    W.u32(Q.BlockId);
+    W.u8(Q.IsLiveOut ? 1 : 0);
+  }
+  return W.take();
+}
+
+std::vector<std::uint8_t>
+protocol::encodeEditBatch(const std::vector<EditItem> &Es) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::EditCFG));
+  W.u32(static_cast<std::uint32_t>(Es.size()));
+  for (const EditItem &E : Es) {
+    W.u8(E.Kind);
+    W.u32(E.FuncIndex);
+    W.u32(E.From);
+    W.u32(E.To);
+    W.u32(E.To2);
+  }
+  return W.take();
+}
+
+std::vector<std::uint8_t> protocol::encodeStats() {
+  return {static_cast<std::uint8_t>(Opcode::Stats)};
+}
+
+std::vector<std::uint8_t> protocol::encodeShutdown() {
+  return {static_cast<std::uint8_t>(Opcode::Shutdown)};
+}
+
+std::vector<std::uint8_t>
+protocol::encodeModuleLoaded(std::uint32_t NumFuncs, std::uint64_t TotalBlocks,
+                             std::uint64_t TotalValues) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::ModuleLoaded));
+  W.u32(NumFuncs);
+  W.u64(TotalBlocks);
+  W.u64(TotalValues);
+  return W.take();
+}
+
+std::vector<std::uint8_t>
+protocol::encodeAnswers(const std::vector<std::uint8_t> &Answers) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::Answers));
+  W.u32(static_cast<std::uint32_t>(Answers.size()));
+  W.raw(Answers.data(), Answers.size());
+  return W.take();
+}
+
+std::vector<std::uint8_t> protocol::encodeEditApplied(
+    const std::vector<std::pair<std::uint8_t, std::uint64_t>> &Results) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::EditApplied));
+  W.u32(static_cast<std::uint32_t>(Results.size()));
+  for (const auto &[Applied, Epoch] : Results) {
+    W.u8(Applied);
+    W.u64(Epoch);
+  }
+  return W.take();
+}
+
+std::vector<std::uint8_t> protocol::encodeStatsReply(const StatsWire &S) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::StatsReply));
+  W.u64(S.Queries);
+  W.u64(S.Positives);
+  W.u64(S.EditsApplied);
+  W.u64(S.EditsRejected);
+  W.u64(S.CacheHits);
+  W.u64(S.CacheMisses);
+  W.u64(S.Invalidations);
+  W.u64(S.Refreshes);
+  W.u32(S.NumFuncs);
+  W.u32(S.Threads);
+  return W.take();
+}
+
+std::vector<std::uint8_t> protocol::encodeOk() {
+  return {static_cast<std::uint8_t>(Opcode::Ok)};
+}
+
+std::vector<std::uint8_t> protocol::encodeError(ErrorCode Code,
+                                                const std::string &Msg) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::Error));
+  W.u16(static_cast<std::uint16_t>(Code));
+  W.u32(static_cast<std::uint32_t>(Msg.size()));
+  W.raw(Msg.data(), Msg.size());
+  return W.take();
+}
+
+namespace {
+
+/// Reads exactly \p Len bytes; returns the count actually read (short only
+/// on EOF), or -1 on error.
+ssize_t readFull(int Fd, std::uint8_t *Buf, std::size_t Len) {
+  std::size_t Got = 0;
+  while (Got != Len) {
+    ssize_t N = ::read(Fd, Buf + Got, Len - Got);
+    if (N == 0)
+      return static_cast<ssize_t>(Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    Got += static_cast<std::size_t>(N);
+  }
+  return static_cast<ssize_t>(Got);
+}
+
+bool writeFull(int Fd, const std::uint8_t *Buf, std::size_t Len) {
+  std::size_t Put = 0;
+  while (Put != Len) {
+    ssize_t N = ::write(Fd, Buf + Put, Len - Put);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Put += static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+ReadStatus protocol::readFrame(int Fd, std::vector<std::uint8_t> &Payload,
+                               std::size_t MaxBytes) {
+  std::uint8_t Header[4];
+  ssize_t N = readFull(Fd, Header, sizeof(Header));
+  if (N < 0)
+    return ReadStatus::IoError;
+  if (N == 0)
+    return ReadStatus::Eof;
+  if (N != sizeof(Header))
+    return ReadStatus::Truncated;
+  std::uint32_t Len = static_cast<std::uint32_t>(Header[0]) |
+                      static_cast<std::uint32_t>(Header[1]) << 8 |
+                      static_cast<std::uint32_t>(Header[2]) << 16 |
+                      static_cast<std::uint32_t>(Header[3]) << 24;
+  if (Len > MaxBytes)
+    return ReadStatus::TooLarge;
+  Payload.resize(Len);
+  if (Len != 0) {
+    N = readFull(Fd, Payload.data(), Len);
+    if (N < 0)
+      return ReadStatus::IoError;
+    if (static_cast<std::size_t>(N) != Len)
+      return ReadStatus::Truncated;
+  }
+  return ReadStatus::Ok;
+}
+
+void protocol::ignoreSigpipe() {
+  static std::once_flag Once;
+  std::call_once(Once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool protocol::roundTrip(int InFd, int OutFd,
+                         const std::vector<std::uint8_t> &Request,
+                         std::vector<std::uint8_t> &Reply,
+                         std::size_t MaxBytes) {
+  if (!writeFrame(OutFd, Request, MaxBytes))
+    return false;
+  return readFrame(InFd, Reply, MaxBytes) == ReadStatus::Ok;
+}
+
+bool protocol::writeFrame(int Fd, const std::vector<std::uint8_t> &Payload,
+                          std::size_t MaxBytes) {
+  if (Payload.size() > MaxBytes)
+    return false;
+  std::uint32_t Len = static_cast<std::uint32_t>(Payload.size());
+  std::uint8_t Header[4] = {static_cast<std::uint8_t>(Len),
+                            static_cast<std::uint8_t>(Len >> 8),
+                            static_cast<std::uint8_t>(Len >> 16),
+                            static_cast<std::uint8_t>(Len >> 24)};
+  if (!writeFull(Fd, Header, sizeof(Header)))
+    return false;
+  return writeFull(Fd, Payload.data(), Payload.size());
+}

@@ -1,0 +1,232 @@
+//===- server/SessionManager.cpp - Per-client liveness sessions -----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SessionManager.h"
+
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "workload/CFGMutator.h"
+
+#include <sstream>
+
+using namespace ssalive;
+using namespace ssalive::server;
+using namespace ssalive::protocol;
+
+Session::Session(SessionManager &Owner) : Owner(Owner) {}
+
+Session::~Session() = default;
+
+std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
+                                          std::size_t Len) {
+  WireReader R(Data, Len);
+  std::uint8_t Op = R.u8();
+  if (!R.ok())
+    return encodeError(ErrorCode::MalformedFrame, "empty payload");
+  switch (static_cast<protocol::Opcode>(Op)) {
+  case protocol::Opcode::LoadModule:
+    return handleLoadModule(R);
+  case protocol::Opcode::QueryBatch:
+    return handleQueryBatch(R);
+  case protocol::Opcode::EditCFG:
+    return handleEditCFG(R);
+  case protocol::Opcode::Stats:
+    if (!R.atEnd())
+      return encodeError(ErrorCode::MalformedFrame,
+                         "stats request carries a body");
+    return handleStats();
+  case protocol::Opcode::Shutdown:
+    if (!R.atEnd())
+      return encodeError(ErrorCode::MalformedFrame,
+                         "shutdown request carries a body");
+    ShutdownSeen = true;
+    return encodeOk();
+  default:
+    break;
+  }
+  std::ostringstream OS;
+  OS << "unknown opcode 0x" << std::hex << static_cast<unsigned>(Op);
+  return encodeError(ErrorCode::UnknownOpcode, OS.str());
+}
+
+std::vector<std::uint8_t> Session::handleLoadModule(WireReader &R) {
+  std::uint8_t Backend = R.u8();
+  std::uint8_t Plane = R.u8();
+  if (!R.ok())
+    return encodeError(ErrorCode::MalformedFrame, "load-module too short");
+  if (Backend > static_cast<std::uint8_t>(BatchBackend::PathExploration))
+    return encodeError(ErrorCode::BadBackend, "backend id out of range");
+  if (Plane > static_cast<std::uint8_t>(QueryPlane::Prepared))
+    return encodeError(ErrorCode::BadPlane, "query plane id out of range");
+
+  std::string Text = R.rest();
+  ModuleParseResult P = parseModule(Text);
+  if (!P.Error.empty())
+    return encodeError(ErrorCode::BadModule, P.Error);
+  if (P.Funcs.empty())
+    return encodeError(ErrorCode::BadModule, "module has no functions");
+  // The engines require strict SSA; unlike the batch CLI (which skips bad
+  // functions with a warning), a server rejects the whole load — silently
+  // renumbering the surviving functions would corrupt every FuncIndex the
+  // client sends afterwards.
+  for (const auto &F : P.Funcs) {
+    VerifyResult V = verifySSA(*F);
+    if (!V.ok())
+      return encodeError(ErrorCode::BadModule,
+                         "function @" + F->name() + ": " + V.message());
+  }
+
+  // Replace any previously loaded module wholesale (drop the old driver
+  // first: it holds pointers into the old functions).
+  Driver.reset();
+  Module = std::move(P.Funcs);
+  FuncPtrs.clear();
+  std::uint64_t TotalBlocks = 0, TotalValues = 0;
+  for (const auto &F : Module) {
+    FuncPtrs.push_back(F.get());
+    TotalBlocks += F->numBlocks();
+    TotalValues += F->numValues();
+  }
+  BatchOptions DOpts;
+  DOpts.Backend = static_cast<BatchBackend>(Backend);
+  DOpts.Plane = static_cast<QueryPlane>(Plane);
+  Driver = std::make_unique<BatchLivenessDriver>(FuncPtrs, DOpts,
+                                                 Owner.pool());
+  return encodeModuleLoaded(static_cast<std::uint32_t>(Module.size()),
+                            TotalBlocks, TotalValues);
+}
+
+std::vector<std::uint8_t> Session::handleQueryBatch(WireReader &R) {
+  if (!Driver)
+    return encodeError(ErrorCode::NoModule, "no module loaded");
+  std::uint32_t Count = R.u32();
+  if (!R.ok())
+    return encodeError(ErrorCode::MalformedFrame, "query batch too short");
+  constexpr std::size_t ItemBytes = 3 * 4 + 1;
+  if (R.remaining() != static_cast<std::size_t>(Count) * ItemBytes)
+    return encodeError(ErrorCode::MalformedFrame,
+                       "query batch body does not match its count");
+
+  std::vector<BatchQuery> Workload;
+  Workload.reserve(Count);
+  for (std::uint32_t I = 0; I != Count; ++I) {
+    BatchQuery Q;
+    Q.FuncIndex = R.u32();
+    Q.ValueId = R.u32();
+    Q.BlockId = R.u32();
+    Q.IsLiveOut = (R.u8() & 1) != 0;
+    if (Q.FuncIndex >= Module.size()) {
+      std::ostringstream OS;
+      OS << "query " << I << ": function index " << Q.FuncIndex
+         << " out of range";
+      return encodeError(ErrorCode::BadQuery, OS.str());
+    }
+    const Function &F = *Module[Q.FuncIndex];
+    if (Q.ValueId >= F.numValues() || Q.BlockId >= F.numBlocks()) {
+      std::ostringstream OS;
+      OS << "query " << I << ": value/block id out of range";
+      return encodeError(ErrorCode::BadQuery, OS.str());
+    }
+    Workload.push_back(Q);
+  }
+
+  BatchResult Result = Driver->run(Workload);
+  Queries += Result.Answers.size();
+  for (const BatchThreadStats &S : Result.PerThread)
+    Positives += S.PositiveAnswers;
+  return encodeAnswers(Result.Answers);
+}
+
+std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
+  if (!Driver)
+    return encodeError(ErrorCode::NoModule, "no module loaded");
+  std::uint32_t Count = R.u32();
+  if (!R.ok())
+    return encodeError(ErrorCode::MalformedFrame, "edit batch too short");
+  constexpr std::size_t ItemBytes = 1 + 4 * 4;
+  if (R.remaining() != static_cast<std::size_t>(Count) * ItemBytes)
+    return encodeError(ErrorCode::MalformedFrame,
+                       "edit batch body does not match its count");
+
+  std::vector<EditItem> Edits;
+  Edits.reserve(Count);
+  for (std::uint32_t I = 0; I != Count; ++I) {
+    EditItem E;
+    E.Kind = R.u8();
+    E.FuncIndex = R.u32();
+    E.From = R.u32();
+    E.To = R.u32();
+    E.To2 = R.u32();
+    if (E.Kind > static_cast<std::uint8_t>(MutationKind::SplitBlock)) {
+      std::ostringstream OS;
+      OS << "edit " << I << ": unknown edit kind "
+         << static_cast<unsigned>(E.Kind);
+      return encodeError(ErrorCode::BadEdit, OS.str());
+    }
+    if (E.FuncIndex >= Module.size()) {
+      std::ostringstream OS;
+      OS << "edit " << I << ": function index " << E.FuncIndex
+         << " out of range";
+      return encodeError(ErrorCode::BadEdit, OS.str());
+    }
+    Edits.push_back(E);
+  }
+
+  // Apply in order. Each applied edit is journaled by the IR mutators and
+  // immediately consumed by AnalysisManager::refresh — the incremental
+  // repair plane — so the cached analyses are repaired in place, never
+  // rebuilt, and the baselines are dropped for a fresh build on the next
+  // query batch. Rejected edits (inapplicable to the current graph) leave
+  // the function untouched and are reported per item rather than failing
+  // the batch: the client's mirror makes the same accept/reject decision.
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> Results;
+  Results.reserve(Edits.size());
+  bool AnyApplied = false;
+  // Baseline sessions (dataflow/path-exploration) never read the
+  // manager's analyses — their engines are simply rebuilt — so the
+  // in-place repair is LiveCheck-only work.
+  bool Refreshable = batchBackendUsesLiveCheck(Driver->backend());
+  for (const EditItem &E : Edits) {
+    Function &F = *Module[E.FuncIndex];
+    Mutation M;
+    M.Kind = static_cast<MutationKind>(E.Kind);
+    M.From = E.From;
+    M.To = E.To;
+    M.To2 = E.To2;
+    bool Applied = applyFunctionMutation(F, M);
+    if (Applied) {
+      AnyApplied = true;
+      ++EditsApplied;
+      if (Refreshable)
+        Driver->analysisManager().refresh(F);
+    } else {
+      ++EditsRejected;
+    }
+    Results.emplace_back(Applied ? 1 : 0, F.cfgVersion());
+  }
+  if (AnyApplied)
+    Driver->notifyCFGEdited();
+  return encodeEditApplied(Results);
+}
+
+std::vector<std::uint8_t> Session::handleStats() {
+  StatsWire S;
+  S.Queries = Queries;
+  S.Positives = Positives;
+  S.EditsApplied = EditsApplied;
+  S.EditsRejected = EditsRejected;
+  S.NumFuncs = static_cast<std::uint32_t>(Module.size());
+  S.Threads = Owner.pool().numThreads();
+  if (Driver) {
+    AnalysisManager::CacheCounters C = Driver->analysisManager().counters();
+    S.CacheHits = C.Hits;
+    S.CacheMisses = C.Misses;
+    S.Invalidations = C.Invalidations;
+    S.Refreshes = C.Refreshes;
+  }
+  return encodeStatsReply(S);
+}

@@ -1,0 +1,140 @@
+//===- server/SessionManager.h - Per-client liveness sessions ---*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Session state of the liveness query server: each connected client owns a
+/// Session — its loaded module, a BatchLivenessDriver over the process-wide
+/// ThreadPool, and request counters. Session::handle is the whole command
+/// interpreter: one decoded request payload in, the exact reply payload
+/// out, so socket handlers, in-process tests, and the protocol fuzzer all
+/// drive the identical dispatch path.
+///
+/// Query batches fan out across the shared pool exactly like the batch
+/// driver's workloads: the reply's answer bytes are the driver's per-worker
+/// answer spans (each worker writes only its contiguous slice — no
+/// cross-worker locks on the hot path), so replies are byte-identical for
+/// any thread count and any interleaving of other sessions on the pool.
+///
+/// CFG-edit commands replay deterministic mutations against the session's
+/// module (workload::applyFunctionMutation) and then route the journaled
+/// deltas through AnalysisManager::refresh — the PR-3 incremental repair
+/// plane — instead of dropping the cached analyses. A client that applies
+/// the same mutation sequence to its own copy of the module can therefore
+/// predict every reply bit, which is the contract the differential soak
+/// suite enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SERVER_SESSIONMANAGER_H
+#define SSALIVE_SERVER_SESSIONMANAGER_H
+
+#include "pipeline/BatchLivenessDriver.h"
+#include "server/Protocol.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ssalive {
+
+class Function;
+
+namespace server {
+
+/// Server-wide knobs, shared by every session.
+struct ServerConfig {
+  /// Workers in the shared query pool; 0 = hardware concurrency.
+  unsigned Threads = 1;
+  /// Frame cap for both directions.
+  std::size_t MaxFrameBytes = protocol::DefaultMaxFrameBytes;
+};
+
+class SessionManager;
+
+/// One client's state. Not thread-safe by itself — exactly one connection
+/// handler drives a session (the phase discipline of the pipeline layer);
+/// concurrency comes from many sessions sharing the pool.
+class Session {
+public:
+  explicit Session(SessionManager &Owner);
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Interprets one request payload and returns the reply payload. Never
+  /// throws and never crashes on malformed input: anything undecodable or
+  /// out of range yields an Error reply.
+  std::vector<std::uint8_t> handle(const std::uint8_t *Data,
+                                   std::size_t Len);
+  std::vector<std::uint8_t> handle(const std::vector<std::uint8_t> &Payload) {
+    return handle(Payload.data(), Payload.size());
+  }
+
+  /// True once a Shutdown request was seen (the transport layer stops the
+  /// server after sending the Ok reply).
+  bool shutdownRequested() const { return ShutdownSeen; }
+
+  /// \name Introspection for tests (the server-routed fuzz mode compares
+  /// the session's repaired analyses bit for bit against fresh rebuilds).
+  /// @{
+  bool hasModule() const { return Driver != nullptr; }
+  unsigned numFunctions() const {
+    return static_cast<unsigned>(Module.size());
+  }
+  Function &function(unsigned I) { return *Module[I]; }
+  BatchLivenessDriver &driver() { return *Driver; }
+  /// @}
+
+private:
+  std::vector<std::uint8_t> handleLoadModule(protocol::WireReader &R);
+  std::vector<std::uint8_t> handleQueryBatch(protocol::WireReader &R);
+  std::vector<std::uint8_t> handleEditCFG(protocol::WireReader &R);
+  std::vector<std::uint8_t> handleStats();
+
+  SessionManager &Owner;
+  std::vector<std::unique_ptr<Function>> Module;
+  std::vector<const Function *> FuncPtrs;
+  std::unique_ptr<BatchLivenessDriver> Driver;
+  std::uint64_t Queries = 0;
+  std::uint64_t Positives = 0;
+  std::uint64_t EditsApplied = 0;
+  std::uint64_t EditsRejected = 0;
+  bool ShutdownSeen = false;
+};
+
+/// Owns what every session shares: the config and the one process-wide
+/// query pool. Thread-safe; sessions are created from concurrent
+/// connection handlers.
+class SessionManager {
+public:
+  explicit SessionManager(ServerConfig Cfg)
+      : Cfg(Cfg), Pool(Cfg.Threads) {}
+
+  const ServerConfig &config() const { return Cfg; }
+  ThreadPool &pool() { return Pool; }
+
+  std::unique_ptr<Session> createSession() {
+    SessionsCreated.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<Session>(*this);
+  }
+
+  std::uint64_t sessionsCreated() const {
+    return SessionsCreated.load(std::memory_order_relaxed);
+  }
+
+private:
+  ServerConfig Cfg;
+  ThreadPool Pool;
+  std::atomic<std::uint64_t> SessionsCreated{0};
+};
+
+} // namespace server
+} // namespace ssalive
+
+#endif // SSALIVE_SERVER_SESSIONMANAGER_H

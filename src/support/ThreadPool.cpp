@@ -67,6 +67,34 @@ void ThreadPool::wait() {
   AllIdle.wait(Lock, [this] { return Busy == 0 && Queue.empty(); });
 }
 
+namespace {
+
+/// Completion state of one blocking call (parallelFor/runPerWorker).
+/// Each call waits on its *own* counter rather than pool-global idleness:
+/// with several concurrent callers on a shared pool (the liveness
+/// server's sessions), waiting for the whole pool to drain would convoy
+/// a small batch behind every other session's work in flight.
+struct CallCompletion {
+  std::mutex Mutex;
+  std::condition_variable Done;
+  std::size_t Remaining;
+
+  explicit CallCompletion(std::size_t Tasks) : Remaining(Tasks) {}
+
+  void taskFinished() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (--Remaining == 0)
+      Done.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Done.wait(Lock, [this] { return Remaining == 0; });
+  }
+};
+
+} // namespace
+
 void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
                              const std::function<void(std::size_t)> &Body,
                              std::size_t GrainSize) {
@@ -74,27 +102,33 @@ void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
     return;
   if (GrainSize == 0)
     GrainSize = 1;
+  std::size_t Range = End - Begin;
+  std::size_t Tasks = numThreads() < Range ? numThreads() : Range;
   // Shared cursor; each worker task grabs chunks until the range is spent.
   auto Cursor = std::make_shared<std::atomic<std::size_t>>(Begin);
-  auto Chunk = [Cursor, End, GrainSize, &Body] {
+  auto State = std::make_shared<CallCompletion>(Tasks);
+  auto Chunk = [Cursor, End, GrainSize, &Body, State] {
     for (;;) {
       std::size_t Lo = Cursor->fetch_add(GrainSize);
       if (Lo >= End)
-        return;
+        break;
       std::size_t Hi = Lo + GrainSize < End ? Lo + GrainSize : End;
       for (std::size_t I = Lo; I != Hi; ++I)
         Body(I);
     }
+    State->taskFinished();
   };
-  std::size_t Range = End - Begin;
-  std::size_t Tasks = numThreads() < Range ? numThreads() : Range;
   for (std::size_t I = 0; I != Tasks; ++I)
     submit(Chunk);
-  wait();
+  State->wait();
 }
 
 void ThreadPool::runPerWorker(const std::function<void(unsigned)> &Body) {
+  auto State = std::make_shared<CallCompletion>(numThreads());
   for (unsigned I = 0, E = numThreads(); I != E; ++I)
-    submit([&Body, I] { Body(I); });
-  wait();
+    submit([&Body, I, State] {
+      Body(I);
+      State->taskFinished();
+    });
+  State->wait();
 }

@@ -56,7 +56,12 @@ public:
   /// chunks of \p GrainSize via an atomic cursor, so the assignment of
   /// iterations to workers is dynamic but each index runs exactly once.
   /// With an empty range this returns immediately; with a single worker it
-  /// is equivalent to a sequential loop.
+  /// is equivalent to a sequential loop. The call waits on its own
+  /// completion counter, not pool-global idleness, so any number of
+  /// threads may issue independent parallelFor/runPerWorker calls on one
+  /// shared pool without convoying behind each other's work (their tasks
+  /// still share the workers, but each caller returns as soon as its own
+  /// tasks finish).
   void parallelFor(std::size_t Begin, std::size_t End,
                    const std::function<void(std::size_t)> &Body,
                    std::size_t GrainSize = 1);

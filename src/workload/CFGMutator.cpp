@@ -197,16 +197,50 @@ std::optional<Mutation> ssalive::mutateCFG(CFG &G, RandomEngine &Rng,
   return std::nullopt;
 }
 
-std::optional<Mutation>
-ssalive::mutateFunctionCFG(Function &F, RandomEngine &Rng,
-                           const CFGMutatorOptions &Opts) {
-  // Decide on a scratch copy (absorbing all rejected candidates), then
-  // replay the single accepted edit against the function so its delta
-  // journal records exactly the clean batch.
-  CFG Scratch = CFG::fromFunction(F);
-  auto M = mutateCFG(Scratch, Rng, Opts);
-  if (!M)
-    return std::nullopt;
+bool ssalive::applyFunctionMutation(Function &F, const Mutation &M) {
+  unsigned N = F.numBlocks();
+  auto hasBlockEdge = [&F](unsigned From, unsigned To) {
+    for (const BasicBlock *S : F.block(From)->successors())
+      if (S->id() == To)
+        return true;
+    return false;
+  };
+  // Validate before touching anything: a rejected mutation must leave the
+  // function (and its journal) byte-identical, or a server session fed a
+  // garbage edit would drift from the client that mirrors the rejection.
+  switch (M.Kind) {
+  case MutationKind::AddEdge:
+    if (M.From >= N || M.To >= N || hasBlockEdge(M.From, M.To))
+      return false;
+    break;
+  case MutationKind::RemoveEdge:
+    if (M.From >= N || M.To >= N || !hasBlockEdge(M.From, M.To))
+      return false;
+    break;
+  case MutationKind::RetargetBranch:
+    if (M.From >= N || M.To >= N || M.To2 >= N ||
+        !hasBlockEdge(M.From, M.To) || M.To == M.To2 ||
+        hasBlockEdge(M.From, M.To2))
+      return false;
+    break;
+  case MutationKind::SplitBlock:
+    if (M.From >= N || M.To != N || F.block(M.From)->successors().empty())
+      return false;
+    break;
+  }
+  // Edge removals can orphan nodes, and every analysis assumes all nodes
+  // reachable; simulate the edit on a scratch graph before committing.
+  // AddEdge and SplitBlock cannot hurt reachability.
+  if (M.Kind == MutationKind::RemoveEdge ||
+      M.Kind == MutationKind::RetargetBranch) {
+    CFG Scratch = CFG::fromFunction(F);
+    Scratch.removeEdge(M.From, M.To);
+    if (M.Kind == MutationKind::RetargetBranch)
+      Scratch.addEdge(M.From, M.To2);
+    if (!allReachable(Scratch))
+      return false;
+  }
+
   // A new predecessor edge into a block with φs must extend every φ's
   // operand list (they index predecessors positionally, and
   // removeSuccessor relies on the parity). The duplicated first operand
@@ -221,21 +255,21 @@ ssalive::mutateFunctionCFG(Function &F, RandomEngine &Rng,
       Phi->addIncomingBlock(F.block(From));
     }
   };
-  switch (M->Kind) {
+  switch (M.Kind) {
   case MutationKind::AddEdge:
-    addEdgeWithPhiParity(M->From, M->To);
+    addEdgeWithPhiParity(M.From, M.To);
     break;
   case MutationKind::RemoveEdge:
-    F.block(M->From)->removeSuccessor(F.block(M->To));
+    F.block(M.From)->removeSuccessor(F.block(M.To));
     break;
   case MutationKind::RetargetBranch:
-    F.block(M->From)->removeSuccessor(F.block(M->To));
-    addEdgeWithPhiParity(M->From, M->To2);
+    F.block(M.From)->removeSuccessor(F.block(M.To));
+    addEdgeWithPhiParity(M.From, M.To2);
     break;
   case MutationKind::SplitBlock: {
-    BasicBlock *B = F.block(M->From);
+    BasicBlock *B = F.block(M.From);
     BasicBlock *NewB = F.createBlock();
-    assert(NewB->id() == M->To && "scratch and function disagree on ids");
+    assert(NewB->id() == M.To && "validated id must match createBlock");
     std::vector<BasicBlock *> Moved = B->successors();
     for (BasicBlock *S : Moved)
       B->removeSuccessor(S);
@@ -245,5 +279,21 @@ ssalive::mutateFunctionCFG(Function &F, RandomEngine &Rng,
     break;
   }
   }
+  return true;
+}
+
+std::optional<Mutation>
+ssalive::mutateFunctionCFG(Function &F, RandomEngine &Rng,
+                           const CFGMutatorOptions &Opts) {
+  // Decide on a scratch copy (absorbing all rejected candidates), then
+  // replay the single accepted edit against the function so its delta
+  // journal records exactly the clean batch.
+  CFG Scratch = CFG::fromFunction(F);
+  auto M = mutateCFG(Scratch, Rng, Opts);
+  if (!M)
+    return std::nullopt;
+  bool Applied = applyFunctionMutation(F, *M);
+  assert(Applied && "a mutation accepted on the scratch graph must apply");
+  (void)Applied;
   return M;
 }

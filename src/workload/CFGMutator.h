@@ -91,6 +91,18 @@ std::optional<Mutation> mutateCFG(CFG &G, RandomEngine &Rng,
 std::optional<Mutation> mutateFunctionCFG(Function &F, RandomEngine &Rng,
                                           const CFGMutatorOptions &Opts = {});
 
+/// Replays an already-chosen mutation against \p F's block graph — the
+/// application half of mutateFunctionCFG, exported on its own because it is
+/// a *deterministic* function of (F, M): two copies of the same function
+/// fed the same mutation sequence end up with identical block graphs, φ
+/// operand lists, and delta journals. The liveness server's CFG-edit
+/// command and the differential soak/fuzz clients rely on exactly this to
+/// keep a remote session and a local oracle in lockstep. Returns false
+/// (leaving \p F untouched) when \p M does not apply — an edge endpoint out
+/// of range, a RemoveEdge/RetargetBranch naming a non-edge, an AddEdge that
+/// already exists, or a SplitBlock whose new-block id is not numBlocks().
+bool applyFunctionMutation(Function &F, const Mutation &M);
+
 } // namespace ssalive
 
 #endif // SSALIVE_WORKLOAD_CFGMUTATOR_H

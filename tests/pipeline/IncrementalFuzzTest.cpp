@@ -25,6 +25,9 @@
 #include "analysis/SemiNCA.h"
 #include "core/LiveCheck.h"
 #include "core/UseInfo.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "server/SessionManager.h"
 #include "workload/CFGMutator.h"
 
 #include <gtest/gtest.h>
@@ -393,6 +396,107 @@ unsigned runFunctionFuzz(std::uint64_t Seed, unsigned Steps) {
   return Executed;
 }
 
+/// Server-routed campaign: the same differential discipline as
+/// runFunctionFuzz, but every CFG edit travels through the session plane's
+/// EditCFG command (the liveness server's wire dispatch) instead of a
+/// direct AnalysisManager::refresh call. The session consumes the edit via
+/// refresh internally; its repaired DomTree/LiveCheck must then be
+/// bit-identical to fresh rebuilds of its own function copy — the same
+/// bit-equality checks, one subsystem layer higher.
+unsigned runServerRoutedFuzz(std::uint64_t Seed, unsigned Steps) {
+  // The local mirror and the session parse the same printed text, so both
+  // start from identical ids and CFG epochs.
+  auto F0 = randomSSAFunction(Seed, {/*TargetBlocks=*/28});
+  if (::testing::Test::HasFailure())
+    return 0;
+  std::string Text = printFunction(*F0);
+  ModuleParseResult Mirror = parseModule(Text);
+  if (!Mirror.Error.empty()) {
+    ADD_FAILURE() << "mirror parse failed: " << Mirror.Error;
+    return 0;
+  }
+  Function &MF = *Mirror.Funcs[0];
+
+  server::SessionManager Mgr({});
+  std::unique_ptr<server::Session> S = Mgr.createSession();
+  auto LoadReply = S->handle(protocol::encodeLoadModule(
+      static_cast<std::uint8_t>(BatchBackend::LiveCheckPropagated),
+      static_cast<std::uint8_t>(QueryPlane::Prepared), Text));
+  if (LoadReply.empty() ||
+      LoadReply[0] !=
+          static_cast<std::uint8_t>(protocol::Opcode::ModuleLoaded)) {
+    ADD_FAILURE() << "session load failed, seed=" << Seed;
+    return 0;
+  }
+  (void)S->driver().analysisManager().get(S->function(0)).liveCheck();
+
+  RandomEngine Rng(Seed * 613 + 29);
+  CFGMutatorOptions MOpts;
+  MOpts.MaxNodes = 72;
+  unsigned Executed = 0;
+  for (unsigned Step = 0; Step != Steps; ++Step) {
+    auto M = mutateFunctionCFG(MF, Rng, MOpts);
+    if (!M)
+      continue;
+    std::vector<std::uint8_t> Reply = S->handle(protocol::encodeEditBatch(
+        {{static_cast<std::uint8_t>(M->Kind), 0, M->From, M->To, M->To2}}));
+    std::vector<std::uint8_t> Want =
+        protocol::encodeEditApplied({{1, MF.cfgVersion()}});
+    ++Executed;
+
+    std::ostringstream OS;
+    OS << "server-routed replay: seed=" << Seed << " step=" << Step
+       << " mutation={" << describeMutation(*M) << "}";
+    std::string Tag = OS.str();
+
+    if (Reply != Want) {
+      ADD_FAILURE() << Tag << ": edit reply diverged from the mirror";
+      return Executed;
+    }
+
+    // Bit-equality of the session's repaired analyses against fresh
+    // rebuilds of the session's own function copy.
+    Function &SF = S->function(0);
+    FunctionAnalyses &FA = S->driver().analysisManager().get(SF);
+    EXPECT_EQ(FA.epoch(), SF.cfgVersion());
+    const LiveCheck &LC = FA.liveCheck();
+    const DomTree &DT = FA.domTree();
+
+    CFG FreshG = CFG::fromFunction(SF);
+    DFS FreshD(FreshG);
+    DomTree FreshDT(FreshG, FreshD);
+    std::vector<unsigned> LTIdoms = computeIdomsLengauerTarjan(FreshG);
+    if (!compareDomTrees(DT, FreshDT, LTIdoms, Tag))
+      return Executed;
+    LiveCheck Fresh(FreshG, FreshD, FreshDT,
+                    S->driver().analysisManager().liveCheckOptions());
+
+    std::vector<VarSample> Vars;
+    for (const auto &V : SF.values()) {
+      if (V->defs().size() != 1)
+        continue;
+      VarSample Sample;
+      Sample.Def = defBlockId(*V);
+      Sample.Uses = liveUseBlocks(*V);
+      if (!Sample.Uses.empty())
+        Vars.push_back(std::move(Sample));
+      if (Vars.size() == 8)
+        break;
+    }
+    if (!compareEngines(LC, DT, Fresh, FreshDT, Vars, Rng, Tag))
+      return Executed;
+    if (!compareSets(LC, Fresh, Tag))
+      return Executed;
+  }
+
+  // Every edit must have ridden the journaled refresh plane, never the
+  // throw-away invalidation path.
+  AnalysisManager::CacheCounters C = S->driver().analysisManager().counters();
+  EXPECT_EQ(C.Invalidations, 0u) << "seed=" << Seed;
+  EXPECT_EQ(C.Refreshes, Executed) << "seed=" << Seed;
+  return Executed;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -424,6 +528,16 @@ TEST(IncrementalFuzz, AnalysisManagerRefreshCampaigns) {
     Total += runFunctionFuzz(Seed, 500);
   RecordProperty("steps", static_cast<int>(Total));
   EXPECT_GE(Total, 1800u);
+}
+
+TEST(IncrementalFuzz, ServerRoutedRefreshCampaigns) {
+  // CFG edits through the liveness server's session plane must hit the
+  // same bit-equality bar as direct refresh calls.
+  unsigned Total = 0;
+  for (std::uint64_t Seed : {41, 42, 43})
+    Total += runServerRoutedFuzz(Seed, 300);
+  RecordProperty("steps", static_cast<int>(Total));
+  EXPECT_GE(Total, 800u);
 }
 
 //===----------------------------------------------------------------------===//

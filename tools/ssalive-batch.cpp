@@ -26,25 +26,28 @@
 //                     functions (default when no file is given: 64)
 //     --verify        cross-check the parallel answers against a
 //                     single-threaded run
+//     --verify-all    additionally demand every other backend agrees on
+//                     the whole workload
+//     --expect-checksum=HEX
+//                     demand the answer checksum equals HEX (16 hex
+//                     digits) — lets CI pin an expected result and lets
+//                     the test suite prove a deliberately corrupted
+//                     expectation fails the run
+//
+// Every verification failure is *latched*: all checks run, each mismatch
+// is reported, and the process exits nonzero if any check failed — a
+// later backend agreeing must never wash out an earlier mismatch.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ToolUtil.h"
 #include "ir/Function.h"
-#include "ir/IRParser.h"
-#include "ir/Verifier.h"
 #include "pipeline/BatchLivenessDriver.h"
-#include "ssa/SSAConstruction.h"
-#include "support/RandomEngine.h"
-#include "workload/CFGGenerator.h"
-#include "workload/ProgramGenerator.h"
-#include "workload/SpecProfile.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -60,6 +63,9 @@ struct CliOptions {
   unsigned Repeat = 2;
   unsigned Generate = 0;
   bool Verify = false;
+  bool VerifyAll = false;
+  bool HasExpectedChecksum = false;
+  std::uint64_t ExpectedChecksum = 0;
   std::string InputPath;
 };
 
@@ -95,6 +101,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Generate = static_cast<unsigned>(N);
     } else if (Arg == "--verify") {
       Opts.Verify = true;
+    } else if (Arg == "--verify-all") {
+      Opts.Verify = true;
+      Opts.VerifyAll = true;
+    } else if (Arg.rfind("--expect-checksum=", 0) == 0) {
+      char *End = nullptr;
+      Opts.ExpectedChecksum = std::strtoull(Arg.c_str() + 18, &End, 16);
+      if (!End || *End != '\0' || End == Arg.c_str() + 18) {
+        std::fprintf(stderr, "bad checksum '%s'\n", Arg.c_str() + 18);
+        return false;
+      }
+      Opts.HasExpectedChecksum = true;
+      Opts.Verify = true;
     } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
       Opts.InputPath = Arg;
     } else {
@@ -107,37 +125,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return true;
 }
 
-std::vector<std::unique_ptr<Function>> synthesizeModule(unsigned Count,
-                                                        std::uint64_t Seed) {
-  // SPEC-profile shapes (176.gcc row: the densest corpus), strict SSA.
-  std::vector<std::unique_ptr<Function>> Module;
-  RandomEngine Rng(Seed ^ 0x5ca1ab1eull);
-  const SpecProfile &P = spec2000Profiles()[2];
-  Module.reserve(Count);
-  for (unsigned I = 0; I != Count; ++I) {
-    CFGGenOptions GOpts;
-    GOpts.TargetBlocks = sampleBlockCount(P, Rng);
-    CFG G = generateCFG(GOpts, Rng);
-    ProgramGenOptions POpts;
-    auto F = generateProgram(G, POpts, Rng);
-    constructSSA(*F);
-    Module.push_back(std::move(F));
-  }
-  return Module;
-}
-
 std::vector<std::unique_ptr<Function>> loadModule(const CliOptions &Opts) {
   if (Opts.InputPath.empty())
-    return synthesizeModule(Opts.Generate, Opts.Seed);
+    return tool::synthesizeModule(Opts.Generate, Opts.Seed);
 
-  std::ifstream In(Opts.InputPath);
-  if (!In) {
-    std::fprintf(stderr, "cannot open '%s'\n", Opts.InputPath.c_str());
+  std::string Text = tool::readFileOrEmpty(Opts.InputPath);
+  if (Text.empty())
     return {};
-  }
-  std::ostringstream Buffer;
-  Buffer << In.rdbuf();
-  ModuleParseResult R = parseModule(Buffer.str());
+  ModuleParseResult R = parseModule(Text);
   if (!R.Error.empty()) {
     std::fprintf(stderr, "%s: %s\n", Opts.InputPath.c_str(),
                  R.Error.c_str());
@@ -222,6 +217,26 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Last.checksum()));
 
   if (Opts.Verify) {
+    // Every check runs and every mismatch latches: exiting early (or
+    // letting the most recent comparison overwrite the verdict) would
+    // report success whenever the *last* backend checked happens to
+    // agree. The latch-pin ctest feeds a corrupted --expect-checksum
+    // first and asserts the run still fails after all later checks pass.
+    bool Failed = false;
+
+    if (Opts.HasExpectedChecksum) {
+      if (Last.checksum() != Opts.ExpectedChecksum) {
+        std::fprintf(stderr,
+                     "FAIL: checksum %016llx does not match expected "
+                     "%016llx\n",
+                     static_cast<unsigned long long>(Last.checksum()),
+                     static_cast<unsigned long long>(Opts.ExpectedChecksum));
+        Failed = true;
+      } else {
+        std::printf("  verify: checksum matches expectation\n");
+      }
+    }
+
     BatchOptions SOpts = DOpts;
     SOpts.Threads = 1;
     BatchLivenessDriver Single(Funcs, SOpts);
@@ -229,11 +244,40 @@ int main(int Argc, char **Argv) {
     if (Ref.Answers != Last.Answers) {
       std::fprintf(stderr, "FAIL: parallel answers differ from "
                            "single-threaded reference\n");
+      Failed = true;
+    } else {
+      std::printf("  verify: %u-thread answers identical to "
+                  "single-threaded reference\n",
+                  Driver.numThreads());
+    }
+
+    if (Opts.VerifyAll) {
+      for (BatchBackend B :
+           {BatchBackend::LiveCheckPropagated, BatchBackend::LiveCheckFiltered,
+            BatchBackend::LiveCheckSorted, BatchBackend::LiveCheckBitset,
+            BatchBackend::LiveCheckBlockSweep, BatchBackend::Dataflow,
+            BatchBackend::PathExploration}) {
+        if (B == Opts.Backend)
+          continue;
+        BatchOptions BOpts = SOpts;
+        BOpts.Backend = B;
+        BatchLivenessDriver Other(Funcs, BOpts);
+        BatchResult OtherRes = Other.run(Workload);
+        if (OtherRes.Answers != Last.Answers) {
+          std::fprintf(stderr, "FAIL: backend %s disagrees with %s\n",
+                       batchBackendName(B),
+                       batchBackendName(Opts.Backend));
+          Failed = true;
+        } else {
+          std::printf("  verify: backend %s agrees\n", batchBackendName(B));
+        }
+      }
+    }
+
+    if (Failed) {
+      std::fprintf(stderr, "FAIL: verification failed (see above)\n");
       return 1;
     }
-    std::printf("  verify: %u-thread answers identical to single-threaded "
-                "reference\n",
-                Driver.numThreads());
   }
   return 0;
 }

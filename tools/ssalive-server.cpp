@@ -1,0 +1,106 @@
+//===- tools/ssalive-server.cpp - Long-lived liveness server CLI ----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Front end of the liveness query server. Two transports:
+//
+//   ssalive-server --socket=/path/sock [--threads=N] [--max-frame=BYTES]
+//       Accepts any number of concurrent clients on a unix-domain
+//       socket; runs until a client sends the Shutdown command (or the
+//       process is signalled).
+//
+//   ssalive-server --stdio [--threads=N] [--max-frame=BYTES]
+//       Serves exactly one session over stdin/stdout — the pipe
+//       transport. ssalive-client --spawn uses this; so can any
+//       build-system integration that wants a liveness oracle as a
+//       subprocess. All logging goes to stderr (stdout is the protocol
+//       channel).
+//
+// The protocol is documented in src/server/Protocol.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/LivenessServer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace ssalive;
+using namespace ssalive::server;
+
+namespace {
+
+struct CliOptions {
+  std::string SocketPath;
+  bool Stdio = false;
+  unsigned Threads = 1;
+  std::size_t MaxFrame = protocol::DefaultMaxFrameBytes;
+};
+
+bool parseUnsigned(const char *S, std::uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::uint64_t N = 0;
+    if (Arg.rfind("--socket=", 0) == 0) {
+      Opts.SocketPath = Arg.substr(9);
+    } else if (Arg == "--stdio") {
+      Opts.Stdio = true;
+    } else if (Arg.rfind("--threads=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 10, N)) {
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--max-frame=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 12, N) && N != 0) {
+      Opts.MaxFrame = N;
+    } else {
+      std::fprintf(stderr, "unrecognized argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (Opts.Stdio == !Opts.SocketPath.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --stdio or --socket=PATH is required\n");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 1;
+
+  ServerConfig Cfg;
+  Cfg.Threads = Opts.Threads;
+  Cfg.MaxFrameBytes = Opts.MaxFrame;
+  LivenessServer Server(Cfg);
+
+  if (Opts.Stdio) {
+    Server.serveStream(/*InFd=*/0, /*OutFd=*/1);
+    return 0;
+  }
+
+  std::string Err;
+  if (!Server.listenUnix(Opts.SocketPath, Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ssalive-server: listening on %s (%u pool threads)\n",
+               Opts.SocketPath.c_str(), Server.sessions().pool().numThreads());
+  Server.start();
+  Server.wait();
+  std::fprintf(stderr, "ssalive-server: shut down after %llu connection(s)\n",
+               static_cast<unsigned long long>(Server.connectionsServed()));
+  return 0;
+}
