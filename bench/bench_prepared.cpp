@@ -1,0 +1,301 @@
+//===- bench/bench_prepared.cpp - Cached vs per-query prepared flow -------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the value-indexed prepared cache (core/PreparedCache) against
+// the per-query preparation flows it replaced, on random strict-SSA
+// procedures across CFG sizes. The stream is *randomly ordered* across
+// values — the shape of a server query batch — so per-value grouping
+// cannot rescue the uncached flows; each configuration runs the identical
+// stream:
+//
+//   block-id   Chain walk per query, classic block-id entry points — the
+//              pre-migration FunctionLiveness flow.
+//   per-query  Chain walk + preorder numbering + prepareDef per query —
+//              what the batch driver's prepared plane did before the
+//              cache.
+//   cached     PreparedCache: the chain is walked/numbered/deduped once
+//              per value on first touch; every query after that is a
+//              table read plus the prepared kernel. This is the
+//              production path of FunctionLiveness, the batch driver,
+//              and the server sessions.
+//
+// Every configuration must produce byte-identical answers; the run fails
+// otherwise. One untimed warm pass per configuration (which also
+// populates the cache — the steady-state regime is exactly what the
+// cached flow exists to serve), then Reps interleaved timed passes,
+// best-of reported. Emits BENCH_prepared.json with queries/s, cache
+// memory, and speedup_cached_vs_perquery / speedup_cached_vs_blockid per
+// size — ratio metrics the CI trend gate tracks against the committed
+// baseline.
+//
+//   bench_prepared [--smoke]   --smoke shrinks sizes/reps for CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "analysis/DFS.h"
+#include "analysis/DomTree.h"
+#include "core/LiveCheck.h"
+#include "core/PreparedCache.h"
+#include "core/UseInfo.h"
+#include "ir/CFG.h"
+#include "ir/Function.h"
+#include "ssa/SSAConstruction.h"
+#include "workload/CFGGenerator.h"
+#include "workload/ProgramGenerator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ssalive;
+using namespace ssalive::bench;
+
+namespace {
+
+struct QueryRec {
+  std::uint32_t VarIdx;
+  std::uint32_t Block;
+  bool IsLiveOut;
+};
+
+std::uint64_t foldAnswer(std::uint64_t H, bool A) {
+  return (H ^ (A ? 1u : 0u)) * 0x100000001b3ull;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+struct Candidate {
+  const char *Name;
+  std::function<std::uint64_t()> Pass;
+  std::size_t MemBytes = 0;
+  double BestSecs = 1e100;
+  std::uint64_t Checksum = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I != Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+
+  std::vector<unsigned> Sizes =
+      Smoke ? std::vector<unsigned>{32, 64}
+            : std::vector<unsigned>{256, 1024, 2048};
+  unsigned Reps = Smoke ? 2 : 5;
+  unsigned QueriesPerVar = Smoke ? 16 : 64;
+
+  std::printf("Prepared-plane shootout: cached per-value entries vs "
+              "per-query preparation\n(single thread; identical answers "
+              "enforced; random-order stream; per config: one\nwarm pass, "
+              "best of %u timed passes)\n\n",
+              Reps);
+
+  TablePrinter Table({"Blocks", "Vars", "Queries", "Config", "Mq/s",
+                      "CacheKB", "Speedup"});
+  std::vector<JsonRecord> Records;
+  bool AnswersAgree = true;
+  constexpr unsigned LargeTier = 1024;
+  double LargeSpeedup = 0;
+  std::vector<std::pair<unsigned, double>> SpeedupBySize;
+
+  for (unsigned Blocks : Sizes) {
+    RandomEngine Rng(Blocks * 6367ull + 11);
+    CFGGenOptions GOpts;
+    GOpts.TargetBlocks = Blocks;
+    CFG G0 = generateCFG(GOpts, Rng);
+    ProgramGenOptions POpts;
+    auto F = generateProgram(G0, POpts, Rng);
+    constructSSA(*F);
+
+    CFG G = CFG::fromFunction(*F);
+    DFS D(G);
+    DomTree DT(G, D);
+    unsigned N = G.numNodes();
+    unsigned MaskThreshold = std::max(8u, (N + 63) / 64);
+    LiveCheck Engine(G, D, DT);
+
+    std::vector<const Value *> Vals;
+    std::vector<unsigned> Defs;
+    for (const auto &V : F->values())
+      if (V->hasSingleDef() && V->hasUses()) {
+        Vals.push_back(V.get());
+        Defs.push_back(defBlockId(*V));
+      }
+
+    // Value-random stream, blocks drawn 3-in-4 from the def's dominance
+    // interval (where clients actually ask); then shuffled so consecutive
+    // queries almost never share a value.
+    std::vector<QueryRec> Stream;
+    for (std::uint32_t VI = 0; VI != Vals.size(); ++VI) {
+      unsigned Lo = DT.num(Defs[VI]), Hi = DT.maxnum(Defs[VI]);
+      for (unsigned K = 0; K != QueriesPerVar; ++K) {
+        std::uint32_t Block = (K % 4 == 3 || Hi == Lo)
+                                  ? Rng.nextBelow(N)
+                                  : DT.nodeAtNum(Rng.nextInRange(Lo, Hi));
+        Stream.push_back({VI, Block, (K & 1) != 0});
+      }
+    }
+    for (std::size_t I = Stream.size(); I > 1; --I)
+      std::swap(Stream[I - 1], Stream[Rng.nextBelow(unsigned(I))]);
+    std::uint64_t QueriesPerPass = Stream.size();
+
+    std::vector<Candidate> Cands;
+
+    // --- block-id: chain walk per query, classic entries. ---------------
+    std::vector<unsigned> BlockUses;
+    Cands.push_back(Candidate{
+        "block-id",
+        [&] {
+          std::uint64_t H = 0xcbf29ce484222325ull;
+          for (const QueryRec &Q : Stream) {
+            const Value &V = *Vals[Q.VarIdx];
+            BlockUses.clear();
+            appendLiveUseBlocks(V, BlockUses);
+            bool A = Q.IsLiveOut
+                         ? Engine.isLiveOut(Defs[Q.VarIdx], Q.Block,
+                                            BlockUses)
+                         : Engine.isLiveIn(Defs[Q.VarIdx], Q.Block,
+                                           BlockUses);
+            H = foldAnswer(H, A);
+          }
+          return H;
+        },
+        0});
+
+    // --- per-query: the pre-cache prepared flow (walk + number +
+    // prepareDef on every query, mask above the threshold). -------------
+    std::vector<unsigned> Nums;
+    BitVector Mask;
+    Cands.push_back(Candidate{
+        "per-query",
+        [&] {
+          std::uint64_t H = 0xcbf29ce484222325ull;
+          LiveCheck::PreparedVar PV;
+          for (const QueryRec &Q : Stream) {
+            const Value &V = *Vals[Q.VarIdx];
+            Nums.clear();
+            appendLiveUseBlocks(V, Nums);
+            for (unsigned &U : Nums)
+              U = DT.num(U);
+            std::sort(Nums.begin(), Nums.end());
+            Nums.erase(std::unique(Nums.begin(), Nums.end()), Nums.end());
+            Engine.prepareDef(Defs[Q.VarIdx], PV);
+            PV.NumsBegin = Nums.data();
+            PV.NumsEnd = Nums.data() + Nums.size();
+            if (Nums.size() >= MaskThreshold) {
+              Mask.resize(N);
+              Mask.reset();
+              for (unsigned U : Nums)
+                Mask.set(U);
+              PV.Mask = &Mask;
+            } else {
+              PV.Mask = nullptr;
+            }
+            bool A = Q.IsLiveOut ? Engine.isLiveOutPrepared(PV, Q.Block)
+                                 : Engine.isLiveInPrepared(PV, Q.Block);
+            H = foldAnswer(H, A);
+          }
+          return H;
+        },
+        0});
+
+    // --- cached: the production plane. ----------------------------------
+    PreparedCache Cache(*F, Engine, DT);
+    Cache.sizeToFunction();
+    Cands.push_back(Candidate{
+        "cached",
+        [&] {
+          std::uint64_t H = 0xcbf29ce484222325ull;
+          for (const QueryRec &Q : Stream) {
+            const LiveCheck::PreparedVar &PV =
+                Cache.ensure(*Vals[Q.VarIdx]);
+            bool A = Q.IsLiveOut ? Engine.isLiveOutPrepared(PV, Q.Block)
+                                 : Engine.isLiveInPrepared(PV, Q.Block);
+            H = foldAnswer(H, A);
+          }
+          return H;
+        },
+        0});
+
+    for (Candidate &C : Cands)
+      C.Checksum = C.Pass();
+    Cands[2].MemBytes = Cache.memoryBytes();
+    for (unsigned R = 0; R != Reps; ++R)
+      for (Candidate &C : Cands) {
+        auto Start = std::chrono::steady_clock::now();
+        std::uint64_t H = C.Pass();
+        C.BestSecs = std::min(C.BestSecs, secondsSince(Start));
+        if (H != C.Checksum) {
+          std::printf("FAIL: %s answers unstable across passes\n", C.Name);
+          AnswersAgree = false;
+        }
+      }
+
+    double BlockIdQps = QueriesPerPass / Cands[0].BestSecs;
+    double PerQueryQps = QueriesPerPass / Cands[1].BestSecs;
+    double CachedQps = QueriesPerPass / Cands[2].BestSecs;
+    double SpeedupVsPerQuery = CachedQps / PerQueryQps;
+    double SpeedupVsBlockId = CachedQps / BlockIdQps;
+    for (const Candidate &C : Cands) {
+      if (C.Checksum != Cands[0].Checksum) {
+        std::printf("FAIL: %s answers differ from block-id at %u blocks\n",
+                    C.Name, Blocks);
+        AnswersAgree = false;
+      }
+      double Qps = QueriesPerPass / C.BestSecs;
+      Table.addRow({std::to_string(Blocks), std::to_string(Vals.size()),
+                    std::to_string(QueriesPerPass), C.Name,
+                    TablePrinter::fmt(Qps / 1e6),
+                    TablePrinter::fmt(C.MemBytes / 1024.0),
+                    TablePrinter::fmt(Qps / BlockIdQps)});
+    }
+    Records.push_back(
+        JsonRecord()
+            .num("blocks", std::uint64_t(Blocks))
+            .num("blockid_queries_per_second", BlockIdQps)
+            .num("perquery_queries_per_second", PerQueryQps)
+            .num("cached_queries_per_second", CachedQps)
+            .num("cache_memory_bytes",
+                 std::uint64_t(Cands[2].MemBytes))
+            .num("speedup_cached_vs_perquery", SpeedupVsPerQuery)
+            .num("speedup_cached_vs_blockid", SpeedupVsBlockId));
+    SpeedupBySize.push_back({Blocks, SpeedupVsPerQuery});
+    if (Blocks == LargeTier)
+      LargeSpeedup = SpeedupVsPerQuery;
+  }
+
+  Table.print();
+  std::string JsonPath = writeBenchJson("prepared", Records);
+  if (!JsonPath.empty())
+    std::printf("\nMachine-readable results: %s\n", JsonPath.c_str());
+
+  std::printf("\ncached vs per-query prepare:");
+  for (auto [Blocks, S] : SpeedupBySize)
+    std::printf(" %.2fx @ %u blocks;", S, Blocks);
+  std::printf("\n");
+  if (LargeSpeedup != 0)
+    std::printf("large workload (%u blocks): %.2fx (target >= 1.20x) %s\n",
+                LargeTier, LargeSpeedup,
+                LargeSpeedup >= 1.20 ? "PASS" : "BELOW TARGET");
+  if (!AnswersAgree) {
+    std::printf("FAIL: prepared flows disagree\n");
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,11 @@
 // crosses 1.0. It also reports query cost as a function of def-use chain
 // length (the for-loop of Algorithm 3).
 //
+// Note: since the prepared-cache migration, FunctionLiveness amortizes
+// the per-value chain walk across the stream (core/PreparedCache), which
+// shifts the break-even toward the "New" backend relative to the paper's
+// walk-per-query model; bench_prepared measures that effect in isolation.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"

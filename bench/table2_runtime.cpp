@@ -21,6 +21,13 @@
 // speedup columns. Each benchmark prints the paper row and the measured
 // row side by side.
 //
+// Note: since the prepared-cache migration, FunctionLiveness answers
+// through one cached PreparedVar per value (core/PreparedCache) — the
+// "New" query column therefore measures today's production flow, whose
+// per-value chain walk is amortized across the trace, not the paper's
+// walk-per-query cost. bench_prepared isolates cached vs per-query
+// preparation explicitly.
+//
 // Usage: table2_runtime [--scale=<percent>]
 //
 //===----------------------------------------------------------------------===//

@@ -6,59 +6,31 @@
 
 #include "core/FunctionLiveness.h"
 
-#include <algorithm>
+#include <cassert>
 
 using namespace ssalive;
 
 LivenessQueries::~LivenessQueries() = default;
 
 FunctionLiveness::FunctionLiveness(const Function &F, LiveCheckOptions Opts)
-    : Graph(CFG::fromFunction(F)), Dfs(Graph), Tree(Graph, Dfs),
-      Engine(Graph, Dfs, Tree, Opts),
-      MaskThreshold(std::max(8u, (Graph.numNodes() + 63) / 64)) {}
-
-bool FunctionLiveness::prepareUses(const Value &V) {
-  // Number the Definition-1 use blocks once per query — the engine's
-  // kernels then probe preorder numbers directly instead of re-translating
-  // every use at every target. The span stays unsorted (the kernels don't
-  // care, and sorting per query costs more than duplicate probes save);
-  // high-use-count values switch to the mask, where duplicates collapse
-  // into bits anyway.
-  ScratchUses.clear();
-  appendLiveUseBlocks(V, ScratchUses);
-  for (unsigned &U : ScratchUses)
-    U = Tree.num(U);
-  if (ScratchUses.size() < MaskThreshold)
-    return false;
-  // Threshold semantics are on *distinct* uses: dedup the (rare) large
-  // span so a value used many times in few blocks keeps the cheaper probe
-  // path, and re-check.
-  std::sort(ScratchUses.begin(), ScratchUses.end());
-  ScratchUses.erase(std::unique(ScratchUses.begin(), ScratchUses.end()),
-                    ScratchUses.end());
-  if (ScratchUses.size() < MaskThreshold)
-    return false;
-  ScratchMask.resize(Graph.numNodes());
-  ScratchMask.reset();
-  for (unsigned U : ScratchUses)
-    ScratchMask.set(U);
-  return true;
-}
+    : F(F), Graph(CFG::fromFunction(F)), Dfs(Graph), Tree(Graph, Dfs),
+      Engine(Graph, Dfs, Tree, Opts), Cache(F, Engine, Tree),
+      BuiltEpoch(F.cfgVersion()) {}
 
 bool FunctionLiveness::isLiveIn(const Value &V, const BasicBlock &B) {
+  assert(F.cfgVersion() == BuiltEpoch &&
+         "CFG edited under FunctionLiveness: rebuild it (or query through "
+         "the AnalysisManager refresh plane)");
   if (V.defs().empty() || !V.hasUses())
     return false;
-  if (prepareUses(V))
-    return Engine.isLiveInMask(defBlockId(V), B.id(), ScratchMask);
-  return Engine.isLiveInNums(defBlockId(V), B.id(), ScratchUses.data(),
-                             ScratchUses.data() + ScratchUses.size());
+  return Engine.isLiveInPrepared(Cache.ensure(V), B.id());
 }
 
 bool FunctionLiveness::isLiveOut(const Value &V, const BasicBlock &B) {
+  assert(F.cfgVersion() == BuiltEpoch &&
+         "CFG edited under FunctionLiveness: rebuild it (or query through "
+         "the AnalysisManager refresh plane)");
   if (V.defs().empty() || !V.hasUses())
     return false;
-  if (prepareUses(V))
-    return Engine.isLiveOutMask(defBlockId(V), B.id(), ScratchMask);
-  return Engine.isLiveOutNums(defBlockId(V), B.id(), ScratchUses.data(),
-                              ScratchUses.data() + ScratchUses.size());
+  return Engine.isLiveOutPrepared(Cache.ensure(V), B.id());
 }

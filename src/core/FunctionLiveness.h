@@ -7,16 +7,22 @@
 /// \file
 /// Binds the CFG-level LiveCheck engine to an IR function: builds the graph
 /// view, DFS and dominator tree, runs the variable-independent
-/// precomputation, and answers per-value queries by walking the def-use
-/// chain at query time (paper Section 3: "An actual query uses the def-use
-/// chain of the variable in question"). Because nothing about variables is
-/// precomputed, instructions and values may be added to the function after
-/// construction and queries remain valid — only CFG changes invalidate it.
+/// precomputation, and answers per-value queries through the value-indexed
+/// prepared cache (core/PreparedCache). The first query against a value
+/// walks its def-use chain once — use blocks collected, translated to
+/// dominance preorder numbers, sorted/deduplicated, mask built above the
+/// threshold — and every later query reuses that PreparedVar: only the
+/// query block is translated. This is the production form of the paper's
+/// Section-3 query ("An actual query uses the def-use chain of the
+/// variable in question"), with the chain walk amortized across queries.
 ///
-/// Queries ride the engine's renumbered plane: the value's Definition-1 use
-/// blocks are translated to dominance-preorder numbers once per query into
-/// a reused scratch buffer, and variables with enough uses switch to the
-/// word-level `R_t ∩ UseMask` bitset test instead of per-use probes.
+/// Instructions and values may still be added or removed after
+/// construction and queries remain valid: the engine never sees variables
+/// (Section 7), and a def-use edit drops exactly the edited value's cache
+/// entry (Value::defUseEpoch). Structural CFG edits invalidate the whole
+/// object — queries debug-assert that the function's cfgVersion() still
+/// matches construction; consumers that edit CFGs use the AnalysisManager
+/// plane, where the same cache rides the in-place refresh contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +31,7 @@
 
 #include "core/LiveCheck.h"
 #include "core/LivenessInterface.h"
+#include "core/PreparedCache.h"
 #include "core/UseInfo.h"
 
 namespace ssalive {
@@ -44,24 +51,21 @@ public:
   const DFS &dfs() const { return Dfs; }
   const DomTree &domTree() const { return Tree; }
   const LiveCheck &engine() const { return Engine; }
+  const PreparedCache &preparedCache() const { return Cache; }
   /// @}
 
 private:
-  /// Fills ScratchUses with the value's use numbers and returns true when
-  /// the mask path should answer the query, in which case ScratchMask is
-  /// ready.
-  bool prepareUses(const Value &V);
-
+  const Function &F;
   CFG Graph;
   DFS Dfs;
   DomTree Tree;
   LiveCheck Engine;
-  /// Distinct-use count at which the bitset test beats per-use probes
-  /// (roughly one probe per word of a row).
-  unsigned MaskThreshold;
-  /// Reused per-query buffers; queries allocate nothing in steady state.
-  std::vector<unsigned> ScratchUses;
-  BitVector ScratchMask;
+  /// The value-indexed prepared plane; entries built lazily on first
+  /// query, keyed to (cfgVersion, defUseEpoch).
+  PreparedCache Cache;
+  /// cfgVersion() at construction: the analyses above describe exactly
+  /// this epoch, and queries assert it still holds.
+  std::uint64_t BuiltEpoch;
 };
 
 } // namespace ssalive

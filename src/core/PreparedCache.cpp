@@ -1,0 +1,127 @@
+//===- core/PreparedCache.cpp - Value-indexed prepared liveness -----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreparedCache.h"
+
+#include "core/UseInfo.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ssalive;
+
+PreparedCache::PreparedCache(const Function &F, const LiveCheck &Engine,
+                             const DomTree &DT)
+    : F(F), Engine(&Engine), DT(&DT) {}
+
+void PreparedCache::rebind(const LiveCheck &NewEngine, const DomTree &NewDT) {
+  if (Engine == &NewEngine && DT == &NewDT)
+    return;
+  Engine = &NewEngine;
+  DT = &NewDT;
+  // New analysis objects may carry a new numbering at an unchanged CFG
+  // epoch (an explicit invalidate/clear rebuild), so the epoch key alone
+  // cannot be trusted across a rebind: drop everything.
+  Entries.assign(Entries.size(), Entry());
+}
+
+void PreparedCache::growTo(std::size_t Count) {
+  if (Entries.size() >= Count)
+    return;
+  // Growth may relocate entries; the span pointers follow their (moved)
+  // Nums heap buffers automatically, but a mask pointer aims at the entry
+  // itself and must be re-anchored when the buffer moved. Skipping the
+  // scan on an in-place resize keeps one-value-at-a-time growth (a
+  // transform creating values mid-pass) linear overall.
+  const Entry *OldData = Entries.data();
+  Entries.resize(Count);
+  if (Entries.data() != OldData)
+    for (Entry &E : Entries)
+      if (E.Built && E.Prep.Mask)
+        E.Prep.Mask = &E.Mask;
+}
+
+void PreparedCache::sizeToFunction() { growTo(F.numValues()); }
+
+void PreparedCache::build(Entry &E, const Value &V) {
+  assert(!V.defs().empty() && "prepared entry needs a def block");
+  E.Nums.clear();
+  appendLiveUseBlocks(V, E.Nums);
+  for (unsigned &U : E.Nums)
+    U = DT->num(U);
+  std::sort(E.Nums.begin(), E.Nums.end());
+  E.Nums.erase(std::unique(E.Nums.begin(), E.Nums.end()), E.Nums.end());
+
+  E.Prep = LiveCheck::PreparedVar();
+  Engine->prepareDef(defBlockId(V), E.Prep);
+  E.Prep.NumsBegin = E.Nums.data();
+  E.Prep.NumsEnd = E.Nums.data() + E.Nums.size();
+
+  // Same threshold FunctionLiveness always used: switch to the word-level
+  // R ∩ UseMask sweep once the distinct uses outnumber the words of a row.
+  unsigned N = Engine->numNodes();
+  unsigned MaskThreshold = std::max(8u, (N + 63) / 64);
+  if (E.Nums.size() >= MaskThreshold) {
+    E.Mask.resize(N);
+    E.Mask.reset();
+    for (unsigned U : E.Nums)
+      E.Mask.set(U);
+    E.Prep.Mask = &E.Mask;
+  } else {
+    E.Prep.Mask = nullptr;
+  }
+
+  E.CFGEpoch = F.cfgVersion();
+  E.DefUseEpoch = V.defUseEpoch();
+  E.Built = true;
+}
+
+const LiveCheck::PreparedVar &PreparedCache::ensureSlow(const Value &V) {
+  // Values created after the last sizing (e.g. by a transform running on
+  // top of the cache). Single-threaded growth path by contract.
+  growTo(std::size_t(V.id()) + 1);
+  Entry &E = Entries[V.id()];
+  if (!E.Built)
+    Builds.fetch_add(1, std::memory_order_relaxed);
+  else if (E.CFGEpoch != F.cfgVersion())
+    EpochDrops.fetch_add(1, std::memory_order_relaxed);
+  else
+    Rebuilds.fetch_add(1, std::memory_order_relaxed);
+  build(E, V);
+  return E.Prep;
+}
+
+const LiveCheck::PreparedVar &PreparedCache::cached(const Value &V) const {
+  assert(V.id() < Entries.size() && "value was never ensured");
+  const Entry &E = Entries[V.id()];
+  assert(fresh(E, V) &&
+         "stale prepared entry: a CFG or def-use edit invalidated this "
+         "value since ensure() — re-ensure before querying");
+  return E.Prep;
+}
+
+bool PreparedCache::isFresh(const Value &V) const {
+  return V.id() < Entries.size() && fresh(Entries[V.id()], V);
+}
+
+PreparedCacheStats PreparedCache::stats() const {
+  PreparedCacheStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Builds = Builds.load(std::memory_order_relaxed);
+  S.Rebuilds = Rebuilds.load(std::memory_order_relaxed);
+  S.EpochDrops = EpochDrops.load(std::memory_order_relaxed);
+  return S;
+}
+
+std::size_t PreparedCache::memoryBytes() const {
+  std::size_t Bytes = Entries.capacity() * sizeof(Entry);
+  for (const Entry &E : Entries) {
+    Bytes += E.Nums.capacity() * sizeof(unsigned);
+    Bytes += (E.Mask.size() + 7) / 8;
+  }
+  return Bytes;
+}

@@ -1,0 +1,185 @@
+//===- core/PreparedCache.h - Value-indexed prepared liveness ---*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A value-indexed cache of LiveCheck::PreparedVar entries: each queryable
+/// value's Definition-1 use blocks are collected, translated to dominance
+/// preorder numbers, sorted and deduplicated **once**, and every subsequent
+/// query against that value reuses the prepared span (or, above the mask
+/// threshold, the use mask) with zero per-query chain walking. This is the
+/// production query path of every consumer above the engine —
+/// FunctionLiveness, the batch driver's prepared plane, and the liveness
+/// server's sessions — finishing the migration the testutil::PreparedLiveness
+/// shims proved correct (ROADMAP: per-value PreparedVar caching).
+///
+/// ## Invalidation contract
+///
+/// A cached entry is valid only while two epochs stand still, and each
+/// query re-validates both before trusting the entry:
+///
+///   * the owning function's CFG epoch (Function::cfgVersion): any
+///     structural edit can renumber the dominance preorder, which is the
+///     coordinate system every cached span/mask lives in. A mismatch drops
+///     exactly the queried value's entry, which is rebuilt lazily against
+///     the *repaired* analyses — the cache is designed to sit on the
+///     AnalysisManager::refresh / LiveCheck::update plane, which repairs
+///     the DomTree and engine in place (same objects, new numbering).
+///     Entries are epoch-dropped per value rather than permuted under the
+///     PR-3 run decomposition: a span is tiny compared to an R/T row, so a
+///     rebuild from the def-use chain costs less than replaying the
+///     permutation against it.
+///   * the value's def-use epoch (Value::defUseEpoch): adding or removing
+///     a def or use changes the Definition-1 block set. This preserves the
+///     paper's Section-7 stability property at the cache layer —
+///     instruction/value edits never invalidate the *engine*, and they
+///     invalidate exactly one value's *entry* here.
+///
+/// A PreparedVar must therefore never be held across a CFG edit: the
+/// read-only accessor asserts freshness (debug builds), and the directed
+/// regression suite pins that a span prepared under the old numbering
+/// answers queries wrongly after a renumbering edit — the failure mode the
+/// epoch key exists to forbid. Never silently stale.
+///
+/// ## Concurrency
+///
+/// ensure() mutates the cache and is not thread-safe per value; distinct
+/// value ids may be ensured concurrently *after* sizeToFunction() has
+/// grown the entry table (growth is the only operation that relocates
+/// entries). The batch driver keeps its precompute sweep sequential —
+/// warm ensures are two compares, so a parallel fill measured slower —
+/// but the contract holds either way. cached() is const, lock-free, and
+/// safe for any number of concurrent readers — the query phase of the
+/// batch pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_CORE_PREPAREDCACHE_H
+#define SSALIVE_CORE_PREPAREDCACHE_H
+
+#include "core/LiveCheck.h"
+#include "ir/Function.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ssalive {
+
+/// Outcome counters, for tests and the throughput reports. Snapshot of
+/// internally atomic counters (ensure() may run concurrently on distinct
+/// values).
+struct PreparedCacheStats {
+  std::uint64_t Hits = 0;       ///< Fresh entry served as-is.
+  std::uint64_t Builds = 0;     ///< First-time entry builds.
+  std::uint64_t Rebuilds = 0;   ///< Def-use-epoch drops (chain edited).
+  std::uint64_t EpochDrops = 0; ///< CFG-epoch drops (renumbering edit).
+};
+
+/// The value-indexed prepared-liveness cache over one function's engine.
+///
+/// Holds non-owning references to the function and its LiveCheck/DomTree;
+/// all three must outlive the cache. In-place repairs of the analyses
+/// (AnalysisManager::refresh) keep those references valid and are absorbed
+/// through the epoch contract; a wholesale rebuild of the analyses (new
+/// objects) requires rebind().
+class PreparedCache {
+public:
+  PreparedCache(const Function &F, const LiveCheck &Engine,
+                const DomTree &DT);
+
+  PreparedCache(const PreparedCache &) = delete;
+  PreparedCache &operator=(const PreparedCache &) = delete;
+
+  /// Points the cache at a different engine/tree pair (the AnalysisManager
+  /// rebuilt the function's analyses instead of repairing them in place).
+  /// Drops every entry when the objects actually changed.
+  void rebind(const LiveCheck &Engine, const DomTree &DT);
+
+  /// Grows the entry table to the function's current value count. Call
+  /// before a concurrent ensure() sweep: growth is the only operation that
+  /// relocates entries, so pre-sizing makes per-value ensure() calls on
+  /// distinct ids write-disjoint.
+  void sizeToFunction();
+
+  /// The prepared entry for \p V, built or rebuilt as needed (see the
+  /// invalidation contract). \p V must belong to the cached function, have
+  /// at least one def (its block is the query origin) and at least one
+  /// use. The returned reference is valid until the next ensure() of the
+  /// same value or the next sizeToFunction()/rebind(). Defined inline:
+  /// this is the per-query entry of FunctionLiveness, and in the
+  /// steady-state hit case it must cost two epoch compares and a table
+  /// read, not a function call.
+  const LiveCheck::PreparedVar &ensure(const Value &V) {
+    if (V.id() < Entries.size()) {
+      Entry &E = Entries[V.id()];
+      if (fresh(E, V)) {
+        // Relaxed read-modify-write, deliberately not an atomic RMW: a
+        // locked add per cached query is measurable, and the counters are
+        // diagnostics (exact single-threaded, approximate when distinct
+        // values are ensured concurrently).
+        Hits.store(Hits.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+        return E.Prep;
+      }
+    }
+    return ensureSlow(V);
+  }
+
+  /// Lock-free read of an already-ensured entry, for the concurrent query
+  /// phase. Asserts (debug builds) that the entry is fresh: serving a span
+  /// prepared under a superseded numbering is exactly the wrong-answer
+  /// class the epoch contract forbids.
+  const LiveCheck::PreparedVar &cached(const Value &V) const;
+
+  /// True when \p V's entry exists and both epochs still match.
+  bool isFresh(const Value &V) const;
+
+  PreparedCacheStats stats() const;
+
+  /// Bytes held by the cache: the entry table plus every span/mask payload.
+  std::size_t memoryBytes() const;
+
+  const LiveCheck &engine() const { return *Engine; }
+  const DomTree &domTree() const { return *DT; }
+
+private:
+  struct Entry {
+    /// Hot fields first: the steady-state query touches Prep and the
+    /// epoch keys only, and together they fit one cache line.
+    LiveCheck::PreparedVar Prep;
+    std::uint64_t CFGEpoch = 0;
+    std::uint64_t DefUseEpoch = 0;
+    bool Built = false;
+    /// Cold storage. Sorted, deduplicated dominance-preorder numbers of
+    /// the use blocks; Prep's span aliases this buffer.
+    std::vector<unsigned> Nums;
+    /// Use mask over preorder numbers, engaged above the mask threshold
+    /// (Prep.Mask then points at it).
+    BitVector Mask;
+  };
+
+  bool fresh(const Entry &E, const Value &V) const {
+    return E.Built && E.CFGEpoch == F.cfgVersion() &&
+           E.DefUseEpoch == V.defUseEpoch();
+  }
+  const LiveCheck::PreparedVar &ensureSlow(const Value &V);
+  /// Shared growth path: resize + conditional mask re-anchoring.
+  void growTo(std::size_t Count);
+  void build(Entry &E, const Value &V);
+
+  const Function &F;
+  const LiveCheck *Engine;
+  const DomTree *DT;
+  std::vector<Entry> Entries;
+  std::atomic<std::uint64_t> Hits{0};
+  std::atomic<std::uint64_t> Builds{0};
+  std::atomic<std::uint64_t> Rebuilds{0};
+  std::atomic<std::uint64_t> EpochDrops{0};
+};
+
+} // namespace ssalive
+
+#endif // SSALIVE_CORE_PREPAREDCACHE_H

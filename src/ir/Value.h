@@ -17,6 +17,7 @@
 #define SSALIVE_IR_VALUE_H
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -74,18 +75,33 @@ public:
   bool hasUses() const { return !Uses.empty(); }
   unsigned numUses() const { return static_cast<unsigned>(Uses.size()); }
 
+  /// Counts every edit to this value's def-use chain (def or use added or
+  /// removed). Caches that hold a per-value view of the chain — the
+  /// prepared-liveness cache numbers the Definition-1 use blocks once per
+  /// value — key their entries on this so a chain edit drops exactly the
+  /// edited value's entry, the per-value analogue of the function-level
+  /// cfgVersion().
+  std::uint64_t defUseEpoch() const { return DUEpoch; }
+
   /// \name Bookkeeping called by Instruction only.
   /// @{
-  void addDef(Instruction *I) { Defs.push_back(I); }
+  void addDef(Instruction *I) {
+    Defs.push_back(I);
+    ++DUEpoch;
+  }
   void removeDef(Instruction *I);
   void addUse(Instruction *User, unsigned OperandIndex) {
     Uses.push_back(Use{User, OperandIndex});
+    ++DUEpoch;
   }
   void removeUse(Instruction *User, unsigned OperandIndex);
   /// @}
 
 private:
   unsigned Id;
+  /// Kept adjacent to Id: the prepared-cache hot path reads exactly these
+  /// two fields per query, so they share a cache line.
+  std::uint64_t DUEpoch = 0;
   std::string Name;
   std::vector<Instruction *> Defs;
   std::vector<Use> Uses;

@@ -19,6 +19,7 @@
 #define SSALIVE_PIPELINE_BATCHLIVENESSDRIVER_H
 
 #include "core/LiveCheck.h"
+#include "core/PreparedCache.h"
 #include "pipeline/AnalysisManager.h"
 
 #include <cstdint>
@@ -54,12 +55,16 @@ bool parseBatchBackend(const std::string &Name, BatchBackend &Out);
 /// other than block-sweep; the baselines and the sweep ignore it). All
 /// planes answer identically — the liveness server exposes the selector so
 /// its differential clients can cross-exercise the whole renumbered query
-/// plane over the wire.
+/// plane over the wire. Prepared is the default and the only plane with
+/// cross-batch state: the driver keeps a per-function PreparedCache, so a
+/// value queried in any earlier batch costs no chain walk ever again; the
+/// other planes re-derive the variable per query and exist as the
+/// differential surfaces the suites compare against.
 enum class QueryPlane : std::uint8_t {
   BlockId,  ///< Classic block-id spans (isLiveIn/isLiveOut).
   Nums,     ///< Pre-numbered spans (isLiveInNums/isLiveOutNums).
   Mask,     ///< Use-number masks (isLiveInMask/isLiveOutMask).
-  Prepared, ///< PreparedVar entries (isLiveInPrepared/isLiveOutPrepared).
+  Prepared, ///< Cached PreparedVar entries (core/PreparedCache).
 };
 
 const char *queryPlaneName(QueryPlane P);
@@ -86,8 +91,10 @@ struct BatchOptions {
   /// Worker threads for both phases; 0 = hardware concurrency. Ignored
   /// when the driver is constructed over a shared pool.
   unsigned Threads = 1;
-  /// LiveCheck entry point per query (see QueryPlane).
-  QueryPlane Plane = QueryPlane::BlockId;
+  /// LiveCheck entry point per query (see QueryPlane). The cached
+  /// prepared plane is the production default; the others re-derive the
+  /// variable per query and serve as differential baselines.
+  QueryPlane Plane = QueryPlane::Prepared;
 };
 
 /// Per-worker tallies; aggregation across workers is a fold, never a shared
@@ -147,6 +154,16 @@ public:
   /// epoch-validated entries).
   AnalysisManager &analysisManager() { return Manager; }
 
+  /// The per-function prepared caches of the default query plane (null
+  /// until a prepared-plane run() touched that function). Entries persist
+  /// across run() calls — the "skip per-query use-block collection" regime
+  /// the server's long-lived sessions amortize into — and survive CFG
+  /// edits through the PreparedCache epoch contract (stale values are
+  /// dropped and rebuilt lazily against the refreshed analyses).
+  const PreparedCache *preparedCache(std::size_t FuncIndex) const {
+    return FuncIndex < Prepared.size() ? Prepared[FuncIndex].get() : nullptr;
+  }
+
   /// Tells the driver a function's CFG was structurally edited. The
   /// LiveCheck backends need nothing (the AnalysisManager revalidates by
   /// epoch — callers wanting the in-place repair route the edit through
@@ -174,6 +191,10 @@ private:
   ThreadPool *Pool;                      ///< Owned or shared; never null.
   /// Baseline engines per function (Dataflow/PathExploration backends).
   std::vector<std::unique_ptr<LivenessQueries>> Baselines;
+  /// Per-function prepared caches (QueryPlane::Prepared); persist across
+  /// run() calls, rebound when the AnalysisManager rebuilt a function's
+  /// analyses wholesale.
+  std::vector<std::unique_ptr<PreparedCache>> Prepared;
 };
 
 } // namespace ssalive

@@ -176,20 +176,23 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
     Edits.push_back(E);
   }
 
-  // Apply in order. Each applied edit is journaled by the IR mutators and
-  // immediately consumed by AnalysisManager::refresh — the incremental
-  // repair plane — so the cached analyses are repaired in place, never
-  // rebuilt, and the baselines are dropped for a fresh build on the next
-  // query batch. Rejected edits (inapplicable to the current graph) leave
-  // the function untouched and are reported per item rather than failing
-  // the batch: the client's mirror makes the same accept/reject decision.
+  // Apply in order, then repair once: every applied edit is journaled by
+  // the IR mutators, and after the whole frame is in, one
+  // AnalysisManager::refresh per *touched function* consumes that
+  // function's accumulated delta journal — the coalesced form of the PR-3
+  // incremental repair plane (one DFS/DomTree/LiveCheck repair pass
+  // amortized over the frame instead of one per edit; the repaired result
+  // is bit-identical either way, which the fuzz suites assert). The reply
+  // still carries per-edit (applied, epoch) pairs captured at apply time,
+  // so clients mirroring the sequence predict every byte regardless of
+  // how the server schedules its repairs. Rejected edits (inapplicable to
+  // the current graph) leave the function untouched and are reported per
+  // item rather than failing the batch: the client's mirror makes the
+  // same accept/reject decision.
   std::vector<std::pair<std::uint8_t, std::uint64_t>> Results;
   Results.reserve(Edits.size());
+  std::vector<std::uint8_t> Touched(Module.size(), 0);
   bool AnyApplied = false;
-  // Baseline sessions (dataflow/path-exploration) never read the
-  // manager's analyses — their engines are simply rebuilt — so the
-  // in-place repair is LiveCheck-only work.
-  bool Refreshable = batchBackendUsesLiveCheck(Driver->backend());
   for (const EditItem &E : Edits) {
     Function &F = *Module[E.FuncIndex];
     Mutation M;
@@ -200,16 +203,25 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
     bool Applied = applyFunctionMutation(F, M);
     if (Applied) {
       AnyApplied = true;
+      Touched[E.FuncIndex] = 1;
       ++EditsApplied;
-      if (Refreshable)
-        Driver->analysisManager().refresh(F);
     } else {
       ++EditsRejected;
     }
     Results.emplace_back(Applied ? 1 : 0, F.cfgVersion());
   }
-  if (AnyApplied)
+  if (AnyApplied) {
+    // Baseline sessions (dataflow/path-exploration) never read the
+    // manager's analyses — their engines are simply rebuilt — so the
+    // in-place repair is LiveCheck-only work. The session's prepared
+    // caches ride the same epoch contract: stale per-value entries are
+    // dropped and rebuilt lazily against the repaired analyses.
+    if (batchBackendUsesLiveCheck(Driver->backend()))
+      for (std::size_t I = 0; I != Module.size(); ++I)
+        if (Touched[I])
+          Driver->analysisManager().refresh(*Module[I]);
     Driver->notifyCFGEdited();
+  }
   return encodeEditApplied(Results);
 }
 

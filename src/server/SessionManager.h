@@ -19,12 +19,20 @@
 /// any thread count and any interleaving of other sessions on the pool.
 ///
 /// CFG-edit commands replay deterministic mutations against the session's
-/// module (workload::applyFunctionMutation) and then route the journaled
-/// deltas through AnalysisManager::refresh — the PR-3 incremental repair
-/// plane — instead of dropping the cached analyses. A client that applies
-/// the same mutation sequence to its own copy of the module can therefore
-/// predict every reply bit, which is the contract the differential soak
-/// suite enforces.
+/// module (workload::applyFunctionMutation), coalesced per frame: all
+/// mutations apply first, then one AnalysisManager::refresh per touched
+/// function consumes that function's whole delta journal — the incremental
+/// repair plane — instead of dropping the cached analyses or repairing
+/// once per edit. A client that applies the same mutation sequence to its
+/// own copy of the module can therefore predict every reply bit, which is
+/// the contract the differential soak suite enforces.
+///
+/// Sessions default to the driver's cached prepared plane: each value's
+/// use blocks are collected and renumbered once (core/PreparedCache) and
+/// reused across every later query batch of the connection; CFG edits
+/// invalidate the affected entries through the cache's epoch contract, so
+/// a long-lived session pays the chain walk once per value per edit, not
+/// once per query.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -90,13 +90,53 @@ randomImperativeFunction(std::uint64_t Seed,
   return F;
 }
 
-/// A liveness backend answering exclusively through LiveCheck's renumbered
-/// query plane — PreparedVar entries (or the mask entries when \p UseMask
-/// is set) instead of the block-id entries FunctionLiveness historically
-/// used. The ssa test matrices run the interference check and SSA
-/// destruction against this side by side with FunctionLiveness and demand
-/// identical decisions: the groundwork for migrating SSA destruction to
-/// prepareDef (ROADMAP).
+/// A liveness backend answering exclusively through the classic block-id
+/// entry points, re-walking the def-use chain on every query — the flow
+/// FunctionLiveness ran before the prepared-cache migration, preserved as
+/// a *differential oracle*: production now answers through the cached
+/// per-value prepared plane (core/PreparedCache), and the ssa/pipeline
+/// matrices compare it against this maximally independent plane (no
+/// shared per-variable state, no numbering translation).
+class BlockIdLiveness : public LivenessQueries {
+public:
+  explicit BlockIdLiveness(const Function &F, LiveCheckOptions Opts = {})
+      : Graph(CFG::fromFunction(F)), Dfs(Graph), Tree(Graph, Dfs),
+        Engine(Graph, Dfs, Tree, Opts) {}
+
+  bool isLiveIn(const Value &V, const BasicBlock &B) override {
+    if (V.defs().empty() || !V.hasUses())
+      return false;
+    Uses.clear();
+    appendLiveUseBlocks(V, Uses);
+    return Engine.isLiveIn(defBlockId(V), B.id(), Uses);
+  }
+
+  bool isLiveOut(const Value &V, const BasicBlock &B) override {
+    if (V.defs().empty() || !V.hasUses())
+      return false;
+    Uses.clear();
+    appendLiveUseBlocks(V, Uses);
+    return Engine.isLiveOut(defBlockId(V), B.id(), Uses);
+  }
+
+  const char *backendName() const override { return "livecheck-blockid"; }
+
+  const LiveCheck &engine() const { return Engine; }
+
+private:
+  CFG Graph;
+  DFS Dfs;
+  DomTree Tree;
+  LiveCheck Engine;
+  std::vector<unsigned> Uses;
+};
+
+/// A liveness backend answering through per-query-prepared PreparedVar
+/// entries (or the mask entries when \p UseMask is set): the variable is
+/// re-prepared on every query, never cached. Kept purely as a differential
+/// oracle for the production cached plane — FunctionLiveness now *is* the
+/// prepared path (via core/PreparedCache), and the ssa matrices compare
+/// all of them pairwise.
 class PreparedLiveness : public LivenessQueries {
 public:
   explicit PreparedLiveness(const Function &F, bool UseMask = false,

@@ -1,0 +1,296 @@
+//===- tests/core/PreparedCacheTest.cpp -----------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The value-indexed prepared cache: agreement of the cached plane with the
+// block-id oracle, the per-value def-use invalidation contract, and —
+// pinned forever — the stale-after-renumbering scenario the CFG-epoch key
+// exists to forbid: a PreparedVar held across a structural edit answers
+// queries *wrongly* against the repaired engine, so the cache must drop
+// (and rebuild) the entry, never serve it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreparedCache.h"
+
+#include "TestUtil.h"
+#include "core/FunctionLiveness.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "pipeline/AnalysisManager.h"
+#include "workload/CFGMutator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ssalive;
+using namespace ssalive::testutil;
+
+namespace {
+
+std::unique_ptr<Function> parse(const char *Text) {
+  ParseResult R = parseFunction(Text);
+  EXPECT_TRUE(R.Func) << R.Error;
+  return std::move(R.Func);
+}
+
+} // namespace
+
+TEST(PreparedCache, CachedPlaneMatchesBlockIdOracle) {
+  // FunctionLiveness (the cached plane) against the block-id oracle over
+  // every (value, block) pair and both directions, including irreducible
+  // shapes; a second full sweep must be all cache hits.
+  for (std::uint64_t Seed = 7100; Seed != 7112; ++Seed) {
+    RandomFunctionConfig Cfg;
+    Cfg.TargetBlocks = 12 + static_cast<unsigned>(Seed % 20);
+    Cfg.GotoEdges = Seed % 3;
+    auto F = randomSSAFunction(Seed, Cfg);
+    FunctionLiveness Cached(*F);
+    BlockIdLiveness Oracle(*F);
+
+    for (unsigned Sweep = 0; Sweep != 2; ++Sweep)
+      for (const auto &V : F->values()) {
+        if (V->defs().size() != 1)
+          continue;
+        for (const auto &B : F->blocks()) {
+          ASSERT_EQ(Cached.isLiveIn(*V, *B), Oracle.isLiveIn(*V, *B))
+              << "seed " << Seed << " %" << V->name() << " in b"
+              << B->id();
+          ASSERT_EQ(Cached.isLiveOut(*V, *B), Oracle.isLiveOut(*V, *B))
+              << "seed " << Seed << " %" << V->name() << " out b"
+              << B->id();
+        }
+      }
+
+    PreparedCacheStats S = Cached.preparedCache().stats();
+    EXPECT_GT(S.Builds, 0u) << "seed " << Seed;
+    EXPECT_GT(S.Hits, S.Builds) << "seed " << Seed;
+    EXPECT_EQ(S.Rebuilds, 0u) << "seed " << Seed;
+    EXPECT_EQ(S.EpochDrops, 0u) << "seed " << Seed;
+  }
+}
+
+TEST(PreparedCache, StaleEntryAfterRenumberingIsDroppedNotServed) {
+  // The pinned contract scenario. A structural edit reparents part of the
+  // dominator tree, so the preorder numbering every cached span lives in
+  // shifts under the in-place LiveCheck repair. A PreparedVar snapshotted
+  // before the edit must then answer at least one query differently from
+  // the repaired truth — proving "keep using the old entry" is a real
+  // wrong-answer bug, not a theoretical one — and the cache must mark the
+  // entry stale, refuse to serve it (debug assert in cached()), and
+  // rebuild it to bit-identical agreement with a fresh engine.
+  auto F = parse(R"(
+func @stale {
+e:
+  %p = param 0
+  %v = const 7
+  branch %p, a, b
+a:
+  %s = opaque %v
+  jump c
+b:
+  jump c
+c:
+  %u = opaque %v
+  branch %p, x, b
+x:
+  ret %u
+}
+)");
+  ASSERT_TRUE(F);
+
+  AnalysisManager AM;
+  FunctionAnalyses &FA = AM.get(*F);
+  const LiveCheck &LC = FA.liveCheck();
+  PreparedCache Cache(*F, LC, FA.domTree());
+
+  // Snapshot every queryable value's prepared entry under the old
+  // numbering (own the span storage: the cache will rebuild over its own).
+  struct Snapshot {
+    const Value *V;
+    std::vector<unsigned> Nums;
+    LiveCheck::PreparedVar Prep;
+  };
+  std::vector<Snapshot> Old;
+  for (const auto &V : F->values()) {
+    if (V->defs().size() != 1 || !V->hasUses())
+      continue;
+    const LiveCheck::PreparedVar &P = Cache.ensure(*V);
+    Snapshot S;
+    S.V = V.get();
+    S.Nums.assign(P.NumsBegin, P.NumsEnd);
+    S.Prep = P;
+    S.Prep.NumsBegin = S.Nums.data();
+    S.Prep.NumsEnd = S.Nums.data() + S.Nums.size();
+    S.Prep.Mask = nullptr; // Spans only; masks don't engage at this size.
+    Old.push_back(std::move(S));
+    EXPECT_TRUE(Cache.isFresh(*V.get()));
+  }
+  ASSERT_FALSE(Old.empty());
+
+  // The renumbering edit: a -> x gives x a second predecessor, reparenting
+  // it from c to e in the dominator tree and shifting the preorder
+  // numbers/intervals of the blocks behind it.
+  Mutation M{MutationKind::AddEdge, /*From=*/1, /*To=*/4, 0};
+  ASSERT_TRUE(applyFunctionMutation(*F, M));
+  FunctionAnalyses &FA2 = AM.refresh(*F);
+  ASSERT_EQ(&FA2, &FA) << "refresh must repair in place";
+  EXPECT_EQ(AM.counters().Refreshes, 1u);
+
+  // Every entry went stale with the epoch.
+  for (const Snapshot &S : Old)
+    EXPECT_FALSE(Cache.isFresh(*S.V)) << "%" << S.V->name();
+
+  // The stale spans are wrong against the repaired engine somewhere: the
+  // fresh rebuild is the truth, and at least one (value, block, direction)
+  // must disagree with a stale-prep answer.
+  BlockIdLiveness Fresh(*F);
+  bool StaleAnswersDiffer = false;
+  for (const Snapshot &S : Old) {
+    for (const auto &B : F->blocks()) {
+      if (LC.isLiveInPrepared(S.Prep, B->id()) !=
+              Fresh.isLiveIn(*S.V, *B) ||
+          LC.isLiveOutPrepared(S.Prep, B->id()) !=
+              Fresh.isLiveOut(*S.V, *B))
+        StaleAnswersDiffer = true;
+    }
+  }
+  EXPECT_TRUE(StaleAnswersDiffer)
+      << "the edit did not make the old numbering wrong — the regression "
+         "scenario this test pins no longer reproduces";
+
+  // ensure() rebuilds against the repaired analyses and agrees with the
+  // fresh oracle everywhere; the drop is recorded as an epoch drop.
+  for (const Snapshot &S : Old) {
+    const LiveCheck::PreparedVar &P = Cache.ensure(*S.V);
+    EXPECT_TRUE(Cache.isFresh(*S.V));
+    for (const auto &B : F->blocks()) {
+      EXPECT_EQ(LC.isLiveInPrepared(P, B->id()), Fresh.isLiveIn(*S.V, *B))
+          << "%" << S.V->name() << " in b" << B->id();
+      EXPECT_EQ(LC.isLiveOutPrepared(P, B->id()),
+                Fresh.isLiveOut(*S.V, *B))
+          << "%" << S.V->name() << " out b" << B->id();
+    }
+  }
+  EXPECT_EQ(Cache.stats().EpochDrops, Old.size());
+}
+
+TEST(PreparedCache, DefUseEditInvalidatesExactlyTheEditedValue) {
+  // The paper's Section-7 stability at the cache layer: adding a use
+  // never touches the engine, and it drops exactly the edited value's
+  // entry — queries then see the new use immediately.
+  auto F = parse(R"(
+func @duedit {
+e:
+  %p = param 0
+  %a = const 1
+  %b = const 2
+  branch %p, l, r
+l:
+  %s = opaque %a
+  jump x
+r:
+  %t = opaque %b
+  jump x
+x:
+  ret %p
+}
+)");
+  ASSERT_TRUE(F);
+  FunctionLiveness Live(*F);
+
+  Value *A = nullptr, *B = nullptr;
+  for (const auto &V : F->values()) {
+    if (V->name() == "a")
+      A = V.get();
+    if (V->name() == "b")
+      B = V.get();
+  }
+  ASSERT_TRUE(A && B);
+  BasicBlock *R = nullptr, *X = nullptr;
+  for (const auto &Blk : F->blocks()) {
+    if (Blk->name() == "r")
+      R = Blk.get();
+    if (Blk->name() == "x")
+      X = Blk.get();
+  }
+  ASSERT_TRUE(R && X);
+
+  // %a is used only down the l arm: dead into r.
+  EXPECT_FALSE(Live.isLiveIn(*A, *R));
+  EXPECT_TRUE(Live.isLiveOut(*B, *F->entry()));
+
+  // Give %a a use in x (no CFG change, no engine invalidation).
+  Value *N = F->createValue("n");
+  X->insertAt(0, std::make_unique<Instruction>(Opcode::Opaque, N,
+                                               std::vector<Value *>{A}));
+
+  // The cached plane reflects the new use on the next query: %a now
+  // reaches x through both arms, so it is live into r.
+  EXPECT_TRUE(Live.isLiveIn(*A, *R));
+  PreparedCacheStats S = Live.preparedCache().stats();
+  EXPECT_EQ(S.Rebuilds, 1u) << "exactly %a's entry rebuilds";
+  EXPECT_EQ(S.EpochDrops, 0u);
+  // %b's entry was untouched and still serves hits, not rebuilds.
+  EXPECT_TRUE(Live.isLiveOut(*B, *F->entry()));
+  PreparedCacheStats S2 = Live.preparedCache().stats();
+  EXPECT_EQ(S2.Hits, S.Hits + 1);
+  EXPECT_EQ(S2.Rebuilds, S.Rebuilds);
+}
+
+TEST(PreparedCache, ValuesCreatedAfterConstructionAreServed) {
+  // Values (and their instructions) may be created after the backend is
+  // built; the cache grows on demand.
+  auto F = parse(R"(
+func @grow {
+e:
+  %p = param 0
+  jump x
+x:
+  ret %p
+}
+)");
+  ASSERT_TRUE(F);
+  FunctionLiveness Live(*F);
+  Value *P = F->value(0);
+  EXPECT_TRUE(Live.isLiveIn(*P, *F->block(1)));
+
+  Value *N = F->createValue("late");
+  F->entry()->insertAt(1, std::make_unique<Instruction>(
+                              Opcode::Const, N, std::vector<Value *>{}));
+  F->block(1)->insertAt(0, std::make_unique<Instruction>(
+                               Opcode::Opaque, F->createValue("use"),
+                               std::vector<Value *>{N}));
+  EXPECT_TRUE(Live.isLiveIn(*N, *F->block(1)));
+  EXPECT_FALSE(Live.isLiveOut(*N, *F->block(1)));
+}
+
+#ifndef NDEBUG
+TEST(PreparedCacheDeathTest, QueryAfterCFGEditAsserts) {
+  // FunctionLiveness is pinned to the CFG epoch it was built at; querying
+  // across a structural edit must trip the epoch assert instead of
+  // answering from a stale engine.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto F = parse(R"(
+func @epoch {
+e:
+  %p = param 0
+  branch %p, a, b
+a:
+  jump b
+b:
+  ret %p
+}
+)");
+  ASSERT_TRUE(F);
+  FunctionLiveness Live(*F);
+  Value *P = F->value(0);
+  EXPECT_TRUE(Live.isLiveIn(*P, *F->block(2)));
+  // a currently ends in `jump b`; a -> e is a new back edge.
+  Mutation M{MutationKind::AddEdge, /*From=*/1, /*To=*/0, 0};
+  ASSERT_TRUE(applyFunctionMutation(*F, M));
+  EXPECT_DEATH((void)Live.isLiveIn(*P, *F->block(2)),
+               "CFG edited under FunctionLiveness");
+}
+#endif

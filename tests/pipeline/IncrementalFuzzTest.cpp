@@ -24,6 +24,7 @@
 #include "TestUtil.h"
 #include "analysis/SemiNCA.h"
 #include "core/LiveCheck.h"
+#include "core/PreparedCache.h"
 #include "core/UseInfo.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -334,13 +335,52 @@ unsigned runCFGFuzz(std::uint64_t Seed, bool Reducible, unsigned Steps) {
   return Executed;
 }
 
+/// Compares the persistent prepared cache — entries surviving from before
+/// the edit, epoch-dropped and rebuilt lazily — against the fresh engine's
+/// block-id entries, bit for bit over every block, for the function's real
+/// SSA values. This is the production query path of the refresh plane: a
+/// stale span served here is exactly the wrong-answer class the cache's
+/// epoch contract forbids.
+bool comparePreparedCache(PreparedCache &Cache, const LiveCheck &LC,
+                          const Function &F, const LiveCheck &Fresh,
+                          const std::string &Tag, unsigned MaxValues = 10) {
+  unsigned Checked = 0;
+  for (const auto &V : F.values()) {
+    if (V->defs().size() != 1 || !V->hasUses())
+      continue;
+    unsigned Def = defBlockId(*V);
+    std::vector<unsigned> Uses = liveUseBlocks(*V);
+    const LiveCheck::PreparedVar &P = Cache.ensure(*V);
+    for (unsigned Q = 0; Q != F.numBlocks(); ++Q) {
+      if (LC.isLiveInPrepared(P, Q) != Fresh.isLiveIn(Def, Q, Uses)) {
+        ADD_FAILURE() << Tag << ": cached-prepared live-in mismatch %"
+                      << V->name() << " q=" << Q;
+        return false;
+      }
+      if (LC.isLiveOutPrepared(P, Q) != Fresh.isLiveOut(Def, Q, Uses)) {
+        ADD_FAILURE() << Tag << ": cached-prepared live-out mismatch %"
+                      << V->name() << " q=" << Q;
+        return false;
+      }
+    }
+    if (++Checked == MaxValues)
+      break;
+  }
+  return true;
+}
+
 /// IR-level campaign: AnalysisManager::refresh against fresh rebuilds.
 unsigned runFunctionFuzz(std::uint64_t Seed, unsigned Steps) {
   auto F = randomSSAFunction(Seed, {/*TargetBlocks=*/28});
   if (::testing::Test::HasFailure())
     return 0;
   AnalysisManager AM;
-  (void)AM.get(*F).liveCheck(); // Materialize the cached stack.
+  FunctionAnalyses &FA0 = AM.get(*F);
+  (void)FA0.liveCheck(); // Materialize the cached stack.
+  // The prepared cache lives across the whole edit campaign, like a
+  // long-lived session's: every step's entries go stale and must be
+  // epoch-dropped, never served.
+  PreparedCache Cache(*F, FA0.liveCheck(), FA0.domTree());
 
   RandomEngine Rng(Seed * 977 + 5);
   CFGMutatorOptions MOpts;
@@ -354,6 +394,7 @@ unsigned runFunctionFuzz(std::uint64_t Seed, unsigned Steps) {
     EXPECT_EQ(FA.epoch(), F->cfgVersion());
     const LiveCheck &LC = FA.liveCheck();
     const DomTree &DT = FA.domTree();
+    Cache.rebind(LC, DT); // No-op while refresh repairs in place.
     ++Executed;
 
     std::ostringstream OS;
@@ -387,12 +428,17 @@ unsigned runFunctionFuzz(std::uint64_t Seed, unsigned Steps) {
       return Executed;
     if (!compareSets(LC, Fresh, Tag))
       return Executed;
+    if (!comparePreparedCache(Cache, LC, *F, Fresh, Tag))
+      return Executed;
   }
 
   // The refresh path, not the invalidation path, must have served the
   // campaign: the journal covered every step.
   EXPECT_EQ(AM.counters().Invalidations, 0u) << "seed=" << Seed;
   EXPECT_EQ(AM.counters().Refreshes, Executed) << "seed=" << Seed;
+  // Every step invalidated the previous step's entries: the campaign must
+  // have exercised the epoch-drop path, not just first-time builds.
+  EXPECT_GT(Cache.stats().EpochDrops, 0u) << "seed=" << Seed;
   return Executed;
 }
 
@@ -487,6 +533,40 @@ unsigned runServerRoutedFuzz(std::uint64_t Seed, unsigned Steps) {
       return Executed;
     if (!compareSets(LC, Fresh, Tag))
       return Executed;
+
+    // Drive a query batch through the session's wire dispatch — the
+    // session runs the cached prepared plane, whose per-value entries
+    // just went stale under this edit — and byte-compare the Answers
+    // frame against the fresh engine's block-id entries.
+    std::vector<protocol::QueryItem> Items;
+    std::vector<std::uint8_t> WantAnswers;
+    unsigned Sampled = 0;
+    for (const auto &V : SF.values()) {
+      if (V->defs().size() != 1 || !V->hasUses())
+        continue;
+      unsigned Def = defBlockId(*V);
+      std::vector<unsigned> Uses = liveUseBlocks(*V);
+      for (unsigned Probe = 0; Probe != 6; ++Probe) {
+        std::uint32_t Q = Rng.nextBelow(SF.numBlocks());
+        bool IsOut = (Probe & 1) != 0;
+        Items.push_back({0, V->id(), Q, IsOut});
+        WantAnswers.push_back((IsOut ? Fresh.isLiveOut(Def, Q, Uses)
+                                     : Fresh.isLiveIn(Def, Q, Uses))
+                                  ? 1
+                                  : 0);
+      }
+      if (++Sampled == 4)
+        break;
+    }
+    if (!Items.empty()) {
+      std::vector<std::uint8_t> QReply =
+          S->handle(protocol::encodeQueryBatch(Items));
+      if (QReply != protocol::encodeAnswers(WantAnswers)) {
+        ADD_FAILURE() << Tag << ": cached-prepared session answers diverge "
+                      << "from fresh block-id entries";
+        return Executed;
+      }
+    }
   }
 
   // Every edit must have ridden the journaled refresh plane, never the
@@ -494,6 +574,16 @@ unsigned runServerRoutedFuzz(std::uint64_t Seed, unsigned Steps) {
   AnalysisManager::CacheCounters C = S->driver().analysisManager().counters();
   EXPECT_EQ(C.Invalidations, 0u) << "seed=" << Seed;
   EXPECT_EQ(C.Refreshes, Executed) << "seed=" << Seed;
+  // The session's prepared cache must have both served and dropped
+  // entries across the edit stream.
+  const PreparedCache *SC = S->driver().preparedCache(0);
+  if (!SC) {
+    ADD_FAILURE() << "seed=" << Seed
+                  << ": session never built a prepared cache";
+    return Executed;
+  }
+  EXPECT_GT(SC->stats().Builds, 0u) << "seed=" << Seed;
+  EXPECT_GT(SC->stats().EpochDrops, 0u) << "seed=" << Seed;
   return Executed;
 }
 

@@ -98,9 +98,15 @@ std::uint64_t runClient(int Fd, const ClientPlan &Plan, unsigned ClientId) {
     Blocks += F->numBlocks();
     Values += F->numValues();
   }
+  // The oracle always answers through the classic block-id entry points,
+  // whatever plane the server session runs: all planes answer identically
+  // by construction, so every byte-compared Answers frame below doubles
+  // as a cross-plane differential — in particular the cached prepared
+  // plane (the server default) is checked bit for bit against block-id
+  // entries across the whole query+edit stream.
   BatchOptions OOpts;
   OOpts.Backend = Plan.Backend;
-  OOpts.Plane = Plan.Plane;
+  OOpts.Plane = QueryPlane::BlockId;
   OOpts.Threads = 1;
   BatchLivenessDriver OracleDriver(Funcs, OOpts);
 
@@ -233,17 +239,24 @@ TEST(ServerSoak, ConcurrentClientsMatchOracleByteForByte) {
   Cfg.Threads = 2; // Sharded fan-out shared by all sessions.
   server::LivenessServer Server(Cfg);
 
-  // Five clients across backends and query planes; the shapes chosen so
-  // the request total comfortably clears 100k.
+  // Six clients across backends and query planes; the shapes chosen so
+  // the request total comfortably clears 100k. The cached prepared plane
+  // (the production default) runs on all three TStorage layouts — arena
+  // (propagated), bitset, sorted — under edit streams, so stale-entry
+  // bugs in any layout's cache interaction surface as byte mismatches
+  // against the block-id oracle.
   std::vector<ClientPlan> Plans = {
-      {1001, BatchBackend::LiveCheckPropagated, QueryPlane::BlockId, 620,
-       42, 6},
-      {1002, BatchBackend::LiveCheckFiltered, QueryPlane::Prepared, 620, 42,
+      {1001, BatchBackend::LiveCheckPropagated, QueryPlane::Prepared, 560,
+       42, 8},
+      {1002, BatchBackend::LiveCheckFiltered, QueryPlane::BlockId, 560, 42,
        6},
-      {1003, BatchBackend::LiveCheckBitset, QueryPlane::Nums, 620, 42, 6},
-      {1004, BatchBackend::LiveCheckBlockSweep, QueryPlane::BlockId, 620,
+      {1003, BatchBackend::LiveCheckBitset, QueryPlane::Prepared, 560, 42,
+       8},
+      {1004, BatchBackend::LiveCheckBlockSweep, QueryPlane::BlockId, 560,
        42, 6},
       {1005, BatchBackend::Dataflow, QueryPlane::BlockId, 150, 42, 4},
+      {1006, BatchBackend::LiveCheckSorted, QueryPlane::Prepared, 560, 42,
+       12},
   };
 
   std::vector<int> ClientFds;

@@ -203,13 +203,13 @@ TEST(SSADestruction, TraceRecordsQueries) {
 }
 
 TEST(SSADestruction, PreparedAndMaskBackendsDriveIdenticalDestruction) {
-  // The renumbered query plane must be a drop-in replacement for the
-  // block-id entries in the pass that motivates the paper's measurements:
-  // destruction driven through PreparedVar (and through the mask entries)
-  // must take every decision — every query, every copy, every coalesce —
-  // exactly as the historical FunctionLiveness backend does, down to
-  // byte-identical output IR. Groundwork for migrating the pass itself to
-  // prepareDef (ROADMAP).
+  // The cached prepared plane is now the production backend of the pass
+  // that motivates the paper's measurements: destruction driven through
+  // FunctionLiveness (core/PreparedCache underneath) must take every
+  // decision — every query, every copy, every coalesce — exactly as the
+  // historical block-id flow does, down to byte-identical output IR. The
+  // per-query-prepared and mask shims stay in the matrix as additional
+  // oracles.
   for (std::uint64_t Seed = 950; Seed != 965; ++Seed) {
     RandomFunctionConfig Cfg;
     Cfg.TargetBlocks = 10 + static_cast<unsigned>(Seed % 24);
@@ -217,17 +217,21 @@ TEST(SSADestruction, PreparedAndMaskBackendsDriveIdenticalDestruction) {
     auto F1 = randomSSAFunction(Seed, Cfg);
     auto F2 = cloneFunction(*F1);
     auto F3 = cloneFunction(*F1);
+    auto F4 = cloneFunction(*F1);
 
-    FunctionLiveness ViaBlocks(*F1);
+    BlockIdLiveness ViaBlocks(*F1);
     DestructionOptions Opts;
     Opts.RecordTrace = true;
     DestructionStats S1 = destructSSA(*F1, ViaBlocks, Opts);
 
-    PreparedLiveness ViaPrepared(*F2);
-    DestructionStats S2 = destructSSA(*F2, ViaPrepared, Opts);
+    FunctionLiveness ViaCached(*F2);
+    DestructionStats S2 = destructSSA(*F2, ViaCached, Opts);
 
-    PreparedLiveness ViaMask(*F3, /*UseMask=*/true);
-    DestructionStats S3 = destructSSA(*F3, ViaMask, Opts);
+    PreparedLiveness ViaPrepared(*F3);
+    DestructionStats S3 = destructSSA(*F3, ViaPrepared, Opts);
+
+    PreparedLiveness ViaMask(*F4, /*UseMask=*/true);
+    DestructionStats S4 = destructSSA(*F4, ViaMask, Opts);
 
     EXPECT_EQ(S1.LivenessQueries, S2.LivenessQueries) << "seed " << Seed;
     EXPECT_EQ(S1.CopiesInserted, S2.CopiesInserted) << "seed " << Seed;
@@ -236,15 +240,19 @@ TEST(SSADestruction, PreparedAndMaskBackendsDriveIdenticalDestruction) {
     EXPECT_EQ(S1.CopiesInserted, S3.CopiesInserted) << "seed " << Seed;
     EXPECT_EQ(S1.ResourcesCoalesced, S3.ResourcesCoalesced)
         << "seed " << Seed;
+    EXPECT_EQ(S1.CopiesInserted, S4.CopiesInserted) << "seed " << Seed;
+    EXPECT_EQ(S1.ResourcesCoalesced, S4.ResourcesCoalesced)
+        << "seed " << Seed;
     EXPECT_EQ(printFunction(*F1), printFunction(*F2)) << "seed " << Seed;
     EXPECT_EQ(printFunction(*F1), printFunction(*F3)) << "seed " << Seed;
+    EXPECT_EQ(printFunction(*F1), printFunction(*F4)) << "seed " << Seed;
     ASSERT_EQ(S1.Trace.size(), S2.Trace.size()) << "seed " << Seed;
     for (size_t I = 0; I != S1.Trace.size(); ++I) {
       EXPECT_EQ(S1.Trace[I].ValueId, S2.Trace[I].ValueId);
       EXPECT_EQ(S1.Trace[I].BlockId, S2.Trace[I].BlockId);
       EXPECT_EQ(S1.Trace[I].IsLiveOut, S2.Trace[I].IsLiveOut);
     }
-    expectEquivalent(*F1, *F2, "prepared-backend destruction");
+    expectEquivalent(*F1, *F2, "cached-prepared-backend destruction");
   }
 }
 

@@ -179,14 +179,16 @@ TEST(Interference, PreparedAndMaskEntriesMatchBlockIdEntries) {
   // The renumbered query plane (PreparedVar spans and use masks) must
   // answer every interference-relevant query exactly like the block-id
   // entries the SSA layer historically used — per raw engine query and
-  // per interfere() verdict. Groundwork for migrating SSA destruction to
-  // prepareDef (ROADMAP).
+  // per interfere() verdict. FunctionLiveness is now the *cached* prepared
+  // plane (core/PreparedCache), so it joins the matrix as a backend under
+  // test and BlockIdLiveness plays the historical oracle.
   for (std::uint64_t Seed = 500; Seed != 512; ++Seed) {
     auto F = randomSSAFunction(Seed);
     CFG G = CFG::fromFunction(*F);
     DFS D(G);
     DomTree DT(G, D);
-    FunctionLiveness Live(*F);
+    BlockIdLiveness Live(*F);
+    FunctionLiveness Cached(*F);
     PreparedLiveness Prepared(*F);
     PreparedLiveness Masked(*F, /*UseMask=*/true);
 
@@ -227,8 +229,11 @@ TEST(Interference, PreparedAndMaskEntriesMatchBlockIdEntries) {
       }
     }
 
-    // Interference verdicts through all three backends.
+    // Interference verdicts through all four backends: the block-id
+    // oracle, the production cached plane, and the two per-query-prepared
+    // shims.
     InterferenceCheck ViaBlocks(*F, DT, Live);
+    InterferenceCheck ViaCached(*F, DT, Cached);
     InterferenceCheck ViaPrepared(*F, DT, Prepared);
     InterferenceCheck ViaMask(*F, DT, Masked);
     std::vector<Value *> Defined;
@@ -238,6 +243,9 @@ TEST(Interference, PreparedAndMaskEntriesMatchBlockIdEntries) {
     for (size_t I = 0; I < Defined.size(); ++I)
       for (size_t J = I + 1; J < std::min(Defined.size(), I + 12); ++J) {
         bool Expect = ViaBlocks.interfere(*Defined[I], *Defined[J]);
+        EXPECT_EQ(Expect, ViaCached.interfere(*Defined[I], *Defined[J]))
+            << "seed " << Seed << " %" << Defined[I]->name() << " vs %"
+            << Defined[J]->name();
         EXPECT_EQ(Expect, ViaPrepared.interfere(*Defined[I], *Defined[J]))
             << "seed " << Seed << " %" << Defined[I]->name() << " vs %"
             << Defined[J]->name();
@@ -245,6 +253,11 @@ TEST(Interference, PreparedAndMaskEntriesMatchBlockIdEntries) {
             << "seed " << Seed << " %" << Defined[I]->name() << " vs %"
             << Defined[J]->name();
       }
+    // The cached plane must actually have cached: repeated interfere()
+    // sweeps hit each value's entry many times.
+    EXPECT_GT(Cached.preparedCache().stats().Hits, 0u) << "seed " << Seed;
+    EXPECT_EQ(Cached.preparedCache().stats().EpochDrops, 0u)
+        << "seed " << Seed;
   }
 }
 

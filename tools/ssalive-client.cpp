@@ -16,7 +16,8 @@
 //     --backend=NAME          propagated|filtered|sorted|bitset|
 //                             block-sweep|dataflow|path-exploration
 //     --plane=NAME            block-id|nums|mask|prepared (LiveCheck
-//                             entry point used per query)
+//                             entry point used per query; default
+//                             prepared — the server-side cached plane)
 //     --generate=N            synthesize N SPEC-profile functions
 //                             (default 8 when no module file is given)
 //     --seed=S --queries=N --batch=K --repeat=R
@@ -61,7 +62,7 @@ struct CliOptions {
   std::string SpawnBinary;
   bool UnixTransport = false;
   BatchBackend Backend = BatchBackend::LiveCheckPropagated;
-  QueryPlane Plane = QueryPlane::BlockId;
+  QueryPlane Plane = QueryPlane::Prepared;
   unsigned Generate = 0;
   std::uint64_t Seed = 42;
   std::size_t Queries = 200000;
@@ -317,9 +318,13 @@ int main(int Argc, char **Argv) {
     TotalBlocks += F->numBlocks();
     TotalValues += F->numValues();
   }
+  // The oracle answers through the block-id entry points whatever plane
+  // the server session runs: all planes are answer-identical by
+  // construction, so every --verify byte-compare doubles as a cross-plane
+  // differential (in particular of the server's cached prepared plane).
   BatchOptions OOpts;
   OOpts.Backend = Opts.Backend;
-  OOpts.Plane = Opts.Plane;
+  OOpts.Plane = QueryPlane::BlockId;
   OOpts.Threads = 1;
   BatchLivenessDriver OracleDriver(OracleFuncs, OOpts);
 
