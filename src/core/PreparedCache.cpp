@@ -8,6 +8,7 @@
 
 #include "core/UseInfo.h"
 #include "ir/Function.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -115,6 +116,23 @@ PreparedCacheStats PreparedCache::stats() const {
   S.Rebuilds = Rebuilds.load(std::memory_order_relaxed);
   S.EpochDrops = EpochDrops.load(std::memory_order_relaxed);
   return S;
+}
+
+void PreparedCache::publishTelemetry() {
+  static telemetry::Counter HitsC("ssalive_prepared_hits_total");
+  static telemetry::Counter BuildsC("ssalive_prepared_builds_total");
+  static telemetry::Counter RebuildsC("ssalive_prepared_rebuilds_total");
+  static telemetry::Counter DropsC("ssalive_prepared_epoch_drops_total");
+  PreparedCacheStats S = stats();
+  if (S.Hits > Published.Hits)
+    HitsC.inc(S.Hits - Published.Hits);
+  if (S.Builds > Published.Builds)
+    BuildsC.inc(S.Builds - Published.Builds);
+  if (S.Rebuilds > Published.Rebuilds)
+    RebuildsC.inc(S.Rebuilds - Published.Rebuilds);
+  if (S.EpochDrops > Published.EpochDrops)
+    DropsC.inc(S.EpochDrops - Published.EpochDrops);
+  Published = S;
 }
 
 std::size_t PreparedCache::memoryBytes() const {

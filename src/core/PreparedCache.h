@@ -139,6 +139,16 @@ public:
 
   PreparedCacheStats stats() const;
 
+  /// Folds the counters accrued since the last publish into the
+  /// process-wide telemetry registry (`ssalive_prepared_*`). Delta-based,
+  /// so it may be called any number of times; the batch driver calls it
+  /// once per run and the destructor flushes whatever remains. Keeping
+  /// publication out-of-band is what lets ensure()'s hit path stay at a
+  /// single relaxed increment — the hard budget of the telemetry plane.
+  void publishTelemetry();
+
+  ~PreparedCache() { publishTelemetry(); }
+
   /// Bytes held by the cache: the entry table plus every span/mask payload.
   std::size_t memoryBytes() const;
 
@@ -178,6 +188,8 @@ private:
   std::atomic<std::uint64_t> Builds{0};
   std::atomic<std::uint64_t> Rebuilds{0};
   std::atomic<std::uint64_t> EpochDrops{0};
+  /// What publishTelemetry() already forwarded to the registry.
+  PreparedCacheStats Published;
 };
 
 } // namespace ssalive

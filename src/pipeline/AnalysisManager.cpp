@@ -7,8 +7,29 @@
 #include "pipeline/AnalysisManager.h"
 
 #include "ir/Function.h"
+#include "support/Telemetry.h"
 
 using namespace ssalive;
+
+namespace {
+
+/// Registry handles for the cache-traffic series. Registered once; every
+/// increment is one relaxed store into this thread's shard.
+struct CacheTelemetry {
+  telemetry::Counter Hits{"ssalive_analysis_cache_hits_total"};
+  telemetry::Counter Misses{"ssalive_analysis_cache_misses_total"};
+  telemetry::Counter Invalidations{
+      "ssalive_analysis_cache_invalidations_total"};
+  telemetry::Counter Refreshes{"ssalive_analysis_cache_refreshes_total"};
+  telemetry::Counter JournalGaps{"ssalive_analysis_journal_gap_total"};
+
+  static const CacheTelemetry &get() {
+    static CacheTelemetry T;
+    return T;
+  }
+};
+
+} // namespace
 
 FunctionAnalyses::FunctionAnalyses(const Function &F, LiveCheckOptions Opts)
     : F(F), Epoch(F.cfgVersion()), Opts(Opts) {}
@@ -112,14 +133,17 @@ FunctionAnalyses &AnalysisManager::get(const Function &F) {
   if (It != Cache.end()) {
     if (It->second->epoch() == F.cfgVersion()) {
       ++Counters.Hits;
+      CacheTelemetry::get().Hits.inc();
       return *It->second;
     }
     // Structural edit since the snapshot: rebuild this function's entry.
     ++Counters.Invalidations;
+    CacheTelemetry::get().Invalidations.inc();
     It->second = std::make_unique<FunctionAnalyses>(F, Opts);
     return *It->second;
   }
   ++Counters.Misses;
+  CacheTelemetry::get().Misses.inc();
   auto Inserted =
       Cache.emplace(&F, std::make_unique<FunctionAnalyses>(F, Opts));
   return *Inserted.first->second;
@@ -130,21 +154,30 @@ FunctionAnalyses &AnalysisManager::refresh(const Function &F) {
   auto It = Cache.find(&F);
   if (It == Cache.end()) {
     ++Counters.Misses;
+    CacheTelemetry::get().Misses.inc();
     auto Inserted =
         Cache.emplace(&F, std::make_unique<FunctionAnalyses>(F, Opts));
     return *Inserted.first->second;
   }
   if (It->second->epoch() == F.cfgVersion()) {
     ++Counters.Hits;
+    CacheTelemetry::get().Hits.inc();
     return *It->second;
   }
   if (auto Span = F.deltasSince(It->second->epoch())) {
-    It->second->applyDeltas(Span->first, Span->second);
+    {
+      SSALIVE_SPAN("refresh");
+      It->second->applyDeltas(Span->first, Span->second);
+    }
     ++Counters.Refreshes;
+    CacheTelemetry::get().Refreshes.inc();
     return *It->second;
   }
   // Journal gap (a bare epoch bump poisoned it): rebuild like get() would.
   ++Counters.Invalidations;
+  ++Counters.JournalGaps;
+  CacheTelemetry::get().Invalidations.inc();
+  CacheTelemetry::get().JournalGaps.inc();
   It->second = std::make_unique<FunctionAnalyses>(F, Opts);
   return *It->second;
 }

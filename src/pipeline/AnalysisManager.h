@@ -111,12 +111,17 @@ public:
   explicit AnalysisManager(LiveCheckOptions Opts = {})
       : Opts(withIncremental(Opts)) {}
 
-  /// Cache-miss/hit counters, for tests and throughput reports.
+  /// Cache-miss/hit counters, for tests and throughput reports. The same
+  /// events also stream into the process-wide telemetry registry (the
+  /// `ssalive_analysis_*` series), which is what the server's Metrics
+  /// opcode and the Prometheus exposition read.
   struct CacheCounters {
     std::uint64_t Hits = 0;
     std::uint64_t Misses = 0;         ///< First-time builds.
     std::uint64_t Invalidations = 0;  ///< Rebuilds forced by a stale epoch.
     std::uint64_t Refreshes = 0;      ///< In-place delta-journal repairs.
+    std::uint64_t JournalGaps = 0;    ///< Refreshes that found the journal
+                                      ///< poisoned and had to rebuild.
   };
 
   /// The analyses of \p F at its current CFG epoch, building or rebuilding

@@ -11,6 +11,7 @@
 #include "liveness/DataflowLiveness.h"
 #include "liveness/PathExplorationLiveness.h"
 #include "support/RandomEngine.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -18,6 +19,31 @@
 #include <chrono>
 
 using namespace ssalive;
+
+namespace {
+
+/// Registry handles for the per-run driver series. Everything here is
+/// published in bulk, once per run(): the per-query work stays on the
+/// workers' stack counters exactly as before, so the hot fan-out gains
+/// no telemetry instructions at all.
+struct DriverTelemetry {
+  telemetry::Counter Batches{"ssalive_driver_batches_total"};
+  telemetry::Counter Queries{"ssalive_driver_queries_total"};
+  telemetry::Counter Positives{"ssalive_driver_positive_total"};
+  telemetry::Counter EngineIn{"ssalive_engine_livein_queries_total"};
+  telemetry::Counter EngineOut{"ssalive_engine_liveout_queries_total"};
+  telemetry::Counter EngineTargets{"ssalive_engine_targets_visited_total"};
+  telemetry::Counter EngineUseTests{"ssalive_engine_use_tests_total"};
+  telemetry::Histogram PrecomputeNs{"ssalive_driver_precompute_ns"};
+  telemetry::Histogram QueryBatchNs{"ssalive_driver_query_batch_ns"};
+
+  static const DriverTelemetry &get() {
+    static DriverTelemetry T;
+    return T;
+  }
+};
+
+} // namespace
 
 const char *ssalive::batchBackendName(BatchBackend B) {
   switch (B) {
@@ -147,6 +173,12 @@ BatchLivenessDriver::~BatchLivenessDriver() = default;
 
 void BatchLivenessDriver::notifyCFGEdited() { Baselines.clear(); }
 
+void BatchLivenessDriver::publishPreparedTelemetry() {
+  for (const auto &P : Prepared)
+    if (P)
+      P->publishTelemetry();
+}
+
 unsigned BatchLivenessDriver::numThreads() const {
   return Pool->numThreads();
 }
@@ -176,6 +208,15 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
   // driver, since they have no invalidation story — exactly the Section 7
   // contrast this subsystem exists to exploit.
   auto PreStart = Clock::now();
+  SSALIVE_SPAN("query-batch");
+  std::vector<const LiveCheck *> Engines;
+  std::vector<const DomTree *> Trees;
+  bool NeedsTrees = usesLiveCheck() &&
+                    Opts.Backend != BatchBackend::LiveCheckBlockSweep &&
+                    Opts.Plane != QueryPlane::BlockId;
+  bool UsesPreparedCache = NeedsTrees && Opts.Plane == QueryPlane::Prepared;
+  {
+  SSALIVE_SPAN("precompute");
   if (usesLiveCheck()) {
     Pool->parallelFor(0, Funcs.size(), [this](std::size_t I) {
       Manager.get(*Funcs[I]).liveCheck();
@@ -193,11 +234,6 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
   // touches the manager's lock. The renumbered planes additionally need
   // each function's dominator tree to translate use blocks to preorder
   // numbers.
-  std::vector<const LiveCheck *> Engines;
-  std::vector<const DomTree *> Trees;
-  bool NeedsTrees = usesLiveCheck() &&
-                    Opts.Backend != BatchBackend::LiveCheckBlockSweep &&
-                    Opts.Plane != QueryPlane::BlockId;
   if (usesLiveCheck()) {
     Engines.reserve(Funcs.size());
     if (NeedsTrees)
@@ -221,7 +257,6 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
   // query. (A parallel fill over deduplicated pairs was measured slower on
   // the warm path — the per-frame sort and pool handoff cost more than
   // the sweep they saved.)
-  bool UsesPreparedCache = NeedsTrees && Opts.Plane == QueryPlane::Prepared;
   if (UsesPreparedCache) {
     if (Prepared.size() != Funcs.size())
       Prepared.resize(Funcs.size());
@@ -245,6 +280,7 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
   Result.PrecomputeMillis =
       std::chrono::duration<double, std::milli>(Clock::now() - PreStart)
           .count();
+  } // precompute span
 
   // Phase 2 — the query stream, split into contiguous per-worker spans.
   // Each worker owns its span of Answers and its PerThread slot, so the
@@ -300,7 +336,6 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
             CachedQueryable &&
             (Q.IsLiveOut ? OutBlocks.test(Q.BlockId) : InBlocks.test(Q.BlockId));
         Result.Answers[I] = Answer;
-        ++Stats.QueriesExecuted;
         Stats.PositiveAnswers += Answer;
       }
       Result.PerThread[Worker] = Stats;
@@ -380,7 +415,6 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
         }
       }
       Result.Answers[I] = Answer;
-      ++Stats.QueriesExecuted;
       Stats.PositiveAnswers += Answer;
     }
     Result.PerThread[Worker] = Stats;
@@ -388,6 +422,27 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
   Result.QueryMillis =
       std::chrono::duration<double, std::milli>(Clock::now() - QueryStart)
           .count();
+
+  // Publish the run's totals into the registry in bulk — a handful of
+  // relaxed adds per *batch*, zero per query.
+  const DriverTelemetry &T = DriverTelemetry::get();
+  T.Batches.inc();
+  T.Queries.inc(Result.Answers.size());
+  std::uint64_t Positives = 0;
+  for (const BatchThreadStats &S : Result.PerThread)
+    Positives += S.PositiveAnswers;
+  T.Positives.inc(Positives);
+  LiveCheckStats Engine = Result.totalEngineStats();
+  T.EngineIn.inc(Engine.LiveInQueries);
+  T.EngineOut.inc(Engine.LiveOutQueries);
+  T.EngineTargets.inc(Engine.TargetsVisited);
+  T.EngineUseTests.inc(Engine.UseTests);
+  T.PrecomputeNs.observe(
+      static_cast<std::uint64_t>(Result.PrecomputeMillis * 1e6));
+  T.QueryBatchNs.observe(
+      static_cast<std::uint64_t>(Result.QueryMillis * 1e6));
+  if (UsesPreparedCache)
+    publishPreparedTelemetry();
   return Result;
 }
 

@@ -98,9 +98,12 @@ struct BatchOptions {
 };
 
 /// Per-worker tallies; aggregation across workers is a fold, never a shared
-/// write (each worker owns its slot).
+/// write (each worker owns its slot). Queries-executed is not tallied here:
+/// worker spans are deterministic (`[size*W/N, size*(W+1)/N)`), so the count
+/// per worker is derivable from the workload size and the hand-rolled
+/// counter was redundant; the per-run totals now stream into the telemetry
+/// registry instead (`ssalive_driver_*`).
 struct BatchThreadStats {
-  std::uint64_t QueriesExecuted = 0;
   std::uint64_t PositiveAnswers = 0;
   LiveCheckStats Engine; ///< LiveCheck counters (zero for baselines).
 };
@@ -163,6 +166,11 @@ public:
   const PreparedCache *preparedCache(std::size_t FuncIndex) const {
     return FuncIndex < Prepared.size() ? Prepared[FuncIndex].get() : nullptr;
   }
+
+  /// Flushes every prepared cache's accrued counters into the telemetry
+  /// registry (run() does this per batch; exporters call it to be current
+  /// as of a snapshot).
+  void publishPreparedTelemetry();
 
   /// Tells the driver a function's CFG was structurally edited. The
   /// LiveCheck backends need nothing (the AnalysisManager revalidates by

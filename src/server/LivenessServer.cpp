@@ -6,6 +6,8 @@
 
 #include "server/LivenessServer.h"
 
+#include "support/Telemetry.h"
+
 #include <cerrno>
 #include <cstring>
 #include <poll.h>
@@ -16,6 +18,34 @@
 using namespace ssalive;
 using namespace ssalive::server;
 using namespace ssalive::protocol;
+
+namespace ssalive::server::detail {
+// Defined in SessionManager.cpp: encodeError plus the shared error
+// taxonomy counter.
+std::vector<std::uint8_t> countedErrorReply(protocol::ErrorCode Code,
+                                            const std::string &Msg);
+} // namespace ssalive::server::detail
+
+namespace {
+
+/// Wire-level telemetry: byte counters for both directions, one latency
+/// histogram per frame (and a second one for query frames specifically —
+/// the latency distribution the amortization profile is about), and the
+/// transport's connection count.
+struct WireTelemetry {
+  telemetry::Counter RxBytes{"ssalive_server_rx_bytes_total"};
+  telemetry::Counter TxBytes{"ssalive_server_tx_bytes_total"};
+  telemetry::Counter Connections{"ssalive_server_connections_total"};
+  telemetry::Histogram FrameNs{"ssalive_server_frame_ns"};
+  telemetry::Histogram QueryFrameNs{"ssalive_server_query_frame_ns"};
+
+  static const WireTelemetry &get() {
+    static WireTelemetry T;
+    return T;
+  }
+};
+
+} // namespace
 
 LivenessServer::LivenessServer(ServerConfig Cfg) : Cfg(Cfg), Mgr(Cfg) {
   ignoreSigpipe();
@@ -34,6 +64,8 @@ LivenessServer::~LivenessServer() {
 
 void LivenessServer::serveStream(int InFd, int OutFd) {
   Connections.fetch_add(1, std::memory_order_relaxed);
+  const WireTelemetry &T = WireTelemetry::get();
+  T.Connections.inc();
   std::unique_ptr<Session> S = Mgr.createSession();
   std::vector<std::uint8_t> Payload;
   for (;;) {
@@ -42,14 +74,28 @@ void LivenessServer::serveStream(int InFd, int OutFd) {
       // The oversized frame was never consumed, so the stream cannot be
       // resynchronized: answer once, well-formed, and hang up.
       (void)writeFrame(OutFd,
-                       encodeError(ErrorCode::FrameTooLarge,
-                                   "frame exceeds the server's size cap"),
+                       detail::countedErrorReply(
+                           ErrorCode::FrameTooLarge,
+                           "frame exceeds the server's size cap"),
                        Cfg.MaxFrameBytes);
       return;
     }
     if (RS != ReadStatus::Ok)
       return; // Eof / Truncated / IoError: nothing sane left to say.
-    if (!writeFrame(OutFd, S->handle(Payload), Cfg.MaxFrameBytes))
+    T.RxBytes.inc(4 + Payload.size());
+    // Frame latency covers dispatch through reply encode — the request's
+    // resident cost — not the peer-dependent socket I/O around it.
+    std::uint64_t Start = telemetry::nowNanos();
+    bool IsQuery =
+        !Payload.empty() &&
+        Payload[0] == static_cast<std::uint8_t>(protocol::Opcode::QueryBatch);
+    std::vector<std::uint8_t> Reply = S->handle(Payload);
+    std::uint64_t Elapsed = telemetry::nowNanos() - Start;
+    T.FrameNs.observe(Elapsed);
+    if (IsQuery)
+      T.QueryFrameNs.observe(Elapsed);
+    T.TxBytes.inc(4 + Reply.size());
+    if (!writeFrame(OutFd, Reply, Cfg.MaxFrameBytes))
       return;
     if (S->shutdownRequested()) {
       stop();

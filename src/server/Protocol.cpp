@@ -58,6 +58,10 @@ std::vector<std::uint8_t> protocol::encodeStats() {
   return {static_cast<std::uint8_t>(Opcode::Stats)};
 }
 
+std::vector<std::uint8_t> protocol::encodeMetricsRequest() {
+  return {static_cast<std::uint8_t>(Opcode::Metrics)};
+}
+
 std::vector<std::uint8_t> protocol::encodeShutdown() {
   return {static_cast<std::uint8_t>(Opcode::Shutdown)};
 }
@@ -108,6 +112,72 @@ std::vector<std::uint8_t> protocol::encodeStatsReply(const StatsWire &S) {
   W.u32(S.NumFuncs);
   W.u32(S.Threads);
   return W.take();
+}
+
+std::vector<std::uint8_t> protocol::encodeMetricsReply(
+    const std::vector<telemetry::Metric> &Metrics) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::MetricsReply));
+  W.u32(static_cast<std::uint32_t>(Metrics.size()));
+  for (const telemetry::Metric &M : Metrics) {
+    W.u8(static_cast<std::uint8_t>(M.Kind));
+    W.u16(static_cast<std::uint16_t>(M.Name.size()));
+    W.raw(M.Name.data(), M.Name.size());
+    switch (M.Kind) {
+    case telemetry::MetricKind::Counter:
+    case telemetry::MetricKind::Gauge:
+      W.u64(M.Value);
+      break;
+    case telemetry::MetricKind::Histogram:
+      W.u64(M.Hist.Count);
+      W.u64(M.Hist.Sum);
+      W.u16(static_cast<std::uint16_t>(telemetry::NumHistogramBuckets));
+      for (std::uint64_t B : M.Hist.Buckets)
+        W.u64(B);
+      break;
+    }
+  }
+  return W.take();
+}
+
+bool protocol::decodeMetrics(WireReader &R,
+                             std::vector<telemetry::Metric> &Out) {
+  std::uint32_t Count = R.u32();
+  for (std::uint32_t I = 0; I != Count; ++I) {
+    telemetry::Metric M;
+    std::uint8_t Kind = R.u8();
+    std::uint16_t NameLen = R.u16();
+    if (!R.ok() || Kind > 2 || R.remaining() < NameLen)
+      return false;
+    M.Kind = static_cast<telemetry::MetricKind>(Kind);
+    M.Name.reserve(NameLen); // Bounded by the check above, never by wire.
+    for (std::uint16_t J = 0; J != NameLen; ++J)
+      M.Name.push_back(static_cast<char>(R.u8()));
+    switch (M.Kind) {
+    case telemetry::MetricKind::Counter:
+    case telemetry::MetricKind::Gauge:
+      M.Value = R.u64();
+      break;
+    case telemetry::MetricKind::Histogram: {
+      M.Hist.Count = R.u64();
+      M.Hist.Sum = R.u64();
+      std::uint16_t NBuckets = R.u16();
+      // A peer speaking a different bucket vocabulary is a protocol
+      // mismatch, and a lying count must never drive a loop past the
+      // payload: both land here.
+      if (!R.ok() || NBuckets > telemetry::NumHistogramBuckets ||
+          R.remaining() < std::size_t(NBuckets) * 8)
+        return false;
+      for (std::uint16_t B = 0; B != NBuckets; ++B)
+        M.Hist.Buckets[B] = R.u64();
+      break;
+    }
+    }
+    if (!R.ok())
+      return false;
+    Out.push_back(std::move(M));
+  }
+  return R.ok() && R.atEnd();
 }
 
 std::vector<std::uint8_t> protocol::encodeOk() {

@@ -18,6 +18,7 @@
 ///   EditCFG      u32 count | count x (u8 kind | u32 func | u32 from |
 ///                u32 to | u32 to2)   — kind mirrors workload::MutationKind
 ///   Stats        (empty)
+///   Metrics      (empty) — full process-wide telemetry registry dump
 ///   Shutdown     (empty)
 ///
 /// Replies:
@@ -29,6 +30,10 @@
 ///                u64 editsRejected | u64 cacheHits | u64 cacheMisses |
 ///                u64 invalidations | u64 refreshes | u32 numFuncs |
 ///                u32 threads
+///   MetricsReply u32 count | count x (u8 kind | u16 nameLen | name |
+///                payload); kind 0 counter / 1 gauge: u64 value; kind 2
+///                histogram: u64 count | u64 sum | u16 nbuckets |
+///                nbuckets x u64 bucket counts
 ///   Ok           (empty)
 ///   Error        u16 code | u32 msgLen | msg bytes
 ///
@@ -36,7 +41,11 @@
 /// sequence it has seen (answers are thread-count independent by the batch
 /// driver's construction; edit epochs replay deterministically), which is
 /// what lets the differential soak clients compare replies byte for byte
-/// against an in-process oracle. Malformed input of any shape — truncated
+/// against an in-process oracle. The one deliberate exception is
+/// MetricsReply: it reports the *process-wide* telemetry registry (all
+/// sessions, all layers), so it is additive observability, not part of the
+/// differential surface — StatsReply remains the per-session, byte-stable
+/// report the oracles compare. Malformed input of any shape — truncated
 /// body, trailing garbage, unknown opcode, out-of-range ids — yields a
 /// well-formed Error reply, never a crash; an oversized *declared* frame
 /// length is answered with Error(FrameTooLarge) and a connection close,
@@ -52,6 +61,8 @@
 
 #ifndef SSALIVE_SERVER_PROTOCOL_H
 #define SSALIVE_SERVER_PROTOCOL_H
+
+#include "support/Telemetry.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -72,12 +83,14 @@ enum class Opcode : std::uint8_t {
   EditCFG = 0x03,
   Stats = 0x04,
   Shutdown = 0x05,
+  Metrics = 0x06,
   // Replies.
   ModuleLoaded = 0x81,
   Answers = 0x82,
   EditApplied = 0x83,
   StatsReply = 0x84,
   Ok = 0x85,
+  MetricsReply = 0x86,
   Error = 0xFF,
 };
 
@@ -205,6 +218,7 @@ std::vector<std::uint8_t> encodeLoadModule(std::uint8_t Backend,
 std::vector<std::uint8_t> encodeQueryBatch(const std::vector<QueryItem> &Qs);
 std::vector<std::uint8_t> encodeEditBatch(const std::vector<EditItem> &Es);
 std::vector<std::uint8_t> encodeStats();
+std::vector<std::uint8_t> encodeMetricsRequest();
 std::vector<std::uint8_t> encodeShutdown();
 
 std::vector<std::uint8_t> encodeModuleLoaded(std::uint32_t NumFuncs,
@@ -216,8 +230,19 @@ encodeAnswers(const std::vector<std::uint8_t> &Answers);
 std::vector<std::uint8_t> encodeEditApplied(
     const std::vector<std::pair<std::uint8_t, std::uint64_t>> &Results);
 std::vector<std::uint8_t> encodeStatsReply(const StatsWire &S);
+/// Full registry dump (typically Registry::global().snapshot()).
+std::vector<std::uint8_t>
+encodeMetricsReply(const std::vector<telemetry::Metric> &Metrics);
 std::vector<std::uint8_t> encodeOk();
 std::vector<std::uint8_t> encodeError(ErrorCode Code, const std::string &Msg);
+
+/// Decodes a MetricsReply body (\p R positioned after the opcode byte).
+/// Fully bounds-checked and allocation-safe against adversarial frames: a
+/// lying count or bucket total never pre-reserves memory — every element is
+/// read through the latching reader and decoding stops at the first
+/// underflow or malformed field (unknown kind, oversized bucket count),
+/// returning false with \p Out holding only fully-decoded entries.
+bool decodeMetrics(WireReader &R, std::vector<telemetry::Metric> &Out);
 
 //===----------------------------------------------------------------------===//
 // Frame transport over file descriptors (pipes and sockets alike).

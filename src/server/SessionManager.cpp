@@ -9,6 +9,7 @@
 #include "ir/Function.h"
 #include "ir/IRParser.h"
 #include "ir/Verifier.h"
+#include "support/Telemetry.h"
 #include "workload/CFGMutator.h"
 
 #include <sstream>
@@ -17,58 +18,139 @@ using namespace ssalive;
 using namespace ssalive::server;
 using namespace ssalive::protocol;
 
-Session::Session(SessionManager &Owner) : Owner(Owner) {}
+namespace {
 
-Session::~Session() = default;
+/// Process-wide server telemetry: per-opcode request counters, the error
+/// taxonomy, per-session lifecycle, and the query/edit totals the soak
+/// suite reconciles against its request ledger. These aggregate across
+/// every session; the per-session StatsWire tally is separate and stays
+/// byte-stable per connection.
+struct ServerTelemetry {
+  telemetry::Counter ReqLoadModule{"ssalive_server_requests_load_module_total"};
+  telemetry::Counter ReqQueryBatch{"ssalive_server_requests_query_batch_total"};
+  telemetry::Counter ReqEditCFG{"ssalive_server_requests_edit_cfg_total"};
+  telemetry::Counter ReqStats{"ssalive_server_requests_stats_total"};
+  telemetry::Counter ReqMetrics{"ssalive_server_requests_metrics_total"};
+  telemetry::Counter ReqShutdown{"ssalive_server_requests_shutdown_total"};
+  telemetry::Counter ReqUnknown{"ssalive_server_requests_unknown_total"};
+  telemetry::Counter Queries{"ssalive_server_queries_total"};
+  telemetry::Counter Positives{"ssalive_server_answers_positive_total"};
+  telemetry::Counter EditsApplied{"ssalive_server_edits_applied_total"};
+  telemetry::Counter EditsRejected{"ssalive_server_edits_rejected_total"};
+  telemetry::Counter SessionsOpened{"ssalive_server_sessions_opened_total"};
+  telemetry::Counter SessionsClosed{"ssalive_server_sessions_closed_total"};
+  telemetry::Gauge SessionsActive{"ssalive_server_sessions_active"};
+
+  static const ServerTelemetry &get() {
+    static ServerTelemetry T;
+    return T;
+  }
+};
+
+/// encodeError plus the error-taxonomy counter for \p Code — every error
+/// reply the dispatcher produces routes through here.
+std::vector<std::uint8_t> countedError(ErrorCode Code,
+                                       const std::string &Msg) {
+  static telemetry::Counter ByCode[] = {
+      telemetry::Counter("ssalive_server_errors_unknown_total"),
+      telemetry::Counter("ssalive_server_errors_malformed_frame_total"),
+      telemetry::Counter("ssalive_server_errors_unknown_opcode_total"),
+      telemetry::Counter("ssalive_server_errors_no_module_total"),
+      telemetry::Counter("ssalive_server_errors_bad_module_total"),
+      telemetry::Counter("ssalive_server_errors_bad_backend_total"),
+      telemetry::Counter("ssalive_server_errors_bad_plane_total"),
+      telemetry::Counter("ssalive_server_errors_bad_query_total"),
+      telemetry::Counter("ssalive_server_errors_bad_edit_total"),
+      telemetry::Counter("ssalive_server_errors_frame_too_large_total")};
+  std::size_t I = static_cast<std::size_t>(Code);
+  ByCode[I < 10 ? I : 0].inc();
+  return encodeError(Code, Msg);
+}
+
+} // namespace
+
+/// Shared with LivenessServer.cpp, which answers oversized frames at the
+/// transport layer (the frame never reaches a session) but must still land
+/// in the same error taxonomy.
+namespace ssalive::server::detail {
+std::vector<std::uint8_t> countedErrorReply(protocol::ErrorCode Code,
+                                            const std::string &Msg) {
+  return countedError(Code, Msg);
+}
+} // namespace ssalive::server::detail
+
+Session::Session(SessionManager &Owner) : Owner(Owner) {
+  ServerTelemetry::get().SessionsOpened.inc();
+  ServerTelemetry::get().SessionsActive.add(1);
+}
+
+Session::~Session() {
+  ServerTelemetry::get().SessionsClosed.inc();
+  ServerTelemetry::get().SessionsActive.add(-1);
+}
 
 std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
                                           std::size_t Len) {
   WireReader R(Data, Len);
   std::uint8_t Op = R.u8();
   if (!R.ok())
-    return encodeError(ErrorCode::MalformedFrame, "empty payload");
+    return countedError(ErrorCode::MalformedFrame, "empty payload");
+  const ServerTelemetry &T = ServerTelemetry::get();
   switch (static_cast<protocol::Opcode>(Op)) {
   case protocol::Opcode::LoadModule:
+    T.ReqLoadModule.inc();
     return handleLoadModule(R);
   case protocol::Opcode::QueryBatch:
+    T.ReqQueryBatch.inc();
     return handleQueryBatch(R);
   case protocol::Opcode::EditCFG:
+    T.ReqEditCFG.inc();
     return handleEditCFG(R);
   case protocol::Opcode::Stats:
+    T.ReqStats.inc();
     if (!R.atEnd())
-      return encodeError(ErrorCode::MalformedFrame,
-                         "stats request carries a body");
+      return countedError(ErrorCode::MalformedFrame,
+                          "stats request carries a body");
     return handleStats();
-  case protocol::Opcode::Shutdown:
+  case protocol::Opcode::Metrics:
+    T.ReqMetrics.inc();
     if (!R.atEnd())
-      return encodeError(ErrorCode::MalformedFrame,
-                         "shutdown request carries a body");
+      return countedError(ErrorCode::MalformedFrame,
+                          "metrics request carries a body");
+    return handleMetrics();
+  case protocol::Opcode::Shutdown:
+    T.ReqShutdown.inc();
+    if (!R.atEnd())
+      return countedError(ErrorCode::MalformedFrame,
+                          "shutdown request carries a body");
     ShutdownSeen = true;
     return encodeOk();
   default:
+    T.ReqUnknown.inc();
     break;
   }
   std::ostringstream OS;
   OS << "unknown opcode 0x" << std::hex << static_cast<unsigned>(Op);
-  return encodeError(ErrorCode::UnknownOpcode, OS.str());
+  return countedError(ErrorCode::UnknownOpcode, OS.str());
 }
 
 std::vector<std::uint8_t> Session::handleLoadModule(WireReader &R) {
+  SSALIVE_SPAN("load-module");
   std::uint8_t Backend = R.u8();
   std::uint8_t Plane = R.u8();
   if (!R.ok())
-    return encodeError(ErrorCode::MalformedFrame, "load-module too short");
+    return countedError(ErrorCode::MalformedFrame, "load-module too short");
   if (Backend > static_cast<std::uint8_t>(BatchBackend::PathExploration))
-    return encodeError(ErrorCode::BadBackend, "backend id out of range");
+    return countedError(ErrorCode::BadBackend, "backend id out of range");
   if (Plane > static_cast<std::uint8_t>(QueryPlane::Prepared))
-    return encodeError(ErrorCode::BadPlane, "query plane id out of range");
+    return countedError(ErrorCode::BadPlane, "query plane id out of range");
 
   std::string Text = R.rest();
   ModuleParseResult P = parseModule(Text);
   if (!P.Error.empty())
-    return encodeError(ErrorCode::BadModule, P.Error);
+    return countedError(ErrorCode::BadModule, P.Error);
   if (P.Funcs.empty())
-    return encodeError(ErrorCode::BadModule, "module has no functions");
+    return countedError(ErrorCode::BadModule, "module has no functions");
   // The engines require strict SSA; unlike the batch CLI (which skips bad
   // functions with a warning), a server rejects the whole load — silently
   // renumbering the surviving functions would corrupt every FuncIndex the
@@ -76,7 +158,7 @@ std::vector<std::uint8_t> Session::handleLoadModule(WireReader &R) {
   for (const auto &F : P.Funcs) {
     VerifyResult V = verifySSA(*F);
     if (!V.ok())
-      return encodeError(ErrorCode::BadModule,
+      return countedError(ErrorCode::BadModule,
                          "function @" + F->name() + ": " + V.message());
   }
 
@@ -102,13 +184,13 @@ std::vector<std::uint8_t> Session::handleLoadModule(WireReader &R) {
 
 std::vector<std::uint8_t> Session::handleQueryBatch(WireReader &R) {
   if (!Driver)
-    return encodeError(ErrorCode::NoModule, "no module loaded");
+    return countedError(ErrorCode::NoModule, "no module loaded");
   std::uint32_t Count = R.u32();
   if (!R.ok())
-    return encodeError(ErrorCode::MalformedFrame, "query batch too short");
+    return countedError(ErrorCode::MalformedFrame, "query batch too short");
   constexpr std::size_t ItemBytes = 3 * 4 + 1;
   if (R.remaining() != static_cast<std::size_t>(Count) * ItemBytes)
-    return encodeError(ErrorCode::MalformedFrame,
+    return countedError(ErrorCode::MalformedFrame,
                        "query batch body does not match its count");
 
   std::vector<BatchQuery> Workload;
@@ -123,33 +205,37 @@ std::vector<std::uint8_t> Session::handleQueryBatch(WireReader &R) {
       std::ostringstream OS;
       OS << "query " << I << ": function index " << Q.FuncIndex
          << " out of range";
-      return encodeError(ErrorCode::BadQuery, OS.str());
+      return countedError(ErrorCode::BadQuery, OS.str());
     }
     const Function &F = *Module[Q.FuncIndex];
     if (Q.ValueId >= F.numValues() || Q.BlockId >= F.numBlocks()) {
       std::ostringstream OS;
       OS << "query " << I << ": value/block id out of range";
-      return encodeError(ErrorCode::BadQuery, OS.str());
+      return countedError(ErrorCode::BadQuery, OS.str());
     }
     Workload.push_back(Q);
   }
 
   BatchResult Result = Driver->run(Workload);
-  Queries += Result.Answers.size();
+  Tally.Queries += Result.Answers.size();
+  std::uint64_t Positives = 0;
   for (const BatchThreadStats &S : Result.PerThread)
     Positives += S.PositiveAnswers;
+  Tally.Positives += Positives;
+  ServerTelemetry::get().Queries.inc(Result.Answers.size());
+  ServerTelemetry::get().Positives.inc(Positives);
   return encodeAnswers(Result.Answers);
 }
 
 std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
   if (!Driver)
-    return encodeError(ErrorCode::NoModule, "no module loaded");
+    return countedError(ErrorCode::NoModule, "no module loaded");
   std::uint32_t Count = R.u32();
   if (!R.ok())
-    return encodeError(ErrorCode::MalformedFrame, "edit batch too short");
+    return countedError(ErrorCode::MalformedFrame, "edit batch too short");
   constexpr std::size_t ItemBytes = 1 + 4 * 4;
   if (R.remaining() != static_cast<std::size_t>(Count) * ItemBytes)
-    return encodeError(ErrorCode::MalformedFrame,
+    return countedError(ErrorCode::MalformedFrame,
                        "edit batch body does not match its count");
 
   std::vector<EditItem> Edits;
@@ -165,13 +251,13 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
       std::ostringstream OS;
       OS << "edit " << I << ": unknown edit kind "
          << static_cast<unsigned>(E.Kind);
-      return encodeError(ErrorCode::BadEdit, OS.str());
+      return countedError(ErrorCode::BadEdit, OS.str());
     }
     if (E.FuncIndex >= Module.size()) {
       std::ostringstream OS;
       OS << "edit " << I << ": function index " << E.FuncIndex
          << " out of range";
-      return encodeError(ErrorCode::BadEdit, OS.str());
+      return countedError(ErrorCode::BadEdit, OS.str());
     }
     Edits.push_back(E);
   }
@@ -204,9 +290,11 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
     if (Applied) {
       AnyApplied = true;
       Touched[E.FuncIndex] = 1;
-      ++EditsApplied;
+      ++Tally.EditsApplied;
+      ServerTelemetry::get().EditsApplied.inc();
     } else {
-      ++EditsRejected;
+      ++Tally.EditsRejected;
+      ServerTelemetry::get().EditsRejected.inc();
     }
     Results.emplace_back(Applied ? 1 : 0, F.cfgVersion());
   }
@@ -226,11 +314,7 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
 }
 
 std::vector<std::uint8_t> Session::handleStats() {
-  StatsWire S;
-  S.Queries = Queries;
-  S.Positives = Positives;
-  S.EditsApplied = EditsApplied;
-  S.EditsRejected = EditsRejected;
+  StatsWire S = Tally;
   S.NumFuncs = static_cast<std::uint32_t>(Module.size());
   S.Threads = Owner.pool().numThreads();
   if (Driver) {
@@ -241,4 +325,14 @@ std::vector<std::uint8_t> Session::handleStats() {
     S.Refreshes = C.Refreshes;
   }
   return encodeStatsReply(S);
+}
+
+std::vector<std::uint8_t> Session::handleMetrics() {
+  // The registry is process-wide: counters from every session, every
+  // layer, aggregated across thread shards at this instant. Flush the
+  // session's prepared caches first so their delta-published counters are
+  // current as of this reply.
+  if (Driver)
+    Driver->publishPreparedTelemetry();
+  return encodeMetricsReply(telemetry::Registry::global().snapshot());
 }

@@ -104,15 +104,17 @@ private:
   std::vector<std::uint8_t> handleQueryBatch(protocol::WireReader &R);
   std::vector<std::uint8_t> handleEditCFG(protocol::WireReader &R);
   std::vector<std::uint8_t> handleStats();
+  std::vector<std::uint8_t> handleMetrics();
 
   SessionManager &Owner;
   std::vector<std::unique_ptr<Function>> Module;
   std::vector<const Function *> FuncPtrs;
   std::unique_ptr<BatchLivenessDriver> Driver;
-  std::uint64_t Queries = 0;
-  std::uint64_t Positives = 0;
-  std::uint64_t EditsApplied = 0;
-  std::uint64_t EditsRejected = 0;
+  /// Per-session tallies, kept in reply shape. StatsReply stays a pure
+  /// function of this session's request sequence (the differential oracles
+  /// byte-compare it); the process-wide registry — what the Metrics opcode
+  /// reports — accumulates the same events across all sessions.
+  protocol::StatsWire Tally;
   bool ShutdownSeen = false;
 };
 

@@ -29,6 +29,34 @@ unsigned SampleStats::maximum() const {
   return *std::max_element(Samples.begin(), Samples.end());
 }
 
+unsigned SampleStats::percentile(double P) const {
+  if (Samples.empty())
+    return 0;
+  std::vector<unsigned> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (P <= 0)
+    return Sorted.front();
+  // Nearest-rank: the smallest sample such that at least P% of the
+  // distribution is at or below it.
+  std::size_t Rank = static_cast<std::size_t>(
+      (P / 100.0) * static_cast<double>(Sorted.size()) + 0.9999999);
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Sorted.size())
+    Rank = Sorted.size();
+  return Sorted[Rank - 1];
+}
+
+telemetry::HistogramData SampleStats::log2Histogram() const {
+  telemetry::HistogramData H;
+  for (unsigned S : Samples) {
+    H.Count += 1;
+    H.Sum += S;
+    H.Buckets[telemetry::histogramBucket(S)] += 1;
+  }
+  return H;
+}
+
 double SampleStats::percentAtMost(unsigned Threshold) const {
   if (Samples.empty())
     return 0.0;

@@ -14,6 +14,8 @@
 #ifndef SSALIVE_SUPPORT_STATISTICS_H
 #define SSALIVE_SUPPORT_STATISTICS_H
 
+#include "support/Telemetry.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +42,17 @@ public:
   /// Percentage (0..100) of samples with value <= \p Threshold; this is the
   /// "% <= 32" style column of Table 1.
   double percentAtMost(unsigned Threshold) const;
+
+  /// Nearest-rank \p P-th percentile (P in [0, 100]); 0 for an empty
+  /// distribution. Unlike histogramPercentile this is exact — the samples
+  /// are retained — so it anchors the telemetry plane's order-of-magnitude
+  /// answers in the tests.
+  unsigned percentile(double P) const;
+
+  /// Exports the distribution into the telemetry plane's log2 bucket
+  /// vocabulary, so offline sample sets render through the same
+  /// toPrometheusText/histogramPercentile machinery as the live registry.
+  telemetry::HistogramData log2Histogram() const;
 
   const std::vector<unsigned> &samples() const { return Samples; }
 

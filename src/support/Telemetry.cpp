@@ -1,0 +1,439 @@
+//===- support/Telemetry.cpp - Process-wide metrics + tracing -------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace ssalive::telemetry {
+
+//===----------------------------------------------------------------------===//
+// Registry internals.
+//===----------------------------------------------------------------------===//
+
+/// One thread's slot array. Only the owning thread writes; any thread may
+/// read (relaxed) during aggregation.
+struct Registry::Shard {
+  std::array<std::atomic<std::uint64_t>, Registry::ShardSlots> Slots{};
+};
+
+struct Registry::Impl {
+  mutable std::mutex M;
+
+  /// Name -> (kind, slot-or-gauge-id). Registration is idempotent.
+  struct Entry {
+    MetricKind Kind;
+    unsigned Id;
+  };
+  std::map<std::string, Entry, std::less<>> Names;
+
+  /// Next free shard slot; counters take 1, histograms 2 + buckets.
+  unsigned NextSlot = 0;
+
+  /// Live per-thread shards (raw pointers into thread-local holders; a
+  /// holder deregisters itself and folds into Retired before dying).
+  std::vector<Shard *> Live;
+
+  /// Totals folded in from threads that have exited.
+  std::array<std::uint64_t, ShardSlots> Retired{};
+
+  /// Gauges are process-global levels; deque keeps addresses stable.
+  std::deque<std::atomic<std::int64_t>> Gauges;
+};
+
+namespace {
+
+/// The one Impl, leaked so thread shards can fold into it during static
+/// destruction (worker threads may outlive main()'s locals).
+Registry::Impl &implSingleton() {
+  static Registry::Impl *I = new Registry::Impl();
+  return *I;
+}
+
+/// Thread-local shard owner. On thread exit the destructor folds the
+/// shard's totals into the retired accumulator and unlinks it, so no
+/// count is ever lost and snapshot() never dereferences a dead shard.
+struct ShardHolder {
+  Registry::Shard Shard;
+  bool Registered = false;
+
+  ~ShardHolder() {
+    if (!Registered)
+      return;
+    Registry::Impl &I = implSingleton();
+    std::lock_guard<std::mutex> Lock(I.M);
+    for (std::size_t J = 0; J != Registry::ShardSlots; ++J)
+      I.Retired[J] += Shard.Slots[J].load(std::memory_order_relaxed);
+    I.Live.erase(std::remove(I.Live.begin(), I.Live.end(), &Shard),
+                 I.Live.end());
+  }
+};
+
+} // namespace
+
+Registry &Registry::global() {
+  static Registry *R = new Registry(); // Leaked: see header.
+  return *R;
+}
+
+Registry::Impl &Registry::impl() const { return implSingleton(); }
+
+Registry::Shard &Registry::localShard() {
+  thread_local ShardHolder Holder;
+  if (!Holder.Registered) {
+    Impl &I = impl();
+    std::lock_guard<std::mutex> Lock(I.M);
+    I.Live.push_back(&Holder.Shard);
+    Holder.Registered = true;
+  }
+  return Holder.Shard;
+}
+
+void Registry::bump(unsigned Slot, std::uint64_t N) {
+  std::atomic<std::uint64_t> &A = localShard().Slots[Slot];
+  // Single writer: a relaxed load+store is exact and cheaper than an RMW.
+  A.store(A.load(std::memory_order_relaxed) + N, std::memory_order_relaxed);
+}
+
+unsigned Registry::registerCounter(std::string_view Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Names.find(Name);
+  if (It != I.Names.end())
+    return It->second.Id;
+  unsigned Slot = I.NextSlot < ShardSlots ? I.NextSlot : 0; // Spill: alias 0.
+  if (I.NextSlot < ShardSlots)
+    ++I.NextSlot;
+  else
+    std::fprintf(stderr, "telemetry: counter slot overflow for '%.*s'\n",
+                 int(Name.size()), Name.data());
+  I.Names.emplace(std::string(Name), Impl::Entry{MetricKind::Counter, Slot});
+  return Slot;
+}
+
+unsigned Registry::registerHistogram(std::string_view Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Names.find(Name);
+  if (It != I.Names.end())
+    return It->second.Id;
+  const unsigned Width = 2 + NumHistogramBuckets;
+  unsigned Slot = 0;
+  if (I.NextSlot + Width <= ShardSlots) {
+    Slot = I.NextSlot;
+    I.NextSlot += Width;
+  } else {
+    std::fprintf(stderr, "telemetry: histogram slot overflow for '%.*s'\n",
+                 int(Name.size()), Name.data());
+  }
+  I.Names.emplace(std::string(Name), Impl::Entry{MetricKind::Histogram, Slot});
+  return Slot;
+}
+
+unsigned Registry::registerGauge(std::string_view Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Names.find(Name);
+  if (It != I.Names.end())
+    return It->second.Id;
+  unsigned Id = static_cast<unsigned>(I.Gauges.size());
+  I.Gauges.emplace_back(0);
+  I.Names.emplace(std::string(Name), Impl::Entry{MetricKind::Gauge, Id});
+  return Id;
+}
+
+void Registry::gaugeSet(unsigned GaugeId, std::int64_t V) {
+  impl().Gauges[GaugeId].store(V, std::memory_order_relaxed);
+}
+
+void Registry::gaugeAdd(unsigned GaugeId, std::int64_t Delta) {
+  impl().Gauges[GaugeId].fetch_add(Delta, std::memory_order_relaxed);
+}
+
+std::vector<Metric> Registry::snapshot() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+
+  // Sum every slot across live shards and the retired totals once, then
+  // carve metrics out of the summed array.
+  std::array<std::uint64_t, ShardSlots> Sum = I.Retired;
+  for (const Shard *S : I.Live)
+    for (std::size_t J = 0; J != ShardSlots; ++J)
+      Sum[J] += S->Slots[J].load(std::memory_order_relaxed);
+
+  std::vector<Metric> Out;
+  Out.reserve(I.Names.size());
+  for (const auto &[Name, E] : I.Names) {
+    Metric M;
+    M.Name = Name;
+    M.Kind = E.Kind;
+    switch (E.Kind) {
+    case MetricKind::Counter:
+      M.Value = Sum[E.Id];
+      break;
+    case MetricKind::Gauge:
+      M.Value = static_cast<std::uint64_t>(
+          I.Gauges[E.Id].load(std::memory_order_relaxed));
+      break;
+    case MetricKind::Histogram:
+      M.Hist.Count = Sum[E.Id + 0];
+      M.Hist.Sum = Sum[E.Id + 1];
+      for (unsigned B = 0; B != NumHistogramBuckets; ++B)
+        M.Hist.Buckets[B] = Sum[E.Id + 2 + B];
+      break;
+    }
+    Out.push_back(std::move(M));
+  }
+  // std::map iteration is already name-sorted; keep the contract explicit.
+  return Out;
+}
+
+std::uint64_t Registry::value(std::string_view Name) const {
+  for (const Metric &M : snapshot())
+    if (M.Name == Name)
+      return M.Kind == MetricKind::Histogram ? M.Hist.Count : M.Value;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Percentiles.
+//===----------------------------------------------------------------------===//
+
+std::uint64_t histogramPercentile(const HistogramData &H, double P) {
+  if (H.Count == 0)
+    return 0;
+  if (P < 0.0)
+    P = 0.0;
+  if (P > 100.0)
+    P = 100.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(P/100 * Count); report that bucket's upper bound.
+  std::uint64_t Rank =
+      static_cast<std::uint64_t>(P / 100.0 * static_cast<double>(H.Count));
+  if (Rank * 100 < static_cast<std::uint64_t>(P * static_cast<double>(H.Count)))
+    ++Rank;
+  if (Rank == 0)
+    Rank = 1;
+  std::uint64_t Cum = 0;
+  for (unsigned B = 0; B != NumHistogramBuckets; ++B) {
+    Cum += H.Buckets[B];
+    if (Cum >= Rank)
+      return histogramBucketBound(B);
+  }
+  return histogramBucketBound(NumHistogramBuckets - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder.
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> TraceRecorder::EnabledFlag{false};
+
+namespace {
+
+/// Per-thread span ring plus the global list of rings. Each ring carries
+/// its own mutex: record() contends with nobody in steady state (only the
+/// owner writes), and readers take it briefly during events()/clear().
+/// Spans never sit on the query path, so the uncontended lock is fine and
+/// keeps TSan clean.
+struct TraceRing {
+  std::mutex M;
+  std::array<TraceEvent, TraceRecorder::RingCapacity> Events;
+  std::size_t Count = 0; ///< Total ever recorded; ring index = i % Capacity.
+  std::uint32_t Tid = 0;
+};
+
+struct TraceState {
+  std::mutex M;
+  std::vector<TraceRing *> Live;
+  std::deque<TraceEvent> Retired; ///< From exited threads, bounded.
+  std::uint32_t NextTid = 1;
+};
+
+TraceState &traceState() {
+  static TraceState *S = new TraceState(); // Leaked: threads exit late.
+  return *S;
+}
+
+struct TraceRingHolder {
+  TraceRing Ring;
+  bool Registered = false;
+
+  ~TraceRingHolder() {
+    if (!Registered)
+      return;
+    TraceState &S = traceState();
+    std::lock_guard<std::mutex> Lock(S.M);
+    std::size_t N = std::min(Ring.Count, TraceRecorder::RingCapacity);
+    std::size_t First = Ring.Count - N;
+    for (std::size_t I = 0; I != N; ++I)
+      S.Retired.push_back(
+          Ring.Events[(First + I) % TraceRecorder::RingCapacity]);
+    while (S.Retired.size() > TraceRecorder::RetiredCapacity)
+      S.Retired.pop_front();
+    S.Live.erase(std::remove(S.Live.begin(), S.Live.end(), &Ring),
+                 S.Live.end());
+  }
+};
+
+TraceRing &localRing() {
+  thread_local TraceRingHolder Holder;
+  if (!Holder.Registered) {
+    TraceState &S = traceState();
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Live.push_back(&Holder.Ring);
+    Holder.Ring.Tid = S.NextTid++;
+    Holder.Registered = true;
+  }
+  return Holder.Ring;
+}
+
+void appendJsonEscaped(std::string &Out, const char *S) {
+  for (; S && *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out.push_back('\\');
+      Out.push_back(C);
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out.push_back(C);
+    }
+  }
+}
+
+} // namespace
+
+void TraceRecorder::record(const char *Name, const char *Category,
+                           std::uint64_t StartNs, std::uint64_t DurNs) {
+  TraceRing &R = localRing();
+  std::lock_guard<std::mutex> Lock(R.M);
+  TraceEvent &E = R.Events[R.Count % RingCapacity];
+  E.Name = Name;
+  E.Category = Category;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  E.Tid = R.Tid;
+  ++R.Count;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() {
+  TraceState &S = traceState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  std::vector<TraceEvent> Out(S.Retired.begin(), S.Retired.end());
+  for (TraceRing *R : S.Live) {
+    std::lock_guard<std::mutex> RingLock(R->M);
+    std::size_t N = std::min(R->Count, RingCapacity);
+    std::size_t First = R->Count - N;
+    for (std::size_t I = 0; I != N; ++I)
+      Out.push_back(R->Events[(First + I) % RingCapacity]);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartNs < B.StartNs;
+                   });
+  return Out;
+}
+
+void TraceRecorder::clear() {
+  TraceState &S = traceState();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Retired.clear();
+  for (TraceRing *R : S.Live) {
+    std::lock_guard<std::mutex> RingLock(R->M);
+    R->Count = 0;
+  }
+}
+
+std::string TraceRecorder::toChromeJson() {
+  std::vector<TraceEvent> Events = events();
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  char Buf[160];
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out.push_back(',');
+    First = false;
+    Out += "{\"name\":\"";
+    appendJsonEscaped(Out, E.Name);
+    Out += "\",\"cat\":\"";
+    appendJsonEscaped(Out, E.Category);
+    // Chrome tracing wants microseconds; keep fractional precision so
+    // sub-microsecond spans stay visible.
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u}",
+                  static_cast<double>(E.StartNs) / 1000.0,
+                  static_cast<double>(E.DurNs) / 1000.0, E.Tid);
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition.
+//===----------------------------------------------------------------------===//
+
+std::string toPrometheusText(const std::vector<Metric> &Metrics) {
+  std::string Out;
+  char Buf[192];
+  for (const Metric &M : Metrics) {
+    const char *Type = M.Kind == MetricKind::Counter    ? "counter"
+                       : M.Kind == MetricKind::Gauge    ? "gauge"
+                                                        : "histogram";
+    Out += "# TYPE ";
+    Out += M.Name;
+    Out.push_back(' ');
+    Out += Type;
+    Out.push_back('\n');
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      std::snprintf(Buf, sizeof(Buf), "%s %llu\n", M.Name.c_str(),
+                    static_cast<unsigned long long>(M.Value));
+      Out += Buf;
+      break;
+    case MetricKind::Gauge:
+      std::snprintf(Buf, sizeof(Buf), "%s %lld\n", M.Name.c_str(),
+                    static_cast<long long>(
+                        static_cast<std::int64_t>(M.Value)));
+      Out += Buf;
+      break;
+    case MetricKind::Histogram: {
+      std::uint64_t Cum = 0;
+      for (unsigned B = 0; B != NumHistogramBuckets; ++B) {
+        Cum += M.Hist.Buckets[B];
+        if (B == NumHistogramBuckets - 1)
+          std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"+Inf\"} %llu\n",
+                        M.Name.c_str(), static_cast<unsigned long long>(Cum));
+        else
+          std::snprintf(Buf, sizeof(Buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                        M.Name.c_str(),
+                        static_cast<unsigned long long>(
+                            histogramBucketBound(B)),
+                        static_cast<unsigned long long>(Cum));
+        Out += Buf;
+      }
+      std::snprintf(Buf, sizeof(Buf), "%s_sum %llu\n%s_count %llu\n",
+                    M.Name.c_str(),
+                    static_cast<unsigned long long>(M.Hist.Sum),
+                    M.Name.c_str(),
+                    static_cast<unsigned long long>(M.Hist.Count));
+      Out += Buf;
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+} // namespace ssalive::telemetry

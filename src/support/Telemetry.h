@@ -1,0 +1,351 @@
+//===- support/Telemetry.h - Process-wide metrics + tracing -----*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-measurement plane of the whole system: a process-wide metrics
+/// registry (counters, gauges, fixed-bucket log2 latency histograms) plus a
+/// bounded per-thread span recorder emitting Chrome `chrome://tracing`
+/// JSON. Every layer above support/ reports here — the engine its
+/// precompute cost and R/T footprint, the pipeline its cache traffic and
+/// batch phases, the server its per-opcode request counts, frame latencies,
+/// and error taxonomy — and three exporters read it back out: the server's
+/// `Metrics` protocol opcode, periodic Prometheus text exposition
+/// (`ssalive-server --metrics-interval`), and the `ssalive-stat` summary
+/// view.
+///
+/// ## Write path (the part that must stay nearly free)
+///
+/// Counter and histogram updates land in a lock-free per-thread shard: each
+/// thread owns a fixed array of relaxed `std::atomic<uint64_t>` slots that
+/// only it ever writes (a relaxed load+store, not an atomic RMW — exact
+/// because of the single writer), so the steady-state cost of `inc()` is a
+/// thread-local lookup plus one relaxed increment, with no sharing and no
+/// fences. Readers aggregate across shards on demand; a counter read while
+/// writers are running is a monotone approximation that becomes exact at
+/// any join/quiescence point. When a thread exits, its shard folds into a
+/// retired accumulator under the registry mutex, so nothing is ever lost.
+///
+/// Gauges are last-write-wins process globals (one atomic each) — summing
+/// per-thread shards would be meaningless for a level.
+///
+/// ## Overhead contract
+///
+/// The hot prepared-plane query path gains no telemetry work at all:
+/// per-query tallies ride the batch driver's existing per-worker stack
+/// counters and are folded into the registry once per *batch*. Spans never
+/// sit on the query path either — they wrap phases (precompute, refresh,
+/// query-batch, load-module), and recording is off unless explicitly
+/// enabled, costing one relaxed bool load per span site. Anything heavier
+/// than a relaxed increment compiles out entirely under
+/// `-DSSALIVE_TELEMETRY=0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_TELEMETRY_H
+#define SSALIVE_SUPPORT_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Compile-time gate: 1 (default) builds the full plane; 0 compiles spans
+/// and histogram observation down to nothing, leaving only plain counter
+/// increments (the "at most one relaxed increment" budget).
+#ifndef SSALIVE_TELEMETRY
+#define SSALIVE_TELEMETRY 1
+#endif
+
+namespace ssalive::telemetry {
+
+//===----------------------------------------------------------------------===//
+// Histogram bucketing (shared vocabulary — SampleStats exports into it too).
+//===----------------------------------------------------------------------===//
+
+/// Fixed log2 bucket count. Bucket 0 holds the value 0; bucket i in
+/// [1, NumBuckets-2] holds values in [2^(i-1), 2^i); the last bucket is the
+/// overflow. With 40 buckets the penultimate upper bound is 2^38-1 — about
+/// 4.5 minutes in nanoseconds, far beyond any frame latency worth resolving.
+constexpr unsigned NumHistogramBuckets = 40;
+
+/// The bucket index \p V lands in.
+inline unsigned histogramBucket(std::uint64_t V) {
+  if (V == 0)
+    return 0;
+  unsigned B = 0;
+  while (V != 0) {
+    V >>= 1;
+    ++B;
+  } // B = floor(log2(V)) + 1, so V was in [2^(B-1), 2^B).
+  return B < NumHistogramBuckets - 1 ? B : NumHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket \p I (the Prometheus `le` label); the
+/// last bucket has no finite bound and reports UINT64_MAX.
+inline std::uint64_t histogramBucketBound(unsigned I) {
+  if (I == 0)
+    return 0;
+  if (I >= NumHistogramBuckets - 1)
+    return UINT64_MAX;
+  return (std::uint64_t(1) << I) - 1;
+}
+
+/// Aggregated histogram contents, as read out of the registry (and as
+/// SampleStats::log2Histogram exports).
+struct HistogramData {
+  std::uint64_t Count = 0;
+  std::uint64_t Sum = 0;
+  std::array<std::uint64_t, NumHistogramBuckets> Buckets{};
+};
+
+/// Upper bound of the bucket containing the \p P-th percentile (P in
+/// [0, 100]); 0 for an empty histogram. Log2 buckets make this an
+/// order-of-magnitude answer — exactly the resolution a latency summary
+/// needs (`ssalive-stat` prints p50/p90/p99 this way).
+std::uint64_t histogramPercentile(const HistogramData &H, double P);
+
+//===----------------------------------------------------------------------===//
+// The registry.
+//===----------------------------------------------------------------------===//
+
+enum class MetricKind : std::uint8_t { Counter = 0, Gauge = 1, Histogram = 2 };
+
+/// One metric, aggregated at snapshot time.
+struct Metric {
+  std::string Name;
+  MetricKind Kind = MetricKind::Counter;
+  std::uint64_t Value = 0; ///< Counter total or gauge level (two's compl.).
+  HistogramData Hist;      ///< Kind == Histogram only.
+};
+
+/// The process-wide metric registry. Access it through the Counter/Gauge/
+/// Histogram handles below (a handle resolves its name to a shard slot once,
+/// typically in a function-local static); the class itself only exposes
+/// registration and the aggregate read side.
+class Registry {
+public:
+  /// Slots per thread shard. Counters take one slot, histograms
+  /// 2 + NumHistogramBuckets; overflowing registrations alias a spill slot
+  /// instead of corrupting memory (diagnostics degrade, nothing breaks).
+  static constexpr std::size_t ShardSlots = 4096;
+
+  /// The singleton. Leaked deliberately: thread shards fold into it at
+  /// thread exit, which may happen during static destruction.
+  static Registry &global();
+
+  /// \name Registration (idempotent per name; thread-safe).
+  /// Returns the slot offset (counter/histogram) or gauge index. Names
+  /// should follow Prometheus conventions ([a-z0-9_], counters ending in
+  /// `_total`); they are exported verbatim.
+  /// @{
+  unsigned registerCounter(std::string_view Name);
+  unsigned registerGauge(std::string_view Name);
+  unsigned registerHistogram(std::string_view Name);
+  /// @}
+
+  /// \name Write side (called through the handles).
+  /// @{
+  void add(unsigned CounterSlot, std::uint64_t N) {
+    bump(CounterSlot, N);
+  }
+  void observe(unsigned HistogramSlot, std::uint64_t V) {
+#if SSALIVE_TELEMETRY
+    bump(HistogramSlot + 0, 1); // Count.
+    bump(HistogramSlot + 1, V); // Sum.
+    bump(HistogramSlot + 2 + histogramBucket(V), 1);
+#else
+    (void)HistogramSlot;
+    (void)V;
+#endif
+  }
+  void gaugeSet(unsigned GaugeId, std::int64_t V);
+  void gaugeAdd(unsigned GaugeId, std::int64_t Delta);
+  /// @}
+
+  /// Aggregates every metric across live shards, retired threads, and
+  /// gauges. Sorted by name. Concurrent writers keep writing — counter
+  /// values are monotone snapshots, exact once writers have quiesced (a
+  /// thread join is enough; joining publishes the shard's final stores).
+  std::vector<Metric> snapshot() const;
+
+  /// Convenience: the aggregated value of one counter/gauge by name, 0 if
+  /// it was never registered (tests and reconciliation checks).
+  std::uint64_t value(std::string_view Name) const;
+
+  /// Implementation details, defined in Telemetry.cpp; public only so the
+  /// file-local thread-exit hooks there can name them.
+  struct Shard;
+  struct Impl;
+
+private:
+  Registry() = default;
+  Impl &impl() const;
+
+  /// The single-writer relaxed increment on this thread's shard slot.
+  void bump(unsigned Slot, std::uint64_t N);
+  Shard &localShard();
+};
+
+/// A registered counter. Cheap to copy; construct once (function-local
+/// static) and inc() forever.
+class Counter {
+public:
+  explicit Counter(std::string_view Name)
+      : Slot(Registry::global().registerCounter(Name)) {}
+  void inc(std::uint64_t N = 1) const { Registry::global().add(Slot, N); }
+
+private:
+  unsigned Slot;
+};
+
+/// A registered gauge (a level, not a rate): last write wins.
+class Gauge {
+public:
+  explicit Gauge(std::string_view Name)
+      : Id(Registry::global().registerGauge(Name)) {}
+  void set(std::int64_t V) const { Registry::global().gaugeSet(Id, V); }
+  void add(std::int64_t D) const { Registry::global().gaugeAdd(Id, D); }
+
+private:
+  unsigned Id;
+};
+
+/// A registered log2 histogram.
+class Histogram {
+public:
+  explicit Histogram(std::string_view Name)
+      : Slot(Registry::global().registerHistogram(Name)) {}
+  void observe(std::uint64_t V) const {
+    Registry::global().observe(Slot, V);
+  }
+
+private:
+  unsigned Slot;
+};
+
+/// Monotonic now, in nanoseconds since an arbitrary process-stable epoch.
+inline std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII: observes the elapsed nanoseconds into \p H at scope exit.
+/// Compiles to nothing under SSALIVE_TELEMETRY=0.
+class ScopedTimerNs {
+public:
+#if SSALIVE_TELEMETRY
+  explicit ScopedTimerNs(const Histogram &H) : H(H), Start(nowNanos()) {}
+  ~ScopedTimerNs() { H.observe(nowNanos() - Start); }
+
+private:
+  const Histogram &H;
+  std::uint64_t Start;
+#else
+  explicit ScopedTimerNs(const Histogram &) {}
+#endif
+  ScopedTimerNs(const ScopedTimerNs &) = delete;
+  ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+};
+
+//===----------------------------------------------------------------------===//
+// Span tracing.
+//===----------------------------------------------------------------------===//
+
+/// One completed span. Name/Category must be string literals (or otherwise
+/// outlive the recorder): the ring stores pointers, never copies.
+struct TraceEvent {
+  const char *Name = nullptr;
+  const char *Category = nullptr;
+  std::uint64_t StartNs = 0; ///< nowNanos() at span open.
+  std::uint64_t DurNs = 0;
+  std::uint32_t Tid = 0; ///< Small sequential id assigned per thread.
+};
+
+/// Bounded per-thread span recorder. Each thread owns a fixed ring
+/// (RingCapacity spans; the newest overwrite the oldest), so a long
+/// soak can never grow memory through tracing. Recording is globally
+/// gated: when disabled (the default), a span site costs one relaxed
+/// bool load and no clock read.
+class TraceRecorder {
+public:
+  static constexpr std::size_t RingCapacity = 4096;
+  /// Exited threads park their rings here; bounded too, oldest dropped.
+  static constexpr std::size_t RetiredCapacity = 1u << 16;
+
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+  static void setEnabled(bool On) {
+    EnabledFlag.store(On, std::memory_order_relaxed);
+  }
+
+  /// Appends one completed span to the calling thread's ring.
+  static void record(const char *Name, const char *Category,
+                     std::uint64_t StartNs, std::uint64_t DurNs);
+
+  /// All retained spans (live rings + retired), oldest first.
+  static std::vector<TraceEvent> events();
+
+  /// Drops every retained span (rings and retired alike).
+  static void clear();
+
+  /// Renders the retained spans as a Chrome tracing JSON document
+  /// (chrome://tracing / Perfetto "traceEvents" format, complete "X"
+  /// events, microsecond timestamps).
+  static std::string toChromeJson();
+
+private:
+  static std::atomic<bool> EnabledFlag;
+};
+
+/// RAII span: records [construction, destruction) under \p Name when
+/// recording is enabled. Use through SSALIVE_SPAN so it compiles out.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name, const char *Category = "ssalive")
+      : Name(Name), Category(Category),
+        StartNs(TraceRecorder::enabled() ? nowNanos() : 0) {}
+  ~TraceSpan() {
+    if (StartNs != 0)
+      TraceRecorder::record(Name, Category, StartNs, nowNanos() - StartNs);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  const char *Name;
+  const char *Category;
+  std::uint64_t StartNs;
+};
+
+#if SSALIVE_TELEMETRY
+#define SSALIVE_SPAN_CONCAT2(A, B) A##B
+#define SSALIVE_SPAN_CONCAT(A, B) SSALIVE_SPAN_CONCAT2(A, B)
+/// A scope-long trace span; NAME must be a string literal.
+#define SSALIVE_SPAN(NAME)                                                   \
+  ::ssalive::telemetry::TraceSpan SSALIVE_SPAN_CONCAT(SsaliveSpan_,          \
+                                                      __COUNTER__)(NAME)
+#else
+#define SSALIVE_SPAN(NAME) ((void)0)
+#endif
+
+//===----------------------------------------------------------------------===//
+// Exposition.
+//===----------------------------------------------------------------------===//
+
+/// Renders \p Metrics in the Prometheus text exposition format (# TYPE
+/// comments, cumulative `_bucket{le=...}` series ending in +Inf, `_sum`,
+/// `_count`). tools/check-metrics validates exactly this grammar.
+std::string toPrometheusText(const std::vector<Metric> &Metrics);
+
+} // namespace ssalive::telemetry
+
+#endif // SSALIVE_SUPPORT_TELEMETRY_H

@@ -6,10 +6,29 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Telemetry.h"
+
 #include <atomic>
 #include <memory>
 
 using namespace ssalive;
+
+namespace {
+
+/// Pool-wide telemetry: the queue-depth gauge tracks Queue.size() and is
+/// only ever touched inside sections that already hold the pool mutex, so
+/// it costs no extra synchronization.
+struct PoolTelemetry {
+  telemetry::Counter Tasks{"ssalive_pool_tasks_total"};
+  telemetry::Gauge QueueDepth{"ssalive_pool_queue_depth"};
+
+  static const PoolTelemetry &get() {
+    static PoolTelemetry T;
+    return T;
+  }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned NumThreads) {
   if (NumThreads == 0) {
@@ -42,6 +61,7 @@ void ThreadPool::workerLoop() {
         return; // Stopping and drained.
       Task = std::move(Queue.front());
       Queue.pop();
+      PoolTelemetry::get().QueueDepth.add(-1);
       ++Busy;
     }
     Task();
@@ -58,6 +78,8 @@ void ThreadPool::submit(std::function<void()> Task) {
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     Queue.push(std::move(Task));
+    PoolTelemetry::get().Tasks.inc();
+    PoolTelemetry::get().QueueDepth.add(1);
   }
   WorkAvailable.notify_one();
 }

@@ -43,6 +43,7 @@ bool isReplyOpcode(std::uint8_t Op) {
   case proto::Opcode::EditApplied:
   case proto::Opcode::StatsReply:
   case proto::Opcode::Ok:
+  case proto::Opcode::MetricsReply:
   case proto::Opcode::Error:
     return true;
   default:
@@ -93,7 +94,7 @@ TEST(ProtocolFuzz, EmptyAndUnknownOpcodesYieldErrors) {
   auto S = Mgr.createSession();
   EXPECT_TRUE(isError(S->handle(nullptr, 0),
                       proto::ErrorCode::MalformedFrame));
-  for (unsigned Op : {0x00u, 0x06u, 0x42u, 0x80u, 0x90u, 0xFEu}) {
+  for (unsigned Op : {0x00u, 0x07u, 0x42u, 0x80u, 0x90u, 0xFEu}) {
     std::vector<std::uint8_t> P{static_cast<std::uint8_t>(Op)};
     EXPECT_TRUE(isError(S->handle(P), proto::ErrorCode::UnknownOpcode))
         << "opcode " << Op;
@@ -124,6 +125,7 @@ TEST(ProtocolFuzz, TruncatedRequestBodiesYieldErrorsNeverCrashes) {
       proto::encodeQueryBatch({{0, 1, 2, true}, {0, 3, 4, false}}),
       proto::encodeEditBatch({{0, 0, 1, 2, 0}}),
       proto::encodeStats(),
+      proto::encodeMetricsRequest(),
       proto::encodeShutdown(),
   };
   unsigned Cases = 0;
@@ -213,18 +215,95 @@ TEST(ProtocolFuzz, BadBackendPlaneAndModuleTextAreRejected) {
             static_cast<std::uint8_t>(proto::Opcode::ModuleLoaded));
 }
 
-TEST(ProtocolFuzz, StatsAndShutdownRejectBodies) {
+TEST(ProtocolFuzz, StatsMetricsAndShutdownRejectBodies) {
   server::SessionManager Mgr({});
   auto S = Mgr.createSession();
   std::vector<std::uint8_t> StatsWithBody = proto::encodeStats();
   StatsWithBody.push_back(0xAB);
   EXPECT_TRUE(isError(S->handle(StatsWithBody),
                       proto::ErrorCode::MalformedFrame));
+  std::vector<std::uint8_t> MetricsWithBody = proto::encodeMetricsRequest();
+  MetricsWithBody.push_back(0xEF);
+  EXPECT_TRUE(isError(S->handle(MetricsWithBody),
+                      proto::ErrorCode::MalformedFrame));
   std::vector<std::uint8_t> ShutdownWithBody = proto::encodeShutdown();
   ShutdownWithBody.push_back(0xCD);
   EXPECT_TRUE(isError(S->handle(ShutdownWithBody),
                       proto::ErrorCode::MalformedFrame));
   EXPECT_FALSE(S->shutdownRequested());
+}
+
+TEST(ProtocolFuzz, MetricsRequestYieldsDecodableRegistryDump) {
+  server::SessionManager Mgr({});
+  auto S = Mgr.createSession();
+  auto Reply = S->handle(proto::encodeMetricsRequest());
+  ASSERT_FALSE(Reply.empty());
+  ASSERT_EQ(Reply[0],
+            static_cast<std::uint8_t>(proto::Opcode::MetricsReply));
+  proto::WireReader R(Reply.data() + 1, Reply.size() - 1);
+  std::vector<telemetry::Metric> Metrics;
+  ASSERT_TRUE(proto::decodeMetrics(R, Metrics));
+  EXPECT_FALSE(Metrics.empty());
+  // The dump must round-trip bit-exactly through the codec.
+  auto Reencoded = proto::encodeMetricsReply(Metrics);
+  EXPECT_EQ(Reencoded, Reply);
+}
+
+TEST(ProtocolFuzz, MetricsReplyDecoderSurvivesHostileBodies) {
+  server::SessionManager Mgr({});
+  auto S = Mgr.createSession();
+  auto Reply = S->handle(proto::encodeMetricsRequest());
+  ASSERT_FALSE(Reply.empty());
+
+  // Every strict prefix of a real reply body must decode to false, never
+  // crash or over-read.
+  for (std::size_t Len = 1; Len < Reply.size(); ++Len) {
+    proto::WireReader R(Reply.data() + 1, Len - 1);
+    std::vector<telemetry::Metric> Metrics;
+    EXPECT_FALSE(proto::decodeMetrics(R, Metrics)) << "prefix " << Len;
+  }
+
+  // A count field lying upward must not pre-allocate: decoding fails when
+  // the payload runs dry, with only fully-decoded entries materialized.
+  {
+    std::vector<std::uint8_t> Lying(Reply.begin() + 1, Reply.end());
+    Lying[0] = 0xFF;
+    Lying[1] = 0xFF;
+    Lying[2] = 0xFF;
+    Lying[3] = 0x7F;
+    proto::WireReader R(Lying.data(), Lying.size());
+    std::vector<telemetry::Metric> Metrics;
+    EXPECT_FALSE(proto::decodeMetrics(R, Metrics));
+    EXPECT_LT(Metrics.size(), std::size_t(1) << 20);
+  }
+
+  // A histogram bucket count beyond the shared vocabulary is a protocol
+  // mismatch, not a buffer to trust.
+  {
+    proto::WireWriter W;
+    W.u32(1);
+    W.u8(2); // histogram
+    W.u16(3);
+    W.raw("abc", 3);
+    W.u64(1);
+    W.u64(1);
+    W.u16(0xFFFF); // lying bucket count
+    auto Body = W.take();
+    proto::WireReader R(Body.data(), Body.size());
+    std::vector<telemetry::Metric> Metrics;
+    EXPECT_FALSE(proto::decodeMetrics(R, Metrics));
+  }
+
+  // Pure garbage bodies: decode must return cleanly for any byte soup.
+  RandomEngine Rng(0x4e7a11);
+  for (unsigned Case = 0; Case != 500; ++Case) {
+    std::vector<std::uint8_t> Body(Rng.nextBelow(200));
+    for (auto &B : Body)
+      B = static_cast<std::uint8_t>(Rng.next());
+    proto::WireReader R(Body.data(), Body.size());
+    std::vector<telemetry::Metric> Metrics;
+    (void)proto::decodeMetrics(R, Metrics); // Must not crash or hang.
+  }
 }
 
 TEST(ProtocolFuzz, RandomGarbagePayloadsAlwaysGetWellFormedReplies) {
@@ -238,8 +317,9 @@ TEST(ProtocolFuzz, RandomGarbagePayloadsAlwaysGetWellFormedReplies) {
     if (Rng.chancePercent(40) && Len != 0) {
       // Bias half the stream toward real opcodes so the per-command
       // decoders see garbage bodies, not just unknown opcodes.
-      static const std::uint8_t Ops[] = {0x01, 0x02, 0x03, 0x04, 0x05};
-      P[0] = Ops[Rng.nextBelow(5)];
+      static const std::uint8_t Ops[] = {0x01, 0x02, 0x03,
+                                         0x04, 0x05, 0x06};
+      P[0] = Ops[Rng.nextBelow(6)];
     }
     auto Reply = L.session().handle(P);
     ASSERT_FALSE(Reply.empty()) << "case " << Case;
@@ -345,6 +425,21 @@ TEST(ProtocolFuzz, ZeroLengthFrameIsMalformedNotFatal) {
   auto Replies = rawStream(Stream);
   ASSERT_EQ(Replies.size(), 2u);
   EXPECT_TRUE(isError(Replies[0], proto::ErrorCode::MalformedFrame));
+  EXPECT_EQ(Replies[1][0],
+            static_cast<std::uint8_t>(proto::Opcode::StatsReply));
+}
+
+TEST(ProtocolFuzz, MetricsRoundTripsOverTheStreamTransport) {
+  std::vector<std::uint8_t> Stream;
+  appendFrame(Stream, proto::encodeMetricsRequest());
+  appendFrame(Stream, proto::encodeStats()); // Stream survives afterwards.
+  auto Replies = rawStream(Stream);
+  ASSERT_EQ(Replies.size(), 2u);
+  ASSERT_EQ(Replies[0][0],
+            static_cast<std::uint8_t>(proto::Opcode::MetricsReply));
+  proto::WireReader R(Replies[0].data() + 1, Replies[0].size() - 1);
+  std::vector<telemetry::Metric> Metrics;
+  EXPECT_TRUE(proto::decodeMetrics(R, Metrics));
   EXPECT_EQ(Replies[1][0],
             static_cast<std::uint8_t>(proto::Opcode::StatsReply));
 }

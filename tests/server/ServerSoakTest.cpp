@@ -23,6 +23,7 @@
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "pipeline/BatchLivenessDriver.h"
+#include "support/Telemetry.h"
 #include "workload/CFGMutator.h"
 
 #include <gtest/gtest.h>
@@ -73,7 +74,8 @@ bool roundTrip(int Fd, const std::vector<std::uint8_t> &Request,
 
 /// Runs one client's whole stream; returns the number of requests
 /// (queries + edits) it executed, or 0 after a recorded failure.
-std::uint64_t runClient(int Fd, const ClientPlan &Plan, unsigned ClientId) {
+std::uint64_t runClient(int Fd, const ClientPlan &Plan, unsigned ClientId,
+                        std::atomic<std::uint64_t> *QueryLedger = nullptr) {
   auto tag = [&](const char *What, std::uint64_t Index) {
     std::ostringstream OS;
     OS << "client " << ClientId << " seed=" << Plan.Seed << " backend="
@@ -224,6 +226,8 @@ std::uint64_t runClient(int Fd, const ClientPlan &Plan, unsigned ClientId) {
   std::uint64_t Rejected = R.u64();
   EXPECT_EQ(Served, ExpectQueries) << tag("stats queries", 0);
   EXPECT_EQ(Applied + Rejected, ExpectEdits) << tag("stats edits", 0);
+  if (QueryLedger)
+    QueryLedger->fetch_add(ExpectQueries);
   return Requests;
 }
 
@@ -272,12 +276,21 @@ TEST(ServerSoak, ConcurrentClientsMatchOracleByteForByte) {
     });
   }
 
+  // Registry reconcile: the process-wide telemetry counter must advance by
+  // exactly the number of queries the clients' oracles ledger — across six
+  // concurrent sessions, three backends, and both planes. (Snapshot deltas,
+  // not absolutes: earlier tests in this binary also serve queries.)
+  std::uint64_t QueriesBefore =
+      telemetry::Registry::global().value("ssalive_server_queries_total");
+  std::atomic<std::uint64_t> QueryLedger{0};
+
   std::atomic<std::uint64_t> TotalRequests{0};
   std::vector<std::thread> Clients;
   for (std::size_t I = 0; I != Plans.size(); ++I) {
     Clients.emplace_back([&, I] {
-      TotalRequests.fetch_add(
-          runClient(ClientFds[I], Plans[I], static_cast<unsigned>(I)));
+      TotalRequests.fetch_add(runClient(ClientFds[I], Plans[I],
+                                        static_cast<unsigned>(I),
+                                        &QueryLedger));
       ::close(ClientFds[I]);
     });
   }
@@ -290,6 +303,11 @@ TEST(ServerSoak, ConcurrentClientsMatchOracleByteForByte) {
   EXPECT_GE(TotalRequests.load(), 100000u)
       << "the soak must replay at least 100k query+edit requests";
   EXPECT_EQ(Server.connectionsServed(), Plans.size());
+  EXPECT_EQ(telemetry::Registry::global().value(
+                "ssalive_server_queries_total") -
+                QueriesBefore,
+            QueryLedger.load())
+      << "server telemetry must reconcile with the oracle request ledger";
 }
 
 //===----------------------------------------------------------------------===//

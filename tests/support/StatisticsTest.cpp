@@ -31,3 +31,56 @@ TEST(SampleStats, Table1StyleColumns) {
   EXPECT_DOUBLE_EQ(S.percentAtMost(64), 80.0);
   EXPECT_DOUBLE_EQ(S.percentAtMost(100), 100.0);
 }
+
+TEST(SampleStats, PercentileNearestRank) {
+  SampleStats S;
+  for (unsigned V : {10u, 20u, 30u, 40u, 100u})
+    S.add(V);
+  EXPECT_EQ(S.percentile(0), 10u);
+  EXPECT_EQ(S.percentile(20), 10u);
+  EXPECT_EQ(S.percentile(50), 30u);
+  EXPECT_EQ(S.percentile(90), 100u);
+  EXPECT_EQ(S.percentile(100), 100u);
+}
+
+TEST(SampleStats, PercentileOfEmptyAndSingleton) {
+  SampleStats Empty;
+  EXPECT_EQ(Empty.percentile(50), 0u);
+  EXPECT_EQ(Empty.percentile(100), 0u);
+  SampleStats One;
+  One.add(7);
+  EXPECT_EQ(One.percentile(0), 7u);
+  EXPECT_EQ(One.percentile(50), 7u);
+  EXPECT_EQ(One.percentile(100), 7u);
+  // The summary columns stay 0-safe on empty input too (directed pins for
+  // the edge cases the telemetry exporters depend on).
+  EXPECT_DOUBLE_EQ(Empty.average(), 0.0);
+  EXPECT_EQ(Empty.maximum(), 0u);
+}
+
+TEST(SampleStats, Log2HistogramExport) {
+  SampleStats S;
+  for (unsigned V : {0u, 1u, 2u, 3u, 4u, 100u})
+    S.add(V);
+  telemetry::HistogramData H = S.log2Histogram();
+  EXPECT_EQ(H.Count, 6u);
+  EXPECT_EQ(H.Sum, 110u);
+  EXPECT_EQ(H.Buckets[0], 1u); // value 0
+  EXPECT_EQ(H.Buckets[1], 1u); // [1, 2)
+  EXPECT_EQ(H.Buckets[2], 2u); // [2, 4)
+  EXPECT_EQ(H.Buckets[3], 1u); // [4, 8)
+  EXPECT_EQ(H.Buckets[7], 1u); // [64, 128)
+  // The bucketed percentile is an upper bound of the exact one — the
+  // contract that makes the registry's order-of-magnitude summaries safe
+  // to alert on.
+  for (double P : {10.0, 50.0, 90.0, 99.0})
+    EXPECT_GE(telemetry::histogramPercentile(H, P), S.percentile(P)) << P;
+}
+
+TEST(SampleStats, EmptyHistogramExportRendersCleanly) {
+  SampleStats Empty;
+  telemetry::HistogramData H = Empty.log2Histogram();
+  EXPECT_EQ(H.Count, 0u);
+  EXPECT_EQ(H.Sum, 0u);
+  EXPECT_EQ(telemetry::histogramPercentile(H, 50), 0u);
+}

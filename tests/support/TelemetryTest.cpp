@@ -1,0 +1,236 @@
+//===- tests/support/TelemetryTest.cpp ------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The telemetry plane: per-thread sharded counters must aggregate exactly
+// under real pool parallelism (single-writer shards make relaxed atomics
+// sufficient — this suite is the proof, and runs under TSan in CI), log2
+// histogram bucketing must honor its boundary contract, the span ring must
+// wrap without growing, and snapshot() must be safe against concurrent
+// writers. The registry is process-global, so every test uses its own
+// metric names.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ssalive;
+using namespace ssalive::telemetry;
+
+TEST(Telemetry, CounterAggregatesExactlyAcrossPoolThreads) {
+  static Counter C("test_tm_pool_counter_total");
+  ThreadPool Pool(8);
+  constexpr std::size_t N = 100000;
+  Pool.parallelFor(0, N, [&](std::size_t I) { C.inc(I % 3 == 0 ? 2 : 1); });
+  std::uint64_t Expect = 0;
+  for (std::size_t I = 0; I != N; ++I)
+    Expect += I % 3 == 0 ? 2 : 1;
+  // parallelFor joined the workers' task stream, so the snapshot is exact.
+  EXPECT_EQ(Registry::global().value("test_tm_pool_counter_total"), Expect);
+}
+
+TEST(Telemetry, CountersSurviveThreadRetirement) {
+  static Counter C("test_tm_retired_counter_total");
+  // Each thread folds its shard into the registry's retired accumulator at
+  // exit; the totals must survive every writer thread being gone.
+  for (unsigned Round = 0; Round != 4; ++Round) {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != 4; ++T)
+      Threads.emplace_back([] {
+        for (unsigned I = 0; I != 1000; ++I)
+          C.inc();
+      });
+    for (auto &Th : Threads)
+      Th.join();
+  }
+  EXPECT_EQ(Registry::global().value("test_tm_retired_counter_total"),
+            16000u);
+}
+
+TEST(Telemetry, HistogramBucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(histogramBucket(0), 0u);
+  EXPECT_EQ(histogramBucket(1), 1u);
+  EXPECT_EQ(histogramBucket(2), 2u);
+  EXPECT_EQ(histogramBucket(3), 2u);
+  EXPECT_EQ(histogramBucket(4), 3u);
+  EXPECT_EQ(histogramBucket(7), 3u);
+  EXPECT_EQ(histogramBucket(8), 4u);
+  EXPECT_EQ(histogramBucket(UINT64_MAX), NumHistogramBuckets - 1);
+  // Bounds are inclusive upper edges: bucket i covers values <= 2^i - 1.
+  EXPECT_EQ(histogramBucketBound(0), 0u);
+  EXPECT_EQ(histogramBucketBound(1), 1u);
+  EXPECT_EQ(histogramBucketBound(2), 3u);
+  EXPECT_EQ(histogramBucketBound(NumHistogramBuckets - 1), UINT64_MAX);
+  // Round trip: every bound lands in its own bucket, the next value in the
+  // next one.
+  for (unsigned I = 1; I + 1 < NumHistogramBuckets; ++I) {
+    EXPECT_EQ(histogramBucket(histogramBucketBound(I)), I);
+    EXPECT_EQ(histogramBucket(histogramBucketBound(I) + 1), I + 1);
+  }
+}
+
+TEST(Telemetry, HistogramObservationsAggregate) {
+  static Histogram H("test_tm_hist_ns");
+  ThreadPool Pool(4);
+  Pool.parallelFor(0, 1000, [&](std::size_t I) { H.observe(I); });
+  auto Snapshot = Registry::global().snapshot();
+  const Metric *M = nullptr;
+  for (const Metric &It : Snapshot)
+    if (It.Name == "test_tm_hist_ns")
+      M = &It;
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Kind, MetricKind::Histogram);
+  EXPECT_EQ(M->Hist.Count, 1000u);
+  EXPECT_EQ(M->Hist.Sum, 999u * 1000u / 2);
+  std::uint64_t BucketTotal = 0;
+  for (std::uint64_t B : M->Hist.Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, M->Hist.Count);
+  // 0..999: one 0, one 1, two [2,4), ..., [512, 1000) = 488 values.
+  EXPECT_EQ(M->Hist.Buckets[0], 1u);
+  EXPECT_EQ(M->Hist.Buckets[1], 1u);
+  EXPECT_EQ(M->Hist.Buckets[2], 2u);
+  EXPECT_EQ(M->Hist.Buckets[10], 488u);
+  EXPECT_EQ(histogramPercentile(M->Hist, 100), 1023u);
+}
+
+TEST(Telemetry, GaugeTracksLevelNotRate) {
+  static Gauge G("test_tm_gauge");
+  G.set(5);
+  EXPECT_EQ(Registry::global().value("test_tm_gauge"), 5u);
+  G.add(3);
+  G.add(-2);
+  EXPECT_EQ(Registry::global().value("test_tm_gauge"), 6u);
+  G.set(0);
+  EXPECT_EQ(Registry::global().value("test_tm_gauge"), 0u);
+}
+
+TEST(Telemetry, SnapshotIsSafeDuringConcurrentWrites) {
+  // Snapshot while eight writers hammer the same counter: TSan must stay
+  // quiet, every intermediate read must be monotone, and the final (post-
+  // join) read exact. This is the read-while-write contract.
+  static Counter C("test_tm_live_counter_total");
+  static Histogram H("test_tm_live_hist_ns");
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Writers;
+  std::atomic<std::uint64_t> Written{0};
+  for (unsigned T = 0; T != 8; ++T)
+    Writers.emplace_back([&] {
+      std::uint64_t Mine = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        C.inc();
+        H.observe(Mine & 0xFFFF);
+        ++Mine;
+      }
+      Written.fetch_add(Mine);
+    });
+  std::uint64_t Prev = 0;
+  for (unsigned Reads = 0; Reads != 50; ++Reads) {
+    std::uint64_t Now = Registry::global().value("test_tm_live_counter_total");
+    EXPECT_GE(Now, Prev) << "counter reads must be monotone";
+    Prev = Now;
+  }
+  Stop.store(true);
+  for (auto &W : Writers)
+    W.join();
+  EXPECT_EQ(Registry::global().value("test_tm_live_counter_total"),
+            Written.load());
+}
+
+TEST(Telemetry, TraceRingWrapsWithoutGrowing) {
+  TraceRecorder::clear();
+  TraceRecorder::setEnabled(true);
+  constexpr std::size_t Extra = 100;
+  for (std::size_t I = 0; I != TraceRecorder::RingCapacity + Extra; ++I)
+    TraceRecorder::record("wrap-span", "test", /*StartNs=*/I + 1,
+                          /*DurNs=*/1);
+  TraceRecorder::setEnabled(false);
+  auto Events = TraceRecorder::events();
+  // The ring retains exactly its capacity: the newest spans, oldest
+  // overwritten.
+  std::size_t Count = 0;
+  std::uint64_t MinStart = UINT64_MAX;
+  for (const TraceEvent &E : Events)
+    if (std::string(E.Name) == "wrap-span") {
+      ++Count;
+      MinStart = std::min(MinStart, E.StartNs);
+    }
+  EXPECT_EQ(Count, TraceRecorder::RingCapacity);
+  EXPECT_EQ(MinStart, Extra + 1) << "the oldest spans must be the ones "
+                                    "overwritten";
+  TraceRecorder::clear();
+  EXPECT_TRUE(TraceRecorder::events().empty());
+}
+
+TEST(Telemetry, TraceSpansRecordOnlyWhenEnabled) {
+  TraceRecorder::clear();
+  TraceRecorder::setEnabled(false);
+  { SSALIVE_SPAN("disabled-span"); }
+  EXPECT_TRUE(TraceRecorder::events().empty());
+  TraceRecorder::setEnabled(true);
+  { SSALIVE_SPAN("enabled-span"); }
+  TraceRecorder::setEnabled(false);
+  auto Events = TraceRecorder::events();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_STREQ(Events[0].Name, "enabled-span");
+  TraceRecorder::clear();
+}
+
+TEST(Telemetry, ChromeJsonIsWellFormedEnough) {
+  TraceRecorder::clear();
+  TraceRecorder::setEnabled(true);
+  TraceRecorder::record("json-span", "test", 1000, 2500);
+  TraceRecorder::setEnabled(false);
+  std::string Json = TraceRecorder::toChromeJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"json-span\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces/brackets is as far as a unit test goes;
+  // tools/check-metrics --trace does full JSON validation in CI.
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+  TraceRecorder::clear();
+}
+
+TEST(Telemetry, PrometheusTextRoundTripsTheSnapshot) {
+  static Counter C("test_tm_prom_counter_total");
+  static Histogram H("test_tm_prom_hist_ns");
+  C.inc(42);
+  H.observe(3);
+  H.observe(700);
+  std::string Text = toPrometheusText(Registry::global().snapshot());
+  EXPECT_NE(Text.find("# TYPE test_tm_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("test_tm_prom_counter_total 42"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE test_tm_prom_hist_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(Text.find("test_tm_prom_hist_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(Text.find("test_tm_prom_hist_ns_sum 703"), std::string::npos);
+  EXPECT_NE(Text.find("test_tm_prom_hist_ns_count 2"), std::string::npos);
+}
+
+TEST(Telemetry, RegistrationIsIdempotent) {
+  unsigned A = Registry::global().registerCounter("test_tm_idem_total");
+  unsigned B = Registry::global().registerCounter("test_tm_idem_total");
+  EXPECT_EQ(A, B);
+  Counter C1("test_tm_idem_total");
+  Counter C2("test_tm_idem_total");
+  C1.inc();
+  C2.inc();
+  EXPECT_EQ(Registry::global().value("test_tm_idem_total"), 2u);
+}

@@ -25,6 +25,9 @@
 //                             routed through the server's refresh plane
 //     --threads=N             pool threads for a spawned server
 //     --verify                byte-compare every reply against the oracle
+//     --metrics               fetch the server's telemetry registry via
+//                             the Metrics opcode and print a summary
+//     --metrics-out=PATH      write that dump as Prometheus text
 //     [module.ssair]          load a module file instead of synthesizing
 //
 // Exit status: 0 = success, 1 = usage/transport failure, 2 = a reply
@@ -35,10 +38,12 @@
 #include "ToolUtil.h"
 #include "pipeline/BatchLivenessDriver.h"
 #include "server/Protocol.h"
+#include "support/Telemetry.h"
 #include "workload/CFGMutator.h"
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +76,8 @@ struct CliOptions {
   unsigned Edits = 0;
   unsigned Threads = 1;
   bool Verify = false;
+  bool Metrics = false;
+  std::string MetricsOutPath;
   std::string InputPath;
 };
 
@@ -125,6 +132,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Threads = static_cast<unsigned>(N);
     } else if (Arg == "--verify") {
       Opts.Verify = true;
+    } else if (Arg == "--metrics") {
+      Opts.Metrics = true;
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Opts.Metrics = true;
+      Opts.MetricsOutPath = Arg.substr(14);
     } else if (!Arg.empty() && Arg[0] != '-' && Opts.InputPath.empty()) {
       Opts.InputPath = Arg;
     } else {
@@ -484,6 +496,50 @@ int main(int Argc, char **Argv) {
       return fail(2);
     }
   }
+  // ---- Metrics: the process-wide telemetry registry over the wire.
+  if (Opts.Metrics) {
+    if (!roundTrip(Conn, proto::encodeMetricsRequest(), Reply) ||
+        Reply.empty() ||
+        Reply[0] != static_cast<std::uint8_t>(proto::Opcode::MetricsReply)) {
+      std::fprintf(stderr, "FAIL: no MetricsReply to the Metrics request\n");
+      return fail(2);
+    }
+    proto::WireReader R(Reply.data() + 1, Reply.size() - 1);
+    std::vector<telemetry::Metric> Metrics;
+    if (!proto::decodeMetrics(R, Metrics)) {
+      std::fprintf(stderr, "FAIL: MetricsReply body does not decode\n");
+      return fail(2);
+    }
+    std::printf("  metrics: %zu series from the server registry\n",
+                Metrics.size());
+    for (const telemetry::Metric &M : Metrics) {
+      if (M.Kind == telemetry::MetricKind::Histogram) {
+        std::printf(
+            "    %-44s count=%llu p50=%lluns p99=%lluns\n", M.Name.c_str(),
+            static_cast<unsigned long long>(M.Hist.Count),
+            static_cast<unsigned long long>(
+                telemetry::histogramPercentile(M.Hist, 50)),
+            static_cast<unsigned long long>(
+                telemetry::histogramPercentile(M.Hist, 99)));
+      } else {
+        std::printf("    %-44s %llu%s\n", M.Name.c_str(),
+                    static_cast<unsigned long long>(M.Value),
+                    M.Kind == telemetry::MetricKind::Gauge ? " (gauge)" : "");
+      }
+    }
+    if (!Opts.MetricsOutPath.empty()) {
+      std::ofstream Out(Opts.MetricsOutPath, std::ios::trunc);
+      if (!Out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     Opts.MetricsOutPath.c_str());
+        return fail(1);
+      }
+      Out << telemetry::toPrometheusText(Metrics);
+      std::printf("  metrics: Prometheus dump written to %s\n",
+                  Opts.MetricsOutPath.c_str());
+    }
+  }
+
   if (Conn.Child > 0)
     (void)roundTrip(Conn, proto::encodeShutdown(), Reply);
   Conn.close();

@@ -18,16 +18,35 @@
 //       subprocess. All logging goes to stderr (stdout is the protocol
 //       channel).
 //
+// Observability:
+//
+//   --metrics-interval=SECONDS   Periodically dump the process-wide
+//       telemetry registry in Prometheus text exposition format, plus a
+//       final dump at shutdown. Goes to stderr unless --metrics-out is
+//       given (then the file is rewritten atomically-ish each tick, the
+//       shape a textfile-collector scrape expects).
+//   --metrics-out=PATH           Destination file for the dumps.
+//   --trace-out=PATH             Enable span tracing for the process
+//       lifetime and write the collected spans as Chrome trace-event
+//       JSON (chrome://tracing / Perfetto) at shutdown.
+//
 // The protocol is documented in src/server/Protocol.h.
 //
 //===----------------------------------------------------------------------===//
 
 #include "server/LivenessServer.h"
+#include "support/Telemetry.h"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 using namespace ssalive;
 using namespace ssalive::server;
@@ -39,6 +58,9 @@ struct CliOptions {
   bool Stdio = false;
   unsigned Threads = 1;
   std::size_t MaxFrame = protocol::DefaultMaxFrameBytes;
+  unsigned MetricsIntervalSecs = 0; ///< 0 = no periodic dumps.
+  std::string MetricsOutPath;       ///< Empty = stderr.
+  std::string TraceOutPath;         ///< Empty = tracing disabled.
 };
 
 bool parseUnsigned(const char *S, std::uint64_t &Out) {
@@ -61,6 +83,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--max-frame=", 0) == 0 &&
                parseUnsigned(Arg.c_str() + 12, N) && N != 0) {
       Opts.MaxFrame = N;
+    } else if (Arg.rfind("--metrics-interval=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 19, N) && N != 0) {
+      Opts.MetricsIntervalSecs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Opts.MetricsOutPath = Arg.substr(14);
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      Opts.TraceOutPath = Arg.substr(12);
     } else {
       std::fprintf(stderr, "unrecognized argument '%s'\n", Arg.c_str());
       return false;
@@ -74,6 +103,70 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return true;
 }
 
+void dumpMetrics(const CliOptions &Opts) {
+  std::string Text =
+      telemetry::toPrometheusText(telemetry::Registry::global().snapshot());
+  if (Opts.MetricsOutPath.empty()) {
+    std::fprintf(stderr, "%s", Text.c_str());
+    return;
+  }
+  // Write-then-rename so a concurrent reader never sees a torn file.
+  std::string Tmp = Opts.MetricsOutPath + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    Out << Text;
+  }
+  if (std::rename(Tmp.c_str(), Opts.MetricsOutPath.c_str()) != 0)
+    std::fprintf(stderr, "ssalive-server: cannot write %s\n",
+                 Opts.MetricsOutPath.c_str());
+}
+
+/// Ticker thread for --metrics-interval; interruptible sleep so shutdown
+/// does not wait out the remainder of a tick.
+class MetricsTicker {
+public:
+  explicit MetricsTicker(const CliOptions &Opts) : Opts(Opts) {
+    if (Opts.MetricsIntervalSecs != 0)
+      Thread = std::thread([this] { loop(); });
+  }
+
+  ~MetricsTicker() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
+    }
+    CV.notify_all();
+    if (Thread.joinable())
+      Thread.join();
+  }
+
+private:
+  void loop() {
+    std::unique_lock<std::mutex> Lock(M);
+    while (!Stop) {
+      if (CV.wait_for(Lock, std::chrono::seconds(Opts.MetricsIntervalSecs),
+                      [this] { return Stop; }))
+        return;
+      dumpMetrics(Opts);
+    }
+  }
+
+  const CliOptions &Opts;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Stop = false;
+  std::thread Thread;
+};
+
+void writeTrace(const std::string &Path) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    std::fprintf(stderr, "ssalive-server: cannot write %s\n", Path.c_str());
+    return;
+  }
+  Out << telemetry::TraceRecorder::toChromeJson();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -81,26 +174,41 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     return 1;
 
+  if (!Opts.TraceOutPath.empty())
+    telemetry::TraceRecorder::setEnabled(true);
+
   ServerConfig Cfg;
   Cfg.Threads = Opts.Threads;
   Cfg.MaxFrameBytes = Opts.MaxFrame;
-  LivenessServer Server(Cfg);
+  int Exit = 0;
+  {
+    LivenessServer Server(Cfg);
+    MetricsTicker Ticker(Opts);
 
-  if (Opts.Stdio) {
-    Server.serveStream(/*InFd=*/0, /*OutFd=*/1);
-    return 0;
-  }
+    if (Opts.Stdio) {
+      Server.serveStream(/*InFd=*/0, /*OutFd=*/1);
+    } else {
+      std::string Err;
+      if (!Server.listenUnix(Opts.SocketPath, Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "ssalive-server: listening on %s (%u pool threads)\n",
+                   Opts.SocketPath.c_str(),
+                   Server.sessions().pool().numThreads());
+      Server.start();
+      Server.wait();
+      std::fprintf(stderr,
+                   "ssalive-server: shut down after %llu connection(s)\n",
+                   static_cast<unsigned long long>(
+                       Server.connectionsServed()));
+    }
+  } // Server destruction folds the final per-session/driver counters in.
 
-  std::string Err;
-  if (!Server.listenUnix(Opts.SocketPath, Err)) {
-    std::fprintf(stderr, "%s\n", Err.c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "ssalive-server: listening on %s (%u pool threads)\n",
-               Opts.SocketPath.c_str(), Server.sessions().pool().numThreads());
-  Server.start();
-  Server.wait();
-  std::fprintf(stderr, "ssalive-server: shut down after %llu connection(s)\n",
-               static_cast<unsigned long long>(Server.connectionsServed()));
-  return 0;
+  if (Opts.MetricsIntervalSecs != 0 || !Opts.MetricsOutPath.empty())
+    dumpMetrics(Opts);
+  if (!Opts.TraceOutPath.empty())
+    writeTrace(Opts.TraceOutPath);
+  return Exit;
 }
