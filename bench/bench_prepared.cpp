@@ -203,9 +203,9 @@ int main(int Argc, char **Argv) {
               Mask.reset();
               for (unsigned U : Nums)
                 Mask.set(U);
-              PV.Mask = &Mask;
+              PV.setMask(Mask);
             } else {
-              PV.Mask = nullptr;
+              PV.clearMask();
             }
             bool A = Q.IsLiveOut ? Engine.isLiveOutPrepared(PV, Q.Block)
                                  : Engine.isLiveInPrepared(PV, Q.Block);
@@ -273,6 +273,9 @@ int main(int Argc, char **Argv) {
             .num("cached_queries_per_second", CachedQps)
             .num("cache_memory_bytes",
                  std::uint64_t(Cands[2].MemBytes))
+            // Same key bench_storage uses, so cross-bench memory tooling
+            // reads one field name.
+            .num("memory_bytes", std::uint64_t(Cands[2].MemBytes))
             .num("speedup_cached_vs_perquery", SpeedupVsPerQuery)
             .num("speedup_cached_vs_blockid", SpeedupVsBlockId));
     SpeedupBySize.push_back({Blocks, SpeedupVsPerQuery});

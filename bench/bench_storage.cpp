@@ -228,9 +228,9 @@ int main(int Argc, char **Argv) {
               Mask.reset();
               for (unsigned U : Nums)
                 Mask.set(U);
-              PV.Mask = &Mask;
+              PV.setMask(Mask);
             } else {
-              PV.Mask = nullptr;
+              PV.clearMask();
             }
           }
           bool A = Q.IsLiveOut ? Engine.isLiveOutPrepared(PV, Q.Block)

@@ -34,6 +34,7 @@
 
 #include "analysis/Reducibility.h"
 #include "support/Debug.h"
+#include "support/Pool.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -51,15 +52,14 @@ struct RowProbe {
   static bool test(const std::uint64_t *R, unsigned Idx) {
     return BitMatrix::testBit(R, Idx);
   }
-  static bool anyCommonMask(const BitVector &R, const BitVector &M,
-                            unsigned ExcludeBit) {
-    return BitMatrix::wordsAnyCommon(R.words(), M.words(), M.numWordsInUse(),
+  static bool anyCommonMask(const BitVector &R, const std::uint64_t *MaskW,
+                            unsigned MaskNumWords, unsigned ExcludeBit) {
+    return BitMatrix::wordsAnyCommon(R.words(), MaskW, MaskNumWords,
                                      ExcludeBit);
   }
-  static bool anyCommonMask(const std::uint64_t *R, const BitVector &M,
-                            unsigned ExcludeBit) {
-    return BitMatrix::wordsAnyCommon(R, M.words(), M.numWordsInUse(),
-                                     ExcludeBit);
+  static bool anyCommonMask(const std::uint64_t *R, const std::uint64_t *MaskW,
+                            unsigned MaskNumWords, unsigned ExcludeBit) {
+    return BitMatrix::wordsAnyCommon(R, MaskW, MaskNumWords, ExcludeBit);
   }
 };
 
@@ -96,7 +96,8 @@ struct NumUses {
 /// `R_t ∩ UseMask != ∅` sweep; the trivial-path exclusion becomes a masked
 /// bit in that sweep.
 struct MaskUses {
-  const BitVector *Mask;
+  const std::uint64_t *MaskW;
+  unsigned MaskNumWords;
   const std::uint8_t *BackTarget;
 
   template <class Row>
@@ -108,7 +109,7 @@ struct MaskUses {
                            !BackTarget[QNum])
                               ? QNum
                               : BitMatrix::npos;
-    return RowProbe::anyCommonMask(R, *Mask, ExcludeBit);
+    return RowProbe::anyCommonMask(R, MaskW, MaskNumWords, ExcludeBit);
   }
 };
 
@@ -230,10 +231,11 @@ bool LiveCheck::renumberingKernel(const LiveCheck &LC, unsigned DefNum,
 template <LiveCheck::ScanLayout L, bool Skip, bool FP>
 bool LiveCheck::maskKernel(const LiveCheck &LC, unsigned DefNum,
                            unsigned MaxDom, unsigned QNum,
-                           const BitVector &UseMask, bool ExcludeTrivialQ,
+                           const std::uint64_t *MaskWords,
+                           unsigned MaskNumWords, bool ExcludeTrivialQ,
                            LiveCheckStats *Sink) {
   return scanImpl<L, Skip, FP>(LC, DefNum, MaxDom, QNum,
-                               MaskUses{&UseMask,
+                               MaskUses{MaskWords, MaskNumWords,
                                         LC.BackTargetByNum.data()},
                                ExcludeTrivialQ, Sink);
 }
@@ -482,7 +484,9 @@ void LiveCheck::buildBackEdgeCSR(BackEdgeCSR &CSR) const {
   for (unsigned I = 0; I != NumNodes; ++I)
     CSR.SrcOff[I + 1] += CSR.SrcOff[I];
   CSR.Tgts.resize(BackEdges.size());
-  std::vector<unsigned> Fill(CSR.SrcOff.begin(), CSR.SrcOff.end() - 1);
+  auto FillH = pool::scratchArray();
+  std::vector<unsigned> &Fill = *FillH;
+  Fill.assign(CSR.SrcOff.begin(), CSR.SrcOff.end() - 1);
   for (auto [S, Tgt] : BackEdges)
     CSR.Tgts[Fill[DT.num(S)]++] = {DT.num(Tgt), Tgt};
 }
@@ -638,7 +642,9 @@ bool LiveCheck::permuteInterval(unsigned Lo, unsigned Hi) {
   // subtree's interval, so the permutation must stay within [Lo, Hi];
   // anything else falls back to the full recompute.
   const unsigned W = Hi - Lo + 1;
-  std::vector<unsigned> P(W);
+  auto PH = pool::scratchArray();
+  std::vector<unsigned> &P = *PH;
+  P.assign(W, 0);
   for (unsigned I = Lo; I <= Hi; ++I) {
     unsigned NewNum = DT.num(SnapNodeAtNum[I]);
     if (NewNum < Lo || NewNum > Hi)
@@ -665,14 +671,18 @@ bool LiveCheck::permuteInterval(unsigned Lo, unsigned Hi) {
   const unsigned LastWord = Hi / BitMatrix::WordBits;
   const unsigned SpanWords = LastWord - FirstWord + 1;
   // Masks selecting the [Lo, Hi] bits of each covered word.
-  std::vector<BitMatrix::Word> SpanMask(SpanWords, ~BitMatrix::Word(0));
+  auto SpanMaskH = pool::words().acquire();
+  std::vector<BitMatrix::Word> &SpanMask = *SpanMaskH;
+  SpanMask.assign(SpanWords, ~BitMatrix::Word(0));
   if (Lo % BitMatrix::WordBits != 0)
     SpanMask.front() &= ~BitMatrix::Word(0) << (Lo % BitMatrix::WordBits);
   if (unsigned Rem = Hi % BitMatrix::WordBits; Rem != BitMatrix::WordBits - 1)
     SpanMask.back() &= (BitMatrix::Word(1) << (Rem + 1)) - 1;
 
-  std::vector<BitMatrix::Word> Band;
-  std::vector<BitMatrix::Word> Col(SpanWords + 1);
+  auto BandH = pool::words().acquire();
+  std::vector<BitMatrix::Word> &Band = *BandH;
+  auto ColH = pool::scratchWords(SpanWords + 1);
+  std::vector<BitMatrix::Word> &Col = *ColH;
   for (BitMatrix *M : {&RMat, &TMat}) {
     unsigned Stride = M->strideWords();
     // Rows: lift the band out, drop each row back at its new index.
@@ -746,8 +756,10 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
   // SeedT: SeedR plus sources of back-edge set changes (inputs of T can
   // change even when R does not — toggling a back edge alters the
   // per-source target unions but leaves the reduced graph alone).
-  BitVector SeedRSet(N), SeedTSet(N);
-  std::vector<unsigned> SeedR, SeedT;
+  auto SeedRSetH = pool::scratchBitset(N), SeedTSetH = pool::scratchBitset(N);
+  BitVector &SeedRSet = *SeedRSetH, &SeedTSet = *SeedTSetH;
+  auto SeedRH = pool::scratchArray(), SeedTH = pool::scratchArray();
+  std::vector<unsigned> &SeedR = *SeedRH, &SeedT = *SeedTH;
   auto addSeedT = [&](unsigned S) {
     if (!SeedTSet.test(S)) {
       SeedTSet.set(S);
@@ -824,8 +836,10 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
   // ripple as soon as reconvergence is reached — local edits usually dirty
   // a handful of rows even though their reachability cone is huge. ---
   const unsigned Stride = RMat.strideWords();
-  std::vector<BitMatrix::Word> OldRow(Stride);
-  BitVector DirtyR(N);
+  auto OldRowH = pool::scratchWords(Stride);
+  std::vector<BitMatrix::Word> &OldRow = *OldRowH;
+  auto DirtyRH = pool::scratchBitset(N);
+  BitVector &DirtyR = *DirtyRH;
   if (!SeedR.empty()) {
     for (unsigned V : D.postorderSequence()) {
       const unsigned *RB = D.reducedBegin(V), *RE = D.reducedEnd(V);
@@ -938,7 +952,8 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
     // Targets that see the edge directly (u reachable, v not yet in R)
     // or through a grown contributor gain Delta; Theorem-3 preorder makes
     // contributor verdicts final in time.
-    BitVector Grown(N);
+    auto GrownH = pool::scratchBitset(N);
+    BitVector &Grown = *GrownH;
     for (unsigned T : D.preorderSequence()) {
       if (!D.isBackEdgeTarget(T) || T == V)
         continue;
@@ -965,7 +980,8 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
         TargetContrib[T].push_back(V);
     }
     // Sources feeding the new edge or any grown target gain Delta.
-    BitVector SeedMaskNum(N);
+    auto SeedMaskNumH = pool::scratchBitset(N);
+    BitVector &SeedMaskNum = *SeedMaskNumH;
     for (auto [S2, Tgt2] : NewBE) {
       if (S2 != U && !Grown.test(Tgt2))
         continue;
@@ -994,8 +1010,11 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
     return true;
   }
 
-  BitVector TargetDirty(N);
-  BitVector OldSet;
+  auto TargetDirtyH = pool::scratchBitset(N);
+  BitVector &TargetDirty = *TargetDirtyH;
+  auto OldSetH = pool::bitsets().acquire();
+  BitVector &OldSet = *OldSetH;
+  OldSet.resize(0);
   if (AnyBackChange || DirtyR.any()) {
     BackEdgeCSR CSR;
     buildBackEdgeCSR(CSR);
@@ -1038,7 +1057,8 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
                                          AnyBackChange)) {
     // Sources to refresh: those incident to a back-edge toggle or
     // feeding a dirty target set. Changed unions become T seeds.
-    BitVector SrcNeed(N);
+    auto SrcNeedH = pool::scratchBitset(N);
+    BitVector &SrcNeed = *SrcNeedH;
     for (auto [S, Tgt] : NewBE)
       if (TargetDirty.test(Tgt))
         SrcNeed.set(S);
@@ -1107,7 +1127,8 @@ bool LiveCheck::tryIncrementalUpdate(const CFGDelta *DB, const CFGDelta *DE) {
     // prop_v = AtSource[v] ∪ ⋃ prop_succ over reduced successors, so a
     // row needs recomputing only when its own AtSource changed, its
     // reduced out-edges changed, or a successor's prop genuinely changed.
-    BitVector DirtyT(N);
+    auto DirtyTH = pool::scratchBitset(N);
+    BitVector &DirtyT = *DirtyTH;
     {
       for (unsigned V : D.postorderSequence()) {
         const unsigned *RB = D.reducedBegin(V), *RE = D.reducedEnd(V);
@@ -1309,8 +1330,8 @@ bool LiveCheck::isLiveInMask(unsigned DefBlock, unsigned Q,
   unsigned QNum = DT.num(Q);
   if (QNum <= DefNum || MaxDom < QNum)
     return false;
-  return MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
-                  /*ExcludeTrivialQ=*/false, Sink);
+  return MaskScan(*this, DefNum, MaxDom, QNum, UseMask.words(),
+                  UseMask.numWordsInUse(), /*ExcludeTrivialQ=*/false, Sink);
 }
 
 bool LiveCheck::isLiveOutMask(unsigned DefBlock, unsigned Q,
@@ -1325,8 +1346,8 @@ bool LiveCheck::isLiveOutMask(unsigned DefBlock, unsigned Q,
   unsigned MaxDom = DT.maxnum(DefBlock);
   if (QNum <= DefNum || MaxDom < QNum)
     return false;
-  return MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
-                  /*ExcludeTrivialQ=*/true, Sink);
+  return MaskScan(*this, DefNum, MaxDom, QNum, UseMask.words(),
+                  UseMask.numWordsInUse(), /*ExcludeTrivialQ=*/true, Sink);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1357,7 +1378,8 @@ void LiveCheck::liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
   unsigned MaxDom = DT.maxnum(DefBlock);
   if (MaxDom <= DefNum)
     return; // Def dominates nothing strictly: nothing else can be live.
-  BitVector UseMask(NumNodes);
+  auto UseMaskH = pool::scratchBitset(NumNodes);
+  BitVector &UseMask = *UseMaskH;
   for (const unsigned *U = UsesBegin; U != UsesEnd; ++U)
     UseMask.set(DT.num(*U));
 
@@ -1365,10 +1387,12 @@ void LiveCheck::liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
   if (Opts.Storage != TStorage::Arena) {
     // Non-arena layouts: one mask query per interval block and direction.
     for (unsigned QNum = Lo; QNum <= MaxDom; ++QNum) {
-      if (In && MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
+      if (In && MaskScan(*this, DefNum, MaxDom, QNum, UseMask.words(),
+                         UseMask.numWordsInUse(),
                          /*ExcludeTrivialQ=*/false, nullptr))
         In->set(DT.nodeAtNum(QNum));
-      if (Out && MaskScan(*this, DefNum, MaxDom, QNum, UseMask,
+      if (Out && MaskScan(*this, DefNum, MaxDom, QNum, UseMask.words(),
+                          UseMask.numWordsInUse(),
                           /*ExcludeTrivialQ=*/true, nullptr))
         Out->set(DT.nodeAtNum(QNum));
     }
@@ -1391,10 +1415,11 @@ void LiveCheck::liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
   // verdict agrees with the disjunction over all targets.
   unsigned Stride = RMat.strideWords();
   const BitMatrix::Word *MaskW = UseMask.words();
-  BitVector Good(NumNodes);
-  BitVector GoodSelf;
-  if (Out)
-    GoodSelf.resize(NumNodes);
+  auto GoodH = pool::scratchBitset(NumNodes);
+  BitVector &Good = *GoodH;
+  auto GoodSelfH = Out ? pool::scratchBitset(NumNodes)
+                       : pool::BitsetPool::Handle();
+  BitVector *GoodSelf = Out ? &*GoodSelfH : nullptr;
   for (unsigned T = Lo; T <= MaxDom; ++T) {
     const BitMatrix::Word *R = RMat.row(T);
     bool Any = BitMatrix::wordsAnyCommon(R, MaskW, Stride);
@@ -1406,7 +1431,7 @@ void LiveCheck::liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
                       : BitMatrix::wordsAnyCommon(R, MaskW, Stride,
                                                   /*ExcludeBit=*/T);
       if (Self)
-        GoodSelf.set(T);
+        GoodSelf->set(T);
     }
   }
   const BitMatrix::Word *GoodW = Good.words();
@@ -1416,7 +1441,7 @@ void LiveCheck::liveBlocksImpl(unsigned DefBlock, const unsigned *UsesBegin,
       In->set(DT.nodeAtNum(Q));
     // T_q always holds q itself; route that one target through GoodSelf
     // and exclude it from the ordinary sweep.
-    if (Out && (GoodSelf.test(Q) ||
+    if (Out && (GoodSelf->test(Q) ||
                 BitMatrix::wordsAnyCommonInRange(T, GoodW, Lo, MaxDom,
                                                  /*ExcludeBit=*/Q)))
       Out->set(DT.nodeAtNum(Q));

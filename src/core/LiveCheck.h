@@ -261,7 +261,22 @@ public:
     unsigned MaxDom = 0;            ///< DT.maxnum(def block).
     const unsigned *NumsBegin = nullptr; ///< Sorted, deduped use numbers.
     const unsigned *NumsEnd = nullptr;
-    const BitVector *Mask = nullptr; ///< Optional use mask over numbers.
+    /// Optional use mask over numbers as a raw word span (engaged when
+    /// non-null, taking precedence over the Nums span). A raw span rather
+    /// than a BitVector* so cached entries can alias slices of a shared
+    /// arena; bits at or beyond the engine's node count must be clear.
+    const std::uint64_t *MaskWords = nullptr;
+    unsigned MaskNumWords = 0;
+
+    /// Points the mask span at \p M's words (M must outlive the queries).
+    void setMask(const BitVector &M) {
+      MaskWords = M.words();
+      MaskNumWords = M.numWordsInUse();
+    }
+    void clearMask() {
+      MaskWords = nullptr;
+      MaskNumWords = 0;
+    }
   };
 
   /// Fills \p Out's def coordinates for \p DefBlock (spans stay untouched).
@@ -281,9 +296,9 @@ public:
     unsigned QNum = DT.num(Q);
     if (QNum <= V.DefNum || V.MaxDom < QNum)
       return false;
-    if (V.Mask)
-      return MaskScan(*this, V.DefNum, V.MaxDom, QNum, *V.Mask,
-                      /*ExcludeTrivialQ=*/false, Sink);
+    if (V.MaskWords)
+      return MaskScan(*this, V.DefNum, V.MaxDom, QNum, V.MaskWords,
+                      V.MaskNumWords, /*ExcludeTrivialQ=*/false, Sink);
     return NumScan(*this, V.DefNum, V.MaxDom, QNum, V.NumsBegin, V.NumsEnd,
                    /*ExcludeTrivialQ=*/false, Sink);
   }
@@ -294,8 +309,9 @@ public:
     unsigned QNum = DT.num(Q);
     if (QNum == V.DefNum) {
       // Algorithm 2 case 1, in number space (num() is a bijection).
-      if (V.Mask)
-        return V.Mask->anyExcept(V.DefNum);
+      if (V.MaskWords)
+        return BitMatrix::wordsAnyExcept(V.MaskWords, V.MaskNumWords,
+                                         V.DefNum);
       for (const unsigned *U = V.NumsBegin; U != V.NumsEnd; ++U)
         if (*U != V.DefNum)
           return true;
@@ -303,9 +319,9 @@ public:
     }
     if (QNum <= V.DefNum || V.MaxDom < QNum)
       return false;
-    if (V.Mask)
-      return MaskScan(*this, V.DefNum, V.MaxDom, QNum, *V.Mask,
-                      /*ExcludeTrivialQ=*/true, Sink);
+    if (V.MaskWords)
+      return MaskScan(*this, V.DefNum, V.MaxDom, QNum, V.MaskWords,
+                      V.MaskNumWords, /*ExcludeTrivialQ=*/true, Sink);
     return NumScan(*this, V.DefNum, V.MaxDom, QNum, V.NumsBegin, V.NumsEnd,
                    /*ExcludeTrivialQ=*/true, Sink);
   }
@@ -398,7 +414,8 @@ private:
                               bool ExcludeTrivialQ, LiveCheckStats *Sink);
   using MaskScanFn = bool (*)(const LiveCheck &, unsigned DefNum,
                               unsigned MaxDom, unsigned QNum,
-                              const BitVector &UseMask, bool ExcludeTrivialQ,
+                              const std::uint64_t *MaskWords,
+                              unsigned MaskNumWords, bool ExcludeTrivialQ,
                               LiveCheckStats *Sink);
 
   /// From-scratch build of everything (the constructor body); also the
@@ -487,7 +504,8 @@ private:
   template <ScanLayout L, bool Skip, bool FP>
   static bool maskKernel(const LiveCheck &LC, unsigned DefNum,
                          unsigned MaxDom, unsigned QNum,
-                         const BitVector &UseMask, bool ExcludeTrivialQ,
+                         const std::uint64_t *MaskWords,
+                         unsigned MaskNumWords, bool ExcludeTrivialQ,
                          LiveCheckStats *Sink);
 
   /// Shared body of the batch sweeps; \p In / \p Out may each be null.

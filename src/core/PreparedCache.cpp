@@ -8,16 +8,30 @@
 
 #include "core/UseInfo.h"
 #include "ir/Function.h"
+#include "support/Pool.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 using namespace ssalive;
 
 PreparedCache::PreparedCache(const Function &F, const LiveCheck &Engine,
                              const DomTree &DT)
     : F(F), Engine(&Engine), DT(&DT) {}
+
+PreparedCache::~PreparedCache() {
+  publishTelemetry();
+  // Retract this cache's share of the arena gauges: they track the live
+  // total across caches, and this one is going away.
+  for (ArenaStripe &S : Stripes) {
+    S.Spans = {};
+    S.MaskWords = {};
+    S.LiveSlices = 0;
+  }
+  publishTelemetry();
+}
 
 void PreparedCache::rebind(const LiveCheck &NewEngine, const DomTree &NewDT) {
   if (Engine == &NewEngine && DT == &NewDT)
@@ -26,54 +40,170 @@ void PreparedCache::rebind(const LiveCheck &NewEngine, const DomTree &NewDT) {
   DT = &NewDT;
   // New analysis objects may carry a new numbering at an unchanged CFG
   // epoch (an explicit invalidate/clear rebuild), so the epoch key alone
-  // cannot be trusted across a rebind: drop everything.
+  // cannot be trusted across a rebind: drop everything. The arenas bulk
+  // reset with it — capacity is retained, so the rebuild wave re-fills
+  // the same buffers instead of growing fresh ones.
   Entries.assign(Entries.size(), Entry());
+  for (ArenaStripe &S : Stripes) {
+    S.Spans.clear();
+    S.MaskWords.clear();
+    S.SpanFree.fill(NoSlice);
+    S.MaskFree.fill(NoSlice);
+    S.LiveSlices = 0;
+  }
 }
 
 void PreparedCache::growTo(std::size_t Count) {
   if (Entries.size() >= Count)
     return;
-  // Growth may relocate entries; the span pointers follow their (moved)
-  // Nums heap buffers automatically, but a mask pointer aims at the entry
-  // itself and must be re-anchored when the buffer moved. Skipping the
-  // scan on an in-place resize keeps one-value-at-a-time growth (a
-  // transform creating values mid-pass) linear overall.
-  const Entry *OldData = Entries.data();
+  // Growth may relocate entries; the span/mask pointers aim into the
+  // arenas, which do not move here, but each entry's Prep.NumsBegin/
+  // NumsEnd/MaskWords are plain pointers copied with the entry, so they
+  // stay valid across the resize with no re-anchoring at all.
   Entries.resize(Count);
-  if (Entries.data() != OldData)
-    for (Entry &E : Entries)
-      if (E.Built && E.Prep.Mask)
-        E.Prep.Mask = &E.Mask;
 }
 
 void PreparedCache::sizeToFunction() { growTo(F.numValues()); }
 
-void PreparedCache::build(Entry &E, const Value &V) {
+void PreparedCache::reanchorSpans(unsigned Stripe) {
+  const unsigned *Base = Stripes[Stripe].Spans.data();
+  for (std::size_t I = Stripe; I < Entries.size(); I += NumStripes) {
+    Entry &E = Entries[I];
+    if (!E.Built || E.NumsClass == 0)
+      continue;
+    std::size_t Len =
+        static_cast<std::size_t>(E.Prep.NumsEnd - E.Prep.NumsBegin);
+    E.Prep.NumsBegin = Base + E.NumsOff;
+    E.Prep.NumsEnd = E.Prep.NumsBegin + Len;
+  }
+}
+
+void PreparedCache::reanchorMasks(unsigned Stripe) {
+  const std::uint64_t *Base = Stripes[Stripe].MaskWords.data();
+  for (std::size_t I = Stripe; I < Entries.size(); I += NumStripes) {
+    Entry &E = Entries[I];
+    if (!E.Built || E.MaskClass == 0 || !E.Prep.MaskWords)
+      continue;
+    E.Prep.MaskWords = Base + E.MaskOff;
+  }
+}
+
+std::uint32_t PreparedCache::allocSpanSlice(unsigned Stripe, unsigned Class) {
+  ArenaStripe &S = Stripes[Stripe];
+  ++S.LiveSlices;
+  if (S.SpanFree[Class] != NoSlice) {
+    std::uint32_t Off = S.SpanFree[Class];
+    S.SpanFree[Class] = S.Spans[Off]; // Intrusive next-free link.
+    return Off;
+  }
+  std::size_t Off = S.Spans.size();
+  const unsigned *Old = S.Spans.data();
+  S.Spans.resize(Off + (std::size_t(1) << Class));
+  if (S.Spans.data() != Old)
+    reanchorSpans(Stripe);
+  return static_cast<std::uint32_t>(Off);
+}
+
+void PreparedCache::freeSpanSlice(unsigned Stripe, unsigned Class,
+                                  std::uint32_t Off) {
+  ArenaStripe &S = Stripes[Stripe];
+  assert(S.LiveSlices && "span slice freed twice");
+  --S.LiveSlices;
+  S.Spans[Off] = S.SpanFree[Class];
+  S.SpanFree[Class] = Off;
+}
+
+std::uint32_t PreparedCache::allocMaskSlice(unsigned Stripe, unsigned Class) {
+  ArenaStripe &S = Stripes[Stripe];
+  ++S.LiveSlices;
+  if (S.MaskFree[Class] != NoSlice) {
+    std::uint32_t Off = S.MaskFree[Class];
+    S.MaskFree[Class] = static_cast<std::uint32_t>(S.MaskWords[Off]);
+    return Off;
+  }
+  std::size_t Off = S.MaskWords.size();
+  const std::uint64_t *Old = S.MaskWords.data();
+  S.MaskWords.resize(Off + (std::size_t(1) << Class));
+  if (S.MaskWords.data() != Old)
+    reanchorMasks(Stripe);
+  return static_cast<std::uint32_t>(Off);
+}
+
+void PreparedCache::freeMaskSlice(unsigned Stripe, unsigned Class,
+                                  std::uint32_t Off) {
+  ArenaStripe &S = Stripes[Stripe];
+  assert(S.LiveSlices && "mask slice freed twice");
+  --S.LiveSlices;
+  S.MaskWords[Off] = S.MaskFree[Class];
+  S.MaskFree[Class] = Off;
+}
+
+void PreparedCache::build(Entry &E, const Value &V, unsigned Stripe) {
   assert(!V.defs().empty() && "prepared entry needs a def block");
-  E.Nums.clear();
-  appendLiveUseBlocks(V, E.Nums);
-  for (unsigned &U : E.Nums)
+  auto NumsH = pool::scratchArray();
+  std::vector<unsigned> &Nums = *NumsH;
+  appendLiveUseBlocks(V, Nums);
+  for (unsigned &U : Nums)
     U = DT->num(U);
-  std::sort(E.Nums.begin(), E.Nums.end());
-  E.Nums.erase(std::unique(E.Nums.begin(), E.Nums.end()), E.Nums.end());
+  std::sort(Nums.begin(), Nums.end());
+  Nums.erase(std::unique(Nums.begin(), Nums.end()), Nums.end());
+
+  // Size-class the span slice: reuse in place when the class still fits
+  // (the common def-use rebuild), otherwise free the old slice to the
+  // stripe's freelist and take a new one. Alloc may grow the stripe's
+  // arena and re-anchor its other entries; this entry's classes are
+  // zeroed around the swap so the re-anchor walk skips its (transient)
+  // state.
+  ArenaStripe &S = Stripes[Stripe];
+  unsigned Len = static_cast<unsigned>(Nums.size());
+  unsigned Class = classFor(std::max<std::size_t>(1, Len));
+  if (E.NumsClass == 0 || E.NumsClass - 1u != Class) {
+    if (E.NumsClass) {
+      freeSpanSlice(Stripe, E.NumsClass - 1u, E.NumsOff);
+      E.NumsClass = 0;
+    }
+    std::uint32_t Off = allocSpanSlice(Stripe, Class);
+    E.NumsOff = Off;
+    E.NumsClass = static_cast<std::uint8_t>(Class + 1);
+  }
+  if (Len)
+    std::memcpy(S.Spans.data() + E.NumsOff, Nums.data(),
+                Len * sizeof(unsigned));
 
   E.Prep = LiveCheck::PreparedVar();
   Engine->prepareDef(defBlockId(V), E.Prep);
-  E.Prep.NumsBegin = E.Nums.data();
-  E.Prep.NumsEnd = E.Nums.data() + E.Nums.size();
+  E.Prep.NumsBegin = S.Spans.data() + E.NumsOff;
+  E.Prep.NumsEnd = E.Prep.NumsBegin + Len;
 
   // Same threshold FunctionLiveness always used: switch to the word-level
   // R ∩ UseMask sweep once the distinct uses outnumber the words of a row.
   unsigned N = Engine->numNodes();
   unsigned MaskThreshold = std::max(8u, (N + 63) / 64);
-  if (E.Nums.size() >= MaskThreshold) {
-    E.Mask.resize(N);
-    E.Mask.reset();
-    for (unsigned U : E.Nums)
-      E.Mask.set(U);
-    E.Prep.Mask = &E.Mask;
+  if (Len >= MaskThreshold) {
+    unsigned Words = (N + 63) / 64;
+    unsigned MClass = classFor(std::max(1u, Words));
+    if (E.MaskClass == 0 || E.MaskClass - 1u != MClass) {
+      if (E.MaskClass) {
+        freeMaskSlice(Stripe, E.MaskClass - 1u, E.MaskOff);
+        E.MaskClass = 0;
+      }
+      std::uint32_t Off = allocMaskSlice(Stripe, MClass);
+      E.MaskOff = Off;
+      E.MaskClass = static_cast<std::uint8_t>(MClass + 1);
+    }
+    std::uint64_t *MW = S.MaskWords.data() + E.MaskOff;
+    std::memset(MW, 0, Words * sizeof(std::uint64_t));
+    for (unsigned U : Nums)
+      MW[U / 64] |= std::uint64_t(1) << (U % 64);
+    E.Prep.MaskWords = MW;
+    E.Prep.MaskNumWords = Words;
   } else {
-    E.Prep.Mask = nullptr;
+    if (E.MaskClass) {
+      freeMaskSlice(Stripe, E.MaskClass - 1u, E.MaskOff);
+      E.MaskClass = 0;
+      E.MaskOff = 0;
+    }
+    E.Prep.clearMask();
   }
 
   E.CFGEpoch = F.cfgVersion();
@@ -92,7 +222,7 @@ const LiveCheck::PreparedVar &PreparedCache::ensureSlow(const Value &V) {
     EpochDrops.fetch_add(1, std::memory_order_relaxed);
   else
     Rebuilds.fetch_add(1, std::memory_order_relaxed);
-  build(E, V);
+  build(E, V, stripeOf(V.id()));
   return E.Prep;
 }
 
@@ -123,6 +253,11 @@ void PreparedCache::publishTelemetry() {
   static telemetry::Counter BuildsC("ssalive_prepared_builds_total");
   static telemetry::Counter RebuildsC("ssalive_prepared_rebuilds_total");
   static telemetry::Counter DropsC("ssalive_prepared_epoch_drops_total");
+  // Gauges are process-wide levels; each cache publishes the *change* in
+  // its own footprint since its last publish, so the gauge reads as the
+  // sum across live caches and never needs locking.
+  static telemetry::Gauge ArenaBytesG("ssalive_prepared_arena_bytes");
+  static telemetry::Gauge ArenaSlicesG("ssalive_prepared_arena_slices");
   PreparedCacheStats S = stats();
   if (S.Hits > Published.Hits)
     HitsC.inc(S.Hits - Published.Hits);
@@ -133,13 +268,34 @@ void PreparedCache::publishTelemetry() {
   if (S.EpochDrops > Published.EpochDrops)
     DropsC.inc(S.EpochDrops - Published.EpochDrops);
   Published = S;
+  auto CurBytes = static_cast<std::int64_t>(arenaBytes());
+  auto CurSlices = static_cast<std::int64_t>(liveSlices());
+  if (CurBytes != PublishedArenaBytes)
+    ArenaBytesG.add(CurBytes - PublishedArenaBytes);
+  if (CurSlices != PublishedArenaSlices)
+    ArenaSlicesG.add(CurSlices - PublishedArenaSlices);
+  PublishedArenaBytes = CurBytes;
+  PublishedArenaSlices = CurSlices;
+}
+
+std::size_t PreparedCache::arenaBytes() const {
+  std::size_t Bytes = 0;
+  for (const ArenaStripe &S : Stripes) {
+    Bytes += S.Spans.capacity() * sizeof(unsigned);
+    Bytes += S.MaskWords.capacity() * sizeof(std::uint64_t);
+  }
+  return Bytes;
+}
+
+std::uint64_t PreparedCache::liveSlices() const {
+  std::uint64_t N = 0;
+  for (const ArenaStripe &S : Stripes)
+    N += S.LiveSlices;
+  return N;
 }
 
 std::size_t PreparedCache::memoryBytes() const {
-  std::size_t Bytes = Entries.capacity() * sizeof(Entry);
-  for (const Entry &E : Entries) {
-    Bytes += E.Nums.capacity() * sizeof(unsigned);
-    Bytes += (E.Mask.size() + 7) / 8;
-  }
-  return Bytes;
+  return Entries.capacity() * sizeof(Entry) + arenaBytes() +
+         NumStripes * (sizeof(ArenaStripe::SpanFree) +
+                       sizeof(ArenaStripe::MaskFree));
 }

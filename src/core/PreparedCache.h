@@ -43,16 +43,35 @@
 /// answers queries wrongly after a renumbering edit — the failure mode the
 /// epoch key exists to forbid. Never silently stale.
 ///
+/// ## Memory layout
+///
+/// An Entry holds only the hot query fields (Prep + the two epoch keys +
+/// Built — static_asserted to fit one cache line) plus two cold slice
+/// descriptors. The span and mask payloads themselves live in per-stripe
+/// arenas: one `unsigned` arena for the sorted use-number spans, one
+/// 64-bit-word arena for the use masks. The entry table is therefore a
+/// flat scan-friendly array, and a warm ensure sweep touches contiguous
+/// memory instead of chasing ~N per-entry heap blocks. Arena growth
+/// relocates a stripe's payloads and re-anchors every outstanding
+/// Prep.NumsBegin/NumsEnd/MaskWords of that stripe from the stored
+/// offsets; freed slices (def-use rebuilds that change size class) are
+/// recycled through per-size-class freelists, and rebind() bulk-resets
+/// the arenas (capacity retained) alongside the entries.
+///
 /// ## Concurrency
 ///
-/// ensure() mutates the cache and is not thread-safe per value; distinct
-/// value ids may be ensured concurrently *after* sizeToFunction() has
-/// grown the entry table (growth is the only operation that relocates
-/// entries). The batch driver keeps its precompute sweep sequential —
-/// warm ensures are two compares, so a parallel fill measured slower —
-/// but the contract holds either way. cached() is const, lock-free, and
-/// safe for any number of concurrent readers — the query phase of the
-/// batch pipeline.
+/// ensure() mutates the cache and is not thread-safe per value. After
+/// sizeToFunction() has grown the entry table (growth is the only
+/// operation that relocates *entries*), ensures may run concurrently as
+/// long as each **stripe** — stripeOf(id) = id % NumStripes — has at most
+/// one writer: an entry's payload lives in its stripe's arenas, and
+/// allocation, freeing, and growth re-anchoring all stay inside that
+/// stripe, so distinct stripes are write-disjoint by construction. The
+/// batch driver's sharded cold-fill mode assigns whole stripes to
+/// workers on exactly this contract; its warm sweep stays sequential
+/// (warm ensures are two compares — a parallel fill measured slower).
+/// cached() is const, lock-free, and safe for any number of concurrent
+/// readers — the query phase of the batch pipeline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +81,9 @@
 #include "core/LiveCheck.h"
 #include "ir/Function.h"
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -70,7 +91,7 @@ namespace ssalive {
 
 /// Outcome counters, for tests and the throughput reports. Snapshot of
 /// internally atomic counters (ensure() may run concurrently on distinct
-/// values).
+/// stripes).
 struct PreparedCacheStats {
   std::uint64_t Hits = 0;       ///< Fresh entry served as-is.
   std::uint64_t Builds = 0;     ///< First-time entry builds.
@@ -87,6 +108,14 @@ struct PreparedCacheStats {
 /// objects) requires rebind().
 class PreparedCache {
 public:
+  /// Arena striping: entry id % NumStripes selects the arena shard that
+  /// owns the entry's span/mask payloads. One writer per stripe is the
+  /// concurrency unit of a sharded ensure sweep.
+  static constexpr unsigned NumStripes = 8;
+  static constexpr unsigned stripeOf(std::uint32_t ValueId) {
+    return ValueId % NumStripes;
+  }
+
   PreparedCache(const Function &F, const LiveCheck &Engine,
                 const DomTree &DT);
 
@@ -101,7 +130,7 @@ public:
   /// Grows the entry table to the function's current value count. Call
   /// before a concurrent ensure() sweep: growth is the only operation that
   /// relocates entries, so pre-sizing makes per-value ensure() calls on
-  /// distinct ids write-disjoint.
+  /// distinct stripes write-disjoint.
   void sizeToFunction();
 
   /// The prepared entry for \p V, built or rebuilt as needed (see the
@@ -122,6 +151,15 @@ public:
         // values are ensured concurrently).
         Hits.store(Hits.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
+        // The span/mask payload lives in the shared arenas — cold under a
+        // value-random stream once the arenas outgrow L2. Start the fetch
+        // now so it overlaps the prepared kernel's block-number lookups
+        // instead of stalling its first span/mask word read.
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(E.Prep.NumsBegin);
+        if (E.Prep.MaskWords)
+          __builtin_prefetch(E.Prep.MaskWords);
+#endif
         return E.Prep;
       }
     }
@@ -140,17 +178,26 @@ public:
   PreparedCacheStats stats() const;
 
   /// Folds the counters accrued since the last publish into the
-  /// process-wide telemetry registry (`ssalive_prepared_*`). Delta-based,
-  /// so it may be called any number of times; the batch driver calls it
-  /// once per run and the destructor flushes whatever remains. Keeping
-  /// publication out-of-band is what lets ensure()'s hit path stay at a
-  /// single relaxed increment — the hard budget of the telemetry plane.
+  /// process-wide telemetry registry (`ssalive_prepared_*`), and the
+  /// current arena footprint into the `ssalive_prepared_arena_bytes` /
+  /// `ssalive_prepared_arena_slices` gauges. Delta-based, so it may be
+  /// called any number of times; the batch driver calls it once per run
+  /// and the destructor flushes whatever remains (the gauges read as the
+  /// live total across caches, and a dying cache retracts its share).
+  /// Keeping publication out-of-band is what lets ensure()'s hit path
+  /// stay at a single relaxed increment — the hard budget of the
+  /// telemetry plane.
   void publishTelemetry();
 
-  ~PreparedCache() { publishTelemetry(); }
+  ~PreparedCache();
 
-  /// Bytes held by the cache: the entry table plus every span/mask payload.
+  /// Bytes held by the cache: the entry table plus the arena capacities
+  /// (spans, mask words, freelist heads).
   std::size_t memoryBytes() const;
+
+  /// Span/mask slices currently attached to built entries — recycling
+  /// diagnostics (a drop/rebuild cycle must not leak slices).
+  std::uint64_t liveSlices() const;
 
   const LiveCheck &engine() const { return *Engine; }
   const DomTree &domTree() const { return *DT; }
@@ -158,17 +205,45 @@ public:
 private:
   struct Entry {
     /// Hot fields first: the steady-state query touches Prep and the
-    /// epoch keys only, and together they fit one cache line.
+    /// epoch keys only, and together they fit one cache line
+    /// (static_asserted below).
     LiveCheck::PreparedVar Prep;
     std::uint64_t CFGEpoch = 0;
     std::uint64_t DefUseEpoch = 0;
     bool Built = false;
-    /// Cold storage. Sorted, deduplicated dominance-preorder numbers of
-    /// the use blocks; Prep's span aliases this buffer.
-    std::vector<unsigned> Nums;
-    /// Use mask over preorder numbers, engaged above the mask threshold
-    /// (Prep.Mask then points at it).
-    BitVector Mask;
+    /// Cold slice descriptors: element offsets into the owning stripe's
+    /// arenas (stripe = entry id % NumStripes). A class of 0 means no
+    /// slice; otherwise the slice capacity is 1 << (Class - 1) elements.
+    /// Lengths are not stored — the span length lives in the Prep
+    /// pointers, the mask word count in Prep.MaskNumWords.
+    std::uint8_t NumsClass = 0;
+    std::uint8_t MaskClass = 0;
+    std::uint32_t NumsOff = 0;
+    std::uint32_t MaskOff = 0;
+  };
+  static_assert(offsetof(Entry, NumsClass) <= 64,
+                "hot fields (Prep + epochs + Built) must fit one cache "
+                "line; a PreparedVar or epoch grew");
+  static_assert(sizeof(Entry) <= 72,
+                "Entry regrew — the flat-table scan win depends on slim "
+                "entries (cold payloads belong in the arenas)");
+
+  /// One arena stripe: the span and mask payloads of every entry with
+  /// id % NumStripes == this stripe's index, plus intrusive power-of-two
+  /// size-class freelists (a freed slice's first element stores the next
+  /// free offset; NoSlice terminates).
+  static constexpr std::uint32_t NoSlice = 0xFFFFFFFFu;
+  static constexpr unsigned NumClasses = 26; ///< up to 1<<25 elems/slice
+  struct ArenaStripe {
+    std::vector<unsigned> Spans;
+    std::vector<std::uint64_t> MaskWords;
+    std::array<std::uint32_t, NumClasses> SpanFree;
+    std::array<std::uint32_t, NumClasses> MaskFree;
+    std::uint64_t LiveSlices = 0;
+    ArenaStripe() {
+      SpanFree.fill(NoSlice);
+      MaskFree.fill(NoSlice);
+    }
   };
 
   bool fresh(const Entry &E, const Value &V) const {
@@ -176,20 +251,43 @@ private:
            E.DefUseEpoch == V.defUseEpoch();
   }
   const LiveCheck::PreparedVar &ensureSlow(const Value &V);
-  /// Shared growth path: resize + conditional mask re-anchoring.
+  /// Shared growth path: resize + conditional payload re-anchoring.
   void growTo(std::size_t Count);
-  void build(Entry &E, const Value &V);
+  void build(Entry &E, const Value &V, unsigned Stripe);
+
+  /// Smallest class whose capacity 1 << class holds \p Need elements.
+  static unsigned classFor(std::size_t Need) {
+    unsigned C = 0;
+    while ((std::size_t(1) << C) < Need)
+      ++C;
+    return C;
+  }
+  std::uint32_t allocSpanSlice(unsigned Stripe, unsigned Class);
+  void freeSpanSlice(unsigned Stripe, unsigned Class, std::uint32_t Off);
+  std::uint32_t allocMaskSlice(unsigned Stripe, unsigned Class);
+  void freeMaskSlice(unsigned Stripe, unsigned Class, std::uint32_t Off);
+  /// Arena growth relocated a stripe's buffer: recompute the Prep
+  /// pointers of that stripe's built entries from their stored offsets.
+  /// Touches only entries of \p Stripe — the write-disjointness a
+  /// concurrent sharded fill relies on.
+  void reanchorSpans(unsigned Stripe);
+  void reanchorMasks(unsigned Stripe);
+  /// Current arena byte footprint (capacity, all stripes).
+  std::size_t arenaBytes() const;
 
   const Function &F;
   const LiveCheck *Engine;
   const DomTree *DT;
   std::vector<Entry> Entries;
+  std::array<ArenaStripe, NumStripes> Stripes;
   std::atomic<std::uint64_t> Hits{0};
   std::atomic<std::uint64_t> Builds{0};
   std::atomic<std::uint64_t> Rebuilds{0};
   std::atomic<std::uint64_t> EpochDrops{0};
   /// What publishTelemetry() already forwarded to the registry.
   PreparedCacheStats Published;
+  std::int64_t PublishedArenaBytes = 0;
+  std::int64_t PublishedArenaSlices = 0;
 };
 
 } // namespace ssalive

@@ -10,6 +10,7 @@
 #include "ir/Function.h"
 #include "liveness/DataflowLiveness.h"
 #include "liveness/PathExplorationLiveness.h"
+#include "support/Pool.h"
 #include "support/RandomEngine.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -34,6 +35,7 @@ struct DriverTelemetry {
   telemetry::Counter EngineOut{"ssalive_engine_liveout_queries_total"};
   telemetry::Counter EngineTargets{"ssalive_engine_targets_visited_total"};
   telemetry::Counter EngineUseTests{"ssalive_engine_use_tests_total"};
+  telemetry::Counter ShardedFills{"ssalive_driver_sharded_fills_total"};
   telemetry::Histogram PrecomputeNs{"ssalive_driver_precompute_ns"};
   telemetry::Histogram QueryBatchNs{"ssalive_driver_query_batch_ns"};
 
@@ -215,6 +217,7 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
                     Opts.Backend != BatchBackend::LiveCheckBlockSweep &&
                     Opts.Plane != QueryPlane::BlockId;
   bool UsesPreparedCache = NeedsTrees && Opts.Plane == QueryPlane::Prepared;
+  bool ShardedFill = false;
   {
   SSALIVE_SPAN("precompute");
   if (usesLiveCheck()) {
@@ -268,11 +271,51 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
         Prepared[I]->rebind(*Engines[I], *Trees[I]);
       Prepared[I]->sizeToFunction();
     }
-    for (const BatchQuery &Q : Workload) {
-      assert(Q.FuncIndex < Funcs.size() && "query function out of range");
-      const Value &V = *Funcs[Q.FuncIndex]->value(Q.ValueId);
-      if (queryableValue(V))
-        Prepared[Q.FuncIndex]->ensure(V);
+    // Cold-fill sharding gate: sample the workload for values without a
+    // fresh entry. A cold *giant* batch is the one place build cost
+    // dominates the sweep, and there the builds fan out across the pool
+    // by value-id stripe — each worker owns whole PreparedCache stripes,
+    // so entry writes and arena alloc/free/re-anchor traffic never cross
+    // workers. Everything warm keeps the sequential sweep untouched.
+    if (NumWorkers > 1 && Workload.size() >= Opts.ColdFillShardThreshold &&
+        Opts.ColdFillShardThreshold != SIZE_MAX) {
+      if (Opts.ColdFillShardThreshold == 0) {
+        ShardedFill = true;
+      } else {
+        constexpr std::size_t SampleStride = 64;
+        std::size_t ColdSampled = 0;
+        for (std::size_t I = 0; I < Workload.size(); I += SampleStride) {
+          const BatchQuery &Q = Workload[I];
+          const Value &V = *Funcs[Q.FuncIndex]->value(Q.ValueId);
+          if (queryableValue(V) && !Prepared[Q.FuncIndex]->isFresh(V))
+            ++ColdSampled;
+        }
+        ShardedFill =
+            ColdSampled * SampleStride >= Opts.ColdFillShardThreshold;
+      }
+    }
+    if (ShardedFill) {
+      // Worker w sweeps the stripes s with s % workers == w. Duplicate
+      // values in the workload land on the same stripe, hence the same
+      // worker — the one-writer-per-stripe contract of PreparedCache.
+      Pool->runPerWorker([&](unsigned Worker) {
+        for (const BatchQuery &Q : Workload) {
+          if (PreparedCache::stripeOf(Q.ValueId) % NumWorkers != Worker)
+            continue;
+          assert(Q.FuncIndex < Funcs.size() &&
+                 "query function out of range");
+          const Value &V = *Funcs[Q.FuncIndex]->value(Q.ValueId);
+          if (queryableValue(V))
+            Prepared[Q.FuncIndex]->ensure(V);
+        }
+      });
+    } else {
+      for (const BatchQuery &Q : Workload) {
+        assert(Q.FuncIndex < Funcs.size() && "query function out of range");
+        const Value &V = *Funcs[Q.FuncIndex]->value(Q.ValueId);
+        if (queryableValue(V))
+          Prepared[Q.FuncIndex]->ensure(V);
+      }
     }
   }
   // Engine resolution and the ensure sweep are part of the precompute
@@ -293,7 +336,10 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
     // share cache lines, and bouncing one per query would erase exactly
     // the scaling this driver exists to deliver.
     BatchThreadStats Stats;
-    std::vector<unsigned> Uses; // Scratch, reused across queries.
+    // Scratch, reused across queries and (through the thread-local pools)
+    // across batches: the buffers keep their capacity between runs.
+    auto UsesH = pool::scratchArray();
+    std::vector<unsigned> &Uses = *UsesH;
 
     if (Opts.Backend == BatchBackend::LiveCheckBlockSweep) {
       // The sweep computes every block's answer for one variable at once,
@@ -315,7 +361,9 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
                 });
       std::uint32_t CachedFunc = ~0u, CachedVal = ~0u;
       bool CachedQueryable = false;
-      BitVector InBlocks, OutBlocks;
+      auto InBlocksH = pool::bitsets().acquire();
+      auto OutBlocksH = pool::bitsets().acquire();
+      BitVector &InBlocks = *InBlocksH, &OutBlocks = *OutBlocksH;
       for (std::size_t I : Order) {
         const BatchQuery &Q = Workload[I];
         assert(Q.FuncIndex < Funcs.size() && "query function out of range");
@@ -342,8 +390,11 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
       return;
     }
 
-    std::vector<unsigned> Nums; // Scratch for the renumbered planes.
-    BitVector Mask;
+    // Scratch for the renumbered planes.
+    auto NumsH = pool::scratchArray();
+    std::vector<unsigned> &Nums = *NumsH;
+    auto MaskH = pool::bitsets().acquire();
+    BitVector &Mask = *MaskH;
     for (std::size_t I = Begin; I != End; ++I) {
       const BatchQuery &Q = Workload[I];
       assert(Q.FuncIndex < Funcs.size() && "query function out of range");
@@ -441,6 +492,8 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
       static_cast<std::uint64_t>(Result.PrecomputeMillis * 1e6));
   T.QueryBatchNs.observe(
       static_cast<std::uint64_t>(Result.QueryMillis * 1e6));
+  if (ShardedFill)
+    T.ShardedFills.inc();
   if (UsesPreparedCache)
     publishPreparedTelemetry();
   return Result;

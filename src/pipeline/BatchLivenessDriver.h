@@ -95,6 +95,18 @@ struct BatchOptions {
   /// prepared plane is the production default; the others re-derive the
   /// variable per query and serve as differential baselines.
   QueryPlane Plane = QueryPlane::Prepared;
+  /// Sharded cold-fill gate (prepared plane, multi-worker pools only):
+  /// when the estimated number of workload queries whose values lack a
+  /// fresh prepared entry reaches this threshold, the ensure sweep fans
+  /// out across the pool by value-id stripe (PreparedCache::stripeOf) —
+  /// each worker owns whole stripes, so every build's arena traffic is
+  /// write-disjoint. Below the threshold the sweep stays sequential: warm
+  /// ensures are two epoch compares, and PR-5 measured the fan-out slower
+  /// than the warm sweep it replaces. Coldness is estimated from a strided
+  /// 1-in-64 sample of the workload, so the warm path pays ~1/64 of a
+  /// sweep, not a full pre-scan. 0 forces sharding (tests);
+  /// SIZE_MAX disables it.
+  std::size_t ColdFillShardThreshold = 4096;
 };
 
 /// Per-worker tallies; aggregation across workers is a fold, never a shared

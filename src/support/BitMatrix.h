@@ -225,6 +225,20 @@ public:
     }
     return false;
   }
+
+  /// Is any bit other than \p ExcludeBit set in the \p NumWords-word span
+  /// \p A (pass npos to exclude nothing)?
+  static bool wordsAnyExcept(const Word *A, unsigned NumWords,
+                             unsigned ExcludeBit = npos) {
+    for (unsigned I = 0; I != NumWords; ++I) {
+      Word W = A[I];
+      if (ExcludeBit != npos && ExcludeBit / WordBits == I)
+        W &= ~(Word(1) << (ExcludeBit % WordBits));
+      if (W)
+        return true;
+    }
+    return false;
+  }
   /// @}
 
 private:

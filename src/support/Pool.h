@@ -1,0 +1,193 @@
+//===- support/Pool.h -----------------------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Thread-local scratch-object pools in the style of nesfab's
+// liveness_impl::bitset_pool / array_pool: the update and precompute paths
+// need short-lived BitVectors and index vectors sized to the function, and
+// allocating them inline means an allocator round trip (plus a page-zeroing
+// fault on growth) on every repatch or sweep. An ObjectPool hands out
+// recycled objects that keep their heap capacity across uses, so steady-state
+// scratch acquisition is a pointer pop.
+//
+// Usage:
+//
+//   auto Mask = pool::scratchBitset(N);     // cleared, N bits
+//   auto Work = pool::scratchArray();       // cleared std::vector<unsigned>
+//   Work->push_back(...);                   // Handle acts as a smart pointer
+//   // released back to the pool when the Handle goes out of scope
+//
+// Contracts:
+//  - Pools are thread_local: a Handle must be released (destroyed) on the
+//    thread that acquired it. Scoped locals inside a worker body satisfy
+//    this by construction.
+//  - Acquired objects carry stale contents; the scratch* helpers clear them.
+//    Acquire via pool().acquire() directly only if you overwrite everything.
+//  - Telemetry: ssalive_pool_acquires_total / ssalive_pool_reuses_total
+//    counters and an ssalive_pool_highwater gauge (aggregate outstanding
+//    high-water across all pools), published off the hot path by the
+//    telemetry registry's aggregate-on-read.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SUPPORT_POOL_H
+#define SSALIVE_SUPPORT_POOL_H
+
+#include "support/BitVector.h"
+#include "support/Telemetry.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ssalive {
+namespace pool {
+
+namespace detail {
+
+// Non-template telemetry taps so every ObjectPool<T> instantiation shares
+// one counter family instead of registering its own.
+inline void noteAcquire(bool Reused) {
+  static telemetry::Counter Acquires("ssalive_pool_acquires_total");
+  static telemetry::Counter Reuses("ssalive_pool_reuses_total");
+  Acquires.inc();
+  if (Reused)
+    Reuses.inc();
+}
+
+inline void noteHighWaterDelta(std::uint64_t Delta) {
+  // Summed across pools/threads: each pool publishes only the increase of
+  // its own outstanding high-water mark, so the gauge reads as the total
+  // scratch-object high water of the process.
+  static telemetry::Gauge HighWater("ssalive_pool_highwater");
+  HighWater.add(static_cast<std::int64_t>(Delta));
+}
+
+} // namespace detail
+
+/// A free-list pool of default-constructed T. Objects are never destroyed
+/// until the pool itself dies, so their internal buffers (vector capacity,
+/// BitVector words) survive across acquire/release cycles.
+template <class T> class ObjectPool {
+public:
+  class Handle {
+  public:
+    Handle() = default;
+    Handle(ObjectPool &Owner, T *Obj) : Owner(&Owner), Obj(Obj) {}
+    Handle(Handle &&RHS) noexcept : Owner(RHS.Owner), Obj(RHS.Obj) {
+      RHS.Owner = nullptr;
+      RHS.Obj = nullptr;
+    }
+    Handle &operator=(Handle &&RHS) noexcept {
+      if (this != &RHS) {
+        reset();
+        Owner = RHS.Owner;
+        Obj = RHS.Obj;
+        RHS.Owner = nullptr;
+        RHS.Obj = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle &) = delete;
+    Handle &operator=(const Handle &) = delete;
+    ~Handle() { reset(); }
+
+    T &operator*() const { return *Obj; }
+    T *operator->() const { return Obj; }
+    explicit operator bool() const { return Obj != nullptr; }
+
+  private:
+    void reset() {
+      if (Owner)
+        Owner->release(Obj);
+      Owner = nullptr;
+      Obj = nullptr;
+    }
+    ObjectPool *Owner = nullptr;
+    T *Obj = nullptr;
+  };
+
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool &) = delete;
+  ObjectPool &operator=(const ObjectPool &) = delete;
+
+  /// Pop a recycled object (buffers intact, contents stale) or make one.
+  Handle acquire() {
+    bool Reused = !Free.empty();
+    T *Obj;
+    if (Reused) {
+      Obj = Free.back().release();
+      Free.pop_back();
+    } else {
+      Obj = new T();
+    }
+    ++Outstanding;
+    if (Outstanding > HighWater) {
+      detail::noteHighWaterDelta(Outstanding - HighWater);
+      HighWater = Outstanding;
+    }
+    detail::noteAcquire(Reused);
+    return Handle(*this, Obj);
+  }
+
+  /// Outstanding-object high water since construction.
+  std::uint64_t highWater() const { return HighWater; }
+
+private:
+  friend class Handle;
+  void release(T *Obj) {
+    --Outstanding;
+    Free.emplace_back(Obj);
+  }
+
+  std::vector<std::unique_ptr<T>> Free;
+  std::uint64_t Outstanding = 0;
+  std::uint64_t HighWater = 0;
+};
+
+using BitsetPool = ObjectPool<BitVector>;
+template <class T> using ArrayPool = ObjectPool<std::vector<T>>;
+
+/// The per-thread pools the engine's scratch helpers draw from.
+inline BitsetPool &bitsets() {
+  static thread_local BitsetPool P;
+  return P;
+}
+inline ArrayPool<unsigned> &arrays() {
+  static thread_local ArrayPool<unsigned> P;
+  return P;
+}
+inline ArrayPool<std::uint64_t> &words() {
+  static thread_local ArrayPool<std::uint64_t> P;
+  return P;
+}
+
+/// A cleared scratch bitset of \p Bits bits.
+inline BitsetPool::Handle scratchBitset(unsigned Bits) {
+  BitsetPool::Handle H = bitsets().acquire();
+  H->resize(Bits);
+  H->reset();
+  return H;
+}
+
+/// An empty scratch index vector (capacity retained from prior uses).
+inline ArrayPool<unsigned>::Handle scratchArray() {
+  ArrayPool<unsigned>::Handle H = arrays().acquire();
+  H->clear();
+  return H;
+}
+
+/// A zero-filled scratch word vector of \p NumWords words.
+inline ArrayPool<std::uint64_t>::Handle scratchWords(std::size_t NumWords) {
+  ArrayPool<std::uint64_t>::Handle H = words().acquire();
+  H->assign(NumWords, 0);
+  return H;
+}
+
+} // namespace pool
+} // namespace ssalive
+
+#endif // SSALIVE_SUPPORT_POOL_H

@@ -178,7 +178,7 @@ private:
     Engine.prepareDef(defBlockId(V), Prep);
     Prep.NumsBegin = Nums.data();
     Prep.NumsEnd = Nums.data() + Nums.size();
-    Prep.Mask = nullptr;
+    Prep.clearMask();
   }
 
   CFG Graph;

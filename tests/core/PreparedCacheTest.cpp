@@ -24,6 +24,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 using namespace ssalive;
 using namespace ssalive::testutil;
 
@@ -123,7 +126,7 @@ x:
     S.Prep = P;
     S.Prep.NumsBegin = S.Nums.data();
     S.Prep.NumsEnd = S.Nums.data() + S.Nums.size();
-    S.Prep.Mask = nullptr; // Spans only; masks don't engage at this size.
+    S.Prep.clearMask(); // Spans only; masks don't engage at this size.
     Old.push_back(std::move(S));
     EXPECT_TRUE(Cache.isFresh(*V.get()));
   }
@@ -264,6 +267,239 @@ x:
                                std::vector<Value *>{N}));
   EXPECT_TRUE(Live.isLiveIn(*N, *F->block(1)));
   EXPECT_FALSE(Live.isLiveOut(*N, *F->block(1)));
+}
+
+TEST(PreparedCache, ArenaGrowthReanchorsOutstandingSpansAndMasks) {
+  // A function whose 24 "heavy" values are each used in 12 distinct blocks
+  // of a 36-block chain: every entry takes both a span slice and (12 >= the
+  // mask threshold of 8) a mask slice, with three heavy values landing in
+  // each of the 8 arena stripes. Ensuring them one at a time grows and
+  // relocates the stripe arenas several times over, and after *every*
+  // single ensure the entries prepared earlier must still answer correctly
+  // through cached() — the growth re-anchoring contract. A dangling
+  // pre-relocation span or mask pointer shows up as a wrong answer (or an
+  // ASan hit) here.
+  constexpr unsigned NumHeavy = 24;
+  constexpr unsigned NumBlocks = 36;
+  constexpr unsigned UsesPerValue = 12;
+  std::string Text = "func @heavy {\ne:\n  %p = param 0\n";
+  for (unsigned J = 0; J != NumHeavy; ++J)
+    Text += "  %h" + std::to_string(J) + " = const " + std::to_string(J) +
+            "\n";
+  Text += "  jump b0\n";
+  unsigned Tmp = 0;
+  for (unsigned I = 0; I != NumBlocks; ++I) {
+    Text += "b" + std::to_string(I) + ":\n";
+    for (unsigned J = 0; J != NumHeavy; ++J)
+      if ((I + NumBlocks - J) % NumBlocks < UsesPerValue)
+        Text += "  %t" + std::to_string(Tmp++) + " = opaque %h" +
+                std::to_string(J) + "\n";
+    if (I + 1 != NumBlocks)
+      Text += "  jump b" + std::to_string(I + 1) + "\n";
+    else
+      Text += "  ret %p\n";
+  }
+  Text += "}\n";
+  auto F = parse(Text.c_str());
+  ASSERT_TRUE(F);
+
+  AnalysisManager AM;
+  FunctionAnalyses &FA = AM.get(*F);
+  const LiveCheck &LC = FA.liveCheck();
+  PreparedCache Cache(*F, LC, FA.domTree());
+  BlockIdLiveness Oracle(*F);
+
+  std::vector<const Value *> Heavy;
+  for (const auto &V : F->values())
+    if (!V->name().empty() && V->name()[0] == 'h')
+      Heavy.push_back(V.get());
+  ASSERT_EQ(Heavy.size(), NumHeavy);
+
+  for (std::size_t Ensured = 0; Ensured != Heavy.size(); ++Ensured) {
+    const LiveCheck::PreparedVar &P = Cache.ensure(*Heavy[Ensured]);
+    ASSERT_NE(P.MaskWords, nullptr)
+        << "%" << Heavy[Ensured]->name()
+        << " has 12 distinct use numbers; the mask plane must engage";
+    for (std::size_t K = 0; K <= Ensured; ++K) {
+      const Value &V = *Heavy[K];
+      ASSERT_TRUE(Cache.isFresh(V));
+      const LiveCheck::PreparedVar &Q = Cache.cached(V);
+      for (const auto &B : F->blocks()) {
+        ASSERT_EQ(LC.isLiveInPrepared(Q, B->id()), Oracle.isLiveIn(V, *B))
+            << "%" << V.name() << " in b" << B->id() << " after "
+            << (Ensured + 1) << " ensures";
+        ASSERT_EQ(LC.isLiveOutPrepared(Q, B->id()), Oracle.isLiveOut(V, *B))
+            << "%" << V.name() << " out b" << B->id() << " after "
+            << (Ensured + 1) << " ensures";
+      }
+    }
+  }
+  // One span + one mask slice per heavy value, nothing leaked or doubled.
+  EXPECT_EQ(Cache.liveSlices(), 2 * std::uint64_t(NumHeavy));
+}
+
+TEST(PreparedCache, FreedSlicesAreRecycledWithoutAliasing) {
+  // Slice recycling: 8 "v" values (consecutive ids, one per arena stripe)
+  // with 3 use blocks each, and 8 "w" values (also consecutive, covering
+  // every stripe) with 3 use blocks each. The v's are ensured, then grown
+  // past their size class (3 -> 6 distinct use blocks, slice capacity
+  // 4 -> 8): each rebuild frees its old slice to the stripe's freelist.
+  // Ensuring the w's afterwards must pop exactly those freed slices — the
+  // arenas may not grow — and a CFG-epoch drop cycle must rebuild every
+  // entry in place: stable memoryBytes(), stable liveSlices(), and no
+  // entry aliasing another's payload (pinned as answer agreement with a
+  // fresh oracle over every block and direction).
+  constexpr unsigned NumEach = 8;
+  constexpr unsigned NumBlocks = 12;
+  std::string Text = "func @recycle {\ne:\n  %p = param 0\n";
+  for (unsigned J = 0; J != NumEach; ++J)
+    Text += "  %v" + std::to_string(J) + " = const 1\n";
+  for (unsigned J = 0; J != NumEach; ++J)
+    Text += "  %w" + std::to_string(J) + " = const 2\n";
+  Text += "  jump b0\n";
+  unsigned Tmp = 0;
+  for (unsigned I = 0; I != NumBlocks; ++I) {
+    Text += "b" + std::to_string(I) + ":\n";
+    for (unsigned J = 0; J != NumEach; ++J) {
+      if ((I + NumBlocks - J) % NumBlocks < 3)
+        Text += "  %t" + std::to_string(Tmp++) + " = opaque %v" +
+                std::to_string(J) + "\n";
+      if ((I + NumBlocks - (J + 6)) % NumBlocks < 3)
+        Text += "  %t" + std::to_string(Tmp++) + " = opaque %w" +
+                std::to_string(J) + "\n";
+    }
+    if (I + 1 != NumBlocks)
+      Text += "  jump b" + std::to_string(I + 1) + "\n";
+    else
+      Text += "  ret %p\n";
+  }
+  Text += "}\n";
+  auto F = parse(Text.c_str());
+  ASSERT_TRUE(F);
+
+  AnalysisManager AM;
+  FunctionAnalyses &FA = AM.get(*F);
+  PreparedCache Cache(*F, FA.liveCheck(), FA.domTree());
+  Cache.sizeToFunction(); // Fix the table; only arenas move below.
+
+  std::vector<Value *> Vs, Ws;
+  for (const auto &V : F->values()) {
+    if (V->name().size() >= 2 && V->name()[0] == 'v')
+      Vs.push_back(V.get());
+    if (V->name().size() >= 2 && V->name()[0] == 'w')
+      Ws.push_back(V.get());
+  }
+  ASSERT_EQ(Vs.size(), NumEach);
+  ASSERT_EQ(Ws.size(), NumEach);
+  // Consecutive ids cover all NumStripes residues — one freed slice per
+  // stripe is exactly one recycled slice per w below.
+  ASSERT_EQ(Vs.back()->id() - Vs.front()->id() + 1, NumEach);
+  ASSERT_EQ(Ws.back()->id() - Ws.front()->id() + 1, NumEach);
+
+  for (Value *V : Vs)
+    Cache.ensure(*V);
+  EXPECT_EQ(Cache.liveSlices(), std::uint64_t(NumEach));
+
+  // Grow each v into the next size class: three more uses in three blocks
+  // it did not reach before ((j+3..j+5) mod 12, disjoint from j..j+2).
+  for (unsigned J = 0; J != NumEach; ++J)
+    for (unsigned D = 3; D != 6; ++D) {
+      BasicBlock *B = F->block(1 + (J + D) % NumBlocks);
+      B->insertAt(0, std::make_unique<Instruction>(
+                         Opcode::Opaque, F->createValue("g"),
+                         std::vector<Value *>{Vs[J]}));
+    }
+  for (Value *V : Vs)
+    Cache.ensure(*V);
+  EXPECT_EQ(Cache.stats().Rebuilds, std::uint64_t(NumEach));
+  EXPECT_EQ(Cache.liveSlices(), std::uint64_t(NumEach))
+      << "a class change must free the old slice, not leak it";
+
+  std::size_t Settled = Cache.memoryBytes();
+  for (Value *W : Ws)
+    Cache.ensure(*W);
+  EXPECT_EQ(Cache.memoryBytes(), Settled)
+      << "every w allocation must pop its stripe's freed slice instead of "
+         "growing the arena";
+  EXPECT_EQ(Cache.liveSlices(), std::uint64_t(2 * NumEach));
+
+  // CFG-epoch drop cycle: a structural edit drops every entry; the rebuild
+  // reuses each slice in place (classes unchanged) — footprint stable.
+  Mutation M{MutationKind::AddEdge, /*From=*/NumBlocks - 1, /*To=*/6, 0};
+  ASSERT_TRUE(applyFunctionMutation(*F, M));
+  AM.refresh(*F);
+  for (Value *V : Vs)
+    Cache.ensure(*V);
+  for (Value *W : Ws)
+    Cache.ensure(*W);
+  EXPECT_EQ(Cache.stats().EpochDrops, std::uint64_t(2 * NumEach));
+  EXPECT_EQ(Cache.memoryBytes(), Settled);
+  EXPECT_EQ(Cache.liveSlices(), std::uint64_t(2 * NumEach));
+
+  // No aliasing anywhere: every entry agrees with a fresh oracle.
+  BlockIdLiveness Fresh(*F);
+  for (const std::vector<Value *> *Group : {&Vs, &Ws})
+    for (Value *V : *Group) {
+      const LiveCheck::PreparedVar &P = Cache.cached(*V);
+      for (const auto &B : F->blocks()) {
+        ASSERT_EQ(Cache.engine().isLiveInPrepared(P, B->id()),
+                  Fresh.isLiveIn(*V, *B))
+            << "%" << V->name() << " in b" << B->id();
+        ASSERT_EQ(Cache.engine().isLiveOutPrepared(P, B->id()),
+                  Fresh.isLiveOut(*V, *B))
+            << "%" << V->name() << " out b" << B->id();
+      }
+    }
+}
+
+TEST(PreparedCache, ConcurrentDistinctStripeEnsuresStayCoherent) {
+  // The sharded cold-fill contract at the cache layer: after
+  // sizeToFunction(), concurrent ensure() sweeps are safe as long as each
+  // arena stripe has one writer. Four threads each own two of the eight
+  // stripes and ensure every queryable value of theirs — arena growth,
+  // re-anchoring, and freelist traffic all stay inside a thread's own
+  // stripes — then every entry must be fresh and answer identically to
+  // the block-id oracle.
+  RandomFunctionConfig Cfg;
+  Cfg.TargetBlocks = 40;
+  Cfg.VariablesPerBlock = 3.0;
+  auto F = randomSSAFunction(0x51AB, Cfg);
+  AnalysisManager AM;
+  FunctionAnalyses &FA = AM.get(*F);
+  const LiveCheck &LC = FA.liveCheck();
+  PreparedCache Cache(*F, LC, FA.domTree());
+  Cache.sizeToFunction();
+
+  std::vector<const Value *> Queryable;
+  for (const auto &V : F->values())
+    if (V->defs().size() == 1 && V->hasUses())
+      Queryable.push_back(V.get());
+  ASSERT_GT(Queryable.size(), PreparedCache::NumStripes)
+      << "need multiple values per stripe to exercise arena growth";
+
+  constexpr unsigned NumWorkers = 4;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    Workers.emplace_back([&Cache, &Queryable, W] {
+      for (const Value *V : Queryable)
+        if (PreparedCache::stripeOf(V->id()) % NumWorkers == W)
+          Cache.ensure(*V);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  EXPECT_EQ(Cache.stats().Builds, std::uint64_t(Queryable.size()));
+  BlockIdLiveness Oracle(*F);
+  for (const Value *V : Queryable) {
+    ASSERT_TRUE(Cache.isFresh(*V)) << "%" << V->name();
+    const LiveCheck::PreparedVar &P = Cache.cached(*V);
+    for (const auto &B : F->blocks()) {
+      ASSERT_EQ(LC.isLiveInPrepared(P, B->id()), Oracle.isLiveIn(*V, *B))
+          << "%" << V->name() << " in b" << B->id();
+      ASSERT_EQ(LC.isLiveOutPrepared(P, B->id()), Oracle.isLiveOut(*V, *B))
+          << "%" << V->name() << " out b" << B->id();
+    }
+  }
 }
 
 #ifndef NDEBUG

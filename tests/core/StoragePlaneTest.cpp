@@ -112,7 +112,7 @@ TEST_P(StoragePlane, AllBackendsAllEntryPointsMatchOracle) {
         PVSpan.NumsBegin = Nums.data();
         PVSpan.NumsEnd = Nums.data() + Nums.size();
         LiveCheck::PreparedVar PVMask = PVSpan;
-        PVMask.Mask = &Mask;
+        PVMask.setMask(Mask);
 
         E->liveInBlocks(V.Def, V.Uses, InSweep);
         E->liveOutBlocks(V.Def, V.Uses, OutSweep);

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -185,6 +186,42 @@ TEST(BatchDriver, WorkloadGenerationIsDeterministic) {
     EXPECT_EQ(A[I].BlockId, B[I].BlockId);
     EXPECT_EQ(A[I].IsLiveOut, B[I].IsLiveOut);
   }
+}
+
+TEST(BatchDriver, ShardedColdFillMatchesSequentialByteForByte) {
+  // The per-worker ensure sharding of the prepared plane: forcing the
+  // sharded cold fill (threshold 0) must produce answers byte-identical to
+  // the sequential sweep for every thread count, cold and warm — and this
+  // suite runs under TSan in CI, so the one-writer-per-stripe contract the
+  // fan-out builds on is race-checked here, not just argued.
+  Module M(8, 0xAB5);
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 0x717, 24000);
+  ASSERT_FALSE(Workload.empty());
+
+  BatchOptions Seq;
+  Seq.Threads = 1;
+  BatchResult Reference = BatchLivenessDriver(M.Funcs, Seq).run(Workload);
+
+  for (unsigned Threads : {2u, 4u}) {
+    BatchOptions Opts;
+    Opts.Threads = Threads;
+    Opts.ColdFillShardThreshold = 0; // Force the sharded fill.
+    BatchLivenessDriver Driver(M.Funcs, Opts);
+    BatchResult Cold = Driver.run(Workload);
+    EXPECT_EQ(Cold.Answers, Reference.Answers)
+        << Threads << "-thread sharded cold fill diverges";
+    BatchResult Warm = Driver.run(Workload); // All ensures hit this time.
+    EXPECT_EQ(Warm.Answers, Reference.Answers)
+        << Threads << "-thread warm run after sharded fill diverges";
+  }
+
+  // The explicit off switch keeps the sequential sweep.
+  BatchOptions Disabled;
+  Disabled.Threads = 4;
+  Disabled.ColdFillShardThreshold = SIZE_MAX;
+  BatchResult R = BatchLivenessDriver(M.Funcs, Disabled).run(Workload);
+  EXPECT_EQ(R.Answers, Reference.Answers);
 }
 
 TEST(BatchDriver, BlockSweepDeterministicAcrossThreadCounts) {

@@ -101,6 +101,23 @@ TEST(BitMatrix, WordsFindNextSetHonoursBitLimit) {
   EXPECT_EQ(BitMatrix::wordsFindNextSet(W.data(), 1, 0, 64), BitMatrix::npos);
 }
 
+TEST(BitMatrix, WordsAnyExceptSkipsExactlyTheExcludedBit) {
+  // The prepared mask plane's def-block exclusion: any set bit counts
+  // except the one excluded position (Algorithm 2's "any use other than
+  // at the def").
+  std::vector<std::uint64_t> W = {0, 0};
+  EXPECT_FALSE(BitMatrix::wordsAnyExcept(W.data(), 2));
+  W[1] = 1ull << 40; // Bit 104 only.
+  EXPECT_TRUE(BitMatrix::wordsAnyExcept(W.data(), 2));
+  EXPECT_FALSE(BitMatrix::wordsAnyExcept(W.data(), 2, 104));
+  EXPECT_TRUE(BitMatrix::wordsAnyExcept(W.data(), 2, 103));
+  W[0] = 1; // A second bit in a different word survives the exclusion.
+  EXPECT_TRUE(BitMatrix::wordsAnyExcept(W.data(), 2, 104));
+  EXPECT_TRUE(BitMatrix::wordsAnyExcept(W.data(), 2, 0));
+  // Word count clamps the scan: bit 104 is invisible at one word.
+  EXPECT_FALSE(BitMatrix::wordsAnyExcept(W.data(), 1, 0));
+}
+
 TEST(BitMatrix, AnyCommonInRangeAgainstNaive) {
   // Randomized cross-check of the masked word sweep against a per-bit
   // loop, covering word-boundary Lo/Hi and the excluded bit.

@@ -1,0 +1,120 @@
+//===- tests/support/PoolTest.cpp -----------------------------------------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The thread-local scratch pools under the engine's update/precompute paths
+// and the batch driver's worker scratch: recycling must preserve heap
+// capacity, the scratch helpers must clear stale contents, handles must
+// release on scope exit, and per-thread pools must stay independent (this
+// suite runs under TSan in CI, so the thread_local isolation is
+// race-checked, not assumed).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ssalive;
+
+TEST(Pool, RecyclesObjectsAndKeepsCapacity) {
+  pool::ArrayPool<unsigned> P;
+  unsigned *Data;
+  std::size_t Cap;
+  {
+    auto H = P.acquire();
+    H->assign(1000, 7);
+    Data = H->data();
+    Cap = H->capacity();
+  }
+  // The released object comes back with its buffer intact — a pointer pop,
+  // not an allocator round trip.
+  auto H = P.acquire();
+  EXPECT_EQ(H->data(), Data);
+  EXPECT_GE(H->capacity(), Cap);
+  EXPECT_EQ(P.highWater(), 1u) << "sequential reuse never holds two";
+}
+
+TEST(Pool, HighWaterTracksConcurrentHandles) {
+  pool::BitsetPool P;
+  {
+    auto A = P.acquire();
+    auto B = P.acquire();
+    auto C = P.acquire();
+    EXPECT_EQ(P.highWater(), 3u);
+  }
+  auto D = P.acquire();
+  EXPECT_EQ(P.highWater(), 3u) << "high water is a max, not a level";
+}
+
+TEST(Pool, MoveTransfersOwnershipExactlyOnce) {
+  pool::ArrayPool<unsigned> P;
+  auto A = P.acquire();
+  A->push_back(1);
+  auto B = std::move(A);
+  EXPECT_FALSE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(B->size(), 1u);
+  {
+    auto C = P.acquire();
+    C->push_back(2);
+    B = std::move(C); // Assignment releases B's old object first.
+  }
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(B->back(), 2u);
+}
+
+TEST(Pool, ScratchHelpersClearStaleContents) {
+  {
+    auto M = pool::scratchBitset(100);
+    M->set(3);
+    M->set(99);
+    auto A = pool::scratchArray();
+    A->push_back(42);
+    auto W = pool::scratchWords(8);
+    (*W)[5] = ~0ull;
+  }
+  // The recycled objects carry stale contents by contract; the scratch
+  // helpers hand them back cleared/zeroed at the requested size.
+  auto M = pool::scratchBitset(100);
+  EXPECT_EQ(M->count(), 0u);
+  EXPECT_EQ(M->size(), 100u);
+  auto A = pool::scratchArray();
+  EXPECT_TRUE(A->empty());
+  auto W = pool::scratchWords(8);
+  ASSERT_EQ(W->size(), 8u);
+  for (std::uint64_t V : *W)
+    EXPECT_EQ(V, 0u);
+}
+
+TEST(Pool, ThreadLocalPoolsAreIndependent) {
+  // Each thread draws from its own pools: heavy simultaneous scratch use
+  // across threads must never share an object (checked by writing a
+  // per-thread pattern and re-reading it after a yield window).
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned Rounds = 200;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (unsigned R = 0; R != Rounds; ++R) {
+        auto A = pool::scratchArray();
+        auto M = pool::scratchBitset(64 + T);
+        A->assign(32, T);
+        M->set(T);
+        std::this_thread::yield();
+        ASSERT_EQ(A->size(), 32u);
+        for (unsigned V : *A)
+          ASSERT_EQ(V, T);
+        ASSERT_EQ(M->size(), 64u + T);
+        ASSERT_TRUE(M->test(T));
+        ASSERT_EQ(M->count(), 1u);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+}
