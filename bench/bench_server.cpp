@@ -9,7 +9,8 @@
 // LivenessServer serves one session across a pipe pair while the main
 // thread plays client, so the numbers include framing, syscalls, and the
 // shared-pool query fan-out — the full cost of a remote query, not just
-// the engine scan.
+// the engine scan. A final section repeats the warm 4096-batch pass over
+// TCP loopback (the network transport) and records speedup_tcp_vs_pipe.
 //
 //   bench_server [--smoke] [--threads=N]
 //
@@ -39,6 +40,10 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace ssalive;
@@ -57,6 +62,25 @@ double nowMillis() {
 bool roundTrip(int OutFd, int InFd, const std::vector<std::uint8_t> &Req,
                std::vector<std::uint8_t> &Reply) {
   return proto::roundTrip(InFd, OutFd, Req, Reply);
+}
+
+int connectLoopback(std::uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
 }
 
 } // namespace
@@ -266,7 +290,74 @@ int main(int Argc, char **Argv) {
     Records.push_back(std::move(R));
   }
 
+  // ---- TCP loopback: the same warm 4096-batch pass over the network
+  // transport (accept loop + TCP_NODELAY stream instead of a raw pipe),
+  // against a second in-process server. speedup_tcp_vs_pipe is the
+  // trend-gated ratio: it tracks the framing/syscall overhead the TCP
+  // path adds, not the machine's absolute socket speed.
+  double QpsTcp = 0;
+  {
+    server::LivenessServer TcpServer(Cfg);
+    std::string Err;
+    int TcpFd = -1;
+    if (!TcpServer.listenTcp("127.0.0.1", /*Port=*/0, Err)) {
+      std::fprintf(stderr, "listenTcp failed: %s\n", Err.c_str());
+      return 1;
+    }
+    TcpServer.start();
+    TcpFd = connectLoopback(TcpServer.boundTcpPort());
+    if (TcpFd < 0) {
+      std::fprintf(stderr, "tcp connect failed\n");
+      return 1;
+    }
+    if (!roundTrip(TcpFd, TcpFd,
+                   proto::encodeLoadModule(
+                       static_cast<std::uint8_t>(
+                           BatchBackend::LiveCheckPropagated),
+                       static_cast<std::uint8_t>(QueryPlane::BlockId),
+                       Text),
+                   Reply) ||
+        Reply.empty() ||
+        Reply[0] !=
+            static_cast<std::uint8_t>(proto::Opcode::ModuleLoaded)) {
+      std::fprintf(stderr, "tcp load-module failed\n");
+      return 1;
+    }
+    unsigned Passes = Smoke ? 3 : 4; // First pass primes the precompute.
+    double BestMillis = 0;
+    bool Timed = false;
+    for (unsigned Pass = 0; Pass != Passes; ++Pass) {
+      double PassStart = nowMillis();
+      for (std::size_t Begin = 0; Begin < Workload.size(); Begin += 4096) {
+        std::size_t End = std::min(Workload.size(), Begin + 4096);
+        if (!roundTrip(TcpFd, TcpFd, sendSpan(Begin, End), Reply)) {
+          std::fprintf(stderr, "tcp query batch failed\n");
+          return 1;
+        }
+      }
+      double PassMillis = nowMillis() - PassStart;
+      if (Pass == 0)
+        continue; // Warm-up.
+      if (!Timed || PassMillis < BestMillis) {
+        BestMillis = PassMillis;
+        Timed = true;
+      }
+    }
+    QpsTcp = double(Workload.size()) / (BestMillis / 1e3);
+    (void)roundTrip(TcpFd, TcpFd, proto::encodeShutdown(), Reply);
+    ::close(TcpFd);
+    TcpServer.wait();
+    JsonRecord R;
+    R.str("transport", "tcp").num("batch", std::uint64_t(4096));
+    R.num("queries_per_second", QpsTcp);
+    R.num("speedup_tcp_vs_pipe", Qps4096 > 0 ? QpsTcp / Qps4096 : 0);
+    Records.push_back(std::move(R));
+  }
+
   Table.print();
+  std::printf("warm tcp-loopback throughput (batch 4096): %.0f queries/s "
+              "(%.2fx vs pipe)\n",
+              QpsTcp, Qps4096 > 0 ? QpsTcp / Qps4096 : 0);
   std::printf("warm pipe throughput (batch 4096): %.0f queries/s %s\n",
               Qps4096, Qps4096 >= 1e6 ? "(>= 1M target PASS)"
                                       : "(below the 1M target)");

@@ -6,13 +6,23 @@
 ///
 /// \file
 /// The long-lived liveness query server: accepts concurrent clients over
-/// unix-domain sockets (one handler thread per connection, one Session per
-/// client) or serves a single session over an arbitrary duplex fd pair —
-/// the pipe transport the --stdio mode and the in-process test/bench
-/// harnesses use. Query fan-out for every session rides the one shared
-/// ThreadPool inside the SessionManager; per-worker answer spans keep the
-/// hot path lock-free and replies byte-identical regardless of client
-/// interleaving.
+/// unix-domain sockets and TCP (one shared poll-based acceptor, one
+/// handler thread and one Session per connection) or serves a single
+/// session over an arbitrary duplex fd pair — the pipe transport the
+/// --stdio mode and the in-process test/bench harnesses use. Query
+/// fan-out for every session rides the one shared ThreadPool inside the
+/// SessionManager; per-worker answer spans keep the hot path lock-free
+/// and replies byte-identical regardless of client interleaving.
+///
+/// A connection whose first frame is a Resume handshake either opens a
+/// journaling (resumable) session or re-attaches to a parked one: the
+/// manager replays the journaled request sequence against a fresh
+/// Session and the transport re-sends the replies past the client's
+/// high-water mark — reply purity makes the rebuilt connection
+/// indistinguishable from one that never dropped. Overload is shed, not
+/// queued: past the connection cap, accepted sockets get one well-formed
+/// Error(Overloaded) and a close; past the per-connection in-flight
+/// budget, frames are answered Error(Overloaded) without dispatch.
 ///
 /// This is the amortization story of the paper pushed to its natural
 /// habitat: one resident precomputation per loaded function, repaired in
@@ -57,22 +67,38 @@ public:
   void serveStream(int InFd, int OutFd);
   /// @}
 
-  /// \name Unix-domain socket transport.
+  /// \name Socket transports.
   /// @{
-  /// Binds and listens on \p Path (unlinking a stale socket file first).
+  /// Binds and listens on \p Path. A stale socket file from a dead server
+  /// is cleaned up; a *live* server at the same path (the probe connect
+  /// succeeds) is an error — binding over it would silently orphan it.
   /// On failure returns false with a message in \p Err.
   bool listenUnix(const std::string &Path, std::string &Err);
 
+  /// Binds and listens on \p Host:\p Port (IPv4 dotted quad; empty host =
+  /// loopback). \p Port 0 picks an ephemeral port — read it back with
+  /// boundTcpPort(). Accepted connections get TCP_NODELAY (writeFrame
+  /// already sends header+payload in one writev, so one segment each).
+  /// May be combined with listenUnix; one acceptor polls both.
+  bool listenTcp(const std::string &Host, std::uint16_t Port,
+                 std::string &Err);
+
+  /// Port actually bound by listenTcp (resolves an ephemeral request).
+  std::uint16_t boundTcpPort() const { return BoundTcpPort; }
+
   /// Spawns the accept loop; each accepted connection gets a handler
-  /// thread running serveStream on it. listenUnix must have succeeded.
+  /// thread running serveStream on it. listenUnix and/or listenTcp must
+  /// have succeeded.
   void start();
 
   /// Blocks until stop() is called or a session requests shutdown, then
   /// joins the acceptor and every handler.
   void wait();
 
-  /// Requests shutdown: the acceptor stops accepting; handlers finish
-  /// their current connection. Safe to call from any thread, repeatedly.
+  /// Requests shutdown: the acceptor stops accepting, and every live
+  /// client socket is shut down so handlers blocked mid-read on idle
+  /// connections unblock immediately instead of hanging wait() until the
+  /// peer deigns to disconnect. Safe to call from any thread, repeatedly.
   void stop();
   /// @}
 
@@ -87,15 +113,33 @@ public:
 
 private:
   void acceptLoop();
+  void acceptOn(int Fd, bool IsTcp);
   void joinHandlers();
+
+  /// The frame loop behind serveStream; leaves the session in \p S so the
+  /// caller can park it for resume after the connection drops.
+  void serveFrames(int InFd, int OutFd, std::unique_ptr<Session> &S);
+
+  /// Handles a Resume handshake frame (first frame of a connection):
+  /// opens a fresh resumable session (id 0) or re-attaches to a parked
+  /// one, re-sending the replies past the client's high-water mark.
+  /// Returns false when the connection is dead (write failure).
+  bool handleResume(int OutFd, const std::vector<std::uint8_t> &Payload,
+                    std::unique_ptr<Session> &S);
+
+  /// Sheds a just-accepted connection past the MaxConnections cap: one
+  /// well-formed Error(Overloaded) frame, then close.
+  void shedConnection(int Fd);
 
   /// A connection handler thread plus its completion flag, so the accept
   /// loop can reap finished handlers without blocking on live ones — a
   /// long-lived server must not accumulate one unjoined thread per
-  /// connection ever served.
+  /// connection ever served. The client fd lives here (closed only after
+  /// the join) so stop() can ::shutdown() it without racing fd reuse.
   struct Handler {
     std::thread Thread;
     std::atomic<bool> Done{false};
+    int Fd = -1;
   };
   void reapFinishedHandlers();
 
@@ -103,6 +147,8 @@ private:
   SessionManager Mgr;
 
   int ListenFd = -1;
+  int TcpListenFd = -1;
+  std::uint16_t BoundTcpPort = 0;
   std::string SocketPath;
   std::thread Acceptor;
   std::mutex HandlersMutex;

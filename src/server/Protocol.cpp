@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <csignal>
 #include <mutex>
+#include <sys/uio.h>
 #include <unistd.h>
 
 using namespace ssalive;
@@ -64,6 +65,15 @@ std::vector<std::uint8_t> protocol::encodeMetricsRequest() {
 
 std::vector<std::uint8_t> protocol::encodeShutdown() {
   return {static_cast<std::uint8_t>(Opcode::Shutdown)};
+}
+
+std::vector<std::uint8_t> protocol::encodeResume(std::uint64_t SessionId,
+                                                 std::uint64_t HighWaterMark) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::Resume));
+  W.u64(SessionId);
+  W.u64(HighWaterMark);
+  return W.take();
 }
 
 std::vector<std::uint8_t>
@@ -184,6 +194,17 @@ std::vector<std::uint8_t> protocol::encodeOk() {
   return {static_cast<std::uint8_t>(Opcode::Ok)};
 }
 
+std::vector<std::uint8_t>
+protocol::encodeResumed(std::uint64_t SessionId, std::uint64_t JournalLen,
+                        std::uint64_t PendingReplies) {
+  WireWriter W;
+  W.u8(static_cast<std::uint8_t>(Opcode::Resumed));
+  W.u64(SessionId);
+  W.u64(JournalLen);
+  W.u64(PendingReplies);
+  return W.take();
+}
+
 std::vector<std::uint8_t> protocol::encodeError(ErrorCode Code,
                                                 const std::string &Msg) {
   WireWriter W;
@@ -214,16 +235,33 @@ ssize_t readFull(int Fd, std::uint8_t *Buf, std::size_t Len) {
   return static_cast<ssize_t>(Got);
 }
 
-bool writeFull(int Fd, const std::uint8_t *Buf, std::size_t Len) {
-  std::size_t Put = 0;
-  while (Put != Len) {
-    ssize_t N = ::write(Fd, Buf + Put, Len - Put);
+/// Writes both iovecs fully, resuming partial writes where they stopped;
+/// false on error. One writev call in the common case, so the frame header
+/// and payload share a syscall (and a TCP segment under TCP_NODELAY).
+bool writeFullVec(int Fd, iovec Iov[2]) {
+  int First = 0;
+  while (First != 2) {
+    if (Iov[First].iov_len == 0) {
+      ++First;
+      continue;
+    }
+    ssize_t N = ::writev(Fd, Iov + First, 2 - First);
     if (N < 0) {
       if (errno == EINTR)
         continue;
       return false;
     }
-    Put += static_cast<std::size_t>(N);
+    std::size_t Put = static_cast<std::size_t>(N);
+    while (First != 2 && Put >= Iov[First].iov_len) {
+      Put -= Iov[First].iov_len;
+      Iov[First].iov_len = 0;
+      ++First;
+    }
+    if (First != 2 && Put != 0) {
+      Iov[First].iov_base = static_cast<std::uint8_t *>(Iov[First].iov_base) +
+                            Put;
+      Iov[First].iov_len -= Put;
+    }
   }
   return true;
 }
@@ -280,7 +318,8 @@ bool protocol::writeFrame(int Fd, const std::vector<std::uint8_t> &Payload,
                             static_cast<std::uint8_t>(Len >> 8),
                             static_cast<std::uint8_t>(Len >> 16),
                             static_cast<std::uint8_t>(Len >> 24)};
-  if (!writeFull(Fd, Header, sizeof(Header)))
-    return false;
-  return writeFull(Fd, Payload.data(), Payload.size());
+  iovec Iov[2] = {{Header, sizeof(Header)},
+                  {const_cast<std::uint8_t *>(Payload.data()),
+                   Payload.size()}};
+  return writeFullVec(Fd, Iov);
 }

@@ -37,9 +37,27 @@ struct ServerTelemetry {
   telemetry::Counter Positives{"ssalive_server_answers_positive_total"};
   telemetry::Counter EditsApplied{"ssalive_server_edits_applied_total"};
   telemetry::Counter EditsRejected{"ssalive_server_edits_rejected_total"};
+  telemetry::Counter ReqResume{"ssalive_server_requests_resume_total"};
   telemetry::Counter SessionsOpened{"ssalive_server_sessions_opened_total"};
   telemetry::Counter SessionsClosed{"ssalive_server_sessions_closed_total"};
   telemetry::Gauge SessionsActive{"ssalive_server_sessions_active"};
+
+  /// The resume plane: handshake outcomes, replay volume, and the parked
+  /// journal footprint the eviction policy manages.
+  telemetry::Counter ResumeOpened{
+      "ssalive_server_resume_sessions_opened_total"};
+  telemetry::Counter ResumeAttempts{"ssalive_server_resume_attempts_total"};
+  telemetry::Counter ResumeOk{"ssalive_server_resume_ok_total"};
+  telemetry::Counter ResumeUnknown{"ssalive_server_resume_unknown_total"};
+  telemetry::Counter ResumeReplayed{
+      "ssalive_server_resume_replayed_requests_total"};
+  telemetry::Counter ResumeEvictions{
+      "ssalive_server_resume_evictions_total"};
+  telemetry::Counter ResumeOverflows{
+      "ssalive_server_resume_journal_overflow_total"};
+  telemetry::Gauge ResumeParked{"ssalive_server_resume_parked_sessions"};
+  telemetry::Gauge ResumeParkedBytes{
+      "ssalive_server_resume_parked_journal_bytes"};
 
   static const ServerTelemetry &get() {
     static ServerTelemetry T;
@@ -61,9 +79,12 @@ std::vector<std::uint8_t> countedError(ErrorCode Code,
       telemetry::Counter("ssalive_server_errors_bad_plane_total"),
       telemetry::Counter("ssalive_server_errors_bad_query_total"),
       telemetry::Counter("ssalive_server_errors_bad_edit_total"),
-      telemetry::Counter("ssalive_server_errors_frame_too_large_total")};
+      telemetry::Counter("ssalive_server_errors_frame_too_large_total"),
+      telemetry::Counter("ssalive_server_errors_unknown_session_total"),
+      telemetry::Counter("ssalive_server_errors_overloaded_total"),
+      telemetry::Counter("ssalive_server_errors_bad_resume_total")};
   std::size_t I = static_cast<std::size_t>(Code);
-  ByCode[I < 10 ? I : 0].inc();
+  ByCode[I < 13 ? I : 0].inc();
   return encodeError(Code, Msg);
 }
 
@@ -91,6 +112,27 @@ Session::~Session() {
 
 std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
                                           std::size_t Len) {
+  // Journal every dispatched payload of a resumable session, in order,
+  // BEFORE dispatch — replies (including error replies) are pure functions
+  // of the sequence, so replaying it rebuilds the session bit for bit.
+  // Resume frames are transport-level and never journaled. Outgrowing the
+  // bound latches the session unresumable instead of evicting a prefix:
+  // a truncated journal could not replay to the same state.
+  if (Resumable && !Replaying && !JournalOverflowed &&
+      !(Len != 0 &&
+        Data[0] == static_cast<std::uint8_t>(protocol::Opcode::Resume))) {
+    if (JournalBytes + Len > Owner.config().MaxJournalBytes) {
+      Journal.clear();
+      Journal.shrink_to_fit();
+      JournalBytes = 0;
+      JournalOverflowed = true;
+      ServerTelemetry::get().ResumeOverflows.inc();
+    } else {
+      Journal.emplace_back(Data, Data + Len);
+      JournalBytes += Len;
+    }
+  }
+
   WireReader R(Data, Len);
   std::uint8_t Op = R.u8();
   if (!R.ok())
@@ -125,6 +167,12 @@ std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
                           "shutdown request carries a body");
     ShutdownSeen = true;
     return encodeOk();
+  case protocol::Opcode::Resume:
+    // The transport layer handles Resume as the first frame of a
+    // connection; one that reaches a live session arrived mid-stream.
+    T.ReqResume.inc();
+    return countedError(ErrorCode::BadResume,
+                        "resume must be the first frame of a connection");
   default:
     T.ReqUnknown.inc();
     break;
@@ -327,6 +375,14 @@ std::vector<std::uint8_t> Session::handleStats() {
   return encodeStatsReply(S);
 }
 
+std::vector<std::uint8_t>
+Session::replay(const std::vector<std::uint8_t> &Request) {
+  Replaying = true;
+  std::vector<std::uint8_t> Reply = handle(Request);
+  Replaying = false;
+  return Reply;
+}
+
 std::vector<std::uint8_t> Session::handleMetrics() {
   // The registry is process-wide: counters from every session, every
   // layer, aggregated across thread shards at this instant. Flush the
@@ -335,4 +391,105 @@ std::vector<std::uint8_t> Session::handleMetrics() {
   if (Driver)
     Driver->publishPreparedTelemetry();
   return encodeMetricsReply(telemetry::Registry::global().snapshot());
+}
+
+//===----------------------------------------------------------------------===//
+// SessionManager: the resume plane.
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Session> SessionManager::createResumableSession() {
+  std::unique_ptr<Session> S = createSession();
+  S->markResumable(NextSessionId.fetch_add(1, std::memory_order_relaxed));
+  ServerTelemetry::get().ResumeOpened.inc();
+  return S;
+}
+
+void SessionManager::parkSession(std::unique_ptr<Session> S) {
+  if (!S || !S->resumable() || S->shutdownRequested())
+    return;
+  Parked P;
+  P.Journal = std::move(S->Journal);
+  P.Bytes = S->JournalBytes;
+  std::uint64_t Id = S->sessionId();
+  S.reset(); // The live session closes; only the replayable bytes persist.
+  const ServerTelemetry &T = ServerTelemetry::get();
+  std::lock_guard<std::mutex> Lock(ParkedMutex);
+  ParkedBytes += P.Bytes;
+  ParkedById[Id] = std::move(P); // Ids are unique; no clobber possible.
+  evictLockedPastCaps();
+  T.ResumeParked.set(static_cast<std::int64_t>(ParkedById.size()));
+  T.ResumeParkedBytes.set(static_cast<std::int64_t>(ParkedBytes));
+}
+
+void SessionManager::evictLockedPastCaps() {
+  const ServerTelemetry &T = ServerTelemetry::get();
+  while (!ParkedById.empty() &&
+         ((Cfg.MaxParkedSessions != 0 &&
+           ParkedById.size() > Cfg.MaxParkedSessions) ||
+          (Cfg.MaxParkedJournalBytes != 0 &&
+           ParkedBytes > Cfg.MaxParkedJournalBytes))) {
+    auto Oldest = ParkedById.begin(); // Monotone ids: begin() = oldest.
+    ParkedBytes -= Oldest->second.Bytes;
+    ParkedById.erase(Oldest);
+    T.ResumeEvictions.inc();
+  }
+}
+
+SessionManager::ResumeResult
+SessionManager::resumeSession(std::uint64_t SessionId,
+                              std::uint64_t HighWaterMark) {
+  const ServerTelemetry &T = ServerTelemetry::get();
+  T.ResumeAttempts.inc();
+  ResumeResult R;
+  Parked P;
+  {
+    std::lock_guard<std::mutex> Lock(ParkedMutex);
+    auto It = ParkedById.find(SessionId);
+    if (It == ParkedById.end()) {
+      T.ResumeUnknown.inc();
+      R.Reply = countedError(ErrorCode::UnknownSession,
+                             "session id was never issued, was evicted, or "
+                             "outgrew its journal");
+      return R;
+    }
+    if (HighWaterMark > It->second.Journal.size()) {
+      // The journal stays parked: a confused client must not destroy a
+      // resumable session.
+      R.Reply = countedError(ErrorCode::BadResume,
+                             "high-water mark beyond the journal");
+      return R;
+    }
+    P = std::move(It->second);
+    ParkedById.erase(It);
+    ParkedBytes -= P.Bytes;
+    T.ResumeParked.set(static_cast<std::int64_t>(ParkedById.size()));
+    T.ResumeParkedBytes.set(static_cast<std::int64_t>(ParkedBytes));
+  }
+
+  // Replay outside the lock: rebuilding a long session is real work and
+  // must not serialize unrelated park/resume traffic. Every reply is a
+  // pure function of the request prefix, so the rebuilt session — module,
+  // driver caches, tally — is byte-identical to the uninterrupted one,
+  // and the replies past the client's high-water mark are exactly the
+  // bytes it never received.
+  std::unique_ptr<Session> S = createSession();
+  S->markResumable(SessionId);
+  for (std::size_t I = 0; I != P.Journal.size(); ++I) {
+    std::vector<std::uint8_t> Reply = S->replay(P.Journal[I]);
+    if (I >= HighWaterMark)
+      R.PendingReplies.push_back(std::move(Reply));
+  }
+  T.ResumeReplayed.inc(P.Journal.size());
+  S->Journal = std::move(P.Journal);
+  S->JournalBytes = P.Bytes;
+  R.Reply = encodeResumed(SessionId, S->Journal.size(),
+                          R.PendingReplies.size());
+  T.ResumeOk.inc();
+  R.S = std::move(S);
+  return R;
+}
+
+std::size_t SessionManager::parkedSessions() const {
+  std::lock_guard<std::mutex> Lock(ParkedMutex);
+  return ParkedById.size();
 }

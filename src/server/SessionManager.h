@@ -34,6 +34,16 @@
 /// a long-lived session pays the chain walk once per value per edit, not
 /// once per query.
 ///
+/// The resume plane rides the same purity: a resumable session journals
+/// every dispatched request payload (bounded), the manager parks the
+/// journal when the connection drops, and a Resume handshake rebuilds the
+/// session by replaying the sequence against a fresh Session — replies are
+/// byte-identical to the uninterrupted session's, so the client is handed
+/// exactly the replies it missed and the connection continues as if the
+/// drop never happened. Parked journals are evicted oldest-first past the
+/// configured caps; the `ssalive_server_resume_*` telemetry series report
+/// attempts, replays, evictions, and the parked footprint.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SSALIVE_SERVER_SESSIONMANAGER_H
@@ -45,7 +55,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace ssalive {
@@ -60,6 +72,31 @@ struct ServerConfig {
   unsigned Threads = 1;
   /// Frame cap for both directions.
   std::size_t MaxFrameBytes = protocol::DefaultMaxFrameBytes;
+
+  /// \name Overload shedding.
+  /// @{
+  /// Accepted connections beyond this cap get one well-formed
+  /// Error(Overloaded) and an immediate close instead of a handler.
+  /// 0 = unlimited.
+  unsigned MaxConnections = 1024;
+  /// Per-connection in-flight budget: when a just-read frame still has
+  /// more than this many request bytes queued behind it (the client is
+  /// flooding frames faster than it drains replies), the frame is answered
+  /// Error(Overloaded) WITHOUT being dispatched — bounded shed work per
+  /// frame, no allocation proportional to the flood. 0 = disabled.
+  std::size_t InFlightBudgetBytes = 8u << 20;
+  /// @}
+
+  /// \name Session resume.
+  /// @{
+  /// Journal cap per resumable session; outgrowing it keeps the session
+  /// serving but permanently drops resumability.
+  std::size_t MaxJournalBytes = 64u << 20;
+  /// Caps on *parked* (disconnected, resumable) sessions; past either,
+  /// the oldest parked journal is evicted.
+  std::size_t MaxParkedSessions = 64;
+  std::size_t MaxParkedJournalBytes = 256u << 20;
+  /// @}
 };
 
 class SessionManager;
@@ -88,6 +125,29 @@ public:
   /// server after sending the Ok reply).
   bool shutdownRequested() const { return ShutdownSeen; }
 
+  /// \name Resume plane (driven by SessionManager and the transport).
+  /// A resumable session journals every payload handle() dispatches, in
+  /// order, so a reconnecting client can be re-served by replaying the
+  /// sequence against a fresh Session — every reply is a pure function of
+  /// it. The journal is bounded by ServerConfig::MaxJournalBytes;
+  /// overflowing drops it and latches the session unresumable (it keeps
+  /// serving, a later Resume gets Error(UnknownSession)).
+  /// @{
+  /// Nonzero once markResumable was called.
+  std::uint64_t sessionId() const { return SessionId; }
+  bool resumable() const { return Resumable && !JournalOverflowed; }
+  void markResumable(std::uint64_t Id) {
+    SessionId = Id;
+    Resumable = true;
+  }
+  /// Requests dispatched (and journaled) so far; what Resumed reports as
+  /// journalLen.
+  std::uint64_t journalLength() const { return Journal.size(); }
+  /// @}
+
+  /// Replays \p Request without re-journaling it (resume rebuilds).
+  std::vector<std::uint8_t> replay(const std::vector<std::uint8_t> &Request);
+
   /// \name Introspection for tests (the server-routed fuzz mode compares
   /// the session's repaired analyses bit for bit against fresh rebuilds).
   /// @{
@@ -106,6 +166,8 @@ private:
   std::vector<std::uint8_t> handleStats();
   std::vector<std::uint8_t> handleMetrics();
 
+  friend class SessionManager;
+
   SessionManager &Owner;
   std::vector<std::unique_ptr<Function>> Module;
   std::vector<const Function *> FuncPtrs;
@@ -116,11 +178,20 @@ private:
   /// reports — accumulates the same events across all sessions.
   protocol::StatsWire Tally;
   bool ShutdownSeen = false;
+
+  /// Resume state (see the resume-plane accessors above).
+  std::uint64_t SessionId = 0;
+  bool Resumable = false;
+  bool Replaying = false;
+  bool JournalOverflowed = false;
+  std::vector<std::vector<std::uint8_t>> Journal;
+  std::size_t JournalBytes = 0;
 };
 
-/// Owns what every session shares: the config and the one process-wide
-/// query pool. Thread-safe; sessions are created from concurrent
-/// connection handlers.
+/// Owns what every session shares: the config, the one process-wide query
+/// pool, and the parked-journal store of the resume plane. Thread-safe;
+/// sessions are created, parked, and resumed from concurrent connection
+/// handlers.
 class SessionManager {
 public:
   explicit SessionManager(ServerConfig Cfg)
@@ -134,14 +205,62 @@ public:
     return std::make_unique<Session>(*this);
   }
 
+  /// Creates a session that journals its dispatched requests under a fresh
+  /// id (the Resume sessionId=0 handshake).
+  std::unique_ptr<Session> createResumableSession();
+
+  /// Outcome of a Resume(sessionId != 0) handshake.
+  struct ResumeResult {
+    /// The rebuilt session; null if the resume was refused (Reply is an
+    /// Error frame then).
+    std::unique_ptr<Session> S;
+    /// The Resumed (or Error) frame to send first.
+    std::vector<std::uint8_t> Reply;
+    /// Replies to journaled requests past the client's high-water mark,
+    /// re-sent right after \p Reply, in request order.
+    std::vector<std::vector<std::uint8_t>> PendingReplies;
+  };
+
+  /// Re-attaches to a parked session: pops its journal, replays the whole
+  /// request sequence against a fresh Session, and returns the replies the
+  /// client acknowledged not having seen. Error(UnknownSession) if the id
+  /// was never issued, was evicted, or overflowed its journal bound;
+  /// Error(BadResume) if \p HighWaterMark exceeds the journal length (the
+  /// journal stays parked in that case).
+  ResumeResult resumeSession(std::uint64_t SessionId,
+                             std::uint64_t HighWaterMark);
+
+  /// Parks a disconnected session's journal for a later resume. No-op
+  /// unless the session is resumable and did not request shutdown. Evicts
+  /// the oldest parked journals past the configured caps.
+  void parkSession(std::unique_ptr<Session> S);
+
   std::uint64_t sessionsCreated() const {
     return SessionsCreated.load(std::memory_order_relaxed);
   }
 
+  /// Parked journals currently held (tests).
+  std::size_t parkedSessions() const;
+
 private:
+  /// One disconnected session's replayable state.
+  struct Parked {
+    std::vector<std::vector<std::uint8_t>> Journal;
+    std::size_t Bytes = 0;
+  };
+
+  void evictLockedPastCaps();
+
   ServerConfig Cfg;
   ThreadPool Pool;
   std::atomic<std::uint64_t> SessionsCreated{0};
+  std::atomic<std::uint64_t> NextSessionId{1};
+
+  mutable std::mutex ParkedMutex;
+  /// Insertion-ordered (ids are monotone): begin() is the oldest, the one
+  /// the eviction policy drops first.
+  std::map<std::uint64_t, Parked> ParkedById;
+  std::size_t ParkedBytes = 0;
 };
 
 } // namespace server

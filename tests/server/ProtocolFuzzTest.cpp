@@ -18,8 +18,10 @@
 #include "server/LivenessServer.h"
 
 #include "TestUtil.h"
+#include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "support/RandomEngine.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -44,6 +46,7 @@ bool isReplyOpcode(std::uint8_t Op) {
   case proto::Opcode::StatsReply:
   case proto::Opcode::Ok:
   case proto::Opcode::MetricsReply:
+  case proto::Opcode::Resumed:
   case proto::Opcode::Error:
     return true;
   default:
@@ -94,11 +97,15 @@ TEST(ProtocolFuzz, EmptyAndUnknownOpcodesYieldErrors) {
   auto S = Mgr.createSession();
   EXPECT_TRUE(isError(S->handle(nullptr, 0),
                       proto::ErrorCode::MalformedFrame));
-  for (unsigned Op : {0x00u, 0x07u, 0x42u, 0x80u, 0x90u, 0xFEu}) {
+  for (unsigned Op : {0x00u, 0x08u, 0x42u, 0x80u, 0x90u, 0xFEu}) {
     std::vector<std::uint8_t> P{static_cast<std::uint8_t>(Op)};
     EXPECT_TRUE(isError(S->handle(P), proto::ErrorCode::UnknownOpcode))
         << "opcode " << Op;
   }
+  // 0x07 is Resume, legal only as a connection's first frame — dispatched
+  // mid-session it is a protocol violation, not an unknown opcode.
+  EXPECT_TRUE(isError(S->handle(proto::encodeResume(1, 0)),
+                      proto::ErrorCode::BadResume));
 }
 
 TEST(ProtocolFuzz, CommandsBeforeLoadAreRejected) {
@@ -462,4 +469,159 @@ TEST(ProtocolFuzz, RandomFramedGarbageNeverHangsOrKillsTheStream) {
     auto Replies = rawStream(Stream, /*MaxFrame=*/1 << 16);
     EXPECT_LE(Replies.size(), static_cast<std::size_t>(Frames) + 1);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-stream disconnects: the client vanishes between header and payload,
+// right after a bare header, and mid-reply. The server must close its
+// side cleanly every time — no reply invented, no hang, no crash.
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolFuzz, DisconnectAfterBareHeaderClosesCleanly) {
+  // A header declaring 16 bytes, then EOF before any payload byte.
+  std::vector<std::uint8_t> Stream = {0x10, 0x00, 0x00, 0x00};
+  auto Replies = rawStream(Stream);
+  EXPECT_TRUE(Replies.empty());
+}
+
+TEST(ProtocolFuzz, DisconnectMidReplyDoesNotWedgeTheServer) {
+  proto::ignoreSigpipe();
+  // A module big enough that the Answers reply spans many kilobytes, so
+  // the client's close lands while the server is still writing.
+  std::string Text;
+  for (unsigned I = 0; I != 4; ++I)
+    Text += printFunction(*randomSSAFunction(8800 + I,
+                                             {/*TargetBlocks=*/24}));
+  ModuleParseResult Parsed = parseModule(Text);
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  std::vector<const Function *> Funcs;
+  for (const auto &F : Parsed.Funcs)
+    Funcs.push_back(F.get());
+  std::vector<BatchQuery> Workload =
+      BatchLivenessDriver::generateWorkload(Funcs, 4321, 50000);
+  ASSERT_FALSE(Workload.empty());
+  std::vector<proto::QueryItem> Items;
+  for (const BatchQuery &Q : Workload)
+    Items.push_back({Q.FuncIndex, Q.ValueId, Q.BlockId, Q.IsLiveOut});
+
+  server::LivenessServer Server{server::ServerConfig{}};
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  std::thread ServerThread([&] {
+    Server.serveStream(Pair[1], Pair[1]);
+    ::close(Pair[1]);
+  });
+  std::vector<std::uint8_t> Reply;
+  ASSERT_TRUE(proto::roundTrip(Pair[0], Pair[0],
+                               proto::encodeLoadModule(0, 0, Text), Reply));
+  ASSERT_EQ(Reply[0],
+            static_cast<std::uint8_t>(proto::Opcode::ModuleLoaded));
+  // Ship the big batch and hang up without reading a byte of the reply.
+  ASSERT_TRUE(proto::writeFrame(Pair[0], proto::encodeQueryBatch(Items)));
+  ::close(Pair[0]);
+  // The only pass criterion: the handler returns. A wedged write or a
+  // SIGPIPE death shows up as a hang/abort here.
+  ServerThread.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Overload shedding at the frame gate: flooding past the in-flight
+// budget yields well-formed Error(Overloaded) replies, bounded work per
+// shed frame, and a stream that keeps serving once the flood drains.
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolFuzz, FloodPastTheInFlightBudgetIsShedWellFormed) {
+  proto::ignoreSigpipe();
+  server::ServerConfig Cfg;
+  Cfg.InFlightBudgetBytes = 64; // Tiny, so a small flood trips it.
+  server::LivenessServer Server(Cfg);
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+
+  // Queue the whole flood before the server reads its first frame: every
+  // frame after the first then sees hundreds of bytes still in flight.
+  const unsigned Flood = 200;
+  std::vector<std::uint8_t> Stream;
+  for (unsigned I = 0; I != Flood; ++I)
+    appendFrame(Stream, proto::encodeStats());
+  ASSERT_EQ(::write(Pair[0], Stream.data(), Stream.size()),
+            static_cast<ssize_t>(Stream.size()));
+
+  std::uint64_t ShedBefore = telemetry::Registry::global().value(
+      "ssalive_server_shed_frames_total");
+  std::thread ServerThread([&] {
+    Server.serveStream(Pair[1], Pair[1]);
+    ::close(Pair[1]);
+  });
+  ::shutdown(Pair[0], SHUT_WR);
+  unsigned Served = 0, Shed = 0;
+  std::vector<std::uint8_t> Reply;
+  for (unsigned I = 0; I != Flood; ++I) {
+    ASSERT_EQ(proto::readFrame(Pair[0], Reply), proto::ReadStatus::Ok)
+        << "flooded frame " << I << " got no reply";
+    if (isError(Reply, proto::ErrorCode::Overloaded))
+      ++Shed;
+    else if (Reply[0] ==
+             static_cast<std::uint8_t>(proto::Opcode::StatsReply))
+      ++Served;
+    else
+      FAIL() << "flood reply " << I << " is neither shed nor served";
+  }
+  EXPECT_EQ(proto::readFrame(Pair[0], Reply), proto::ReadStatus::Eof);
+  ::close(Pair[0]);
+  ServerThread.join();
+  EXPECT_EQ(Served + Shed, Flood);
+  EXPECT_GE(Shed, Flood / 2) << "most of the flood must be shed";
+  EXPECT_GE(Served, 1u) << "draining below the budget must resume service";
+  // Shed work is bounded per frame: the telemetry ledger advances by
+  // exactly the shed replies — nothing queued, nothing allocated
+  // proportional to the flood's depth.
+  EXPECT_EQ(telemetry::Registry::global().value(
+                "ssalive_server_shed_frames_total") -
+                ShedBefore,
+            Shed);
+}
+
+//===----------------------------------------------------------------------===//
+// Resume-frame fuzz over the stream transport.
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolFuzz, ResumeHandshakeOpensAndMidConnectionResumeIsRejected) {
+  std::vector<std::uint8_t> Stream;
+  appendFrame(Stream, proto::encodeResume(0, 0)); // Open a resumable session.
+  appendFrame(Stream, proto::encodeStats());
+  appendFrame(Stream, proto::encodeResume(0, 0)); // Mid-connection: illegal.
+  appendFrame(Stream, proto::encodeStats());      // Stream still serves.
+  auto Replies = rawStream(Stream);
+  ASSERT_EQ(Replies.size(), 4u);
+  EXPECT_EQ(Replies[0][0],
+            static_cast<std::uint8_t>(proto::Opcode::Resumed));
+  EXPECT_EQ(Replies[1][0],
+            static_cast<std::uint8_t>(proto::Opcode::StatsReply));
+  EXPECT_TRUE(isError(Replies[2], proto::ErrorCode::BadResume));
+  EXPECT_EQ(Replies[3][0],
+            static_cast<std::uint8_t>(proto::Opcode::StatsReply));
+}
+
+TEST(ProtocolFuzz, HostileResumeFramesGetWellFormedErrors) {
+  // Truncated bodies, trailing garbage, a high-water mark with no id,
+  // and an id the server never issued — every one answered well-formed,
+  // and the connection remains usable as a plain session afterwards.
+  std::vector<std::uint8_t> Stream;
+  appendFrame(Stream, {0x07});             // Opcode alone.
+  appendFrame(Stream, {0x07, 0x01, 0x02}); // Truncated id.
+  auto Trailing = proto::encodeResume(0, 0);
+  Trailing.push_back(0xAB);
+  appendFrame(Stream, Trailing);                  // Trailing garbage.
+  appendFrame(Stream, proto::encodeResume(0, 9)); // Hwm without an id.
+  appendFrame(Stream, proto::encodeResume(0xDEAD, 0)); // Never issued.
+  appendFrame(Stream, proto::encodeStats());
+  auto Replies = rawStream(Stream);
+  ASSERT_EQ(Replies.size(), 6u);
+  for (unsigned I = 0; I != 4; ++I)
+    EXPECT_TRUE(isError(Replies[I], proto::ErrorCode::BadResume))
+        << "hostile resume " << I;
+  EXPECT_TRUE(isError(Replies[4], proto::ErrorCode::UnknownSession));
+  EXPECT_EQ(Replies[5][0],
+            static_cast<std::uint8_t>(proto::Opcode::StatsReply));
 }

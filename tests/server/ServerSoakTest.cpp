@@ -28,8 +28,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <atomic>
 #include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sstream>
 #include <string>
 #include <sys/socket.h>
@@ -363,4 +366,226 @@ TEST(ServerSoak, UnixSocketAcceptLoopServesAndShutsDown) {
   ::close(Fd);
   Server.wait();
   EXPECT_TRUE(Server.stopRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// The resume differential over TCP loopback: each client replays >= 1k
+// mixed query/edit frames, is killed mid-stream with replies in flight,
+// reconnects with Resume, and every reply — before the kill, re-sent as
+// pending, and after the resume — must be byte-identical to an
+// uninterrupted in-process oracle session fed the same sequence. Soaked
+// across three backends concurrently against one server.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int connectLoopback(std::uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+bool readResumed(const std::vector<std::uint8_t> &Reply, std::uint64_t &Sid,
+                 std::uint64_t &JournalLen, std::uint64_t &Pending) {
+  if (Reply.empty() ||
+      Reply[0] != static_cast<std::uint8_t>(proto::Opcode::Resumed))
+    return false;
+  proto::WireReader R(Reply.data() + 1, Reply.size() - 1);
+  Sid = R.u64();
+  JournalLen = R.u64();
+  Pending = R.u64();
+  return R.ok() && R.atEnd();
+}
+
+void runResumeClient(std::uint16_t Port, std::uint64_t Seed,
+                     BatchBackend Backend, QueryPlane Plane,
+                     unsigned ClientId) {
+  auto tag = [&](const char *What, std::size_t Index) {
+    std::ostringstream OS;
+    OS << "resume client " << ClientId << " seed=" << Seed << " backend="
+       << batchBackendName(Backend) << ": " << What << " #" << Index;
+    return OS.str();
+  };
+
+  // ---- The deterministic request sequence: module load plus >= 1.2k
+  // mixed query/edit frames. The local module copy evolves in lockstep so
+  // every generated edit and workload is valid on the server's copy too.
+  std::string Text = makeModuleText(Seed, /*NumFuncs=*/4);
+  ModuleParseResult Local = parseModule(Text);
+  ASSERT_TRUE(Local.Error.empty()) << tag("parse", 0) << Local.Error;
+  std::vector<const Function *> Funcs;
+  for (const auto &F : Local.Funcs)
+    Funcs.push_back(F.get());
+
+  RandomEngine Rng(Seed * 733 + ClientId);
+  CFGMutatorOptions MOpts;
+  MOpts.MaxNodes = 128;
+  const std::size_t TotalFrames = 1200;
+  std::vector<std::vector<std::uint8_t>> Requests;
+  Requests.push_back(proto::encodeLoadModule(
+      static_cast<std::uint8_t>(Backend), static_cast<std::uint8_t>(Plane),
+      Text));
+  while (Requests.size() != TotalFrames) {
+    if (Rng.chancePercent(10)) {
+      std::vector<proto::EditItem> Items;
+      unsigned Count = 1 + Rng.nextBelow(2);
+      for (unsigned E = 0; E != Count; ++E) {
+        unsigned FI =
+            Rng.nextBelow(static_cast<unsigned>(Local.Funcs.size()));
+        auto M = mutateFunctionCFG(*Local.Funcs[FI], Rng, MOpts);
+        if (M)
+          Items.push_back({static_cast<std::uint8_t>(M->Kind), FI, M->From,
+                           M->To, M->To2});
+      }
+      if (!Items.empty())
+        Requests.push_back(proto::encodeEditBatch(Items));
+    } else {
+      std::vector<BatchQuery> Workload =
+          BatchLivenessDriver::generateWorkload(Funcs, Rng.next(), 24);
+      if (Workload.empty())
+        continue;
+      std::vector<proto::QueryItem> Items;
+      for (const BatchQuery &Q : Workload)
+        Items.push_back({Q.FuncIndex, Q.ValueId, Q.BlockId, Q.IsLiveOut});
+      Requests.push_back(proto::encodeQueryBatch(Items));
+    }
+  }
+
+  // ---- The uninterrupted oracle: a fresh in-process session fed the
+  // exact same sequence. Reply purity makes its output the ground truth
+  // for the killed-and-resumed connection.
+  server::SessionManager OracleMgr(
+      server::ServerConfig{/*Threads=*/1, proto::DefaultMaxFrameBytes});
+  auto OracleS = OracleMgr.createSession();
+  std::vector<std::vector<std::uint8_t>> Expected;
+  Expected.reserve(Requests.size());
+  for (const auto &Req : Requests)
+    Expected.push_back(OracleS->handle(Req));
+
+  // ---- Live run: handshake, then kill mid-stream with replies unread.
+  const std::size_t KillAt = 1050;  // Round-tripped before the kill.
+  const std::size_t Unacked = 30;   // Sent with replies left in flight.
+  const std::size_t DrainAck = 10;  // ...of which this many get read.
+  int Fd = connectLoopback(Port);
+  ASSERT_GE(Fd, 0) << tag("connect", 0);
+  std::vector<std::uint8_t> Reply;
+  ASSERT_TRUE(roundTrip(Fd, proto::encodeResume(0, 0), Reply))
+      << tag("handshake", 0);
+  std::uint64_t Sid = 0, JournalLen = 0, Pending = 0;
+  ASSERT_TRUE(readResumed(Reply, Sid, JournalLen, Pending))
+      << tag("handshake reply", 0);
+  ASSERT_NE(Sid, 0u);
+
+  for (std::size_t I = 0; I != KillAt; ++I) {
+    ASSERT_TRUE(roundTrip(Fd, Requests[I], Reply)) << tag("transport", I);
+    ASSERT_EQ(Reply, Expected[I]) << tag("pre-kill reply mismatch", I);
+  }
+  for (std::size_t I = KillAt; I != KillAt + Unacked; ++I)
+    ASSERT_TRUE(proto::writeFrame(Fd, Requests[I])) << tag("flood", I);
+  for (std::size_t I = KillAt; I != KillAt + DrainAck; ++I) {
+    ASSERT_EQ(proto::readFrame(Fd, Reply), proto::ReadStatus::Ok)
+        << tag("drain", I);
+    ASSERT_EQ(Reply, Expected[I]) << tag("drained reply mismatch", I);
+  }
+  // The kill: half-close, discard whatever was in flight, hang up. The
+  // server dispatches everything it already received (journalLen is
+  // exactly KillAt + Unacked), parks the journal on EOF.
+  ::shutdown(Fd, SHUT_WR);
+  while (proto::readFrame(Fd, Reply) == proto::ReadStatus::Ok) {
+  }
+  ::close(Fd);
+
+  // ---- Reconnect and resume at the true high-water mark. The old
+  // handler may still be noticing the EOF, so retry UnknownSession.
+  const std::uint64_t Hwm = KillAt + DrainAck;
+  Fd = connectLoopback(Port);
+  ASSERT_GE(Fd, 0) << tag("reconnect", 0);
+  bool Resumed = false;
+  for (int Try = 0; Try != 500 && !Resumed; ++Try) {
+    ASSERT_TRUE(roundTrip(Fd, proto::encodeResume(Sid, Hwm), Reply))
+        << tag("resume transport", Try);
+    Resumed = readResumed(Reply, Sid, JournalLen, Pending);
+    if (!Resumed)
+      ::usleep(10000);
+  }
+  ASSERT_TRUE(Resumed) << tag("resume", 0);
+  ASSERT_EQ(JournalLen, KillAt + Unacked) << tag("journal length", 0);
+  ASSERT_EQ(Pending, Unacked - DrainAck) << tag("pending count", 0);
+  for (std::uint64_t I = 0; I != Pending; ++I) {
+    ASSERT_EQ(proto::readFrame(Fd, Reply), proto::ReadStatus::Ok)
+        << tag("pending transport", I);
+    ASSERT_EQ(Reply, Expected[Hwm + I])
+        << tag("pending reply mismatch", Hwm + I);
+  }
+
+  // ---- The rebuilt session serves the rest of the stream byte-identically.
+  for (std::size_t I = KillAt + Unacked; I != TotalFrames; ++I) {
+    ASSERT_TRUE(roundTrip(Fd, Requests[I], Reply)) << tag("post", I);
+    ASSERT_EQ(Reply, Expected[I]) << tag("post-resume reply mismatch", I);
+  }
+  ::close(Fd);
+}
+
+} // namespace
+
+TEST(ServerSoak, TcpResumeDifferentialMatchesUninterruptedOracle) {
+  proto::ignoreSigpipe();
+  server::ServerConfig Cfg;
+  Cfg.Threads = 2;
+  server::LivenessServer Server(Cfg);
+  std::string Err;
+  ASSERT_TRUE(Server.listenTcp("127.0.0.1", /*Port=*/0, Err)) << Err;
+  ASSERT_NE(Server.boundTcpPort(), 0);
+  Server.start();
+
+  std::uint64_t ResumesBefore = telemetry::Registry::global().value(
+      "ssalive_server_resume_ok_total");
+
+  // Three backends concurrently: the arena engine, the bitset layout, and
+  // the sorted-array layout, all on the cached prepared plane except one
+  // on block-id — so the replayed journals rebuild every storage flavor.
+  struct ResumePlanEntry {
+    std::uint64_t Seed;
+    BatchBackend Backend;
+    QueryPlane Plane;
+  };
+  std::vector<ResumePlanEntry> Plans = {
+      {3001, BatchBackend::LiveCheckPropagated, QueryPlane::Prepared},
+      {3002, BatchBackend::LiveCheckBitset, QueryPlane::Prepared},
+      {3003, BatchBackend::LiveCheckSorted, QueryPlane::BlockId},
+  };
+  std::vector<std::thread> Clients;
+  for (std::size_t I = 0; I != Plans.size(); ++I)
+    Clients.emplace_back([&, I] {
+      runResumeClient(Server.boundTcpPort(), Plans[I].Seed,
+                      Plans[I].Backend, Plans[I].Plane,
+                      static_cast<unsigned>(I));
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  EXPECT_EQ(telemetry::Registry::global().value(
+                "ssalive_server_resume_ok_total") -
+                ResumesBefore,
+            Plans.size());
+
+  int Fd = connectLoopback(Server.boundTcpPort());
+  ASSERT_GE(Fd, 0);
+  std::vector<std::uint8_t> Reply;
+  ASSERT_TRUE(roundTrip(Fd, proto::encodeShutdown(), Reply));
+  EXPECT_EQ(Reply, proto::encodeOk());
+  ::close(Fd);
+  Server.wait();
 }

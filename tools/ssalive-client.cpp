@@ -10,9 +10,18 @@
 // BatchLivenessDriver oracle built from the exact bytes that were sent.
 //
 //   ssalive-client --connect=/path/sock [options]      talk to a server
+//   ssalive-client --connect-tcp=[HOST:]PORT [options] over TCP (IPv4)
 //   ssalive-client --spawn=./ssalive-server [options]  spawn one first
-//     --transport=pipe|unix   with --spawn: speak over stdin/stdout pipes
-//                             (default) or a temporary unix socket
+//     --transport=pipe|unix|tcp  with --spawn: speak over stdin/stdout
+//                             pipes (default), a temporary unix socket,
+//                             or TCP on a loopback ephemeral port
+//     --resume                open a resumable (journaling) session via
+//                             the Resume handshake, then drop the
+//                             connection between repeat runs and
+//                             re-attach with Resume(id, high-water mark)
+//                             — exercises the server's park/replay plane
+//                             end to end (needs a reconnectable
+//                             transport, i.e. not pipe)
 //     --backend=NAME          propagated|filtered|sorted|bitset|
 //                             block-sweep|dataflow|path-exploration
 //     --plane=NAME            block-id|nums|mask|prepared (LiveCheck
@@ -51,7 +60,10 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -64,8 +76,13 @@ namespace {
 
 struct CliOptions {
   std::string ConnectPath;
+  std::string ConnectTcpHost; ///< With ConnectTcpPort != 0 or HasConnectTcp.
+  std::uint16_t ConnectTcpPort = 0;
+  bool HasConnectTcp = false;
   std::string SpawnBinary;
   bool UnixTransport = false;
+  bool TcpTransport = false;
+  bool Resume = false;
   BatchBackend Backend = BatchBackend::LiveCheckPropagated;
   QueryPlane Plane = QueryPlane::Prepared;
   unsigned Generate = 0;
@@ -93,12 +110,33 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     std::uint64_t N = 0;
     if (Arg.rfind("--connect=", 0) == 0) {
       Opts.ConnectPath = Arg.substr(10);
+    } else if (Arg.rfind("--connect-tcp=", 0) == 0) {
+      std::string Spec = Arg.substr(14);
+      std::size_t Colon = Spec.rfind(':');
+      std::string PortStr =
+          Colon == std::string::npos ? Spec : Spec.substr(Colon + 1);
+      if (Colon != std::string::npos)
+        Opts.ConnectTcpHost = Spec.substr(0, Colon);
+      if (!parseUnsigned(PortStr.c_str(), N) || N == 0 || N > 65535) {
+        std::fprintf(stderr, "bad --connect-tcp spec '%s' (want "
+                             "[HOST:]PORT)\n",
+                     Spec.c_str());
+        return false;
+      }
+      Opts.ConnectTcpPort = static_cast<std::uint16_t>(N);
+      Opts.HasConnectTcp = true;
     } else if (Arg.rfind("--spawn=", 0) == 0) {
       Opts.SpawnBinary = Arg.substr(8);
     } else if (Arg == "--transport=pipe") {
-      Opts.UnixTransport = false;
+      Opts.UnixTransport = Opts.TcpTransport = false;
     } else if (Arg == "--transport=unix") {
       Opts.UnixTransport = true;
+      Opts.TcpTransport = false;
+    } else if (Arg == "--transport=tcp") {
+      Opts.TcpTransport = true;
+      Opts.UnixTransport = false;
+    } else if (Arg == "--resume") {
+      Opts.Resume = true;
     } else if (Arg.rfind("--backend=", 0) == 0) {
       if (!parseBatchBackend(Arg.substr(10), Opts.Backend)) {
         std::fprintf(stderr, "unknown backend '%s'\n", Arg.c_str() + 10);
@@ -144,10 +182,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  if (Opts.ConnectPath.empty() == Opts.SpawnBinary.empty()) {
+  unsigned Endpoints = (!Opts.ConnectPath.empty() ? 1 : 0) +
+                       (Opts.HasConnectTcp ? 1 : 0) +
+                       (!Opts.SpawnBinary.empty() ? 1 : 0);
+  if (Endpoints != 1) {
     std::fprintf(stderr,
-                 "exactly one of --connect=PATH or --spawn=BINARY is "
-                 "required\n");
+                 "exactly one of --connect=PATH, --connect-tcp=[HOST:]PORT, "
+                 "or --spawn=BINARY is required\n");
+    return false;
+  }
+  bool PipeTransport = !Opts.SpawnBinary.empty() && !Opts.UnixTransport &&
+                       !Opts.TcpTransport;
+  if (Opts.Resume && PipeTransport) {
+    std::fprintf(stderr, "--resume needs a reconnectable transport "
+                         "(--connect, --connect-tcp, or --transport="
+                         "unix|tcp)\n");
     return false;
   }
   if (Opts.InputPath.empty() && Opts.Generate == 0)
@@ -155,12 +204,34 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return true;
 }
 
-/// The transport endpoint: fds plus the spawned server (if any).
+/// The transport endpoint: fds plus the spawned server (if any), and the
+/// dial-back coordinates --resume needs to reconnect after a drop.
 struct Connection {
   int InFd = -1;  ///< Replies arrive here.
   int OutFd = -1; ///< Requests go here.
   pid_t Child = -1;
   std::string SocketPath; ///< Unlinked on close when we created it.
+  std::string PortFile;   ///< Ditto, for a spawned TCP server.
+  std::string DialUnixPath; ///< Non-empty: redial over unix.
+  std::string DialTcpHost;  ///< With DialTcpPort != 0: redial over TCP.
+  std::uint16_t DialTcpPort = 0;
+
+  bool redialable() const {
+    return !DialUnixPath.empty() || DialTcpPort != 0;
+  }
+
+  /// Drops just the stream — the server (ours or not) stays up, which is
+  /// exactly the mid-stream failure --resume then recovers from.
+  void dropStream() {
+    if (OutFd >= 0 && OutFd != InFd)
+      ::close(OutFd);
+    if (InFd >= 0)
+      ::close(InFd);
+    InFd = OutFd = -1;
+  }
+
+  /// Dials the endpoint again after dropStream(); false when exhausted.
+  bool redial();
 
   void close() {
     if (OutFd >= 0 && OutFd != InFd)
@@ -191,6 +262,8 @@ struct Connection {
     }
     if (!SocketPath.empty())
       ::unlink(SocketPath.c_str());
+    if (!PortFile.empty())
+      ::unlink(PortFile.c_str());
   }
 };
 
@@ -243,6 +316,35 @@ int connectUnix(const std::string &Path) {
   return Fd;
 }
 
+int connectTcp(const std::string &Host, std::uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  const char *HostC = Host.empty() ? "127.0.0.1" : Host.c_str();
+  if (::inet_pton(AF_INET, HostC, &Addr.sin_addr) != 1)
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+bool Connection::redial() {
+  int Fd = !DialUnixPath.empty() ? connectUnix(DialUnixPath)
+                                 : connectTcp(DialTcpHost, DialTcpPort);
+  if (Fd < 0)
+    return false;
+  InFd = OutFd = Fd;
+  return true;
+}
+
 bool spawnUnixServer(const CliOptions &Opts, Connection &Conn) {
   std::string Path = "/tmp/ssalive-client-" + std::to_string(::getpid()) +
                      ".sock";
@@ -267,12 +369,57 @@ bool spawnUnixServer(const CliOptions &Opts, Connection &Conn) {
       Conn.InFd = Conn.OutFd = Fd;
       Conn.Child = Pid;
       Conn.SocketPath = Path;
+      Conn.DialUnixPath = Path;
       return true;
     }
     ::usleep(20000);
   }
   std::fprintf(stderr, "could not connect to spawned server at %s\n",
                Path.c_str());
+  ::kill(Pid, SIGKILL);
+  ::waitpid(Pid, nullptr, 0);
+  return false;
+}
+
+bool spawnTcpServer(const CliOptions &Opts, Connection &Conn) {
+  // The server binds an ephemeral loopback port and publishes it through
+  // a port file (write-then-rename on its side, so a parsed read is a
+  // complete read).
+  std::string PortFile =
+      "/tmp/ssalive-client-" + std::to_string(::getpid()) + ".port";
+  ::unlink(PortFile.c_str());
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (Pid == 0) {
+    std::string PortFileArg = "--port-file=" + PortFile;
+    std::string ThreadsArg = "--threads=" + std::to_string(Opts.Threads);
+    ::execl(Opts.SpawnBinary.c_str(), Opts.SpawnBinary.c_str(),
+            "--tcp=127.0.0.1:0", PortFileArg.c_str(), ThreadsArg.c_str(),
+            static_cast<char *>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  for (int Try = 0; Try != 250; ++Try) {
+    std::ifstream In(PortFile);
+    unsigned Port = 0;
+    if (In >> Port && Port != 0 && Port <= 65535) {
+      int Fd = connectTcp("127.0.0.1", static_cast<std::uint16_t>(Port));
+      if (Fd >= 0) {
+        Conn.InFd = Conn.OutFd = Fd;
+        Conn.Child = Pid;
+        Conn.PortFile = PortFile;
+        Conn.DialTcpHost = "127.0.0.1";
+        Conn.DialTcpPort = static_cast<std::uint16_t>(Port);
+        return true;
+      }
+    }
+    ::usleep(20000);
+  }
+  std::fprintf(stderr, "spawned TCP server never published a port at %s\n",
+               PortFile.c_str());
   ::kill(Pid, SIGKILL);
   ::waitpid(Pid, nullptr, 0);
   return false;
@@ -350,6 +497,22 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Conn.InFd = Conn.OutFd = Fd;
+    Conn.DialUnixPath = Opts.ConnectPath;
+  } else if (Opts.HasConnectTcp) {
+    int Fd = connectTcp(Opts.ConnectTcpHost, Opts.ConnectTcpPort);
+    if (Fd < 0) {
+      std::fprintf(stderr, "cannot connect to %s:%u\n",
+                   Opts.ConnectTcpHost.empty() ? "127.0.0.1"
+                                               : Opts.ConnectTcpHost.c_str(),
+                   Opts.ConnectTcpPort);
+      return 1;
+    }
+    Conn.InFd = Conn.OutFd = Fd;
+    Conn.DialTcpHost = Opts.ConnectTcpHost;
+    Conn.DialTcpPort = Opts.ConnectTcpPort;
+  } else if (Opts.TcpTransport) {
+    if (!spawnTcpServer(Opts, Conn))
+      return 1;
   } else if (Opts.UnixTransport) {
     if (!spawnUnixServer(Opts, Conn))
       return 1;
@@ -366,12 +529,49 @@ int main(int Argc, char **Argv) {
     return Code;
   };
 
+  // ---- Resume handshake. HighWater counts replies received to
+  // dispatched (journaled) frames — the prefix a reconnect acknowledges
+  // so the server replays but does not re-send it.
+  std::uint64_t SessionId = 0;
+  std::uint64_t HighWater = 0;
+  auto resumedFields = [](const std::vector<std::uint8_t> &R,
+                          std::uint64_t &Sid, std::uint64_t &JournalLen,
+                          std::uint64_t &Pending) {
+    if (R.empty() ||
+        R[0] != static_cast<std::uint8_t>(proto::Opcode::Resumed))
+      return false;
+    proto::WireReader W(R.data() + 1, R.size() - 1);
+    Sid = W.u64();
+    JournalLen = W.u64();
+    Pending = W.u64();
+    return W.ok() && W.atEnd();
+  };
+  // Dispatched-frame round trip: counts toward the high-water mark.
+  auto rt = [&](const std::vector<std::uint8_t> &Request,
+                std::vector<std::uint8_t> &R) {
+    if (!roundTrip(Conn, Request, R))
+      return false;
+    if (Opts.Resume)
+      ++HighWater;
+    return true;
+  };
+  if (Opts.Resume) {
+    std::uint64_t JournalLen = 0, Pending = 0;
+    if (!roundTrip(Conn, proto::encodeResume(0, 0), Reply) ||
+        !resumedFields(Reply, SessionId, JournalLen, Pending) ||
+        SessionId == 0) {
+      std::fprintf(stderr, "resume handshake failed\n");
+      return fail(1);
+    }
+    std::printf("ssalive-client: opened resumable session %llu\n",
+                static_cast<unsigned long long>(SessionId));
+  }
+
   // ---- Load.
-  if (!roundTrip(Conn,
-                 proto::encodeLoadModule(
-                     static_cast<std::uint8_t>(Opts.Backend),
-                     static_cast<std::uint8_t>(Opts.Plane), Text),
-                 Reply)) {
+  if (!rt(proto::encodeLoadModule(static_cast<std::uint8_t>(Opts.Backend),
+                                  static_cast<std::uint8_t>(Opts.Plane),
+                                  Text),
+          Reply)) {
     std::fprintf(stderr, "transport failure during load-module\n");
     return fail(1);
   }
@@ -414,7 +614,7 @@ int main(int Argc, char **Argv) {
                          Workload[I].BlockId, Workload[I].IsLiveOut});
       auto Request = proto::encodeQueryBatch(Items);
       auto T0 = std::chrono::steady_clock::now();
-      if (!roundTrip(Conn, Request, Reply)) {
+      if (!rt(Request, Reply)) {
         std::fprintf(stderr, "transport failure during query batch\n");
         return fail(1);
       }
@@ -461,7 +661,7 @@ int main(int Argc, char **Argv) {
       }
       OracleDriver.notifyCFGEdited();
       if (!Items.empty()) {
-        if (!roundTrip(Conn, proto::encodeEditBatch(Items), Reply)) {
+        if (!rt(proto::encodeEditBatch(Items), Reply)) {
           std::fprintf(stderr, "transport failure during edit batch\n");
           return fail(1);
         }
@@ -475,10 +675,59 @@ int main(int Argc, char **Argv) {
                     Items.size());
       }
     }
+
+    // Drop the connection mid-session and re-attach: the server parks
+    // the journal on EOF and replays it against a fresh Session on
+    // Resume. Every reply so far was received, so the handshake must
+    // report journalLen == HighWater and nothing pending — the next run
+    // then continues on the rebuilt session, and --verify keeps
+    // byte-comparing its replies against the uninterrupted oracle.
+    if (Opts.Resume && Run + 1 != Opts.Repeat) {
+      Conn.dropStream();
+      bool Dialed = false;
+      for (int Try = 0; Try != 250 && !(Dialed = Conn.redial()); ++Try)
+        ::usleep(20000);
+      if (!Dialed) {
+        std::fprintf(stderr, "could not reconnect for resume\n");
+        return fail(1);
+      }
+      // The old handler may still be noticing the EOF; until it parks
+      // the journal, Resume answers Error(UnknownSession) — retry.
+      std::uint64_t Sid = 0, JournalLen = 0, Pending = 0;
+      bool Resumed = false;
+      for (int Try = 0; Try != 250 && !Resumed; ++Try) {
+        if (!roundTrip(Conn, proto::encodeResume(SessionId, HighWater),
+                       Reply)) {
+          std::fprintf(stderr, "transport failure during resume\n");
+          return fail(1);
+        }
+        Resumed = resumedFields(Reply, Sid, JournalLen, Pending);
+        if (!Resumed)
+          ::usleep(20000);
+      }
+      if (!Resumed || Sid != SessionId) {
+        std::fprintf(stderr, "resume re-attach failed for session %llu\n",
+                     static_cast<unsigned long long>(SessionId));
+        return fail(1);
+      }
+      if (JournalLen != HighWater || Pending != 0) {
+        std::fprintf(stderr,
+                     "FAIL: resume reports journal=%llu pending=%llu, "
+                     "client acknowledged %llu replies\n",
+                     static_cast<unsigned long long>(JournalLen),
+                     static_cast<unsigned long long>(Pending),
+                     static_cast<unsigned long long>(HighWater));
+        return fail(2);
+      }
+      std::printf("  dropped and resumed session %llu at high-water mark "
+                  "%llu\n",
+                  static_cast<unsigned long long>(SessionId),
+                  static_cast<unsigned long long>(HighWater));
+    }
   }
 
   // ---- Stats + shutdown (shutdown only when we own the server).
-  if (roundTrip(Conn, proto::encodeStats(), Reply) && !Reply.empty() &&
+  if (rt(proto::encodeStats(), Reply) && !Reply.empty() &&
       Reply[0] == static_cast<std::uint8_t>(proto::Opcode::StatsReply)) {
     proto::WireReader R(Reply.data() + 1, Reply.size() - 1);
     std::uint64_t Served = R.u64();
@@ -498,7 +747,7 @@ int main(int Argc, char **Argv) {
   }
   // ---- Metrics: the process-wide telemetry registry over the wire.
   if (Opts.Metrics) {
-    if (!roundTrip(Conn, proto::encodeMetricsRequest(), Reply) ||
+    if (!rt(proto::encodeMetricsRequest(), Reply) ||
         Reply.empty() ||
         Reply[0] != static_cast<std::uint8_t>(proto::Opcode::MetricsReply)) {
       std::fprintf(stderr, "FAIL: no MetricsReply to the Metrics request\n");
@@ -541,7 +790,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Conn.Child > 0)
-    (void)roundTrip(Conn, proto::encodeShutdown(), Reply);
+    (void)rt(proto::encodeShutdown(), Reply);
   Conn.close();
   return Exit;
 }

@@ -11,6 +11,13 @@
 //       socket; runs until a client sends the Shutdown command (or the
 //       process is signalled).
 //
+//   ssalive-server --tcp=[HOST:]PORT [--port-file=PATH]
+//       Same, over TCP (IPv4; HOST defaults to 127.0.0.1). PORT 0 binds
+//       an ephemeral port; --port-file writes the bound port to PATH
+//       (write-then-rename, so a poller never reads a torn file) — the
+//       handshake the smoke tests and spawned-client mode use. May be
+//       combined with --socket: one acceptor serves both.
+//
 //   ssalive-server --stdio [--threads=N] [--max-frame=BYTES]
 //       Serves exactly one session over stdin/stdout — the pipe
 //       transport. ssalive-client --spawn uses this; so can any
@@ -55,6 +62,10 @@ namespace {
 
 struct CliOptions {
   std::string SocketPath;
+  bool Tcp = false;
+  std::string TcpHost;
+  std::uint16_t TcpPort = 0;
+  std::string PortFilePath;
   bool Stdio = false;
   unsigned Threads = 1;
   std::size_t MaxFrame = protocol::DefaultMaxFrameBytes;
@@ -75,6 +86,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     std::uint64_t N = 0;
     if (Arg.rfind("--socket=", 0) == 0) {
       Opts.SocketPath = Arg.substr(9);
+    } else if (Arg.rfind("--tcp=", 0) == 0) {
+      std::string Spec = Arg.substr(6);
+      std::size_t Colon = Spec.rfind(':');
+      std::string PortStr =
+          Colon == std::string::npos ? Spec : Spec.substr(Colon + 1);
+      if (Colon != std::string::npos)
+        Opts.TcpHost = Spec.substr(0, Colon);
+      if (!parseUnsigned(PortStr.c_str(), N) || N > 65535) {
+        std::fprintf(stderr, "bad --tcp spec '%s' (want [HOST:]PORT)\n",
+                     Spec.c_str());
+        return false;
+      }
+      Opts.Tcp = true;
+      Opts.TcpPort = static_cast<std::uint16_t>(N);
+    } else if (Arg.rfind("--port-file=", 0) == 0) {
+      Opts.PortFilePath = Arg.substr(12);
     } else if (Arg == "--stdio") {
       Opts.Stdio = true;
     } else if (Arg.rfind("--threads=", 0) == 0 &&
@@ -95,12 +122,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  if (Opts.Stdio == !Opts.SocketPath.empty()) {
-    std::fprintf(stderr,
-                 "exactly one of --stdio or --socket=PATH is required\n");
+  bool HasSocket = !Opts.SocketPath.empty() || Opts.Tcp;
+  if (Opts.Stdio == HasSocket) {
+    std::fprintf(stderr, "exactly one of --stdio or a socket transport "
+                         "(--socket=PATH / --tcp=[HOST:]PORT) is required\n");
     return false;
   }
   return true;
+}
+
+/// Publishes the bound TCP port for pollers (spawned-client mode, smoke
+/// tests): write-then-rename so a reader never sees a torn file.
+bool writePortFile(const std::string &Path, std::uint16_t Port) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << Port << "\n";
+  }
+  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
 }
 
 void dumpMetrics(const CliOptions &Opts) {
@@ -189,14 +230,34 @@ int main(int Argc, char **Argv) {
       Server.serveStream(/*InFd=*/0, /*OutFd=*/1);
     } else {
       std::string Err;
-      if (!Server.listenUnix(Opts.SocketPath, Err)) {
-        std::fprintf(stderr, "%s\n", Err.c_str());
-        return 1;
+      if (!Opts.SocketPath.empty()) {
+        if (!Server.listenUnix(Opts.SocketPath, Err)) {
+          std::fprintf(stderr, "%s\n", Err.c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "ssalive-server: listening on %s (%u pool threads)\n",
+                     Opts.SocketPath.c_str(),
+                     Server.sessions().pool().numThreads());
       }
-      std::fprintf(stderr,
-                   "ssalive-server: listening on %s (%u pool threads)\n",
-                   Opts.SocketPath.c_str(),
-                   Server.sessions().pool().numThreads());
+      if (Opts.Tcp) {
+        if (!Server.listenTcp(Opts.TcpHost, Opts.TcpPort, Err)) {
+          std::fprintf(stderr, "%s\n", Err.c_str());
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "ssalive-server: listening on %s:%u (%u pool threads)\n",
+                     Opts.TcpHost.empty() ? "127.0.0.1"
+                                          : Opts.TcpHost.c_str(),
+                     Server.boundTcpPort(),
+                     Server.sessions().pool().numThreads());
+        if (!Opts.PortFilePath.empty() &&
+            !writePortFile(Opts.PortFilePath, Server.boundTcpPort())) {
+          std::fprintf(stderr, "ssalive-server: cannot write %s\n",
+                       Opts.PortFilePath.c_str());
+          return 1;
+        }
+      }
       Server.start();
       Server.wait();
       std::fprintf(stderr,
