@@ -53,7 +53,7 @@ struct WireTelemetry {
 
 } // namespace
 
-LivenessServer::LivenessServer(ServerConfig Cfg) : Cfg(Cfg), Mgr(Cfg) {
+LivenessServer::LivenessServer(ServerConfig Cfg) : Cfg(Cfg), Router(Cfg) {
   ignoreSigpipe();
 }
 
@@ -78,8 +78,9 @@ void LivenessServer::serveStream(int InFd, int OutFd) {
   std::unique_ptr<Session> S;
   serveFrames(InFd, OutFd, S);
   // No-op unless the session is resumable and did not request shutdown:
-  // the journal outlives the connection, not the server.
-  Mgr.parkSession(std::move(S));
+  // the journal outlives the connection (parked on its shard), not the
+  // server.
+  Router.parkSession(std::move(S));
 }
 
 void LivenessServer::serveFrames(int InFd, int OutFd,
@@ -130,8 +131,22 @@ void LivenessServer::serveFrames(int InFd, int OutFd,
       }
     }
 
-    if (!S)
-      S = Mgr.createSession();
+    if (!S) {
+      // Router-level admission control: past the aggregate session cap,
+      // frames that would open a NEW session are shed (existing sessions
+      // keep being served — shedding admissions, not service).
+      if (Router.overloaded()) {
+        Router.noteShed();
+        std::vector<std::uint8_t> Reply = detail::countedErrorReply(
+            ErrorCode::Overloaded,
+            "session cap reached across shards; retry later");
+        T.TxBytes.inc(4 + Reply.size());
+        if (!writeFrame(OutFd, Reply, Cfg.MaxFrameBytes))
+          return;
+        continue;
+      }
+      S = Router.createSession();
+    }
     // Frame latency covers dispatch through reply encode — the request's
     // resident cost — not the peer-dependent socket I/O around it.
     std::uint64_t Start = telemetry::nowNanos();
@@ -173,10 +188,16 @@ bool LivenessServer::handleResume(int OutFd,
     if (Hwm != 0)
       return Send(detail::countedErrorReply(
           ErrorCode::BadResume, "high-water mark without a session id"));
-    S = Mgr.createResumableSession();
+    if (Router.overloaded()) {
+      Router.noteShed();
+      return Send(detail::countedErrorReply(
+          ErrorCode::Overloaded,
+          "session cap reached across shards; retry later"));
+    }
+    S = Router.createResumableSession();
     return Send(encodeResumed(S->sessionId(), 0, 0));
   }
-  SessionManager::ResumeResult RR = Mgr.resumeSession(Sid, Hwm);
+  SessionManager::ResumeResult RR = Router.resumeSession(Sid, Hwm);
   if (!Send(RR.Reply))
     return false;
   for (const std::vector<std::uint8_t> &P : RR.PendingReplies)
@@ -335,10 +356,15 @@ void LivenessServer::acceptOn(int Fd, bool IsTcp) {
     ::setsockopt(Client, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   }
   if (Cfg.MaxConnections != 0) {
-    std::size_t Active;
+    // Count only live handlers: finished ones may still sit in the list
+    // (the reaper runs once per accept-loop iteration), and counting them
+    // would shed churning clients below the configured cap.
+    std::size_t Active = 0;
     {
       std::lock_guard<std::mutex> Lock(HandlersMutex);
-      Active = Handlers.size();
+      for (const auto &H : Handlers)
+        if (!H->Done.load(std::memory_order_acquire))
+          ++Active;
     }
     if (Active >= Cfg.MaxConnections) {
       shedConnection(Client);

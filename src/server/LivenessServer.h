@@ -9,10 +9,12 @@
 /// unix-domain sockets and TCP (one shared poll-based acceptor, one
 /// handler thread and one Session per connection) or serves a single
 /// session over an arbitrary duplex fd pair — the pipe transport the
-/// --stdio mode and the in-process test/bench harnesses use. Query
-/// fan-out for every session rides the one shared ThreadPool inside the
-/// SessionManager; per-worker answer spans keep the hot path lock-free
-/// and replies byte-identical regardless of client interleaving.
+/// --stdio mode and the in-process test/bench harnesses use. Every
+/// connection routes through the ShardRouter: with --shards=N each
+/// session is consistent-hashed onto one of N SessionManager shards, each
+/// with its own query ThreadPool; per-worker answer spans keep the hot
+/// path lock-free and replies byte-identical regardless of client
+/// interleaving or shard placement.
 ///
 /// A connection whose first frame is a Resume handshake either opens a
 /// journaling (resumable) session or re-attaches to a parked one: the
@@ -35,6 +37,7 @@
 #define SSALIVE_SERVER_LIVENESSSERVER_H
 
 #include "server/SessionManager.h"
+#include "server/ShardRouter.h"
 
 #include <atomic>
 #include <memory>
@@ -55,7 +58,15 @@ public:
   LivenessServer(const LivenessServer &) = delete;
   LivenessServer &operator=(const LivenessServer &) = delete;
 
-  SessionManager &sessions() { return Mgr; }
+  /// The shard router every connection routes through. With the default
+  /// --shards=1 there is exactly one shard behind it (the classic server),
+  /// but the router layer — and its ssalive_router_* series — exist either
+  /// way.
+  ShardRouter &router() { return Router; }
+
+  /// Shard 0's manager — the whole server when Shards == 1. Kept for the
+  /// single-shard tools and tests that predate the router.
+  SessionManager &sessions() { return Router.shard(0); }
 
   /// \name Pipe transport.
   /// Serves exactly one session over an already-open duplex pair, blocking
@@ -144,7 +155,7 @@ private:
   void reapFinishedHandlers();
 
   ServerConfig Cfg;
-  SessionManager Mgr;
+  ShardRouter Router;
 
   int ListenFd = -1;
   int TcpListenFd = -1;

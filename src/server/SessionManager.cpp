@@ -65,6 +65,15 @@ struct ServerTelemetry {
   }
 };
 
+/// True while the current thread is replaying a journal (Session::replay
+/// is synchronous). Registry counters — the error taxonomy below and the
+/// request/query/edit totals in Session's handlers — must not re-count
+/// work that was already counted on first dispatch: a resume would
+/// permanently skew every reconcile (and every shed/rebalance decision)
+/// read off the process-wide series. The per-session Tally is exempt: it
+/// must replay to the byte-identical StatsReply.
+thread_local bool ReplayingOnThisThread = false;
+
 /// encodeError plus the error-taxonomy counter for \p Code — every error
 /// reply the dispatcher produces routes through here.
 std::vector<std::uint8_t> countedError(ErrorCode Code,
@@ -83,8 +92,10 @@ std::vector<std::uint8_t> countedError(ErrorCode Code,
       telemetry::Counter("ssalive_server_errors_unknown_session_total"),
       telemetry::Counter("ssalive_server_errors_overloaded_total"),
       telemetry::Counter("ssalive_server_errors_bad_resume_total")};
-  std::size_t I = static_cast<std::size_t>(Code);
-  ByCode[I < 13 ? I : 0].inc();
+  if (!ReplayingOnThisThread) {
+    std::size_t I = static_cast<std::size_t>(Code);
+    ByCode[I < 13 ? I : 0].inc();
+  }
   return encodeError(Code, Msg);
 }
 
@@ -103,11 +114,25 @@ std::vector<std::uint8_t> countedErrorReply(protocol::ErrorCode Code,
 Session::Session(SessionManager &Owner) : Owner(Owner) {
   ServerTelemetry::get().SessionsOpened.inc();
   ServerTelemetry::get().SessionsActive.add(1);
+  Owner.noteSessionOpened();
 }
 
 Session::~Session() {
   ServerTelemetry::get().SessionsClosed.inc();
   ServerTelemetry::get().SessionsActive.add(-1);
+  Owner.noteSessionClosed();
+}
+
+void SessionManager::noteSessionOpened() {
+  std::int64_t Now = ActiveSessions.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ActivityGauge)
+    ActivityGauge->set(Now);
+}
+
+void SessionManager::noteSessionClosed() {
+  std::int64_t Now = ActiveSessions.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (ActivityGauge)
+    ActivityGauge->set(Now);
 }
 
 std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
@@ -137,31 +162,40 @@ std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
   std::uint8_t Op = R.u8();
   if (!R.ok())
     return countedError(ErrorCode::MalformedFrame, "empty payload");
+  // Replayed frames were counted on first dispatch; a resume must leave
+  // the process-wide request totals exactly where they were.
   const ServerTelemetry &T = ServerTelemetry::get();
+  const bool Count = !Replaying;
   switch (static_cast<protocol::Opcode>(Op)) {
   case protocol::Opcode::LoadModule:
-    T.ReqLoadModule.inc();
+    if (Count)
+      T.ReqLoadModule.inc();
     return handleLoadModule(R);
   case protocol::Opcode::QueryBatch:
-    T.ReqQueryBatch.inc();
+    if (Count)
+      T.ReqQueryBatch.inc();
     return handleQueryBatch(R);
   case protocol::Opcode::EditCFG:
-    T.ReqEditCFG.inc();
+    if (Count)
+      T.ReqEditCFG.inc();
     return handleEditCFG(R);
   case protocol::Opcode::Stats:
-    T.ReqStats.inc();
+    if (Count)
+      T.ReqStats.inc();
     if (!R.atEnd())
       return countedError(ErrorCode::MalformedFrame,
                           "stats request carries a body");
     return handleStats();
   case protocol::Opcode::Metrics:
-    T.ReqMetrics.inc();
+    if (Count)
+      T.ReqMetrics.inc();
     if (!R.atEnd())
       return countedError(ErrorCode::MalformedFrame,
                           "metrics request carries a body");
     return handleMetrics();
   case protocol::Opcode::Shutdown:
-    T.ReqShutdown.inc();
+    if (Count)
+      T.ReqShutdown.inc();
     if (!R.atEnd())
       return countedError(ErrorCode::MalformedFrame,
                           "shutdown request carries a body");
@@ -170,11 +204,13 @@ std::vector<std::uint8_t> Session::handle(const std::uint8_t *Data,
   case protocol::Opcode::Resume:
     // The transport layer handles Resume as the first frame of a
     // connection; one that reaches a live session arrived mid-stream.
-    T.ReqResume.inc();
+    if (Count)
+      T.ReqResume.inc();
     return countedError(ErrorCode::BadResume,
                         "resume must be the first frame of a connection");
   default:
-    T.ReqUnknown.inc();
+    if (Count)
+      T.ReqUnknown.inc();
     break;
   }
   std::ostringstream OS;
@@ -270,8 +306,10 @@ std::vector<std::uint8_t> Session::handleQueryBatch(WireReader &R) {
   for (const BatchThreadStats &S : Result.PerThread)
     Positives += S.PositiveAnswers;
   Tally.Positives += Positives;
-  ServerTelemetry::get().Queries.inc(Result.Answers.size());
-  ServerTelemetry::get().Positives.inc(Positives);
+  if (!Replaying) {
+    ServerTelemetry::get().Queries.inc(Result.Answers.size());
+    ServerTelemetry::get().Positives.inc(Positives);
+  }
   return encodeAnswers(Result.Answers);
 }
 
@@ -339,10 +377,12 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
       AnyApplied = true;
       Touched[E.FuncIndex] = 1;
       ++Tally.EditsApplied;
-      ServerTelemetry::get().EditsApplied.inc();
+      if (!Replaying)
+        ServerTelemetry::get().EditsApplied.inc();
     } else {
       ++Tally.EditsRejected;
-      ServerTelemetry::get().EditsRejected.inc();
+      if (!Replaying)
+        ServerTelemetry::get().EditsRejected.inc();
     }
     Results.emplace_back(Applied ? 1 : 0, F.cfgVersion());
   }
@@ -377,8 +417,13 @@ std::vector<std::uint8_t> Session::handleStats() {
 
 std::vector<std::uint8_t>
 Session::replay(const std::vector<std::uint8_t> &Request) {
+  // The member flag gates the handlers' own registry increments; the
+  // thread-local one reaches countedError(), which has no session context
+  // (replay is synchronous on this thread, so the pairing is exact).
   Replaying = true;
+  ReplayingOnThisThread = true;
   std::vector<std::uint8_t> Reply = handle(Request);
+  ReplayingOnThisThread = false;
   Replaying = false;
   return Reply;
 }
@@ -399,7 +444,8 @@ std::vector<std::uint8_t> Session::handleMetrics() {
 
 std::unique_ptr<Session> SessionManager::createResumableSession() {
   std::unique_ptr<Session> S = createSession();
-  S->markResumable(NextSessionId.fetch_add(1, std::memory_order_relaxed));
+  S->markResumable(
+      NextSessionId.fetch_add(SessionIdStride, std::memory_order_relaxed));
   ServerTelemetry::get().ResumeOpened.inc();
   return S;
 }
@@ -407,7 +453,7 @@ std::unique_ptr<Session> SessionManager::createResumableSession() {
 void SessionManager::parkSession(std::unique_ptr<Session> S) {
   if (!S || !S->resumable() || S->shutdownRequested())
     return;
-  Parked P;
+  ParkedJournal P;
   P.Journal = std::move(S->Journal);
   P.Bytes = S->JournalBytes;
   std::uint64_t Id = S->sessionId();
@@ -435,43 +481,47 @@ void SessionManager::evictLockedPastCaps() {
   }
 }
 
-SessionManager::ResumeResult
-SessionManager::resumeSession(std::uint64_t SessionId,
-                              std::uint64_t HighWaterMark) {
+bool SessionManager::stealParkedJournal(std::uint64_t SessionId,
+                                        std::uint64_t HighWaterMark,
+                                        ParkedJournal &Out,
+                                        std::vector<std::uint8_t> &ErrReply) {
   const ServerTelemetry &T = ServerTelemetry::get();
   T.ResumeAttempts.inc();
-  ResumeResult R;
-  Parked P;
-  {
-    std::lock_guard<std::mutex> Lock(ParkedMutex);
-    auto It = ParkedById.find(SessionId);
-    if (It == ParkedById.end()) {
-      T.ResumeUnknown.inc();
-      R.Reply = countedError(ErrorCode::UnknownSession,
-                             "session id was never issued, was evicted, or "
-                             "outgrew its journal");
-      return R;
-    }
-    if (HighWaterMark > It->second.Journal.size()) {
-      // The journal stays parked: a confused client must not destroy a
-      // resumable session.
-      R.Reply = countedError(ErrorCode::BadResume,
-                             "high-water mark beyond the journal");
-      return R;
-    }
-    P = std::move(It->second);
-    ParkedById.erase(It);
-    ParkedBytes -= P.Bytes;
-    T.ResumeParked.set(static_cast<std::int64_t>(ParkedById.size()));
-    T.ResumeParkedBytes.set(static_cast<std::int64_t>(ParkedBytes));
+  std::lock_guard<std::mutex> Lock(ParkedMutex);
+  auto It = ParkedById.find(SessionId);
+  if (It == ParkedById.end()) {
+    T.ResumeUnknown.inc();
+    ErrReply = countedError(ErrorCode::UnknownSession,
+                            "session id was never issued, was evicted, or "
+                            "outgrew its journal");
+    return false;
   }
+  if (HighWaterMark > It->second.Journal.size()) {
+    // The journal stays parked: a confused client must not destroy a
+    // resumable session.
+    ErrReply = countedError(ErrorCode::BadResume,
+                            "high-water mark beyond the journal");
+    return false;
+  }
+  Out = std::move(It->second);
+  ParkedById.erase(It);
+  ParkedBytes -= Out.Bytes;
+  T.ResumeParked.set(static_cast<std::int64_t>(ParkedById.size()));
+  T.ResumeParkedBytes.set(static_cast<std::int64_t>(ParkedBytes));
+  return true;
+}
 
-  // Replay outside the lock: rebuilding a long session is real work and
+SessionManager::ResumeResult
+SessionManager::adoptJournal(std::uint64_t SessionId,
+                             std::uint64_t HighWaterMark, ParkedJournal P) {
+  // Replay outside any lock: rebuilding a long session is real work and
   // must not serialize unrelated park/resume traffic. Every reply is a
   // pure function of the request prefix, so the rebuilt session — module,
-  // driver caches, tally — is byte-identical to the uninterrupted one,
-  // and the replies past the client's high-water mark are exactly the
-  // bytes it never received.
+  // driver caches, tally — is byte-identical to the uninterrupted one
+  // (on whichever shard the replay runs), and the replies past the
+  // client's high-water mark are exactly the bytes it never received.
+  const ServerTelemetry &T = ServerTelemetry::get();
+  ResumeResult R;
   std::unique_ptr<Session> S = createSession();
   S->markResumable(SessionId);
   for (std::size_t I = 0; I != P.Journal.size(); ++I) {
@@ -487,6 +537,16 @@ SessionManager::resumeSession(std::uint64_t SessionId,
   T.ResumeOk.inc();
   R.S = std::move(S);
   return R;
+}
+
+SessionManager::ResumeResult
+SessionManager::resumeSession(std::uint64_t SessionId,
+                              std::uint64_t HighWaterMark) {
+  ResumeResult R;
+  ParkedJournal P;
+  if (!stealParkedJournal(SessionId, HighWaterMark, P, R.Reply))
+    return R;
+  return adoptJournal(SessionId, HighWaterMark, std::move(P));
 }
 
 std::size_t SessionManager::parkedSessions() const {

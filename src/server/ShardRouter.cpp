@@ -1,0 +1,222 @@
+//===- server/ShardRouter.cpp - Consistent-hash session routing -----------===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ShardRouter.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace ssalive;
+using namespace ssalive::server;
+using namespace ssalive::protocol;
+
+namespace {
+
+/// The ring's hash. splitmix64: cheap, well-mixed, and stable across
+/// builds — ring placement must not depend on libstdc++'s std::hash.
+std::uint64_t splitmix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Router-level telemetry, registered once per process (the registry is
+/// idempotent per name, so several routers — test fixtures — share them).
+struct RouterTelemetry {
+  telemetry::Gauge Shards{"ssalive_router_shards"};
+  telemetry::Counter Routed{"ssalive_router_sessions_routed_total"};
+  telemetry::Counter Migrations{"ssalive_router_migrations_total"};
+  telemetry::Counter Sheds{"ssalive_router_sheds_total"};
+
+  static const RouterTelemetry &get() {
+    static RouterTelemetry T;
+    return T;
+  }
+};
+
+bool isUnknownSessionError(const std::vector<std::uint8_t> &Reply) {
+  return Reply.size() >= 3 &&
+         Reply[0] == static_cast<std::uint8_t>(protocol::Opcode::Error) &&
+         (static_cast<std::uint16_t>(Reply[1]) |
+          (static_cast<std::uint16_t>(Reply[2]) << 8)) ==
+             static_cast<std::uint16_t>(protocol::ErrorCode::UnknownSession);
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(ServerConfig Cfg) {
+  const unsigned N = Cfg.Shards == 0 ? 1 : Cfg.Shards;
+  ShardGauges.reserve(N);
+  Shards.reserve(N);
+  for (unsigned I = 0; I != N; ++I) {
+    ShardGauges.push_back(std::make_unique<telemetry::Gauge>(
+        "ssalive_router_shard" + std::to_string(I) + "_sessions"));
+    ShardGauges.back()->set(0);
+    Shards.push_back(std::make_unique<SessionManager>(
+        Cfg, /*FirstSessionId=*/I + 1, /*SessionIdStride=*/N));
+    Shards.back()->setActivityGauge(ShardGauges.back().get());
+  }
+  Ring.reserve(std::size_t(N) * VirtualNodesPerShard);
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned V = 0; V != VirtualNodesPerShard; ++V)
+      Ring.push_back({splitmix64((std::uint64_t(I) << 32) | (V + 1)), I});
+  std::sort(Ring.begin(), Ring.end(),
+            [](const RingPoint &A, const RingPoint &B) {
+              return A.Hash < B.Hash;
+            });
+  RouterTelemetry::get().Shards.set(N);
+}
+
+std::int64_t ShardRouter::activeSessions() const {
+  std::int64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->activeSessions();
+  return Total;
+}
+
+std::int64_t ShardRouter::loadBound() const {
+  const std::int64_t N = static_cast<std::int64_t>(Shards.size());
+  return (activeSessions() + N) / N + 1; // ceil((total+1)/N) + 1
+}
+
+unsigned ShardRouter::leastLoadedShard() const {
+  unsigned Best = 0;
+  std::int64_t BestLoad = Shards[0]->activeSessions();
+  for (unsigned I = 1; I != Shards.size(); ++I) {
+    std::int64_t L = Shards[I]->activeSessions();
+    if (L < BestLoad) {
+      Best = I;
+      BestLoad = L;
+    }
+  }
+  return Best;
+}
+
+unsigned ShardRouter::pickShard(std::uint64_t Key) const {
+  if (Shards.size() == 1)
+    return 0;
+  const std::uint64_t H = splitmix64(Key);
+  auto It = std::lower_bound(Ring.begin(), Ring.end(), H,
+                             [](const RingPoint &P, std::uint64_t V) {
+                               return P.Hash < V;
+                             });
+  const std::size_t Start =
+      It == Ring.end() ? 0 : static_cast<std::size_t>(It - Ring.begin());
+  // Bounded loads: walk clockwise from the hash until a shard under the
+  // ceiling turns up. The loads are racy reads — good enough for
+  // balancing, never for correctness.
+  const std::int64_t Bound = loadBound();
+  for (std::size_t K = 0; K != Ring.size(); ++K) {
+    const unsigned S = Ring[(Start + K) % Ring.size()].Shard;
+    if (Shards[S]->activeSessions() < Bound)
+      return S;
+  }
+  return leastLoadedShard();
+}
+
+unsigned ShardRouter::shardOf(std::uint64_t SessionId) const {
+  {
+    std::lock_guard<std::mutex> Lock(PlacementMutex);
+    auto It = Placement.find(SessionId);
+    if (It != Placement.end())
+      return It->second;
+  }
+  // Never migrated: the minting congruence (shard i mints i+1 + k*N).
+  return static_cast<unsigned>((SessionId - 1) % Shards.size());
+}
+
+void ShardRouter::setPlacement(std::uint64_t SessionId, unsigned Shard) {
+  std::lock_guard<std::mutex> Lock(PlacementMutex);
+  Placement[SessionId] = Shard;
+}
+
+void ShardRouter::erasePlacement(std::uint64_t SessionId) {
+  std::lock_guard<std::mutex> Lock(PlacementMutex);
+  Placement.erase(SessionId);
+}
+
+std::unique_ptr<Session> ShardRouter::createSession() {
+  RouterTelemetry::get().Routed.inc();
+  const std::uint64_t Key =
+      RouteCounter.fetch_add(1, std::memory_order_relaxed);
+  return Shards[pickShard(Key)]->createSession();
+}
+
+std::unique_ptr<Session> ShardRouter::createResumableSession() {
+  RouterTelemetry::get().Routed.inc();
+  const std::uint64_t Key =
+      RouteCounter.fetch_add(1, std::memory_order_relaxed);
+  const unsigned Shard = pickShard(Key);
+  std::unique_ptr<Session> S = Shards[Shard]->createResumableSession();
+  setPlacement(S->sessionId(), Shard);
+  return S;
+}
+
+void ShardRouter::parkSession(std::unique_ptr<Session> S) {
+  if (!S)
+    return;
+  // The session knows its shard; parking on any other manager would strand
+  // the journal where the placement map never looks.
+  SessionManager &Owner = S->manager();
+  Owner.parkSession(std::move(S));
+}
+
+SessionManager::ResumeResult
+ShardRouter::resumeSession(std::uint64_t SessionId,
+                           std::uint64_t HighWaterMark) {
+  const unsigned Owner = shardOf(SessionId);
+  SessionManager::ResumeResult R;
+  SessionManager::ParkedJournal P;
+  if (!Shards[Owner]->stealParkedJournal(SessionId, HighWaterMark, P,
+                                         R.Reply)) {
+    // UnknownSession means the journal is gone for good (never issued,
+    // evicted, or overflowed) — drop the stale placement entry. BadResume
+    // leaves the journal parked, so the entry must survive.
+    if (isUnknownSessionError(R.Reply))
+      erasePlacement(SessionId);
+    return R;
+  }
+  unsigned Target = Owner;
+  if (Shards.size() > 1 && Shards[Owner]->activeSessions() >= loadBound()) {
+    const unsigned L = leastLoadedShard();
+    if (L != Owner)
+      Target = L;
+  }
+  if (Target != Owner)
+    RouterTelemetry::get().Migrations.inc();
+  setPlacement(SessionId, Target);
+  return Shards[Target]->adoptJournal(SessionId, HighWaterMark,
+                                      std::move(P));
+}
+
+SessionManager::ResumeResult
+ShardRouter::resumeSessionOn(std::uint64_t SessionId,
+                             std::uint64_t HighWaterMark,
+                             unsigned TargetShard) {
+  const unsigned Owner = shardOf(SessionId);
+  SessionManager::ResumeResult R;
+  SessionManager::ParkedJournal P;
+  if (!Shards[Owner]->stealParkedJournal(SessionId, HighWaterMark, P,
+                                         R.Reply)) {
+    if (isUnknownSessionError(R.Reply))
+      erasePlacement(SessionId);
+    return R;
+  }
+  if (TargetShard != Owner)
+    RouterTelemetry::get().Migrations.inc();
+  setPlacement(SessionId, TargetShard);
+  return Shards[TargetShard]->adoptJournal(SessionId, HighWaterMark,
+                                           std::move(P));
+}
+
+bool ShardRouter::overloaded() const {
+  const std::size_t Max = Shards[0]->config().MaxSessions;
+  return Max != 0 &&
+         activeSessions() >= static_cast<std::int64_t>(Max);
+}
+
+void ShardRouter::noteShed() const { RouterTelemetry::get().Sheds.inc(); }

@@ -1,0 +1,164 @@
+//===- server/ShardRouter.h - Consistent-hash session routing ---*- C++ -*-===//
+//
+// Part of the ssalive project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-level half of the sharding tier: a router that owns N worker
+/// shards — each one a full SessionManager with its own query ThreadPool
+/// (NUMA-pool-ready: a shard's pool and arenas can later be pinned to the
+/// socket its workers run on) — and decides which shard every session lives
+/// on. The transport layer (LivenessServer) never talks to a SessionManager
+/// directly any more; it asks the router.
+///
+/// ## Routing contract
+///
+/// New sessions are placed by consistent hashing with bounded loads: each
+/// shard projects VirtualNodesPerShard points onto a 64-bit ring
+/// (splitmix64), a fresh session's routing key walks the ring clockwise
+/// from its hash, and the first shard whose live-session count is below
+/// ceil((total+1)/N)+1 wins. The walk makes placement stable (the same key
+/// population re-spreads minimally if N changes) while the bound keeps any
+/// one shard from absorbing a hot streak. Session ids stay process-wide
+/// unique with zero cross-shard coordination: shard i mints the arithmetic
+/// progression i+1, i+1+N, i+1+2N, ...
+///
+/// ## Migration contract
+///
+/// Migration rides the resume plane's reply purity: a parked journal is
+/// just the session's replayable request sequence, so ANY shard can rebuild
+/// the session byte-identically by replaying it (SessionManager::
+/// stealParkedJournal + adoptJournal). On Resume(id, hwm) the router looks
+/// the id up in its placement map, steals the journal from the owning
+/// shard, and — when that shard is running hot and another is strictly
+/// less loaded — adopts it on the least-loaded shard instead, updating the
+/// placement map. The client cannot tell: the Resumed frame, the re-sent
+/// pending replies, and every reply after are bit-for-bit what the
+/// unmigrated session would have produced. BadResume leaves the journal
+/// parked on its original shard (a confused client must not destroy a
+/// resumable session, and must not trigger a migration either).
+///
+/// ## Shedding contract
+///
+/// The router sheds at session granularity, above the per-connection caps
+/// the transport already enforces: when live sessions aggregated across
+/// all shards reach ServerConfig::MaxSessions, frames that would open a
+/// NEW session get Error(Overloaded) while existing sessions keep being
+/// served — admission control, not service degradation. The decision reads
+/// the same per-shard load figures the placement walk uses
+/// (SessionManager::activeSessions), which is why the replay
+/// double-counting fix in the telemetry plane had to land first.
+///
+/// The router exports the `ssalive_router_*` series: shard count, routed
+/// and migrated session totals, router-level sheds, and one live-session
+/// gauge per shard (`ssalive_router_shard<i>_sessions`, mirrored from each
+/// shard on every session open/close).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SSALIVE_SERVER_SHARDROUTER_H
+#define SSALIVE_SERVER_SHARDROUTER_H
+
+#include "server/SessionManager.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ssalive::server {
+
+class ShardRouter {
+public:
+  /// Ring points per shard. Enough that the arc lengths even out (the
+  /// classic sqrt(N·log N) imbalance shrinks with vnode count) while the
+  /// ring stays a few KiB for any sane shard count.
+  static constexpr unsigned VirtualNodesPerShard = 64;
+
+  /// Builds Cfg.Shards shard instances (min 1), each with its own pool of
+  /// Cfg.Threads workers and a strided session-id space.
+  explicit ShardRouter(ServerConfig Cfg);
+
+  ShardRouter(const ShardRouter &) = delete;
+  ShardRouter &operator=(const ShardRouter &) = delete;
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+  SessionManager &shard(unsigned I) { return *Shards[I]; }
+
+  /// \name Routed session creation.
+  /// Placement: consistent hash of a fresh routing key, bounded loads.
+  /// @{
+  std::unique_ptr<Session> createSession();
+  /// Also records id → shard in the placement map so a later Resume finds
+  /// the journal's home shard.
+  std::unique_ptr<Session> createResumableSession();
+  /// @}
+
+  /// Parks a disconnected session's journal on the shard that owns it.
+  void parkSession(std::unique_ptr<Session> S);
+
+  /// Resume(id, hwm) through the router: steals the parked journal from
+  /// the owning shard and adopts it there — or, when the owner runs hot,
+  /// on the least-loaded shard (a migration, invisible to the client by
+  /// reply purity). Error semantics match SessionManager::resumeSession.
+  SessionManager::ResumeResult resumeSession(std::uint64_t SessionId,
+                                             std::uint64_t HighWaterMark);
+
+  /// The forced-migration form: adopt on \p TargetShard regardless of
+  /// load. The migration test pins byte-identity of a cross-shard rebuild
+  /// with this.
+  SessionManager::ResumeResult resumeSessionOn(std::uint64_t SessionId,
+                                               std::uint64_t HighWaterMark,
+                                               unsigned TargetShard);
+
+  /// Live sessions aggregated across all shards.
+  std::int64_t activeSessions() const;
+
+  /// True when ServerConfig::MaxSessions is set and reached: the transport
+  /// must shed frames that would open a new session (and call noteShed()).
+  bool overloaded() const;
+
+  /// Counts one router-level shed (ssalive_router_sheds_total).
+  void noteShed() const;
+
+  /// The shard a consistent-hash walk would pick for \p Key right now
+  /// (exposed for the placement-spread test).
+  unsigned pickShard(std::uint64_t Key) const;
+
+  /// The shard \p SessionId currently maps to: the placement-map entry if
+  /// the id was minted or migrated here, else the minting congruence
+  /// (shard (id-1) mod N).
+  unsigned shardOf(std::uint64_t SessionId) const;
+
+private:
+  unsigned leastLoadedShard() const;
+  /// Bounded-load ceiling for the current aggregate: ceil((total+1)/N)+1.
+  std::int64_t loadBound() const;
+  void setPlacement(std::uint64_t SessionId, unsigned Shard);
+  void erasePlacement(std::uint64_t SessionId);
+
+  struct RingPoint {
+    std::uint64_t Hash;
+    unsigned Shard;
+  };
+
+  /// One gauge per shard, installed into the shard via setActivityGauge
+  /// before any session exists; unique_ptr keeps the addresses stable.
+  std::vector<std::unique_ptr<telemetry::Gauge>> ShardGauges;
+  std::vector<std::unique_ptr<SessionManager>> Shards;
+  std::vector<RingPoint> Ring; ///< Sorted by hash; const after the ctor.
+  std::atomic<std::uint64_t> RouteCounter{0};
+
+  mutable std::mutex PlacementMutex;
+  /// Resumable session id → owning shard. Seeded by the minting
+  /// congruence, rewritten on migration, erased when a resume comes back
+  /// UnknownSession (the journal is gone for good).
+  std::map<std::uint64_t, unsigned> Placement;
+};
+
+} // namespace ssalive::server
+
+#endif // SSALIVE_SERVER_SHARDROUTER_H

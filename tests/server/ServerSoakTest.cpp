@@ -411,7 +411,8 @@ bool readResumed(const std::vector<std::uint8_t> &Reply, std::uint64_t &Sid,
 
 void runResumeClient(std::uint16_t Port, std::uint64_t Seed,
                      BatchBackend Backend, QueryPlane Plane,
-                     unsigned ClientId) {
+                     unsigned ClientId,
+                     std::atomic<std::uint64_t> *QueryLedger = nullptr) {
   auto tag = [&](const char *What, std::size_t Index) {
     std::ostringstream OS;
     OS << "resume client " << ClientId << " seed=" << Seed << " backend="
@@ -433,6 +434,7 @@ void runResumeClient(std::uint16_t Port, std::uint64_t Seed,
   CFGMutatorOptions MOpts;
   MOpts.MaxNodes = 128;
   const std::size_t TotalFrames = 1200;
+  std::uint64_t QueriesInStream = 0;
   std::vector<std::vector<std::uint8_t>> Requests;
   Requests.push_back(proto::encodeLoadModule(
       static_cast<std::uint8_t>(Backend), static_cast<std::uint8_t>(Plane),
@@ -460,8 +462,15 @@ void runResumeClient(std::uint16_t Port, std::uint64_t Seed,
       for (const BatchQuery &Q : Workload)
         Items.push_back({Q.FuncIndex, Q.ValueId, Q.BlockId, Q.IsLiveOut});
       Requests.push_back(proto::encodeQueryBatch(Items));
+      QueriesInStream += Workload.size();
     }
   }
+  // Every frame is dispatched exactly once by the oracle session and
+  // exactly once by the live server — resume REPLAYS must not re-count
+  // (the registry double-count fix) — so the campaign's expected
+  // queries_total delta is 2x this ledger per client.
+  if (QueryLedger)
+    QueryLedger->fetch_add(2 * QueriesInStream);
 
   // ---- The uninterrupted oracle: a fresh in-process session fed the
   // exact same sequence. Reply purity makes its output the ground truth
@@ -552,6 +561,13 @@ TEST(ServerSoak, TcpResumeDifferentialMatchesUninterruptedOracle) {
 
   std::uint64_t ResumesBefore = telemetry::Registry::global().value(
       "ssalive_server_resume_ok_total");
+  // Registry reconcile ACROSS the kill/resume cycle: the journal replay
+  // that rebuilds each killed session must not re-increment the
+  // process-wide query counter, so the delta is exactly the oracle's
+  // dispatch count plus the live server's — 2x each client's stream.
+  std::uint64_t QueriesBefore =
+      telemetry::Registry::global().value("ssalive_server_queries_total");
+  std::atomic<std::uint64_t> QueryLedger{0};
 
   // Three backends concurrently: the arena engine, the bitset layout, and
   // the sorted-array layout, all on the cached prepared plane except one
@@ -571,7 +587,7 @@ TEST(ServerSoak, TcpResumeDifferentialMatchesUninterruptedOracle) {
     Clients.emplace_back([&, I] {
       runResumeClient(Server.boundTcpPort(), Plans[I].Seed,
                       Plans[I].Backend, Plans[I].Plane,
-                      static_cast<unsigned>(I));
+                      static_cast<unsigned>(I), &QueryLedger);
     });
   for (std::thread &T : Clients)
     T.join();
@@ -580,6 +596,11 @@ TEST(ServerSoak, TcpResumeDifferentialMatchesUninterruptedOracle) {
                 "ssalive_server_resume_ok_total") -
                 ResumesBefore,
             Plans.size());
+  EXPECT_EQ(telemetry::Registry::global().value(
+                "ssalive_server_queries_total") -
+                QueriesBefore,
+            QueryLedger.load())
+      << "replayed journals must not re-count queries in the registry";
 
   int Fd = connectLoopback(Server.boundTcpPort());
   ASSERT_GE(Fd, 0);

@@ -30,6 +30,7 @@
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "pipeline/BatchLivenessDriver.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -188,6 +189,160 @@ TEST(ServerOverload, ConnectionsPastTheCapGetWellFormedOverloadedError) {
                                Reply));
   EXPECT_EQ(Reply, proto::encodeOk());
   ::close(First);
+  Server.wait();
+}
+
+// Connection churn below the cap must never shed: the accept gate used to
+// count finished-but-unreaped handlers (reaped only once per accept-loop
+// iteration) against MaxConnections, so a client reconnecting right after
+// a disconnect was shed with a free slot available.
+TEST(ServerOverload, ConnectionChurnBelowTheCapIsNeverShed) {
+  proto::ignoreSigpipe();
+  server::ServerConfig Cfg;
+  Cfg.MaxConnections = 2;
+  server::LivenessServer Server(Cfg);
+  std::string Err;
+  ASSERT_TRUE(Server.listenTcp("127.0.0.1", 0, Err)) << Err;
+  Server.start();
+
+  std::uint64_t ShedBefore = telemetry::Registry::global().value(
+      "ssalive_server_shed_connections_total");
+
+  // One persistent client holds a slot for the whole churn.
+  int Persistent = connectLoopback(Server.boundTcpPort());
+  ASSERT_GE(Persistent, 0);
+  std::vector<std::uint8_t> Reply;
+  ASSERT_TRUE(proto::roundTrip(Persistent, Persistent, proto::encodeStats(),
+                               Reply));
+  EXPECT_EQ(Reply[0], static_cast<std::uint8_t>(proto::Opcode::StatsReply));
+
+  // Churn through the second slot: each cycle connects, round-trips, and
+  // hangs up. The next connect waits for the previous handler's session to
+  // close (plus a beat for its Done flag) — from there the server has one
+  // live handler and MUST serve, dead-handler bookkeeping notwithstanding.
+  for (unsigned Cycle = 0; Cycle != 20; ++Cycle) {
+    std::uint64_t Closed = telemetry::Registry::global().value(
+        "ssalive_server_sessions_closed_total");
+    int Fd = connectLoopback(Server.boundTcpPort());
+    ASSERT_GE(Fd, 0) << "cycle " << Cycle;
+    ASSERT_TRUE(proto::roundTrip(Fd, Fd, proto::encodeStats(), Reply))
+        << "cycle " << Cycle;
+    EXPECT_EQ(Reply[0],
+              static_cast<std::uint8_t>(proto::Opcode::StatsReply))
+        << "churn cycle " << Cycle << " was shed below the cap";
+    ::close(Fd);
+    for (int Try = 0;
+         Try != 500 && telemetry::Registry::global().value(
+                           "ssalive_server_sessions_closed_total") == Closed;
+         ++Try)
+      ::usleep(2000);
+    ::usleep(5000); // Session closed -> handler's Done store lands next.
+  }
+  EXPECT_EQ(telemetry::Registry::global().value(
+                "ssalive_server_shed_connections_total"),
+            ShedBefore)
+      << "churn below the cap must never shed a connection";
+
+  ASSERT_TRUE(proto::roundTrip(Persistent, Persistent,
+                               proto::encodeShutdown(), Reply));
+  EXPECT_EQ(Reply, proto::encodeOk());
+  ::close(Persistent);
+  Server.wait();
+}
+
+// The shed/resume interaction the client-side high-water fix is about:
+// shed frames are answered Error(Overloaded) WITHOUT being dispatched or
+// journaled, so they must not count toward the resume high-water mark. A
+// client that counted them (the old ssalive-client bug) resumes off by
+// the shed count — BadResume here, silently skipped replies in the worst
+// case. This drives the exact flood/drop/resume cycle over TCP.
+TEST(ServerOverload, ShedFramesDoNotCountTowardTheResumeHighWaterMark) {
+  proto::ignoreSigpipe();
+  server::ServerConfig Cfg;
+  Cfg.InFlightBudgetBytes = 64; // Tiny: a one-write flood trips it.
+  server::LivenessServer Server(Cfg);
+  std::string Err;
+  ASSERT_TRUE(Server.listenTcp("127.0.0.1", 0, Err)) << Err;
+  Server.start();
+
+  int Fd = connectLoopback(Server.boundTcpPort());
+  ASSERT_GE(Fd, 0);
+  std::vector<std::uint8_t> Reply;
+  ASSERT_TRUE(proto::roundTrip(Fd, Fd, proto::encodeResume(0, 0), Reply));
+  std::uint64_t Sid = 0, JournalLen = 0, Pending = 0;
+  ASSERT_TRUE(isResumed(Reply, Sid, JournalLen, Pending));
+  ASSERT_NE(Sid, 0u);
+
+  // Flood: 200 Stats frames in one write, far past the 64-byte budget,
+  // then read all 200 replies without interleaving. The server serves
+  // what it reads with little queued behind it and sheds the rest.
+  const unsigned Flood = 200;
+  std::vector<std::uint8_t> Burst;
+  for (unsigned I = 0; I != Flood; ++I) {
+    std::vector<std::uint8_t> Frame = proto::encodeStats();
+    std::uint32_t Len = static_cast<std::uint32_t>(Frame.size());
+    for (int B = 0; B != 4; ++B)
+      Burst.push_back(static_cast<std::uint8_t>(Len >> (8 * B)));
+    Burst.insert(Burst.end(), Frame.begin(), Frame.end());
+  }
+  ASSERT_EQ(::write(Fd, Burst.data(), Burst.size()),
+            static_cast<ssize_t>(Burst.size()));
+  std::uint64_t Served = 0, Shed = 0;
+  for (unsigned I = 0; I != Flood; ++I) {
+    ASSERT_EQ(proto::readFrame(Fd, Reply), proto::ReadStatus::Ok)
+        << "flood reply " << I;
+    if (isError(Reply, proto::ErrorCode::Overloaded))
+      ++Shed;
+    else {
+      ASSERT_EQ(Reply[0],
+                static_cast<std::uint8_t>(proto::Opcode::StatsReply));
+      ++Served;
+    }
+  }
+  ASSERT_GE(Shed, 1u) << "the flood must trip the in-flight budget";
+  ASSERT_GE(Served, 1u);
+
+  // Drop the connection with the journal holding exactly the SERVED
+  // frames, then resume. Counting shed replies (served + shed) overshoots
+  // the journal: BadResume, and the journal stays parked.
+  ::close(Fd);
+  Fd = connectLoopback(Server.boundTcpPort());
+  ASSERT_GE(Fd, 0);
+  bool Answered = false;
+  for (int Try = 0; Try != 500 && !Answered; ++Try) {
+    ASSERT_TRUE(
+        proto::roundTrip(Fd, Fd, proto::encodeResume(Sid, Served + Shed),
+                         Reply));
+    // UnknownSession: the dropped handler has not parked the journal yet.
+    Answered = !isError(Reply, proto::ErrorCode::UnknownSession);
+    if (!Answered)
+      ::usleep(10000);
+  }
+  ASSERT_TRUE(Answered);
+  EXPECT_TRUE(isError(Reply, proto::ErrorCode::BadResume))
+      << "a high-water mark inflated by shed frames must be refused";
+
+  // The true high-water mark — dispatched frames only — resumes cleanly:
+  // journalLen is exactly Served, nothing pending, zero skipped replies.
+  ASSERT_TRUE(proto::roundTrip(Fd, Fd, proto::encodeResume(Sid, Served),
+                               Reply));
+  ASSERT_TRUE(isResumed(Reply, Sid, JournalLen, Pending));
+  EXPECT_EQ(JournalLen, Served) << "shed frames must never be journaled";
+  EXPECT_EQ(Pending, 0u);
+
+  // And the rebuilt session continues byte-identically to an oracle fed
+  // only the dispatched frames.
+  server::SessionManager OracleMgr({});
+  auto OracleS = OracleMgr.createSession();
+  for (std::uint64_t I = 0; I != Served; ++I)
+    OracleS->handle(proto::encodeStats());
+  ASSERT_TRUE(proto::roundTrip(Fd, Fd, proto::encodeStats(), Reply));
+  EXPECT_EQ(Reply, OracleS->handle(proto::encodeStats()))
+      << "post-resume stream must match the unshed oracle byte for byte";
+
+  ASSERT_TRUE(proto::roundTrip(Fd, Fd, proto::encodeShutdown(), Reply));
+  EXPECT_EQ(Reply, proto::encodeOk());
+  ::close(Fd);
   Server.wait();
 }
 

@@ -92,6 +92,7 @@ struct CliOptions {
   unsigned Repeat = 2;
   unsigned Edits = 0;
   unsigned Threads = 1;
+  unsigned Shards = 1; ///< Worker shards for a --spawn'ed server.
   bool Verify = false;
   bool Metrics = false;
   std::string MetricsOutPath;
@@ -168,6 +169,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--threads=", 0) == 0 &&
                parseUnsigned(Arg.c_str() + 10, N)) {
       Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--shards=", 0) == 0 &&
+               parseUnsigned(Arg.c_str() + 9, N) && N != 0) {
+      Opts.Shards = static_cast<unsigned>(N);
     } else if (Arg == "--verify") {
       Opts.Verify = true;
     } else if (Arg == "--metrics") {
@@ -286,8 +290,10 @@ bool spawnPipeServer(const CliOptions &Opts, Connection &Conn) {
     ::close(FromServer[0]);
     ::close(FromServer[1]);
     std::string ThreadsArg = "--threads=" + std::to_string(Opts.Threads);
+    std::string ShardsArg = "--shards=" + std::to_string(Opts.Shards);
     ::execl(Opts.SpawnBinary.c_str(), Opts.SpawnBinary.c_str(), "--stdio",
-            ThreadsArg.c_str(), static_cast<char *>(nullptr));
+            ThreadsArg.c_str(), ShardsArg.c_str(),
+            static_cast<char *>(nullptr));
     std::perror("execl");
     _exit(127);
   }
@@ -356,8 +362,9 @@ bool spawnUnixServer(const CliOptions &Opts, Connection &Conn) {
   if (Pid == 0) {
     std::string SocketArg = "--socket=" + Path;
     std::string ThreadsArg = "--threads=" + std::to_string(Opts.Threads);
+    std::string ShardsArg = "--shards=" + std::to_string(Opts.Shards);
     ::execl(Opts.SpawnBinary.c_str(), Opts.SpawnBinary.c_str(),
-            SocketArg.c_str(), ThreadsArg.c_str(),
+            SocketArg.c_str(), ThreadsArg.c_str(), ShardsArg.c_str(),
             static_cast<char *>(nullptr));
     std::perror("execl");
     _exit(127);
@@ -396,9 +403,10 @@ bool spawnTcpServer(const CliOptions &Opts, Connection &Conn) {
   if (Pid == 0) {
     std::string PortFileArg = "--port-file=" + PortFile;
     std::string ThreadsArg = "--threads=" + std::to_string(Opts.Threads);
+    std::string ShardsArg = "--shards=" + std::to_string(Opts.Shards);
     ::execl(Opts.SpawnBinary.c_str(), Opts.SpawnBinary.c_str(),
             "--tcp=127.0.0.1:0", PortFileArg.c_str(), ThreadsArg.c_str(),
-            static_cast<char *>(nullptr));
+            ShardsArg.c_str(), static_cast<char *>(nullptr));
     std::perror("execl");
     _exit(127);
   }
@@ -546,14 +554,37 @@ int main(int Argc, char **Argv) {
     Pending = W.u64();
     return W.ok() && W.atEnd();
   };
+  // A shed frame: the server answered Error(Overloaded) WITHOUT
+  // dispatching (or journaling) it, so it must not count toward the
+  // high-water mark — off-by-one there turns the next Resume(id, hwm)
+  // into BadResume at best, a silently skipped reply at worst.
+  auto isOverloaded = [](const std::vector<std::uint8_t> &R) {
+    return R.size() >= 3 &&
+           R[0] == static_cast<std::uint8_t>(proto::Opcode::Error) &&
+           (static_cast<std::uint16_t>(R[1]) |
+            (static_cast<std::uint16_t>(R[2]) << 8)) ==
+               static_cast<std::uint16_t>(proto::ErrorCode::Overloaded);
+  };
   // Dispatched-frame round trip: counts toward the high-water mark.
+  // Overloaded replies are retryable by protocol contract — back off and
+  // resend the frame instead of counting or surfacing them.
   auto rt = [&](const std::vector<std::uint8_t> &Request,
                 std::vector<std::uint8_t> &R) {
-    if (!roundTrip(Conn, Request, R))
-      return false;
-    if (Opts.Resume)
-      ++HighWater;
-    return true;
+    for (int Try = 0;; ++Try) {
+      if (!roundTrip(Conn, Request, R))
+        return false;
+      if (!isOverloaded(R)) {
+        if (Opts.Resume)
+          ++HighWater;
+        return true;
+      }
+      if (Try == 1000) {
+        std::fprintf(stderr, "server still overloaded after %d retries\n",
+                     Try);
+        return false;
+      }
+      ::usleep(2000);
+    }
   };
   if (Opts.Resume) {
     std::uint64_t JournalLen = 0, Pending = 0;

@@ -150,6 +150,31 @@ std::uint64_t valueOf(const std::vector<telemetry::Metric> &Metrics,
   return 0;
 }
 
+/// The router summary: shard count, per-shard live sessions, and the
+/// routed/migrated/shed totals — the at-a-glance view of how the
+/// consistent-hash placement is spreading load.
+void printRouterSummary(const std::vector<telemetry::Metric> &Metrics) {
+  std::uint64_t Shards = valueOf(Metrics, "ssalive_router_shards");
+  if (Shards == 0)
+    return; // Pre-router server; nothing to summarize.
+  std::printf("router: %llu shard(s), %llu session(s) routed, "
+              "%llu migration(s), %llu shed\n",
+              static_cast<unsigned long long>(Shards),
+              static_cast<unsigned long long>(
+                  valueOf(Metrics, "ssalive_router_sessions_routed_total")),
+              static_cast<unsigned long long>(
+                  valueOf(Metrics, "ssalive_router_migrations_total")),
+              static_cast<unsigned long long>(
+                  valueOf(Metrics, "ssalive_router_sheds_total")));
+  for (std::uint64_t I = 0; I != Shards; ++I) {
+    std::string Name =
+        "ssalive_router_shard" + std::to_string(I) + "_sessions";
+    std::printf("  shard %llu: %lld live session(s)\n",
+                static_cast<unsigned long long>(I),
+                static_cast<long long>(valueOf(Metrics, Name.c_str())));
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -178,6 +203,7 @@ int main(int Argc, char **Argv) {
   }
 
   printHuman(Metrics);
+  printRouterSummary(Metrics);
 
   // --watch: repoll on the same connection and report the query rate the
   // registry observed between snapshots.
