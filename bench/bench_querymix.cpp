@@ -1,172 +1,250 @@
-//===- bench/bench_querymix.cpp - Query-volume sensitivity ----------------===//
+//===- bench/bench_querymix.cpp - Grouped vs arrival-order query path -----===//
 //
 // Part of the ssalive project, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// Ablation D (DESIGN.md): the paper's combined speedup depends on the
-// queries-per-variable ratio — 186.crafty regressed (0.73x) at 26.53
-// queries/variable while the average workload (5.19 queries/variable) won.
-// This bench makes the dependence explicit: on a fixed corpus it sweeps a
-// multiplier on the query stream and reports where the "Both" speedup
-// crosses 1.0. It also reports query cost as a function of def-use chain
-// length (the for-loop of Algorithm 3).
+// The locality-grouped query path against the per-query arrival-order path
+// it replaced, on the batch driver's production (prepared) plane. The
+// workload is a skewed query mix — the shape real clients send: one hot
+// function receives most of the stream, values are drawn Zipf-ish so a few
+// hot (high-use-count) values dominate, and blocks concentrate inside each
+// def's dominance interval, where liveness is actually in question. Two
+// driver configurations differing ONLY in GroupChunks run the identical
+// stream:
 //
-// Note: since the prepared-cache migration, FunctionLiveness amortizes
-// the per-value chain walk across the stream (core/PreparedCache), which
-// shifts the break-even toward the "New" backend relative to the paper's
-// walk-per-query model; bench_prepared measures that effect in isolation.
+//   arrival   GroupChunks=false: one prepared table read and one scan
+//             kernel per query, in stream order — the pre-grouping
+//             behavior, kept in the driver as the differential oracle.
+//   grouped   GroupChunks=true: each chunk is sorted by (function, value)
+//             and every run of same-value queries is answered through one
+//             LiveCheck::answerPreparedRun call — one pass over the
+//             dominance interval classifies the targets, then each probe
+//             is a word-parallel range sweep (BitMatrix kernel dispatch).
+//
+// Single thread, static schedule: the ratio isolates the kernel
+// amortization, which travels across machines; the work-stealing half of
+// the query path is schedule-equivalence-tested (byte-identical answers)
+// rather than gated here, because multi-core speedups depend on the
+// runner's core count. Answers must be byte-identical across both configs
+// and every pass; the run exits 1 otherwise. One untimed warm pass per
+// config (steady-state prepared cache), then best-of timed passes. Emits
+// BENCH_querymix.json with speedup_grouped_vs_arrival per tier — the ratio
+// the CI trend gate tracks against the committed baseline, with a >= 1.15x
+// target at the 1024-block tier.
+//
+//   bench_querymix [--smoke]   --smoke shrinks sizes/reps for CI.
 //
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
 
-#include "analysis/DFS.h"
-#include "analysis/DomTree.h"
-#include "core/FunctionLiveness.h"
-#include "core/LiveCheck.h"
-#include "ir/CFG.h"
-#include "ir/Clone.h"
-#include "liveness/DataflowLiveness.h"
-#include "ssa/SSADestruction.h"
-#include "support/CycleTimer.h"
+#include "core/UseInfo.h"
+#include "pipeline/AnalysisManager.h"
+#include "pipeline/BatchLivenessDriver.h"
+#include "ssa/SSAConstruction.h"
 #include "workload/CFGGenerator.h"
+#include "workload/ProgramGenerator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 using namespace ssalive;
 using namespace ssalive::bench;
 
-int main() {
-  std::printf("Query-mix sensitivity: combined speedup vs queries issued\n");
-  std::printf("(fixed 300-procedure corpus; the query trace is replayed K "
-              "times to emulate\n passes with heavier query behaviour, as "
-              "in the 186.crafty regression)\n\n");
+namespace {
 
-  RandomEngine Rng(0xC0FFEE);
-  const SpecProfile &P = spec2000Profiles()[0]; // 164.gzip shape.
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
 
-  struct Proc {
-    std::unique_ptr<Function> F;
-    std::vector<RecordedQuery> Trace;
-  };
-  std::vector<Proc> Corpus;
-  std::uint64_t BaseQueries = 0;
-  std::uint64_t Variables = 0;
-  for (unsigned I = 0; I != 300; ++I) {
-    Proc Pr;
-    Pr.F = synthesizeProcedure(P, Rng);
-    auto Clone = cloneFunction(*Pr.F);
-    FunctionLiveness Live(*Clone);
-    DestructionOptions DOpts;
-    DOpts.RecordTrace = true;
-    Pr.Trace = destructSSA(*Clone, Live, DOpts).Trace;
-    BaseQueries += Pr.Trace.size();
-    Variables += Pr.F->numValues();
-    Corpus.push_back(std::move(Pr));
-  }
+/// One queryable value of one function, with the preorder interval its
+/// queries concentrate in.
+struct HotValue {
+  std::uint32_t ValueId;
+  unsigned Lo, Hi;   ///< Dominance preorder interval of the def.
+  std::size_t Uses;  ///< Use count — the sort key for hotness.
+};
 
-  TablePrinter T({"Multiplier", "Queries/var", "Pre.Native", "Pre.New",
-                  "Q.Native", "Q.New", "Both spdup"});
+} // namespace
 
-  for (unsigned K : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    std::uint64_t NativePre = 0, NewPre = 0, NativeQ = 0, NewQ = 0;
-    std::uint64_t Queries = 0;
-    unsigned Checksum = 0;
-    for (const Proc &Pr : Corpus) {
-      CycleTimer TN;
-      TN.start();
-      DataflowOptions NOpts;
-      NOpts.PhiRelatedOnly = true;
-      DataflowLiveness Native(*Pr.F, NOpts);
-      TN.stop();
-      NativePre += TN.totalCycles();
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I != Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
 
-      CFG G = CFG::fromFunction(*Pr.F);
-      DFS D(G);
-      DomTree DT(G, D);
-      CycleTimer TP;
-      TP.start();
-      LiveCheck Engine(G, D, DT);
-      TP.stop();
-      NewPre += TP.totalCycles();
+  std::vector<unsigned> Sizes =
+      Smoke ? std::vector<unsigned>{32, 64}
+            : std::vector<unsigned>{256, 1024, 2048};
+  unsigned Reps = Smoke ? 2 : 5;
+  constexpr unsigned FuncsPerModule = 4;
+  constexpr unsigned QueriesPerBlock = 96;
 
-      FunctionLiveness NewBackend(*Pr.F);
-      CycleTimer TQN, TQF;
-      for (unsigned Rep = 0; Rep != K; ++Rep) {
-        TQN.start();
-        for (const RecordedQuery &Q : Pr.Trace) {
-          bool A = Q.IsLiveOut
-                       ? Native.isLiveOut(*Pr.F->value(Q.ValueId),
-                                          *Pr.F->block(Q.BlockId))
-                       : Native.isLiveIn(*Pr.F->value(Q.ValueId),
-                                         *Pr.F->block(Q.BlockId));
-          Checksum ^= unsigned(A);
-        }
-        TQN.stop();
-        TQF.start();
-        for (const RecordedQuery &Q : Pr.Trace) {
-          bool A = Q.IsLiveOut
-                       ? NewBackend.isLiveOut(*Pr.F->value(Q.ValueId),
-                                              *Pr.F->block(Q.BlockId))
-                       : NewBackend.isLiveIn(*Pr.F->value(Q.ValueId),
-                                             *Pr.F->block(Q.BlockId));
-          Checksum ^= unsigned(A);
-        }
-        TQF.stop();
+  std::printf("Query-mix shootout: locality-grouped multi-query kernel vs "
+              "arrival order\n(prepared plane, single thread, static "
+              "schedule; skewed stream: hot function,\nZipf-ish hot values, "
+              "interval-concentrated blocks; identical answers enforced;\n"
+              "per config: one warm pass, best of %u timed passes)\n\n",
+              Reps);
+
+  TablePrinter Table({"Blocks", "Queries", "Config", "Mq/s", "Speedup"});
+  std::vector<JsonRecord> Records;
+  bool AnswersAgree = true;
+  constexpr unsigned LargeTier = 1024;
+  double LargeSpeedup = 0;
+  std::vector<std::pair<unsigned, double>> SpeedupBySize;
+
+  for (unsigned Blocks : Sizes) {
+    RandomEngine Rng(Blocks * 7919ull + 3);
+
+    // The module: FuncsPerModule random strict-SSA procedures of this
+    // tier's size. Function 0 is the hot one below.
+    std::vector<std::unique_ptr<Function>> Owned;
+    std::vector<const Function *> Funcs;
+    for (unsigned FI = 0; FI != FuncsPerModule; ++FI) {
+      CFGGenOptions GOpts;
+      GOpts.TargetBlocks = Blocks;
+      CFG G0 = generateCFG(GOpts, Rng);
+      ProgramGenOptions POpts;
+      auto F = generateProgram(G0, POpts, Rng);
+      constructSSA(*F);
+      Owned.push_back(std::move(F));
+      Funcs.push_back(Owned.back().get());
+    }
+
+    // Per function: the queryable values sorted hottest (most uses) first,
+    // so the Zipf draw concentrates the stream on the values whose
+    // interval scans cost the most — exactly where grouping amortizes.
+    AnalysisManager AM;
+    std::vector<std::vector<HotValue>> Hot(FuncsPerModule);
+    for (unsigned FI = 0; FI != FuncsPerModule; ++FI) {
+      const DomTree &DT = AM.domTree(*Funcs[FI]);
+      for (const auto &V : Funcs[FI]->values()) {
+        if (!V->hasSingleDef() || !V->hasUses())
+          continue;
+        unsigned Def = defBlockId(*V);
+        Hot[FI].push_back(
+            {V->id(), DT.num(Def), DT.maxnum(Def), V->uses().size()});
       }
-      NativeQ += TQN.totalCycles();
-      NewQ += TQF.totalCycles();
-      Queries += K * Pr.Trace.size();
+      std::sort(Hot[FI].begin(), Hot[FI].end(),
+                [](const HotValue &A, const HotValue &B) {
+                  if (A.Uses != B.Uses)
+                    return A.Uses > B.Uses;
+                  return A.ValueId < B.ValueId;
+                });
     }
-    (void)Checksum;
-    double PreN = double(NativePre) / Corpus.size();
-    double PreF = double(NewPre) / Corpus.size();
-    double QN = double(NativeQ) / double(Queries);
-    double QF = double(NewQ) / double(Queries);
-    double Both = (Corpus.size() * PreN + double(Queries) * QN) /
-                  (Corpus.size() * PreF + double(Queries) * QF);
-    T.addRow({std::to_string(K),
-              TablePrinter::fmt(double(Queries) / double(Variables)),
-              TablePrinter::fmt(PreN, 0), TablePrinter::fmt(PreF, 0),
-              TablePrinter::fmt(QN), TablePrinter::fmt(QF),
-              TablePrinter::fmt(Both)});
-  }
-  T.print();
-  std::printf("\nPaper reference points: 5.19 queries/variable -> 1.16x "
-              "combined; 26.53\nqueries/variable (186.crafty) -> 0.73x. The "
-              "crossover moves with the ratio of\nprecompute savings to "
-              "per-query penalty.\n");
 
-  // Query cost vs def-use chain length (Algorithm 3's inner loop).
-  std::printf("\nQuery cost vs def-use chain length (live-in, synthetic "
-              "chains):\n\n");
-  TablePrinter T2({"Uses", "Cycles/query"});
-  for (unsigned Uses : {1u, 2u, 4u, 8u, 16u, 64u}) {
-    RandomEngine R2(Uses);
-    CFGGenOptions GOpts;
-    GOpts.TargetBlocks = 40;
-    CFG G = generateCFG(GOpts, R2);
-    DFS D(G);
-    DomTree DT(G, D);
-    LiveCheck Engine(G, D, DT);
-    // One variable defined at the entry, used in 'Uses' random blocks.
-    std::vector<unsigned> UseBlocks;
-    for (unsigned I = 0; I != Uses; ++I)
-      UseBlocks.push_back(R2.nextBelow(G.numNodes()));
-    CycleTimer Timer;
-    unsigned Checksum = 0;
-    constexpr unsigned Reps = 20000;
-    Timer.start();
-    for (unsigned I = 0; I != Reps; ++I) {
-      unsigned Q = I % G.numNodes();
-      Checksum ^= unsigned(Engine.isLiveIn(G.entry(), Q, UseBlocks));
+    // The skewed stream: ~60% of queries hit function 0; the value rank is
+    // cubed-uniform (Zipf-ish — rank 0 is drawn far more than rank k); the
+    // block is 3-in-4 inside the def's dominance interval.
+    const DomTree *Trees[FuncsPerModule];
+    for (unsigned FI = 0; FI != FuncsPerModule; ++FI)
+      Trees[FI] = &AM.domTree(*Funcs[FI]);
+    std::vector<BatchQuery> Workload;
+    std::size_t NumQueries = std::size_t(Blocks) * QueriesPerBlock;
+    Workload.reserve(NumQueries);
+    for (std::size_t I = 0; I != NumQueries; ++I) {
+      unsigned FI = Rng.nextBelow(10) < 6
+                        ? 0
+                        : 1 + Rng.nextBelow(FuncsPerModule - 1);
+      const std::vector<HotValue> &Vals = Hot[FI];
+      double U = Rng.nextDouble();
+      const HotValue &V =
+          Vals[std::size_t(double(Vals.size()) * U * U * U)];
+      std::uint32_t Block =
+          (Rng.nextBelow(4) == 3 || V.Hi == V.Lo)
+              ? Rng.nextBelow(Funcs[FI]->numBlocks())
+              : Trees[FI]->nodeAtNum(Rng.nextInRange(V.Lo, V.Hi));
+      Workload.push_back({FI, V.ValueId, Block, Rng.nextBelow(2) != 0});
     }
-    Timer.stop();
-    (void)Checksum;
-    T2.addRow({std::to_string(Uses),
-               TablePrinter::fmt(double(Timer.totalCycles()) / Reps)});
+
+    // The two configurations, differing only in GroupChunks.
+    BatchOptions Base;
+    Base.Threads = 1;
+    Base.Plane = QueryPlane::Prepared;
+    Base.Schedule = BatchSchedule::Static;
+    BatchOptions AOpts = Base, GOpts2 = Base;
+    AOpts.GroupChunks = false;
+    GOpts2.GroupChunks = true;
+    BatchLivenessDriver Arrival(Funcs, AOpts);
+    BatchLivenessDriver Grouped(Funcs, GOpts2);
+
+    // Warm pass: populates the prepared caches and pins the reference
+    // answers both configs (and every later pass) must reproduce.
+    BatchResult Reference = Arrival.run(Workload);
+    BatchResult GroupedWarm = Grouped.run(Workload);
+    if (GroupedWarm.Answers != Reference.Answers) {
+      std::printf("FAIL: grouped answers differ from arrival order at %u "
+                  "blocks\n",
+                  Blocks);
+      AnswersAgree = false;
+    }
+
+    double ArrivalBest = 1e100, GroupedBest = 1e100;
+    for (unsigned R = 0; R != Reps; ++R) {
+      auto StartA = std::chrono::steady_clock::now();
+      BatchResult RA = Arrival.run(Workload);
+      ArrivalBest = std::min(ArrivalBest, secondsSince(StartA));
+      auto StartG = std::chrono::steady_clock::now();
+      BatchResult RG = Grouped.run(Workload);
+      GroupedBest = std::min(GroupedBest, secondsSince(StartG));
+      if (RA.Answers != Reference.Answers ||
+          RG.Answers != Reference.Answers) {
+        std::printf("FAIL: answers unstable across passes at %u blocks\n",
+                    Blocks);
+        AnswersAgree = false;
+      }
+    }
+
+    double ArrivalQps = double(NumQueries) / ArrivalBest;
+    double GroupedQps = double(NumQueries) / GroupedBest;
+    double Speedup = GroupedQps / ArrivalQps;
+    Table.addRow({std::to_string(Blocks), std::to_string(NumQueries),
+                  "arrival", TablePrinter::fmt(ArrivalQps / 1e6),
+                  TablePrinter::fmt(1.0)});
+    Table.addRow({std::to_string(Blocks), std::to_string(NumQueries),
+                  "grouped", TablePrinter::fmt(GroupedQps / 1e6),
+                  TablePrinter::fmt(Speedup)});
+    Records.push_back(
+        JsonRecord()
+            .num("blocks", std::uint64_t(Blocks))
+            .num("queries", std::uint64_t(NumQueries))
+            .num("arrival_queries_per_second", ArrivalQps)
+            .num("grouped_queries_per_second", GroupedQps)
+            .num("speedup_grouped_vs_arrival", Speedup));
+    SpeedupBySize.push_back({Blocks, Speedup});
+    if (Blocks == LargeTier)
+      LargeSpeedup = Speedup;
   }
-  T2.print();
+
+  Table.print();
+  std::string JsonPath = writeBenchJson("querymix", Records);
+  if (!JsonPath.empty())
+    std::printf("\nMachine-readable results: %s\n", JsonPath.c_str());
+
+  std::printf("\ngrouped vs arrival order:");
+  for (auto [Blocks, S] : SpeedupBySize)
+    std::printf(" %.2fx @ %u blocks;", S, Blocks);
+  std::printf("\n");
+  if (LargeSpeedup != 0)
+    std::printf("large workload (%u blocks): %.2fx (target >= 1.15x) %s\n",
+                LargeTier, LargeSpeedup,
+                LargeSpeedup >= 1.15 ? "PASS" : "BELOW TARGET");
+  std::printf("note: single-thread by design — the work-stealing scheduler "
+              "adds multi-core\nthroughput on top of this ratio, but core-"
+              "count-dependent speedups do not\ntravel across runners, so "
+              "they are equivalence-tested rather than gated.\n");
+  if (!AnswersAgree) {
+    std::printf("FAIL: grouped and arrival-order answers disagree\n");
+    return 1;
+  }
   return 0;
 }

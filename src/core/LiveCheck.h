@@ -325,6 +325,37 @@ public:
     return NumScan(*this, V.DefNum, V.MaxDom, QNum, V.NumsBegin, V.NumsEnd,
                    /*ExcludeTrivialQ=*/true, Sink);
   }
+
+  /// One point query of a same-value run: the block asked about and the
+  /// direction. Block ids, not numbers — translation happens inside the
+  /// kernel.
+  struct PreparedProbe {
+    unsigned Block = 0;
+    bool IsLiveOut = false;
+  };
+
+  /// Multi-query kernel: answers \p N probes against ONE prepared variable
+  /// in a single call, writing 0/1 into Answers[i] for Probes[i]. Answers
+  /// are bit-identical to calling isLiveInPrepared / isLiveOutPrepared per
+  /// probe — the batch driver's locality-grouped path relies on that, and
+  /// tests/core pins it differentially.
+  ///
+  /// Under TStorage::Arena with enough probes relative to the dominance
+  /// interval, the kernel amortizes: one pass over the interval classifies
+  /// every target t by `R_t ∩ uses != ∅` (the Algorithm-1 verdict, plus the
+  /// self-excluded variant Algorithm 2 needs) into pooled Good/GoodSelf
+  /// rows, then each probe becomes one word-parallel
+  /// `T_q ∩ Good != ∅` range sweep — the same two-pass structure as
+  /// liveInBlocks, but only over the blocks actually asked about. Short
+  /// runs and non-arena layouts fall back to the per-probe entry points.
+  ///
+  /// Stats contract: LiveInQueries/LiveOutQueries in \p Sink count exactly
+  /// one per probe regardless of path; TargetsVisited/UseTests count the
+  /// verdicts the sweep evaluates when it runs (evaluation counters, not a
+  /// schedule invariant).
+  void answerPreparedRun(const PreparedVar &V, const PreparedProbe *Probes,
+                         std::size_t N, std::uint8_t *Answers,
+                         LiveCheckStats *Sink = nullptr) const;
   /// @}
 
   /// \name Batch sweep.

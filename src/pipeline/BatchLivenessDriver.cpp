@@ -16,6 +16,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 
@@ -36,6 +37,8 @@ struct DriverTelemetry {
   telemetry::Counter EngineTargets{"ssalive_engine_targets_visited_total"};
   telemetry::Counter EngineUseTests{"ssalive_engine_use_tests_total"};
   telemetry::Counter ShardedFills{"ssalive_driver_sharded_fills_total"};
+  telemetry::Counter Chunks{"ssalive_driver_chunks_total"};
+  telemetry::Counter Steals{"ssalive_driver_steals_total"};
   telemetry::Histogram PrecomputeNs{"ssalive_driver_precompute_ns"};
   telemetry::Histogram QueryBatchNs{"ssalive_driver_query_batch_ns"};
 
@@ -99,6 +102,25 @@ bool ssalive::parseQueryPlane(const std::string &Name, QueryPlane &Out) {
                        QueryPlane::Mask, QueryPlane::Prepared})
     if (Name == queryPlaneName(P)) {
       Out = P;
+      return true;
+    }
+  return false;
+}
+
+const char *ssalive::batchScheduleName(BatchSchedule S) {
+  switch (S) {
+  case BatchSchedule::Static:
+    return "static";
+  case BatchSchedule::Stealing:
+    return "stealing";
+  }
+  return "unknown";
+}
+
+bool ssalive::parseBatchSchedule(const std::string &Name, BatchSchedule &Out) {
+  for (BatchSchedule S : {BatchSchedule::Static, BatchSchedule::Stealing})
+    if (Name == batchScheduleName(S)) {
+      Out = S;
       return true;
     }
   return false;
@@ -325,13 +347,48 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
           .count();
   } // precompute span
 
-  // Phase 2 — the query stream, split into contiguous per-worker spans.
-  // Each worker owns its span of Answers and its PerThread slot, so the
-  // phase is write-shared-nothing and the result independent of scheduling.
+  // Phase 2 — the query stream, carved into chunks the workers claim
+  // through the scheduler. Each query writes only its own Answers slot and
+  // each worker owns its PerThread slot, so the phase stays
+  // write-shared-nothing and the result bytes are independent of the
+  // schedule (the scheduler-equivalence suite pins this).
   auto QueryStart = Clock::now();
+  const std::size_t NumQueries = Workload.size();
+  std::size_t Chunk = Opts.ChunkSize;
+  if (Chunk == 0)
+    Chunk = std::clamp<std::size_t>(
+        NumQueries / (std::size_t(NumWorkers) * 8), 256, 4096);
+  const std::size_t NumChunks = (NumQueries + Chunk - 1) / Chunk;
+  const bool Stealing = Opts.Schedule == BatchSchedule::Stealing;
+  // One claim cursor per worker over its contiguous queue of chunks.
+  // Thieves claim through the same cursor, so fetch_add tickets hand every
+  // chunk to exactly one worker with no other synchronization; a skewed
+  // chunk (hot values cost more than cold ones) delays only its claimer
+  // while the rest of its queue drains into the other workers.
+  struct alignas(64) ChunkCursor {
+    std::atomic<std::size_t> Next{0};
+    std::size_t End = 0;
+  };
+  std::vector<ChunkCursor> Cursors(Stealing ? NumWorkers : 0);
+  if (Stealing)
+    for (unsigned W = 0; W != NumWorkers; ++W) {
+      Cursors[W].Next.store(NumChunks * W / NumWorkers,
+                            std::memory_order_relaxed);
+      Cursors[W].End = NumChunks * (W + 1) / NumWorkers;
+    }
+  const bool SweepBackend = Opts.Backend == BatchBackend::LiveCheckBlockSweep;
+  const bool GroupedPlanes = Opts.GroupChunks && NeedsTrees;
+  // Dense (function, value) key space for the grouped paths' counting
+  // sort: KeyBase[F] + ValueId enumerates every value of every function
+  // without gaps. Recomputed per batch — cheap, and CFG edits can grow a
+  // function's value table between runs.
+  std::vector<std::uint32_t> KeyBase(Funcs.size() + 1, 0);
+  if (GroupedPlanes || SweepBackend)
+    for (std::size_t F = 0; F != Funcs.size(); ++F)
+      KeyBase[F + 1] = KeyBase[F] + Funcs[F]->numValues();
+  const std::size_t KeySpace = KeyBase.empty() ? 0 : KeyBase.back();
+
   Pool->runPerWorker([&](unsigned Worker) {
-    std::size_t Begin = Workload.size() * Worker / NumWorkers;
-    std::size_t End = Workload.size() * (Worker + 1) / NumWorkers;
     // Counters accumulate on the worker's stack: adjacent PerThread slots
     // share cache lines, and bouncing one per query would erase exactly
     // the scaling this driver exists to deliver.
@@ -340,62 +397,70 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
     // across batches: the buffers keep their capacity between runs.
     auto UsesH = pool::scratchArray();
     std::vector<unsigned> &Uses = *UsesH;
-
-    if (Opts.Backend == BatchBackend::LiveCheckBlockSweep) {
-      // The sweep computes every block's answer for one variable at once,
-      // so process the span grouped by (function, value) — the ordering is
-      // deterministic and each answer still lands in its own slot, keeping
-      // the result byte-identical to any other schedule.
-      std::vector<std::size_t> Order;
-      Order.reserve(End - Begin);
-      for (std::size_t I = Begin; I != End; ++I)
-        Order.push_back(I);
-      std::sort(Order.begin(), Order.end(),
-                [&](std::size_t A, std::size_t B) {
-                  const BatchQuery &QA = Workload[A], &QB = Workload[B];
-                  if (QA.FuncIndex != QB.FuncIndex)
-                    return QA.FuncIndex < QB.FuncIndex;
-                  if (QA.ValueId != QB.ValueId)
-                    return QA.ValueId < QB.ValueId;
-                  return A < B;
-                });
-      std::uint32_t CachedFunc = ~0u, CachedVal = ~0u;
-      bool CachedQueryable = false;
-      auto InBlocksH = pool::bitsets().acquire();
-      auto OutBlocksH = pool::bitsets().acquire();
-      BitVector &InBlocks = *InBlocksH, &OutBlocks = *OutBlocksH;
-      for (std::size_t I : Order) {
-        const BatchQuery &Q = Workload[I];
-        assert(Q.FuncIndex < Funcs.size() && "query function out of range");
-        const Function &F = *Funcs[Q.FuncIndex];
-        const Value &V = *F.value(Q.ValueId);
-        if (Q.FuncIndex != CachedFunc || Q.ValueId != CachedVal) {
-          CachedFunc = Q.FuncIndex;
-          CachedVal = Q.ValueId;
-          CachedQueryable = queryableValue(V);
-          if (CachedQueryable) {
-            Uses.clear();
-            appendLiveUseBlocks(V, Uses);
-            Engines[Q.FuncIndex]->liveInOutBlocks(defBlockId(V), Uses,
-                                                  InBlocks, OutBlocks);
-          }
-        }
-        bool Answer =
-            CachedQueryable &&
-            (Q.IsLiveOut ? OutBlocks.test(Q.BlockId) : InBlocks.test(Q.BlockId));
-        Result.Answers[I] = Answer;
-        Stats.PositiveAnswers += Answer;
-      }
-      Result.PerThread[Worker] = Stats;
-      return;
-    }
-
-    // Scratch for the renumbered planes.
     auto NumsH = pool::scratchArray();
     std::vector<unsigned> &Nums = *NumsH;
     auto MaskH = pool::bitsets().acquire();
     BitVector &Mask = *MaskH;
-    for (std::size_t I = Begin; I != End; ++I) {
+    // Grouping scratch: the sorted view of the current span plus the
+    // probe/answer staging of the multi-query kernel.
+    std::vector<std::size_t> Order;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> Keyed;
+    std::vector<LiveCheck::PreparedProbe> Probes;
+    std::vector<std::uint8_t> RunAnswers;
+    // Block-sweep per-value result cache; lives outside the span loop so a
+    // value continuing across adjacent chunks sweeps once.
+    std::uint32_t CachedFunc = ~0u, CachedVal = ~0u;
+    bool CachedQueryable = false;
+    auto InBlocksH =
+        SweepBackend ? pool::bitsets().acquire() : pool::BitsetPool::Handle();
+    auto OutBlocksH =
+        SweepBackend ? pool::bitsets().acquire() : pool::BitsetPool::Handle();
+
+    // Sorted-by-(function, value, index) view of [Begin, End): the grouped
+    // paths answer runs of same-value queries together; the ordering is
+    // deterministic and every answer still lands in its own slot.
+    std::vector<std::uint32_t> KeyCount;
+    auto sortSpan = [&](std::size_t Begin, std::size_t End) {
+      std::size_t Len = End - Begin;
+      if (Len * 4 >= KeySpace) {
+        // Stable counting sort over the dense (function, value) keys:
+        // three linear passes, and stability gives the index tiebreak for
+        // free. Worth the counter clear only when the span covers a fair
+        // share of the key space — big static spans, not 256-query chunks.
+        KeyCount.assign(KeySpace + 1, 0);
+        for (std::size_t I = Begin; I != End; ++I)
+          ++KeyCount[KeyBase[Workload[I].FuncIndex] + Workload[I].ValueId];
+        std::uint32_t Running = 0;
+        for (std::uint32_t &C : KeyCount) {
+          std::uint32_t N = C;
+          C = Running;
+          Running += N;
+        }
+        Order.resize(Len);
+        for (std::size_t I = Begin; I != End; ++I)
+          Order[KeyCount[KeyBase[Workload[I].FuncIndex] +
+                         Workload[I].ValueId]++] = I;
+        return;
+      }
+      // Packed (FuncIndex << 32 | ValueId, index) keys sort without
+      // touching Workload in the comparator — default pair ordering gives
+      // the same (function, value, index) order, cache-friendlier.
+      Keyed.clear();
+      Keyed.reserve(Len);
+      for (std::size_t I = Begin; I != End; ++I)
+        Keyed.emplace_back((std::uint64_t(Workload[I].FuncIndex) << 32) |
+                               Workload[I].ValueId,
+                           I);
+      std::sort(Keyed.begin(), Keyed.end());
+      Order.clear();
+      Order.reserve(Keyed.size());
+      for (const auto &[Key, I] : Keyed)
+        Order.push_back(std::size_t(I));
+    };
+
+    // One query in arrival order — the block-id plane, the standalone
+    // baselines, and the GroupChunks=false differential path.
+    auto answerOne = [&](std::size_t I) {
       const BatchQuery &Q = Workload[I];
       assert(Q.FuncIndex < Funcs.size() && "query function out of range");
       const Function &F = *Funcs[Q.FuncIndex];
@@ -467,6 +532,132 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
       }
       Result.Answers[I] = Answer;
       Stats.PositiveAnswers += Answer;
+    };
+
+    auto processSpan = [&](std::size_t Begin, std::size_t End) {
+      if (SweepBackend) {
+        // The sweep computes every block's answer for one variable at once,
+        // so process the span grouped by (function, value).
+        sortSpan(Begin, End);
+        BitVector &InBlocks = *InBlocksH, &OutBlocks = *OutBlocksH;
+        for (std::size_t I : Order) {
+          const BatchQuery &Q = Workload[I];
+          assert(Q.FuncIndex < Funcs.size() && "query function out of range");
+          const Function &F = *Funcs[Q.FuncIndex];
+          const Value &V = *F.value(Q.ValueId);
+          if (Q.FuncIndex != CachedFunc || Q.ValueId != CachedVal) {
+            CachedFunc = Q.FuncIndex;
+            CachedVal = Q.ValueId;
+            CachedQueryable = queryableValue(V);
+            if (CachedQueryable) {
+              Uses.clear();
+              appendLiveUseBlocks(V, Uses);
+              Engines[Q.FuncIndex]->liveInOutBlocks(defBlockId(V), Uses,
+                                                    InBlocks, OutBlocks);
+            }
+          }
+          bool Answer = CachedQueryable &&
+                        (Q.IsLiveOut ? OutBlocks.test(Q.BlockId)
+                                     : InBlocks.test(Q.BlockId));
+          Result.Answers[I] = Answer;
+          Stats.PositiveAnswers += Answer;
+        }
+        return;
+      }
+      if (GroupedPlanes) {
+        // Locality grouping on the renumbered planes: one prepared
+        // variable and one multi-query kernel call per run of
+        // same-(function, value) queries. Sorting is span-local, so the
+        // amortization tracks the stream's actual locality.
+        sortSpan(Begin, End);
+        std::size_t K = 0;
+        while (K != Order.size()) {
+          const BatchQuery &Lead = Workload[Order[K]];
+          assert(Lead.FuncIndex < Funcs.size() &&
+                 "query function out of range");
+          std::size_t RunEnd = K + 1;
+          while (RunEnd != Order.size() &&
+                 Workload[Order[RunEnd]].FuncIndex == Lead.FuncIndex &&
+                 Workload[Order[RunEnd]].ValueId == Lead.ValueId)
+            ++RunEnd;
+          const Function &F = *Funcs[Lead.FuncIndex];
+          const Value &V = *F.value(Lead.ValueId);
+          if (queryableValue(V)) {
+            const LiveCheck &E = *Engines[Lead.FuncIndex];
+            LiveCheck::PreparedVar Local;
+            const LiveCheck::PreparedVar *PV = nullptr;
+            if (Opts.Plane == QueryPlane::Prepared) {
+              PV = &Prepared[Lead.FuncIndex]->cached(V);
+            } else {
+              // The differential planes re-derive the variable — the
+              // translation cost they exist to measure — but now once per
+              // run instead of once per query.
+              Uses.clear();
+              appendLiveUseBlocks(V, Uses);
+              const DomTree &DT = *Trees[Lead.FuncIndex];
+              E.prepareDef(defBlockId(V), Local);
+              if (Opts.Plane == QueryPlane::Nums) {
+                Nums.clear();
+                for (unsigned U : Uses)
+                  Nums.push_back(DT.num(U));
+                Local.NumsBegin = Nums.data();
+                Local.NumsEnd = Nums.data() + Nums.size();
+              } else {
+                Mask.resize(E.numNodes());
+                Mask.reset();
+                for (unsigned U : Uses)
+                  Mask.set(DT.num(U));
+                Local.setMask(Mask);
+              }
+              PV = &Local;
+            }
+            std::size_t RunLen = RunEnd - K;
+            Probes.resize(RunLen);
+            RunAnswers.resize(RunLen);
+            for (std::size_t J = 0; J != RunLen; ++J) {
+              const BatchQuery &Q = Workload[Order[K + J]];
+              Probes[J].Block = Q.BlockId;
+              Probes[J].IsLiveOut = Q.IsLiveOut;
+            }
+            E.answerPreparedRun(*PV, Probes.data(), RunLen,
+                                RunAnswers.data(), &Stats.Engine);
+            for (std::size_t J = 0; J != RunLen; ++J) {
+              Result.Answers[Order[K + J]] = RunAnswers[J];
+              Stats.PositiveAnswers += RunAnswers[J];
+            }
+          }
+          K = RunEnd;
+        }
+        return;
+      }
+      for (std::size_t I = Begin; I != End; ++I)
+        answerOne(I);
+    };
+
+    if (!Stealing) {
+      std::size_t Begin = NumQueries * Worker / NumWorkers;
+      std::size_t End = NumQueries * (Worker + 1) / NumWorkers;
+      if (Begin != End) {
+        ++Stats.ChunksClaimed;
+        processSpan(Begin, End);
+      }
+    } else {
+      // Drain the own queue first, then visit the other cursors
+      // round-robin. Chunks are never re-added, so one pass over every
+      // cursor claims everything.
+      for (unsigned V = 0; V != NumWorkers; ++V) {
+        unsigned Victim = (Worker + V) % NumWorkers;
+        ChunkCursor &C = Cursors[Victim];
+        while (true) {
+          std::size_t Ticket = C.Next.fetch_add(1, std::memory_order_relaxed);
+          if (Ticket >= C.End)
+            break;
+          ++Stats.ChunksClaimed;
+          Stats.ChunksStolen += Victim != Worker;
+          processSpan(Ticket * Chunk,
+                      std::min((Ticket + 1) * Chunk, NumQueries));
+        }
+      }
     }
     Result.PerThread[Worker] = Stats;
   });
@@ -479,10 +670,15 @@ BatchResult BatchLivenessDriver::run(const std::vector<BatchQuery> &Workload) {
   const DriverTelemetry &T = DriverTelemetry::get();
   T.Batches.inc();
   T.Queries.inc(Result.Answers.size());
-  std::uint64_t Positives = 0;
-  for (const BatchThreadStats &S : Result.PerThread)
+  std::uint64_t Positives = 0, ChunksTotal = 0, StealsTotal = 0;
+  for (const BatchThreadStats &S : Result.PerThread) {
     Positives += S.PositiveAnswers;
+    ChunksTotal += S.ChunksClaimed;
+    StealsTotal += S.ChunksStolen;
+  }
   T.Positives.inc(Positives);
+  T.Chunks.inc(ChunksTotal);
+  T.Steals.inc(StealsTotal);
   LiveCheckStats Engine = Result.totalEngineStats();
   T.EngineIn.inc(Engine.LiveInQueries);
   T.EngineOut.inc(Engine.LiveOutQueries);

@@ -7,9 +7,13 @@
 /// \file
 /// Executes a liveness-query workload over a whole module (set of functions)
 /// concurrently: per-function precomputation fans out across a thread pool,
-/// then the query stream is split into per-worker spans answered against the
-/// shared read-only engines. Answers land in a per-query slot, so the result
-/// is byte-identical for any thread count — the amortization story of the
+/// then the query stream is carved into chunks that workers claim through a
+/// work-stealing scheduler (static contiguous spans remain selectable) and
+/// answer against the shared read-only engines. Within a chunk, queries for
+/// the renumbered planes are grouped by (function, value) so one prepared
+/// variable and one multi-query kernel call serve a whole run of same-value
+/// queries. Answers land in a per-query slot, so the result is byte-identical
+/// for any thread count and any schedule — the amortization story of the
 /// paper (one CFG-only precomputation, unboundedly many queries) scaled from
 /// one function to a module under heavy query traffic.
 ///
@@ -72,6 +76,27 @@ const char *queryPlaneName(QueryPlane P);
 /// Parses "block-id", "nums", "mask", "prepared".
 bool parseQueryPlane(const std::string &Name, QueryPlane &Out);
 
+/// How phase 2 hands queries to workers. Either way every query writes only
+/// its own Answers slot, so the result bytes are schedule-independent; the
+/// scheduler-equivalence suite pins that.
+enum class BatchSchedule : std::uint8_t {
+  /// Deterministic contiguous spans `[size*W/N, size*(W+1)/N)` — the
+  /// pre-stealing behavior, kept as the differential baseline and for
+  /// reproducing per-worker assignment exactly.
+  Static,
+  /// Work-stealing chunk claiming: the stream is carved into chunks, each
+  /// worker owns a contiguous queue of them behind an atomic cursor, and a
+  /// worker that drains its queue claims from the other cursors round-robin.
+  /// Skewed workloads (hot values concentrating work in a few chunks) no
+  /// longer idle the unlucky workers' siblings.
+  Stealing,
+};
+
+const char *batchScheduleName(BatchSchedule S);
+
+/// Parses "static", "stealing".
+bool parseBatchSchedule(const std::string &Name, BatchSchedule &Out);
+
 /// True when \p B answers through the cached LiveCheck engines (and thus
 /// benefits from AnalysisManager::refresh after CFG edits); false for the
 /// standalone baselines, which are simply rebuilt.
@@ -107,16 +132,37 @@ struct BatchOptions {
   /// sweep, not a full pre-scan. 0 forces sharding (tests);
   /// SIZE_MAX disables it.
   std::size_t ColdFillShardThreshold = 4096;
+  /// Phase-2 scheduling policy. Stealing is the production default; Static
+  /// reproduces the deterministic pre-stealing spans (answers are identical
+  /// either way — only the per-worker stats distribution differs).
+  BatchSchedule Schedule = BatchSchedule::Stealing;
+  /// Queries per stealing chunk; 0 picks adaptively from the workload size
+  /// (size / (workers * 8), clamped to [256, 4096]) so skewed workloads
+  /// leave enough chunks to rebalance while small batches stay near one
+  /// claim per worker.
+  std::size_t ChunkSize = 0;
+  /// Group each span/chunk by (function, value) on the renumbered planes so
+  /// a run of same-value queries is answered through one prepared variable
+  /// and one LiveCheck::answerPreparedRun multi-query call. On by default;
+  /// off reproduces per-query arrival order — the baseline bench_querymix
+  /// compares against, and a differential surface for the equivalence
+  /// suite. (The block-id plane and the non-LiveCheck baselines always run
+  /// arrival order: they are the independent oracles.)
+  bool GroupChunks = true;
 };
 
 /// Per-worker tallies; aggregation across workers is a fold, never a shared
 /// write (each worker owns its slot). Queries-executed is not tallied here:
-/// worker spans are deterministic (`[size*W/N, size*(W+1)/N)`), so the count
-/// per worker is derivable from the workload size and the hand-rolled
-/// counter was redundant; the per-run totals now stream into the telemetry
+/// every claimed chunk is a known index range, so the count is derivable
+/// from the chunk tallies; the per-run totals stream into the telemetry
 /// registry instead (`ssalive_driver_*`).
 struct BatchThreadStats {
   std::uint64_t PositiveAnswers = 0;
+  /// Chunks this worker answered in phase 2 (under Static, 1 per non-empty
+  /// span); ChunksStolen is the subset claimed from another worker's queue.
+  /// Totals feed `ssalive_driver_chunks_total` / `ssalive_driver_steals_total`.
+  std::uint64_t ChunksClaimed = 0;
+  std::uint64_t ChunksStolen = 0;
   LiveCheckStats Engine; ///< LiveCheck counters (zero for baselines).
 };
 

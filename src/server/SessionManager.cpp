@@ -277,7 +277,10 @@ std::vector<std::uint8_t> Session::handleQueryBatch(WireReader &R) {
     return countedError(ErrorCode::MalformedFrame,
                        "query batch body does not match its count");
 
-  std::vector<BatchQuery> Workload;
+  // Decode into the session-owned buffer: capacity persists across frames,
+  // so a steady stream stops paying an allocation per QueryBatch.
+  std::vector<BatchQuery> &Workload = WorkloadBuf;
+  Workload.clear();
   Workload.reserve(Count);
   for (std::uint32_t I = 0; I != Count; ++I) {
     BatchQuery Q;
@@ -324,7 +327,9 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
     return countedError(ErrorCode::MalformedFrame,
                        "edit batch body does not match its count");
 
-  std::vector<EditItem> Edits;
+  // Session-owned decode staging, same reuse story as handleQueryBatch.
+  std::vector<EditItem> &Edits = EditsBuf;
+  Edits.clear();
   Edits.reserve(Count);
   for (std::uint32_t I = 0; I != Count; ++I) {
     EditItem E;
@@ -361,9 +366,12 @@ std::vector<std::uint8_t> Session::handleEditCFG(WireReader &R) {
   // the current graph) leave the function untouched and are reported per
   // item rather than failing the batch: the client's mirror makes the
   // same accept/reject decision.
-  std::vector<std::pair<std::uint8_t, std::uint64_t>> Results;
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> &Results =
+      EditResultsBuf;
+  Results.clear();
   Results.reserve(Edits.size());
-  std::vector<std::uint8_t> Touched(Module.size(), 0);
+  std::vector<std::uint8_t> &Touched = TouchedBuf;
+  Touched.assign(Module.size(), 0);
   bool AnyApplied = false;
   for (const EditItem &E : Edits) {
     Function &F = *Module[E.FuncIndex];

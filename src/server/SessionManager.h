@@ -199,6 +199,16 @@ private:
   protocol::StatsWire Tally;
   bool ShutdownSeen = false;
 
+  /// Decode staging reused across frames: a session serving a steady query
+  /// stream decodes thousands of frames, and a fresh std::vector per frame
+  /// put an allocate/free pair on every one. clear() keeps capacity, so
+  /// after the first frame of each size class the handlers allocate
+  /// nothing. Replies are unaffected — reuse never reaches the wire.
+  std::vector<BatchQuery> WorkloadBuf;
+  std::vector<protocol::EditItem> EditsBuf;
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> EditResultsBuf;
+  std::vector<std::uint8_t> TouchedBuf;
+
   /// Resume state (see the resume-plane accessors above).
   std::uint64_t SessionId = 0;
   bool Resumable = false;

@@ -107,7 +107,7 @@ struct HistogramData {
 /// Upper bound of the bucket containing the \p P-th percentile (P in
 /// [0, 100]); 0 for an empty histogram. Log2 buckets make this an
 /// order-of-magnitude answer — exactly the resolution a latency summary
-/// needs (`ssalive-stat` prints p50/p90/p99 this way).
+/// needs (`ssalive-stat` prints p50/p95/p99 this way).
 std::uint64_t histogramPercentile(const HistogramData &H, double P);
 
 //===----------------------------------------------------------------------===//

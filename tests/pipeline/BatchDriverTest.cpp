@@ -13,6 +13,8 @@
 
 #include "pipeline/BatchLivenessDriver.h"
 
+#include "support/RandomEngine.h"
+
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
@@ -147,32 +149,125 @@ TEST(BatchDriver, PerThreadStatsCoverTheWholeWorkload) {
   Module M(4);
   std::vector<BatchQuery> Workload =
       BatchLivenessDriver::generateWorkload(M.Funcs, 3, 5000);
+
+  // Under the stealing default the per-worker distribution depends on
+  // timing, but the totals must cover the workload exactly: each chunk is
+  // claimed by exactly one worker, and every query hits the engine exactly
+  // once (the generator never draws no-use/no-def values).
   BatchOptions Opts;
   Opts.Threads = 4;
   BatchLivenessDriver Driver(M.Funcs, Opts);
   BatchResult R = Driver.run(Workload);
   ASSERT_EQ(R.PerThread.size(), 4u);
-  // Worker spans are the deterministic [size*W/N, size*(W+1)/N) split, so
-  // each worker's share is derivable rather than tallied; the per-worker
-  // engine counters prove every worker actually executed its span (the
-  // generator never draws no-use/no-def values, so each query hits the
-  // engine exactly once).
-  std::uint64_t EngineQueries = 0;
-  for (std::size_t W = 0; W != R.PerThread.size(); ++W) {
-    const BatchThreadStats &S = R.PerThread[W];
-    std::uint64_t SpanSize = Workload.size() * (W + 1) / R.PerThread.size() -
-                             Workload.size() * W / R.PerThread.size();
-    EXPECT_EQ(S.Engine.LiveInQueries + S.Engine.LiveOutQueries, SpanSize)
-        << "worker " << W << " must execute exactly its span";
-    EXPECT_GT(SpanSize, 0u) << "every worker must receive a span";
+  std::uint64_t EngineQueries = 0, Chunks = 0;
+  for (const BatchThreadStats &S : R.PerThread) {
     EngineQueries += S.Engine.LiveInQueries + S.Engine.LiveOutQueries;
+    Chunks += S.ChunksClaimed;
+    EXPECT_LE(S.ChunksStolen, S.ChunksClaimed);
   }
   EXPECT_EQ(EngineQueries, std::uint64_t(Workload.size()));
+  // Adaptive chunking: 5000 queries / (4 workers * 8) clamps to the
+  // 256-query floor, so the chunk count is the exact ceiling division.
+  EXPECT_EQ(Chunks, (Workload.size() + 255) / 256)
+      << "every chunk must be claimed exactly once";
   LiveCheckStats Total = R.totalEngineStats();
   EXPECT_EQ(Total.LiveInQueries + Total.LiveOutQueries,
             std::uint64_t(Workload.size()))
       << "only no-use/no-def values skip the engine, and the generator "
          "never draws those";
+
+  // The static schedule keeps the deterministic [size*W/N, size*(W+1)/N)
+  // split, so each worker's share is derivable rather than tallied.
+  BatchOptions StaticOpts;
+  StaticOpts.Threads = 4;
+  StaticOpts.Schedule = BatchSchedule::Static;
+  BatchResult SR = BatchLivenessDriver(M.Funcs, StaticOpts).run(Workload);
+  ASSERT_EQ(SR.PerThread.size(), 4u);
+  for (std::size_t W = 0; W != SR.PerThread.size(); ++W) {
+    const BatchThreadStats &S = SR.PerThread[W];
+    std::uint64_t SpanSize = Workload.size() * (W + 1) / SR.PerThread.size() -
+                             Workload.size() * W / SR.PerThread.size();
+    EXPECT_EQ(S.Engine.LiveInQueries + S.Engine.LiveOutQueries, SpanSize)
+        << "worker " << W << " must execute exactly its span";
+    EXPECT_EQ(S.ChunksClaimed, 1u) << "static spans claim one chunk";
+    EXPECT_EQ(S.ChunksStolen, 0u) << "nothing to steal under static spans";
+  }
+  EXPECT_EQ(SR.Answers, R.Answers)
+      << "schedule must never change the answer bytes";
+}
+
+TEST(BatchDriver, SchedulesAndGroupingAreByteIdentical) {
+  // The scheduler-equivalence suite: a skewed workload (hot values
+  // concentrating long same-value runs in a few chunks) and a uniform one,
+  // answered under every schedule × grouping × thread-count combination on
+  // every query plane — all byte-identical to the 1-thread static
+  // arrival-order oracle. Tiny chunks force multi-chunk queues so steals
+  // actually happen; this suite runs under TSan in CI, so the atomic
+  // chunk-cursor claiming is race-checked here, not just argued.
+  Module M(6, 0x5C4ED);
+  std::vector<BatchQuery> Uniform =
+      BatchLivenessDriver::generateWorkload(M.Funcs, 0xD1CE, 9000);
+  ASSERT_FALSE(Uniform.empty());
+
+  // Skew: replay a handful of hot queries many times, then deterministic
+  // Fisher-Yates so the runs are scattered until grouping re-forms them.
+  std::vector<BatchQuery> Skewed = Uniform;
+  for (unsigned I = 0; I != 9000; ++I)
+    Skewed.push_back(Uniform[I % 11]);
+  RandomEngine Shuffle(0x5381);
+  for (std::size_t I = Skewed.size(); I > 1; --I)
+    std::swap(Skewed[I - 1], Skewed[Shuffle.nextBelow(unsigned(I))]);
+
+  for (const std::vector<BatchQuery> *Workload : {&Uniform, &Skewed}) {
+    for (QueryPlane Plane : {QueryPlane::BlockId, QueryPlane::Nums,
+                             QueryPlane::Mask, QueryPlane::Prepared}) {
+      BatchOptions Ref;
+      Ref.Threads = 1;
+      Ref.Plane = Plane;
+      Ref.Schedule = BatchSchedule::Static;
+      Ref.GroupChunks = false;
+      BatchResult Oracle = BatchLivenessDriver(M.Funcs, Ref).run(*Workload);
+      ASSERT_EQ(Oracle.Answers.size(), Workload->size());
+
+      for (BatchSchedule Schedule :
+           {BatchSchedule::Static, BatchSchedule::Stealing}) {
+        for (bool Group : {false, true}) {
+          BatchOptions Opts;
+          Opts.Threads = 4;
+          Opts.Plane = Plane;
+          Opts.Schedule = Schedule;
+          Opts.GroupChunks = Group;
+          Opts.ChunkSize = 128; // Many chunks per worker → real steals.
+          BatchResult R = BatchLivenessDriver(M.Funcs, Opts).run(*Workload);
+          EXPECT_EQ(R.Answers, Oracle.Answers)
+              << "plane " << queryPlaneName(Plane) << " schedule "
+              << batchScheduleName(Schedule) << (Group ? " grouped" : "")
+              << " diverges from the arrival-order oracle";
+        }
+      }
+    }
+  }
+
+  // The baselines and the block-sweep backend ignore the plane but still
+  // ride the new schedulers; pin them on the skewed workload too.
+  for (BatchBackend B :
+       {BatchBackend::LiveCheckBlockSweep, BatchBackend::Dataflow,
+        BatchBackend::PathExploration}) {
+    BatchOptions Ref;
+    Ref.Backend = B;
+    Ref.Threads = 1;
+    Ref.Schedule = BatchSchedule::Static;
+    Ref.GroupChunks = false;
+    BatchResult Oracle = BatchLivenessDriver(M.Funcs, Ref).run(Skewed);
+    BatchOptions Opts;
+    Opts.Backend = B;
+    Opts.Threads = 4;
+    Opts.ChunkSize = 128;
+    BatchResult R = BatchLivenessDriver(M.Funcs, Opts).run(Skewed);
+    EXPECT_EQ(R.Answers, Oracle.Answers)
+        << "backend " << batchBackendName(B)
+        << " diverges under stealing from its static 1-thread run";
+  }
 }
 
 TEST(BatchDriver, WorkloadGenerationIsDeterministic) {

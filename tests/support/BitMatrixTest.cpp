@@ -159,6 +159,91 @@ TEST(BitMatrix, AnyCommonInRangeAgainstNaive) {
   }
 }
 
+TEST(BitMatrix, DispatchMatchesPortableOnRandomSpans) {
+  // The kernel dispatch contract (BitMatrix.h header): every dispatching
+  // sweep — masked boundary words plus the unrolled/AVX2 interior — must
+  // agree bit-for-bit with its Portable twin. Randomized word counts keep
+  // ragged tails (N % 4 != 0) and sub-unroll spans in play; exclusion bits
+  // land on word boundaries as often as mid-word.
+  RandomEngine Rng(0x51AD);
+  for (unsigned Trial = 0; Trial != 600; ++Trial) {
+    unsigned NumWords = 1 + Rng.nextBelow(13);
+    unsigned Bits = NumWords * 64;
+    std::vector<std::uint64_t> A(NumWords, 0), B(NumWords, 0);
+    // Mostly-sparse fills (AND of three draws) with occasional dense words
+    // so both the early-hit and full-scan-miss paths run.
+    for (unsigned I = 0; I != NumWords; ++I) {
+      if (Rng.nextBelow(3) == 0)
+        A[I] = Rng.next() & Rng.next() & Rng.next();
+      if (Rng.nextBelow(3) == 0)
+        B[I] = Rng.next() & Rng.next() & Rng.next();
+      if (Rng.nextBelow(16) == 0)
+        A[I] = B[I] = ~0ull;
+    }
+    // Exclusion bit: none, random, or deliberately on a word edge.
+    unsigned Exclude = BitMatrix::npos;
+    switch (Rng.nextBelow(4)) {
+    case 1:
+      Exclude = Rng.nextBelow(Bits);
+      break;
+    case 2:
+      Exclude = 64 * Rng.nextBelow(NumWords); // First bit of a word.
+      break;
+    case 3:
+      Exclude = 64 * Rng.nextBelow(NumWords) + 63; // Last bit of a word.
+      break;
+    }
+    unsigned Lo = Rng.nextBelow(Bits);
+    unsigned Hi = Lo + Rng.nextBelow(Bits - Lo);
+
+    EXPECT_EQ(BitMatrix::wordsAnyCommon(A.data(), B.data(), NumWords, Exclude),
+              BitMatrix::wordsAnyCommonPortable(A.data(), B.data(), NumWords,
+                                                Exclude))
+        << "trial " << Trial << " words " << NumWords << " excl " << Exclude;
+    EXPECT_EQ(BitMatrix::wordsAnyExcept(A.data(), NumWords, Exclude),
+              BitMatrix::wordsAnyExceptPortable(A.data(), NumWords, Exclude))
+        << "trial " << Trial << " words " << NumWords << " excl " << Exclude;
+    EXPECT_EQ(
+        BitMatrix::wordsAnyCommonInRange(A.data(), B.data(), Lo, Hi, Exclude),
+        BitMatrix::wordsAnyCommonInRangePortable(A.data(), B.data(), Lo, Hi,
+                                                 Exclude))
+        << "trial " << Trial << " lo " << Lo << " hi " << Hi << " excl "
+        << Exclude;
+    EXPECT_EQ(
+        BitMatrix::wordsFirstCommonInRange(A.data(), B.data(), Lo, Hi, Exclude),
+        BitMatrix::wordsFirstCommonInRangePortable(A.data(), B.data(), Lo, Hi,
+                                                   Exclude))
+        << "trial " << Trial << " lo " << Lo << " hi " << Hi << " excl "
+        << Exclude;
+
+    // Probe-list primitives: random index lists with duplicates and a
+    // ragged length (N % 4 != 0 in two thirds of the trials).
+    std::size_t N = Rng.nextBelow(23);
+    std::vector<unsigned> Probes(N);
+    for (unsigned &P : Probes)
+      P = Rng.nextBelow(Bits);
+    EXPECT_EQ(BitMatrix::wordsAnyOfBits(A.data(), Probes.data(), N),
+              BitMatrix::wordsAnyOfBitsPortable(A.data(), Probes.data(), N))
+        << "trial " << Trial << " probes " << N;
+    std::vector<std::uint8_t> Got(N, 0xCC), Want(N, 0xCC);
+    BitMatrix::wordsTestGather(A.data(), Probes.data(), N, Got.data());
+    BitMatrix::wordsTestGatherPortable(A.data(), Probes.data(), N,
+                                       Want.data());
+    EXPECT_EQ(Got, Want) << "trial " << Trial << " probes " << N;
+  }
+
+  // Degenerate shapes the random draw cannot hit: empty ranges and
+  // zero-word spans.
+  std::vector<std::uint64_t> W = {~0ull};
+  EXPECT_FALSE(BitMatrix::wordsAnyCommonInRange(W.data(), W.data(), 5, 2));
+  EXPECT_EQ(BitMatrix::wordsFirstCommonInRange(W.data(), W.data(), 5, 2),
+            BitMatrix::npos);
+  EXPECT_FALSE(BitMatrix::wordsAnyCommon(W.data(), W.data(), 0));
+  EXPECT_FALSE(BitMatrix::wordsAnyExcept(W.data(), 0));
+  EXPECT_FALSE(BitMatrix::wordsAnyOfBits(W.data(), nullptr, 0));
+  BitMatrix::wordsTestGather(W.data(), nullptr, 0, nullptr);
+}
+
 TEST(BitMatrix, ResizeClearsAndClearReleases) {
   BitMatrix M(3, 100);
   M.set(2, 99);

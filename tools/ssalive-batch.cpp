@@ -20,6 +20,11 @@
 //                 LiveCheck entry point per query (default prepared — the
 //                 cached per-value plane; the others re-derive the
 //                 variable per query and exist as differential baselines)
+//     --schedule=stealing|static
+//                 phase-2 scheduling policy (default stealing: workers
+//                 claim chunks and steal from each other's queues; static
+//                 reproduces the deterministic contiguous spans). Answers
+//                 are byte-identical either way; --verify proves it.
 //     --threads=N     worker threads (default 1; 0 = hardware concurrency)
 //     --queries=N     workload size (default 500000)
 //     --seed=S        workload RNG seed (default 42)
@@ -62,6 +67,7 @@ namespace {
 struct CliOptions {
   BatchBackend Backend = BatchBackend::LiveCheckPropagated;
   QueryPlane Plane = QueryPlane::Prepared;
+  BatchSchedule Schedule = BatchSchedule::Stealing;
   unsigned Threads = 1;
   std::size_t Queries = 500000;
   std::uint64_t Seed = 42;
@@ -92,6 +98,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--plane=", 0) == 0) {
       if (!parseQueryPlane(Arg.substr(8), Opts.Plane)) {
         std::fprintf(stderr, "unknown query plane '%s'\n", Arg.c_str() + 8);
+        return false;
+      }
+    } else if (Arg.rfind("--schedule=", 0) == 0) {
+      if (!parseBatchSchedule(Arg.substr(11), Opts.Schedule)) {
+        std::fprintf(stderr, "unknown schedule '%s'\n", Arg.c_str() + 11);
         return false;
       }
     } else if (Arg.rfind("--threads=", 0) == 0 &&
@@ -193,14 +204,15 @@ int main(int Argc, char **Argv) {
   BatchOptions DOpts;
   DOpts.Backend = Opts.Backend;
   DOpts.Plane = Opts.Plane;
+  DOpts.Schedule = Opts.Schedule;
   DOpts.Threads = Opts.Threads;
   BatchLivenessDriver Driver(Funcs, DOpts);
 
   std::printf("ssalive-batch: %zu functions (%zu blocks, %zu values), "
-              "%zu queries, backend=%s, plane=%s, threads=%u\n",
+              "%zu queries, backend=%s, plane=%s, schedule=%s, threads=%u\n",
               Funcs.size(), TotalBlocks, TotalValues, Workload.size(),
               batchBackendName(Opts.Backend), queryPlaneName(Opts.Plane),
-              Driver.numThreads());
+              batchScheduleName(Opts.Schedule), Driver.numThreads());
 
   BatchResult Last;
   for (unsigned Run = 0; Run != Opts.Repeat; ++Run) {
@@ -261,6 +273,27 @@ int main(int Argc, char **Argv) {
       std::printf("  verify: %u-thread answers identical to "
                   "single-threaded reference\n",
                   Driver.numThreads());
+    }
+
+    // Schedule/grouping differential: work-stealing with locality-grouped
+    // chunks must answer byte-identically to deterministic static spans in
+    // per-query arrival order — the pre-scheduler behavior kept as an
+    // in-tool oracle.
+    {
+      BatchOptions AOpts = DOpts;
+      AOpts.Schedule = BatchSchedule::Static;
+      AOpts.GroupChunks = false;
+      BatchLivenessDriver Arrival(Funcs, AOpts);
+      BatchResult ArrivalRef = Arrival.run(Workload);
+      if (ArrivalRef.Answers != Last.Answers) {
+        std::fprintf(stderr, "FAIL: %s/grouped answers differ from the "
+                             "static arrival-order schedule\n",
+                     batchScheduleName(Opts.Schedule));
+        Failed = true;
+      } else {
+        std::printf("  verify: answers identical under static "
+                    "arrival-order scheduling\n");
+      }
     }
 
     // Plane differential: the cached prepared plane (or whichever plane

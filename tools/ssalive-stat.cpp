@@ -6,8 +6,10 @@
 //
 // One-shot observability probe for a running ssalive-server: connects,
 // sends a single Metrics request, and renders the process-wide registry —
-// counters, gauges, and latency histograms with p50/p90/p99 — without
-// loading a module or perturbing any session state.
+// counters, gauges, and latency histograms with p50/p95/p99 — without
+// loading a module or perturbing any session state. A frame-latency
+// summary line derives the server's request-service percentiles from the
+// ssalive_server_frame_ns log2 histogram.
 //
 //   ssalive-stat --connect=/path/sock      human-readable summary
 //   ssalive-stat --connect=/path/sock --prometheus
@@ -125,7 +127,7 @@ void printHuman(const std::vector<telemetry::Metric> &Metrics) {
                   static_cast<long long>(M.Value));
       break;
     case telemetry::MetricKind::Histogram:
-      std::printf("  %-46s count=%llu avg=%lluns p50=%llu p90=%llu "
+      std::printf("  %-46s count=%llu avg=%lluns p50=%llu p95=%llu "
                   "p99=%llu\n",
                   M.Name.c_str(),
                   static_cast<unsigned long long>(M.Hist.Count),
@@ -134,11 +136,34 @@ void printHuman(const std::vector<telemetry::Metric> &Metrics) {
                   static_cast<unsigned long long>(
                       telemetry::histogramPercentile(M.Hist, 50)),
                   static_cast<unsigned long long>(
-                      telemetry::histogramPercentile(M.Hist, 90)),
+                      telemetry::histogramPercentile(M.Hist, 95)),
                   static_cast<unsigned long long>(
                       telemetry::histogramPercentile(M.Hist, 99)));
       break;
     }
+  }
+}
+
+/// Frame-latency summary: the service-time percentiles of the server's
+/// request loop, derived from the ssalive_server_frame_ns log2 histogram —
+/// the one number an operator checks first under load.
+void printFrameLatencySummary(const std::vector<telemetry::Metric> &Metrics) {
+  for (const telemetry::Metric &M : Metrics) {
+    if (M.Name != "ssalive_server_frame_ns" ||
+        M.Kind != telemetry::MetricKind::Histogram)
+      continue;
+    if (M.Hist.Count == 0) {
+      std::printf("frame latency: no frames observed yet\n");
+      return;
+    }
+    double AvgUs = double(M.Hist.Sum) / double(M.Hist.Count) / 1e3;
+    std::printf("frame latency: %llu frame(s), avg=%.1fus p50=%.1fus "
+                "p95=%.1fus p99=%.1fus\n",
+                static_cast<unsigned long long>(M.Hist.Count), AvgUs,
+                telemetry::histogramPercentile(M.Hist, 50) / 1e3,
+                telemetry::histogramPercentile(M.Hist, 95) / 1e3,
+                telemetry::histogramPercentile(M.Hist, 99) / 1e3);
+    return;
   }
 }
 
@@ -203,6 +228,7 @@ int main(int Argc, char **Argv) {
   }
 
   printHuman(Metrics);
+  printFrameLatencySummary(Metrics);
   printRouterSummary(Metrics);
 
   // --watch: repoll on the same connection and report the query rate the
